@@ -1,0 +1,403 @@
+(* The reproduction harness: regenerates every figure of the paper's
+   evaluation (Sec. VII) plus the two worked examples, then runs Bechamel
+   micro-benchmarks of the solver kernels.
+
+   Figures are reproduced at bench scale by default (see EXPERIMENTS.md for
+   the calibration; `bin/postcard_sim --scale paper` runs the paper's exact
+   20-datacenter setting). Output is plain text, one section per figure. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Worked examples (Fig. 1 and Fig. 3): exact optima. *)
+
+let fig1 () =
+  section "Fig. 1 — motivating example (3 DCs, one 6 MB file, 3 intervals)";
+  let base = Graph.create ~n:3 in
+  ignore (Graph.add_arc base ~src:1 ~dst:2 ~capacity:1000. ~cost:10. ());
+  ignore (Graph.add_arc base ~src:1 ~dst:0 ~capacity:1000. ~cost:1. ());
+  ignore (Graph.add_arc base ~src:0 ~dst:2 ~capacity:1000. ~cost:3. ());
+  let file = File.make ~id:0 ~src:1 ~dst:2 ~size:6. ~deadline:3 ~release:0 in
+  let program =
+    Postcard.Formulate.create ~base
+      ~charged:(Array.make 3 0.)
+      ~capacity:(fun ~link:_ ~layer:_ -> 1000.)
+      ~files:[ file ] ~epoch:0 ()
+  in
+  let postcard_cost =
+    match Postcard.Formulate.solve program with
+    | Postcard.Formulate.Scheduled { objective; _ } -> objective
+    | Postcard.Formulate.Infeasible | Postcard.Formulate.Solver_failure _ ->
+        nan
+  in
+  Format.printf "  %-28s %10s %10s@." "strategy" "paper" "measured";
+  Format.printf "  %-28s %10.0f %10.0f@." "direct send" 20. (10. *. File.rate file);
+  Format.printf "  %-28s %10.0f %10.2f@." "postcard (relay + schedule)" 12.
+    postcard_cost
+
+let fig3 () =
+  section "Fig. 3 — Sec. V worked example (4 DCs, 2 files, capacity 5)";
+  let costs =
+    [| [| 0.; 1.; 5.; 6. |];
+       [| 1.; 0.; 4.; 11. |];
+       [| 5.; 4.; 0.; 6. |];
+       [| 6.; 11.; 6.; 0. |] |]
+  in
+  let base = Netgraph.Topology.of_cost_matrix ~capacity:5. costs in
+  let m = Graph.num_arcs base in
+  let files =
+    [ File.make ~id:1 ~src:1 ~dst:3 ~size:8. ~deadline:4 ~release:0;
+      File.make ~id:2 ~src:0 ~dst:3 ~size:10. ~deadline:2 ~release:0 ]
+  in
+  let postcard_cost =
+    let program =
+      Postcard.Formulate.create ~base ~charged:(Array.make m 0.)
+        ~capacity:(fun ~link:_ ~layer:_ -> 5.)
+        ~files ~epoch:0 ()
+    in
+    match Postcard.Formulate.solve program with
+    | Postcard.Formulate.Scheduled { objective; _ } -> objective
+    | Postcard.Formulate.Infeasible | Postcard.Formulate.Solver_failure _ ->
+        nan
+  in
+  let flow_cost =
+    let inst =
+      { Postcard.Flow_baseline.base;
+        cap = Array.make m 5.;
+        occ_peak = Array.make m 0.;
+        charged = Array.make m 0. }
+    in
+    match Postcard.Flow_baseline.solve_two_stage inst ~files with
+    | Some flows -> flows.Postcard.Flow_baseline.estimated_cost
+    | None -> nan
+  in
+  Format.printf "  %-28s %10s %10s@." "strategy" "paper" "measured";
+  Format.printf "  %-28s %10.0f %10.2f@." "direct send" 52. 52.;
+  Format.printf "  %-28s %10.0f %10.2f@." "flow-based (Sec. II-B)" 50. flow_cost;
+  Format.printf "  %-28s %10.2f %10.2f@." "postcard" 32.67 postcard_cost
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 4-7: the randomized evaluation at bench scale. *)
+
+let figure n =
+  let setting = Sim.Experiment.scaled_figure n in
+  section (Printf.sprintf "Fig. %d — %s" n setting.Sim.Experiment.label);
+  let schedulers =
+    [ Postcard.Postcard_scheduler.make ();
+      Postcard.Flow_baseline.make ();
+      Postcard.Direct_scheduler.make () ]
+  in
+  let results = Sim.Experiment.run_setting setting ~schedulers in
+  Format.printf "%a@." Sim.Report.print_summary results;
+  Format.printf "%t"
+    (fun ppf ->
+      Sim.Report.print_comparison ppf ~baseline:"flow-based"
+        ~contender:"postcard" results);
+  results
+
+let check_figure_shapes results4 results5 results6 results7 =
+  section "Shape checks (paper claims vs measured)";
+  let cost results name =
+    (Sim.Experiment.find_summary results name).Sim.Experiment.mean_cost
+  in
+  let verdict ok = if ok then "OK " else "MISS" in
+  let p4 = cost results4 "postcard" and f4 = cost results4 "flow-based" in
+  let p5 = cost results5 "postcard" and f5 = cost results5 "flow-based" in
+  let p6 = cost results6 "postcard" and f6 = cost results6 "flow-based" in
+  let p7 = cost results7 "postcard" and f7 = cost results7 "flow-based" in
+  Format.printf "  [%s] fig4: flow-based wins with ample capacity (%.0f < %.0f)@."
+    (verdict (f4 < p4)) f4 p4;
+  Format.printf "  [%s] fig5: flow-based wins with ample capacity (%.0f < %.0f)@."
+    (verdict (f5 < p5)) f5 p5;
+  Format.printf
+    "  [%s] fig6/7: postcard improves relative to flow when capacity throttles (%.2f -> %.2f)@."
+    (verdict (p6 /. f6 < p4 /. f4 && p7 /. f7 < p5 /. f5))
+    (p4 /. f4) (p6 /. f6);
+  Format.printf
+    "  [%s] postcard's cost falls with more delay tolerance (fig4 %.0f -> fig5 %.0f, fig6 %.0f -> fig7 %.0f)@."
+    (verdict (p5 < p4 && p7 < p6))
+    p4 p5 p6 p7;
+  Format.printf
+    "  [%s] throttled-capacity dominance (paper: postcard wins at c=30; measured ratios %.2f, %.2f — see EXPERIMENTS.md)@."
+    (verdict (p6 < f6 && p7 < f7))
+    (p6 /. f6) (p7 /. f7)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations. *)
+
+let ablation_flow_variants () =
+  section "Ablation — flow-baseline variants (literal vs excess vs joint)";
+  let setting =
+    { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
+  in
+  let schedulers =
+    [ Postcard.Flow_baseline.make ();
+      Postcard.Flow_baseline.make ~variant:`Two_stage_excess ();
+      Postcard.Flow_baseline.make ~variant:`Joint () ]
+  in
+  let results = Sim.Experiment.run_setting setting ~schedulers in
+  Format.printf "%a@." Sim.Report.print_summary results;
+  Format.printf
+    "  The literal Sec. II-B decomposition cannot beat the joint LP; the gap@.";
+  Format.printf "  measures what the paper's decomposition gives away.@."
+
+let ablation_greedy_vs_lp () =
+  section "Ablation — exact LP vs combinatorial greedy (speed/quality)";
+  let setting =
+    { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
+  in
+  let schedulers =
+    [ Postcard.Postcard_scheduler.make (); Postcard.Greedy_scheduler.make () ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Sim.Experiment.run_setting setting ~schedulers in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Sim.Report.print_summary results;
+  Format.printf "%t"
+    (fun ppf ->
+      Sim.Report.print_comparison ppf ~baseline:"postcard"
+        ~contender:"greedy-snf" results);
+  Format.printf "  (both schedulers, %d runs: %.1f s total)@."
+    setting.Sim.Experiment.runs elapsed;
+  Format.printf
+    "  greedy-snf routes one min-cost flow per file instead of one LP per@.";
+  Format.printf "  epoch; the ratio above is the price of that shortcut.@."
+
+let ablation_price_of_myopia () =
+  section "Ablation — price of myopia (online Postcard vs clairvoyant)";
+  let nodes = 6 and slots = 15 in
+  Format.printf "  %-6s %14s %14s %8s@." "seed" "online cost" "offline cost"
+    "ratio";
+  let ratios = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = Prelude.Rng.of_int (seed * 7919) in
+      let base =
+        Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
+          ~capacity:40.
+      in
+      let spec =
+        { (Sim.Workload.paper_spec ~nodes ~files_max:3 ~max_deadline:4) with
+          Sim.Workload.size_min = 5.;
+          size_max = 25.;
+          deadlines = Sim.Workload.Uniform_deadline (2, 4) }
+      in
+      let all_files = ref [] in
+      let collector = Sim.Workload.create spec (Prelude.Rng.of_int seed) in
+      for slot = 0 to slots - 1 do
+        all_files := !all_files @ Sim.Workload.arrivals collector ~slot
+      done;
+      let outcome =
+        Sim.Engine.run ~base
+          ~scheduler:(Postcard.Postcard_scheduler.make ())
+          ~workload:(Sim.Workload.create spec (Prelude.Rng.of_int seed))
+          ~slots
+      in
+      let online = outcome.Sim.Engine.cost_series.(slots - 1) in
+      match Postcard.Offline.solve ~base ~files:!all_files () with
+      | Error msg -> Format.printf "  %-6d offline failed: %s@." seed msg
+      | Ok r ->
+          let ratio =
+            Postcard.Offline.price_of_myopia ~base ~online_cost:online
+              ~offline:r
+          in
+          ratios := ratio :: !ratios;
+          Format.printf "  %-6d %14.1f %14.1f %8.3f@." seed online
+            r.Postcard.Offline.objective ratio)
+    [ 1; 2; 3 ];
+  if !ratios <> [] then
+    Format.printf
+      "  The clairvoyant optimum lower-bounds every online policy; the mean@.\
+      \  ratio (%.2f) is what the paper's online assumption itself costs.@."
+      (Prelude.Stats.mean (Array.of_list !ratios))
+
+let extension_percentile_billing () =
+  section "Extension — 95th-percentile billing and burst-aware scheduling";
+  let nodes = 6 and slots = 40 in
+  let rng = Prelude.Rng.of_int 2027 in
+  let base =
+    Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
+      ~capacity:50.
+  in
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes ~files_max:3 ~max_deadline:4) with
+      Sim.Workload.size_min = 5.;
+      size_max = 30. }
+  in
+  Format.printf "  %-12s %14s %14s@." "scheduler" "bill (100th)" "bill (95th)";
+  List.iter
+    (fun scheduler ->
+      let workload = Sim.Workload.create spec (Prelude.Rng.of_int 8888) in
+      let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+      let bill q =
+        Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme q)
+          ~base
+      in
+      Format.printf "  %-12s %14.1f %14.1f@." scheduler.Postcard.Scheduler.name
+        (bill 100.) (bill 95.))
+    [ Postcard.Greedy_scheduler.make ();
+      Postcard.Greedy_scheduler.make_percentile () ];
+  Format.printf
+    "  Under 95th-percentile billing each link's top 5%% of slots are free;@.";
+  Format.printf
+    "  the burst-aware scheduler concentrates overflow into those slots.@."
+
+let ablation_deadline_heterogeneity () =
+  section "Ablation — deadline heterogeneity (the Figs. 6/7 mechanism)";
+  let base_setting =
+    { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
+  in
+  let schedulers =
+    [ Postcard.Postcard_scheduler.make (); Postcard.Flow_baseline.make () ]
+  in
+  List.iter
+    (fun (label, uniform) ->
+      let setting =
+        { base_setting with
+          Sim.Experiment.label;
+          uniform_deadlines = uniform }
+      in
+      let results = Sim.Experiment.run_setting setting ~schedulers in
+      Format.printf "%a@." Sim.Report.print_summary results)
+    [ ("deadlines uniform in [1, T] (urgent + tolerant mix)", true);
+      ("all deadlines = T (no heterogeneity)", false) ];
+  Format.printf
+    "  Urgent (deadline-1) files are what slotted store-and-forward pays@.";
+  Format.printf
+    "  for: they burst whole transfers into single slots and reject under@.";
+  Format.printf
+    "  contention, while the fluid baseline absorbs them by occupying all@.";
+  Format.printf
+    "  hops simultaneously. With homogeneous deadlines the two models@.";
+  Format.printf "  nearly tie (see EXPERIMENTS.md).@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the solver kernels. *)
+
+let bechamel_benches () =
+  section "Solver micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let lu_bench =
+    (* Factorize + solve a sparse near-triangular 200x200 system. *)
+    let n = 200 in
+    let rng = Prelude.Rng.of_int 9 in
+    let d = Sparselin.Dense.identity n in
+    for _ = 1 to 3 * n do
+      let i = Prelude.Rng.int rng n and j = Prelude.Rng.int rng n in
+      if i <> j then d.(i).(j) <- Prelude.Rng.float_range rng (-0.5) 0.5
+    done;
+    let col j =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if d.(i).(j) <> 0. then acc := (i, d.(i).(j)) :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let b = Array.init n (fun i -> float_of_int (i mod 5)) in
+    Test.make ~name:"sparse LU 200x200"
+      (Staged.stage (fun () ->
+           match Sparselin.Lu.factorize ~dim:n col with
+           | Ok f ->
+               let x = Array.copy b in
+               Sparselin.Lu.solve f x;
+               ignore (Sys.opaque_identity x)
+           | Error _ -> assert false))
+  in
+  let simplex_bench =
+    let model =
+      let m = Lp.Model.create Lp.Model.Minimize in
+      let rng = Prelude.Rng.of_int 4 in
+      let vars =
+        Array.init 60 (fun _ ->
+            Lp.Model.add_var m ~obj:(Prelude.Rng.float_range rng 1. 10.) ())
+      in
+      for _ = 1 to 40 do
+        let terms =
+          Array.to_list vars
+          |> List.filteri (fun i _ -> i mod 3 = 0)
+          |> List.map (fun v -> (v, Prelude.Rng.float_range rng 0.1 2.))
+        in
+        ignore
+          (Lp.Model.add_constraint m terms Lp.Model.Ge
+             (Prelude.Rng.float_range rng 1. 20.))
+      done;
+      m
+    in
+    Test.make ~name:"simplex 60 vars x 40 rows"
+      (Staged.stage (fun () ->
+           ignore (Sys.opaque_identity (Lp.Simplex.solve model))))
+  in
+  let postcard_bench =
+    let costs =
+      [| [| 0.; 1.; 5.; 6. |];
+         [| 1.; 0.; 4.; 11. |];
+         [| 5.; 4.; 0.; 6. |];
+         [| 6.; 11.; 6.; 0. |] |]
+    in
+    let base = Netgraph.Topology.of_cost_matrix ~capacity:5. costs in
+    let files =
+      [ File.make ~id:1 ~src:1 ~dst:3 ~size:8. ~deadline:4 ~release:0;
+        File.make ~id:2 ~src:0 ~dst:3 ~size:10. ~deadline:2 ~release:0 ]
+    in
+    Test.make ~name:"postcard fig3 solve"
+      (Staged.stage (fun () ->
+           let program =
+             Postcard.Formulate.create ~base
+               ~charged:(Array.make (Graph.num_arcs base) 0.)
+               ~capacity:(fun ~link:_ ~layer:_ -> 5.)
+               ~files ~epoch:0 ()
+           in
+           ignore (Sys.opaque_identity (Postcard.Formulate.solve program))))
+  in
+  let mcf_bench =
+    let rng = Prelude.Rng.of_int 17 in
+    let g =
+      Netgraph.Topology.complete ~n:12 ~rng ~cost_lo:1. ~cost_hi:10.
+        ~capacity:10.
+    in
+    Test.make ~name:"min-cost flow 12-DC complete"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (Netgraph.Mincostflow.min_cost_flow g ~src:0 ~dst:11
+                   ~amount:25.))))
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.printf "  %-32s %12.1f ns/run@." name est
+        | Some _ | None -> Format.printf "  %-32s (no estimate)@." name)
+      results
+  in
+  List.iter benchmark [ lu_bench; simplex_bench; postcard_bench; mcf_bench ]
+
+let () =
+  Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
+  fig1 ();
+  fig3 ();
+  let r4 = figure 4 in
+  let r5 = figure 5 in
+  let r6 = figure 6 in
+  let r7 = figure 7 in
+  check_figure_shapes r4 r5 r6 r7;
+  ablation_flow_variants ();
+  ablation_greedy_vs_lp ();
+  ablation_deadline_heterogeneity ();
+  ablation_price_of_myopia ();
+  extension_percentile_billing ();
+  bechamel_benches ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/postcard_sim.ml: Arg Cmd Cmdliner Fmt_tty Format List Logs Logs_fmt Option Postcard Printf Sim String Term

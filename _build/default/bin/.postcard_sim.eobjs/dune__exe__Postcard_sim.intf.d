@@ -1,0 +1,1 @@
+bin/postcard_sim.mli:

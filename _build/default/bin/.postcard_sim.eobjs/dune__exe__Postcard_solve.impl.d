@@ -1,0 +1,1 @@
+bin/postcard_solve.ml: Arg Array Cmd Cmdliner Format List Lp Netgraph Option Postcard Term

@@ -1,0 +1,1 @@
+bin/postcard_solve.mli:

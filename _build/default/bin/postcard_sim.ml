@@ -1,0 +1,133 @@
+(* Command-line driver for the Postcard evaluation: reproduce any of the
+   paper's figure settings (4-7), at paper scale or bench scale, or run a
+   fully custom setting, with any subset of the implemented schedulers. *)
+
+let make_scheduler = function
+  | "postcard" -> Ok (Postcard.Postcard_scheduler.make ())
+  | "flow" | "flow-based" -> Ok (Postcard.Flow_baseline.make ())
+  | "flow-excess" ->
+      Ok (Postcard.Flow_baseline.make ~variant:`Two_stage_excess ())
+  | "flow-joint" ->
+      Ok (Postcard.Flow_baseline.make ~variant:`Joint ())
+  | "direct" -> Ok (Postcard.Direct_scheduler.make ())
+  | "greedy" | "greedy-snf" -> Ok (Postcard.Greedy_scheduler.make ())
+  | "burst" | "burst-95" -> Ok (Postcard.Greedy_scheduler.make_percentile ())
+  | other -> Error (Printf.sprintf "unknown scheduler %S" other)
+
+let run figure scale nodes capacity files_max max_deadline slots runs seed
+    size_max fixed_deadlines schedulers series verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
+  let base_setting =
+    match (figure, scale) with
+    | Some n, `Paper -> Sim.Experiment.paper_figure n
+    | Some n, `Scaled -> Sim.Experiment.scaled_figure n
+    | None, _ ->
+        { Sim.Experiment.label = "custom";
+          nodes = 8;
+          capacity = 35.;
+          cost_lo = 1.;
+          cost_hi = 10.;
+          files_max = 6;
+          size_max = 100.;
+          max_deadline = 3;
+          uniform_deadlines = true;
+          slots = 40;
+          runs = 5;
+          seed = 42 }
+  in
+  let setting =
+    { base_setting with
+      Sim.Experiment.nodes = Option.value nodes ~default:base_setting.Sim.Experiment.nodes;
+      capacity = Option.value capacity ~default:base_setting.Sim.Experiment.capacity;
+      files_max = Option.value files_max ~default:base_setting.Sim.Experiment.files_max;
+      max_deadline =
+        Option.value max_deadline ~default:base_setting.Sim.Experiment.max_deadline;
+      slots = Option.value slots ~default:base_setting.Sim.Experiment.slots;
+      runs = Option.value runs ~default:base_setting.Sim.Experiment.runs;
+      seed = Option.value seed ~default:base_setting.Sim.Experiment.seed;
+      size_max =
+        Option.value size_max ~default:base_setting.Sim.Experiment.size_max;
+      uniform_deadlines = not fixed_deadlines }
+  in
+  let scheduler_names = String.split_on_char ',' schedulers in
+  let rec build = function
+    | [] -> Ok []
+    | name :: rest -> (
+        match make_scheduler (String.trim name) with
+        | Error _ as e -> e
+        | Ok s -> (
+            match build rest with
+            | Error _ as e -> e
+            | Ok tail -> Ok (s :: tail)))
+  in
+  match build scheduler_names with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok schedulers ->
+      let progress ~run ~scheduler =
+        if verbose then
+          Format.eprintf "run %d/%d: %s...@." (run + 1)
+            setting.Sim.Experiment.runs scheduler
+      in
+      let results = Sim.Experiment.run_setting ~progress setting ~schedulers in
+      Format.printf "%a@." Sim.Report.print_summary results;
+      if List.length schedulers >= 2 then begin
+        match schedulers with
+        | first :: second :: _ ->
+            Format.printf "%t@." (fun ppf ->
+                Sim.Report.print_comparison ppf
+                  ~baseline:second.Postcard.Scheduler.name
+                  ~contender:first.Postcard.Scheduler.name results)
+        | _ -> ()
+      end;
+      if series then Format.printf "%a@." (Sim.Report.print_series ?every:None) results
+
+open Cmdliner
+
+let figure =
+  Arg.(value & opt (some int) None & info [ "figure"; "f" ] ~docv:"N"
+         ~doc:"Reproduce the paper's figure N (4-7).")
+
+let scale =
+  Arg.(value & opt (enum [ ("paper", `Paper); ("scaled", `Scaled) ]) `Scaled
+       & info [ "scale" ] ~docv:"SCALE"
+           ~doc:"With --figure: 'paper' for the paper's exact 20-DC setting, \
+                 'scaled' (default) for the bench-friendly 8-DC setting.")
+
+let nodes = Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc:"Number of datacenters.")
+let capacity = Arg.(value & opt (some float) None & info [ "capacity" ] ~docv:"GB" ~doc:"Per-link capacity (GB per interval).")
+let files_max = Arg.(value & opt (some int) None & info [ "max-files" ] ~docv:"K" ~doc:"Files per slot uniform in [1, K].")
+let max_deadline = Arg.(value & opt (some int) None & info [ "max-deadline" ] ~docv:"T" ~doc:"Deadline bound max_k T_k.")
+let slots = Arg.(value & opt (some int) None & info [ "slots" ] ~docv:"S" ~doc:"Number of time slots.")
+let runs = Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"R" ~doc:"Independent runs (seeds).")
+let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+
+let size_max =
+  Arg.(value & opt (some float) None & info [ "size-max" ] ~docv:"GB"
+         ~doc:"Upper end of the uniform file-size draw (default 100).")
+
+let fixed_deadlines =
+  Arg.(value & flag & info [ "fixed-deadlines" ]
+         ~doc:"Give every file exactly the deadline bound T instead of the \
+               default uniform draw in [1, T].")
+
+let schedulers =
+  Arg.(value & opt string "postcard,flow" & info [ "schedulers" ] ~docv:"LIST"
+         ~doc:"Comma-separated schedulers: postcard, flow, flow-excess, \
+               flow-joint, direct, greedy.")
+
+let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per-interval time series.")
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress and scheduler logs.")
+
+let cmd =
+  let doc = "reproduce the Postcard evaluation (ICDCS 2012, Figs. 4-7)" in
+  Cmd.v
+    (Cmd.info "postcard_sim" ~doc)
+    Term.(const run $ figure $ scale $ nodes $ capacity $ files_max
+          $ max_deadline $ slots $ runs $ seed $ size_max $ fixed_deadlines
+          $ schedulers $ series $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,124 @@
+(* Solve a single Postcard instance from a text file (see
+   Postcard.Instance for the format) and print the optimal plan, the
+   per-link charged volumes and the cost, for any of the implemented
+   strategies. *)
+
+module Graph = Netgraph.Graph
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+
+let context_of_instance (inst : Postcard.Instance.t) =
+  { Scheduler.base = inst.Postcard.Instance.base;
+    epoch = 0;
+    period = 1000;
+    charged = Array.copy inst.Postcard.Instance.charged;
+    residual =
+      (fun ~link ~slot ->
+        ignore slot;
+        (Graph.arc inst.Postcard.Instance.base link).Graph.capacity);
+    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+
+let print_plan base plan =
+  let txs =
+    List.sort
+      (fun a b -> compare (a.Plan.slot, a.Plan.link) (b.Plan.slot, b.Plan.link))
+      plan.Plan.transmissions
+  in
+  List.iter
+    (fun tx ->
+      let a = Graph.arc base tx.Plan.link in
+      Format.printf "  t=%d  file %d  %d -> %d  %.3f@." tx.Plan.slot tx.Plan.file
+        a.Graph.src a.Graph.dst tx.Plan.volume)
+    txs;
+  List.iter
+    (fun h ->
+      Format.printf "  t=%d  file %d  hold at %d  %.3f@." h.Plan.h_slot
+        h.Plan.h_file h.Plan.h_node h.Plan.h_volume)
+    (List.sort (fun a b -> compare a.Plan.h_slot b.Plan.h_slot) plan.Plan.holdovers)
+
+(* Cost per interval implied by a plan: max per-slot volume per link (at
+   least the pre-charged volume), priced. *)
+let plan_cost (inst : Postcard.Instance.t) plan =
+  let base = inst.Postcard.Instance.base in
+  let horizon =
+    match Plan.slot_range plan with Some (_, hi) -> hi + 1 | None -> 1
+  in
+  Graph.fold_arcs base ~init:0. ~f:(fun acc a ->
+      let peak = ref inst.Postcard.Instance.charged.(a.Graph.id) in
+      for slot = 0 to horizon - 1 do
+        peak := max !peak (Plan.volume_on plan ~link:a.Graph.id ~slot)
+      done;
+      acc +. (a.Graph.cost *. !peak))
+
+let dump_mps inst target =
+  let base = inst.Postcard.Instance.base in
+  let program =
+    Postcard.Formulate.create ~base ~charged:inst.Postcard.Instance.charged
+      ~capacity:(fun ~link ~layer ->
+        ignore layer;
+        (Graph.arc base link).Graph.capacity)
+      ~files:inst.Postcard.Instance.files ~epoch:0 ()
+  in
+  match Lp.Mps.to_file (Postcard.Formulate.model program) target with
+  | Ok () -> Format.printf "wrote the Postcard LP to %s (MPS format)@." target
+  | Error msg ->
+      Format.eprintf "cannot write %s: %s@." target msg;
+      exit 1
+
+let run path scheduler_name mps_target =
+  match Postcard.Instance.of_file path with
+  | Error msg ->
+      Format.eprintf "%s: %s@." path msg;
+      exit 1
+  | Ok inst when mps_target <> None ->
+      dump_mps inst (Option.get mps_target)
+  | Ok inst ->
+      let scheduler =
+        match scheduler_name with
+        | "postcard" -> Postcard.Postcard_scheduler.make ()
+        | "flow" | "flow-based" -> Postcard.Flow_baseline.make ()
+        | "flow-joint" -> Postcard.Flow_baseline.make ~variant:`Joint ()
+        | "direct" -> Postcard.Direct_scheduler.make ()
+        | "greedy" | "greedy-snf" -> Postcard.Greedy_scheduler.make ()
+        | other ->
+            Format.eprintf "unknown scheduler %S@." other;
+            exit 2
+      in
+      let base = inst.Postcard.Instance.base in
+      let files = inst.Postcard.Instance.files in
+      Format.printf "instance: %d datacenters, %d links, %d files@."
+        (Graph.num_nodes base) (Graph.num_arcs base) (List.length files);
+      let ctx = context_of_instance inst in
+      let { Scheduler.plan; accepted; rejected } =
+        scheduler.Scheduler.schedule ctx files
+      in
+      Format.printf "scheduler: %s@." scheduler.Scheduler.name;
+      if rejected <> [] then
+        List.iter
+          (fun f -> Format.printf "REJECTED: %a@." Postcard.File.pp f)
+          rejected;
+      Format.printf "plan (%d accepted files):@." (List.length accepted);
+      print_plan base plan;
+      Format.printf "cost per interval: %.4f@." (plan_cost inst plan)
+
+open Cmdliner
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE"
+         ~doc:"Instance file (see the Postcard.Instance format).")
+
+let scheduler =
+  Arg.(value & opt string "postcard" & info [ "scheduler"; "s" ] ~docv:"NAME"
+         ~doc:"postcard (default), flow, flow-joint, direct or greedy.")
+
+let mps_target =
+  Arg.(value & opt (some string) None & info [ "dump-mps" ] ~docv:"FILE"
+         ~doc:"Instead of solving, write the instance's Postcard LP to FILE \
+               in MPS format (for external solvers).")
+
+let cmd =
+  let doc = "solve one inter-datacenter transfer instance" in
+  Cmd.v (Cmd.info "postcard_solve" ~doc)
+    Term.(const run $ path $ scheduler $ mps_target)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/budget_planning.ml: Array Format List Netgraph Postcard Prelude

@@ -1,0 +1,1 @@
+examples/bulk_overnight.ml: Array Format List Netgraph Postcard Prelude

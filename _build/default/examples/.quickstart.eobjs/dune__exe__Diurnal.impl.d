@@ -1,0 +1,1 @@
+examples/diurnal.ml: Format List Netgraph Postcard Prelude Sim

@@ -1,0 +1,1 @@
+examples/fig3_example.ml: Array Format List Netgraph Postcard

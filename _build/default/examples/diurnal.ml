@@ -1,0 +1,69 @@
+(* Diurnal workload, full simulation: the introduction's motivation made
+   concrete. Traffic follows a day/night cycle, and the same two-day run is
+   played in the paper's two regimes:
+
+   - ample link capacity, where the fluid flow-based model wins (store-and-
+     forward causes bursty relay traffic that a percentile charge punishes,
+     Sec. VII / Figs. 4-5);
+   - throttled link capacity, where Postcard wins by time-shifting
+     delay-tolerant traffic into capacity already paid for (Figs. 6-7).
+
+   Final bills are also evaluated under a 95-th percentile scheme.
+
+   Run with: dune exec examples/diurnal.exe *)
+
+module Charging = Postcard.Charging
+
+let spec ~nodes =
+  { (Sim.Workload.paper_spec ~nodes ~files_max:3 ~max_deadline:6) with
+    Sim.Workload.size_min = 5.;
+    size_max = 25.;
+    deadlines = Sim.Workload.Uniform_deadline (2, 6);
+    arrivals = Sim.Workload.Diurnal { period = 24; trough_scale = 0.2 } }
+
+let run_regime ~label ~capacity =
+  let nodes = 5 and slots = 48 in
+  let topo_rng = Prelude.Rng.of_int 99 in
+  let base =
+    Netgraph.Topology.complete ~n:nodes ~rng:topo_rng ~cost_lo:1. ~cost_hi:10.
+      ~capacity
+  in
+  Format.printf "@.%s (capacity %g GB/interval)@." label capacity;
+  Format.printf "%-12s %16s %16s %10s@." "scheduler" "cost/t (100th)"
+    "bill (95th)" "rejected";
+  let show_timeline = ref None in
+  List.iter
+    (fun scheduler ->
+      let workload = Sim.Workload.create (spec ~nodes) (Prelude.Rng.of_int 123) in
+      let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+      let avg = Sim.Engine.average_cost outcome in
+      let p95 =
+        Sim.Engine.evaluate_cost outcome ~scheme:(Charging.scheme 95.) ~base
+      in
+      Format.printf "%-12s %16.1f %16.1f %10d@."
+        scheduler.Postcard.Scheduler.name avg p95
+        outcome.Sim.Engine.rejected_files;
+      if scheduler.Postcard.Scheduler.name = "postcard" then
+        show_timeline := Some outcome)
+    [ Postcard.Postcard_scheduler.make ();
+      Postcard.Flow_baseline.make ();
+      Postcard.Direct_scheduler.make () ];
+  match !show_timeline with
+  | Some outcome ->
+      Format.printf "%t@." (fun ppf ->
+          Sim.Report.print_utilization ~top:3 ppf ~base ~outcome)
+  | None -> ()
+
+let () =
+  print_endline "Diurnal workload: two simulated days on 5 datacenters";
+  print_endline "-------------------------------------------------------";
+  run_regime ~label:"Ample capacity" ~capacity:30.;
+  run_regime ~label:"Throttled capacity" ~capacity:9.;
+  print_newline ();
+  print_endline
+    "With ample capacity the fluid flow model's smooth rates beat Postcard's";
+  print_endline
+    "burstier store-and-forward relays. Once capacity is throttled, cheap";
+  print_endline
+    "links saturate and Postcard's time-shifting onto already-paid capacity";
+  print_endline "wins - the paper's headline result (Sec. VII)."

@@ -1,0 +1,1 @@
+lib/core/budget.ml: Array File Float List Lp Netgraph Plan Printf Texp_lp

@@ -1,0 +1,1 @@
+lib/core/budget.mli: File Lp Netgraph Plan Result

@@ -1,0 +1,1 @@
+lib/core/bulk.ml: Array File List Lp Netgraph Plan Printf Texp_lp

@@ -1,0 +1,1 @@
+lib/core/bulk.mli: File Lp Netgraph Plan Result

@@ -1,0 +1,1 @@
+lib/core/charging.ml: Array Float Prelude

@@ -1,0 +1,1 @@
+lib/core/direct_scheduler.ml: Array File Hashtbl List Netgraph Plan Scheduler

@@ -1,0 +1,1 @@
+lib/core/direct_scheduler.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/core/file.ml: Float Format

@@ -1,0 +1,1 @@
+lib/core/flow_baseline.ml: Array File List Lp Netgraph Option Plan Printf Queue Scheduler

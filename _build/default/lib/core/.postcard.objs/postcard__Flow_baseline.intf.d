@@ -1,0 +1,1 @@
+lib/core/flow_baseline.mli: File Lp Netgraph Plan Scheduler

@@ -1,0 +1,1 @@
+lib/core/formulate.ml: Array Lp Netgraph Plan Texp_lp

@@ -1,0 +1,1 @@
+lib/core/formulate.mli: File Lp Netgraph Plan

@@ -1,0 +1,1 @@
+lib/core/greedy_scheduler.ml: Array Charging File Hashtbl List Netgraph Plan Printf Scheduler

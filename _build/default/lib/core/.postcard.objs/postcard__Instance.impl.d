@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Buffer File In_channel List Netgraph Printf String

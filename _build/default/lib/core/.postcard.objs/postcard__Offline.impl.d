@@ -1,0 +1,1 @@
+lib/core/offline.ml: Array File List Lp Netgraph Plan Texp_lp

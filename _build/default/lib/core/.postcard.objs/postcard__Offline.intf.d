@@ -1,0 +1,1 @@
+lib/core/offline.mli: File Lp Netgraph Plan Result

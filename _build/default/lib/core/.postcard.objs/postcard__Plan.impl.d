@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array File Format Hashtbl List Netgraph Option Printf

@@ -1,0 +1,1 @@
+lib/core/postcard_scheduler.ml: Array Formulate Logs Plan Scheduler

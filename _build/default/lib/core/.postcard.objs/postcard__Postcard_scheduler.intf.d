@@ -1,0 +1,1 @@
+lib/core/postcard_scheduler.mli: Lp Scheduler

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: File List Netgraph Option Plan

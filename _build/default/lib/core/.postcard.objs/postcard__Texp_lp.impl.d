@@ -1,0 +1,1 @@
+lib/core/texp_lp.ml: Array File Hashtbl List Lp Netgraph Plan Printf Queue Timexp

@@ -1,0 +1,1 @@
+lib/core/texp_lp.mli: File Lp Netgraph Plan Timexp

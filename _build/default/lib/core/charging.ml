@@ -1,0 +1,57 @@
+type scheme = { percentile : float }
+
+let max_percentile = { percentile = 100. }
+
+let scheme q =
+  if q <= 0. || q > 100. || Float.is_nan q then
+    invalid_arg "Charging.scheme: percentile must be in (0, 100]";
+  { percentile = q }
+
+let charged_volume s volumes =
+  if Array.length volumes = 0 then 0.
+  else Prelude.Stats.percentile volumes s.percentile
+
+let charged_volume_prefix s volumes k =
+  if k <= 0 then 0.
+  else begin
+    let k = min k (Array.length volumes) in
+    charged_volume s (Array.sub volumes 0 k)
+  end
+
+type cost_function =
+  | Linear of float
+  | Piecewise of (float * float) list
+
+let validate_cost_function = function
+  | Linear a ->
+      if a < 0. || Float.is_nan a then Error "Linear: negative price" else Ok ()
+  | Piecewise [] -> Error "Piecewise: empty segment list"
+  | Piecewise segments ->
+      let rec check = function
+        | [] -> Ok ()
+        | (width, slope) :: rest ->
+            if width <= 0. && rest <> [] then
+              Error "Piecewise: non-positive segment width"
+            else if slope < 0. then Error "Piecewise: negative slope"
+            else check rest
+      in
+      check segments
+
+let cost f x =
+  if x < 0. || Float.is_nan x then invalid_arg "Charging.cost: negative volume";
+  (match validate_cost_function f with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Charging.cost: " ^ msg));
+  match f with
+  | Linear a -> a *. x
+  | Piecewise segments ->
+      let rec eval x acc = function
+        | [] -> acc
+        | [ (_, slope) ] ->
+            (* The final slope extends to infinity. *)
+            acc +. (slope *. x)
+        | (width, slope) :: rest ->
+            if x <= width then acc +. (slope *. x)
+            else eval (x -. width) (acc +. (slope *. width)) rest
+      in
+      eval x 0. segments

@@ -1,0 +1,41 @@
+(** Percentile-based charging schemes and cost functions (Sec. II-A).
+
+    An ISP records the traffic volume of every 5-minute interval; at the
+    end of the charging period the q-th percentile of the sorted volumes is
+    the charging volume [x], and the bill is [c x] for a non-decreasing,
+    piecewise-linear cost function [c]. The paper's analysis and the
+    Postcard formulation use [q = 100] (the peak) with a linear [c];
+    the simulator can additionally {e evaluate} any schedule under other
+    percentiles and cost shapes. *)
+
+type scheme = { percentile : float }
+(** [percentile] in (0, 100]. *)
+
+val max_percentile : scheme
+(** The 100-th percentile scheme used throughout the paper's analysis. *)
+
+val scheme : float -> scheme
+(** Raises [Invalid_argument] outside (0, 100]. *)
+
+val charged_volume : scheme -> float array -> float
+(** [charged_volume s volumes] applies the paper's convention: sort the
+    per-interval volumes ascending and pick the q-th percentile entry
+    (the maximum for [q = 100]). Returns [0.] for an empty history. *)
+
+val charged_volume_prefix : scheme -> float array -> int -> float
+(** [charged_volume_prefix s volumes k] is the charge considering only the
+    first [k] intervals — the charge as it stands mid-period. *)
+
+type cost_function =
+  | Linear of float  (** [Linear a]: cost [a * x]. *)
+  | Piecewise of (float * float) list
+      (** [Piecewise segments]: each [(width, slope)] segment extends the
+          function by [width] units of volume at the given [slope]; the
+          final slope extends to infinity. Slopes must be non-negative
+          (non-decreasing cost). *)
+
+val cost : cost_function -> float -> float
+(** Evaluate the cost of a charged volume. Raises [Invalid_argument] on a
+    negative volume or an invalid piecewise description. *)
+
+val validate_cost_function : cost_function -> (unit, string) result

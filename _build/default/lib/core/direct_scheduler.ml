@@ -1,0 +1,67 @@
+module Graph = Netgraph.Graph
+
+let eps = 1e-9
+
+let make () =
+  let schedule (ctx : Scheduler.context) files =
+    (* Capacity already claimed by files accepted earlier in this batch. *)
+    let batch_used : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let used ~link ~slot =
+      try Hashtbl.find batch_used (link, slot) with Not_found -> 0.
+    in
+    let available ~link ~slot =
+      ctx.Scheduler.residual ~link ~slot -. used ~link ~slot
+    in
+    let accepted = ref [] and rejected = ref [] and txs = ref [] in
+    List.iter
+      (fun f ->
+        match
+          Graph.find_arc ctx.Scheduler.base ~src:f.File.src ~dst:f.File.dst
+        with
+        | None -> rejected := f :: !rejected
+        | Some link ->
+            (* Even spread at the desired rate; pack any shortfall into the
+               earliest later slots with spare capacity. *)
+            let window = f.File.deadline in
+            let per_slot = File.rate f in
+            let planned = Array.make window 0. in
+            let remaining = ref f.File.size in
+            for i = 0 to window - 1 do
+              let slot = f.File.release + i in
+              let v = min (min per_slot !remaining) (available ~link ~slot) in
+              let v = max v 0. in
+              planned.(i) <- v;
+              remaining := !remaining -. v
+            done;
+            (* Second pass for the remainder caused by contended slots. *)
+            for i = 0 to window - 1 do
+              if !remaining > eps then begin
+                let slot = f.File.release + i in
+                let spare = available ~link ~slot -. planned.(i) in
+                if spare > eps then begin
+                  let v = min spare !remaining in
+                  planned.(i) <- planned.(i) +. v;
+                  remaining := !remaining -. v
+                end
+              end
+            done;
+            if !remaining > 1e-6 then rejected := f :: !rejected
+            else begin
+              accepted := f :: !accepted;
+              Array.iteri
+                (fun i v ->
+                  if v > eps then begin
+                    let slot = f.File.release + i in
+                    Hashtbl.replace batch_used (link, slot)
+                      (used ~link ~slot +. v);
+                    txs :=
+                      { Plan.file = f.File.id; link; slot; volume = v } :: !txs
+                  end)
+                planned
+            end)
+      files;
+    { Scheduler.plan = { Plan.transmissions = !txs; holdovers = [] };
+      accepted = List.rev !accepted;
+      rejected = List.rev !rejected }
+  in
+  { Scheduler.name = "direct"; fluid = false; schedule }

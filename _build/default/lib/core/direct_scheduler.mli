@@ -1,0 +1,8 @@
+(** The no-strategy baseline of Fig. 1(a): each file is shipped on the
+    direct link from its source to its destination, spread evenly over its
+    tolerance window at the desired rate [F_k / T_k] (accelerating within
+    the window when earlier slots lack residual capacity). A file is
+    rejected when the direct link cannot carry it within the deadline, or
+    when no direct link exists. *)
+
+val make : unit -> Scheduler.t

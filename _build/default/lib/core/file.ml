@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size : float;
+  deadline : int;
+  release : int;
+}
+
+let make ~id ~src ~dst ~size ~deadline ~release =
+  if size <= 0. || Float.is_nan size || size = infinity then
+    invalid_arg "File.make: size must be positive and finite";
+  if deadline <= 0 then invalid_arg "File.make: deadline must be positive";
+  if release < 0 then invalid_arg "File.make: negative release";
+  if src = dst then invalid_arg "File.make: src = dst";
+  if src < 0 || dst < 0 then invalid_arg "File.make: negative endpoint";
+  { id; src; dst; size; deadline; release }
+
+let rate f = f.size /. float_of_int f.deadline
+
+let last_slot f = f.release + f.deadline - 1
+
+let completion_deadline f = f.release + f.deadline
+
+let pp ppf f =
+  Format.fprintf ppf "file %d: %d -> %d, %.1f GB, deadline %d, release %d"
+    f.id f.src f.dst f.size f.deadline f.release

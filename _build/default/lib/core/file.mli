@@ -1,0 +1,34 @@
+(** Inter-datacenter transfer requests.
+
+    A {e file} (Sec. III of the paper) is any block of data crossing
+    datacenter boundaries — a backup, a batch of MapReduce intermediate
+    results, a customer-data migration — described by the four-tuple
+    [(s_k, d_k, F_k, T_k)] plus its release slot. *)
+
+type t = private {
+  id : int;  (** Unique within a simulation run. *)
+  src : int;  (** Source datacenter [s_k]. *)
+  dst : int;  (** Destination datacenter [d_k]. *)
+  size : float;  (** [F_k], volume in GB. *)
+  deadline : int;  (** [T_k], maximum tolerable transfer time in intervals. *)
+  release : int;  (** Slot at which the file becomes available. *)
+}
+
+val make :
+  id:int -> src:int -> dst:int -> size:float -> deadline:int -> release:int -> t
+(** Raises [Invalid_argument] on a non-positive size or deadline, a
+    negative release slot, or [src = dst]. *)
+
+val rate : t -> float
+(** Desired transmission rate of the flow-based model (Sec. II-B):
+    [size / deadline], in volume per interval. *)
+
+val last_slot : t -> int
+(** Last slot during which the file may occupy links:
+    [release + deadline - 1]. *)
+
+val completion_deadline : t -> int
+(** First slot by whose beginning the file must have fully arrived:
+    [release + deadline]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,203 @@
+module Graph = Netgraph.Graph
+module Mcf = Netgraph.Mincostflow
+
+let eps = 1e-9
+
+(* What counts as free capacity on a (link, slot):
+
+   [Peak] is the 100-th percentile view used throughout the paper: volume
+   below the link's charged peak is free.
+
+   [Percentile] knows the billing discards the top (100 - q)% of per-slot
+   volumes: a slot already among a link's discarded top slots can grow for
+   free, and other slots are free up to the percentile charge. This is the
+   burst-slot exploit that the paper's 100-th percentile analysis cannot
+   express. *)
+type mode =
+  | Peak
+  | Percentile of Charging.scheme
+
+(* Mutable view of the epoch as files are placed one by one:
+   planned.(link).(layer) accumulates this batch's volume on top of the
+   ledger's committed occupancy; full.(link).(slot) tracks the whole
+   charging period for percentile accounting. *)
+type batch_state = {
+  base : Graph.t;
+  epoch : int;
+  horizon : int;
+  mode : mode;
+  occupied : float array array;  (* link x layer, from previous epochs *)
+  residual : float array array;  (* link x layer, before this batch *)
+  planned : float array array;  (* link x layer, this batch *)
+  charged : float array;  (* per link, original X_ij(t-1) *)
+  full : float array array;  (* link x absolute slot, whole period *)
+}
+
+let batch_state (ctx : Scheduler.context) ~horizon ~mode =
+  let m = Graph.num_arcs ctx.Scheduler.base in
+  let table f =
+    Array.init m (fun link ->
+        Array.init horizon (fun layer ->
+            f ~link ~slot:(ctx.Scheduler.epoch + layer)))
+  in
+  let period = max ctx.Scheduler.period (ctx.Scheduler.epoch + horizon) in
+  let full =
+    match mode with
+    | Peak -> [||]
+    | Percentile _ ->
+        Array.init m (fun link ->
+            Array.init period (fun slot -> ctx.Scheduler.occupied ~link ~slot))
+  in
+  { base = ctx.Scheduler.base;
+    epoch = ctx.Scheduler.epoch;
+    horizon;
+    mode;
+    occupied = table ctx.Scheduler.occupied;
+    residual = table ctx.Scheduler.residual;
+    planned = Array.make_matrix m horizon 0.;
+    charged = Array.copy ctx.Scheduler.charged;
+    full }
+
+(* Effective charge of a link given this batch's plan so far: the original
+   charge, or the new peak if the batch already pushed past it. *)
+let effective_charge st link =
+  let peak = ref st.charged.(link) in
+  for layer = 0 to st.horizon - 1 do
+    let total = st.occupied.(link).(layer) +. st.planned.(link).(layer) in
+    if total > !peak then peak := total
+  done;
+  !peak
+
+(* Capacity usable at zero marginal charge on (link, layer), out of
+   [available]. *)
+let free_capacity st link layer ~available =
+  match st.mode with
+  | Peak ->
+      let total_now = st.occupied.(link).(layer) +. st.planned.(link).(layer) in
+      let free = max 0. (effective_charge st link -. total_now) in
+      min free available
+  | Percentile scheme ->
+      let charge_q = Charging.charged_volume scheme st.full.(link) in
+      let v = st.full.(link).(st.epoch + layer) in
+      if v > charge_q +. eps then
+        (* Already a discarded burst slot: growing it is free. *)
+        available
+      else min available (max 0. (charge_q -. v))
+
+let record_flow st link layer volume =
+  st.planned.(link).(layer) <- st.planned.(link).(layer) +. volume;
+  match st.mode with
+  | Peak -> ()
+  | Percentile _ ->
+      let slot = st.epoch + layer in
+      st.full.(link).(slot) <- st.full.(link).(slot) +. volume
+
+(* Build the file's routing network: time-expanded nodes, storage arcs,
+   and per transmission slot a free copy (cost 0) and a paid copy (link
+   price, remaining residual). Returns the graph plus a map from its arc
+   ids to (link, layer). *)
+let build_network st file =
+  let deadline = file.File.deadline in
+  let n = Graph.num_nodes st.base in
+  let g = Graph.create ~n:(n * (deadline + 1)) in
+  let node ~node:v ~layer = (layer * n) + v in
+  let registry = Hashtbl.create 256 in
+  for layer = 0 to deadline - 1 do
+    (* Storage arcs. *)
+    for v = 0 to n - 1 do
+      ignore
+        (Graph.add_arc g ~src:(node ~node:v ~layer)
+           ~dst:(node ~node:v ~layer:(layer + 1))
+           ~capacity:infinity ~cost:0. ())
+    done;
+    Graph.iter_arcs st.base (fun a ->
+        let link = a.Graph.id in
+        let available =
+          st.residual.(link).(layer) -. st.planned.(link).(layer)
+        in
+        if available > eps then begin
+          let free = free_capacity st link layer ~available in
+          let paid = available -. free in
+          let src = node ~node:a.Graph.src ~layer in
+          let dst = node ~node:a.Graph.dst ~layer:(layer + 1) in
+          if free > eps then begin
+            let id = Graph.add_arc g ~src ~dst ~capacity:free ~cost:0. () in
+            Hashtbl.replace registry id (link, layer)
+          end;
+          if paid > eps then begin
+            let id =
+              Graph.add_arc g ~src ~dst ~capacity:paid ~cost:a.Graph.cost ()
+            in
+            Hashtbl.replace registry id (link, layer)
+          end
+        end)
+  done;
+  (g, registry, node)
+
+(* Route one file; returns its transmissions or None when it does not
+   fit. *)
+let route_file st file =
+  let g, registry, node = build_network st file in
+  let src = node ~node:file.File.src ~layer:0 in
+  let dst = node ~node:file.File.dst ~layer:file.File.deadline in
+  match Mcf.min_cost_flow g ~src ~dst ~amount:file.File.size with
+  | None -> None
+  | Some result ->
+      (* Merge the free/paid copies of the same (link, slot) and record
+         the flow in the batch state. *)
+      let merged = Hashtbl.create 16 in
+      Array.iteri
+        (fun arc_id flow ->
+          if flow > eps then
+            match Hashtbl.find_opt registry arc_id with
+            | Some key ->
+                let cur = try Hashtbl.find merged key with Not_found -> 0. in
+                Hashtbl.replace merged key (cur +. flow)
+            | None -> () (* storage arc *))
+        result.Mcf.flow;
+      Some
+        (Hashtbl.fold
+           (fun (link, layer) volume acc ->
+             record_flow st link layer volume;
+             { Plan.file = file.File.id;
+               link;
+               slot = st.epoch + layer;
+               volume }
+             :: acc)
+           merged [])
+
+let make_with_mode ~name ~mode () =
+  let schedule (ctx : Scheduler.context) files =
+    if files = [] then
+      { Scheduler.plan = Plan.empty; accepted = []; rejected = [] }
+    else begin
+      let horizon =
+        List.fold_left (fun acc f -> max acc f.File.deadline) 1 files
+      in
+      let st = batch_state ctx ~horizon ~mode in
+      let ordered =
+        List.sort (fun a b -> compare (File.rate b) (File.rate a)) files
+      in
+      let accepted = ref [] and rejected = ref [] and txs = ref [] in
+      List.iter
+        (fun f ->
+          match route_file st f with
+          | Some file_txs ->
+              accepted := f :: !accepted;
+              txs := file_txs @ !txs
+          | None -> rejected := f :: !rejected)
+        ordered;
+      { Scheduler.plan = { Plan.transmissions = !txs; holdovers = [] };
+        accepted = List.rev !accepted;
+        rejected = List.rev !rejected }
+    end
+  in
+  { Scheduler.name; fluid = false; schedule }
+
+let make () = make_with_mode ~name:"greedy-snf" ~mode:Peak ()
+
+let make_percentile ?(percentile = 95.) () =
+  make_with_mode
+    ~name:(Printf.sprintf "burst-%g" percentile)
+    ~mode:(Percentile (Charging.scheme percentile))
+    ()

@@ -1,0 +1,39 @@
+(** A fast combinatorial store-and-forward scheduler.
+
+    Where {!Postcard_scheduler} solves the joint LP over all files of an
+    epoch, this scheduler routes the files one at a time (highest desired
+    rate first), each by a single {e minimum-cost flow} on the
+    time-expanded graph in which every transmission arc is split into
+
+    - a {e free} copy — capacity equal to the headroom below the link's
+      charged volume, cost zero (traffic below the charge is free under a
+      percentile scheme), and
+    - a {e paid} copy — the remaining residual capacity at the link's
+      per-unit price.
+
+    After each file is placed, the charge levels are updated so later files
+    see the headroom the earlier ones created. Per file the routing is
+    optimal for the decoupled cost model in which each (link, slot) pair
+    charges its own free/paid split (it does not credit, within a single
+    flow computation, that paying on one slot raises the whole link's
+    charge and frees its other slots); across files it is greedy. Its cost
+    therefore upper-bounds the Postcard LP's objective, while running
+    orders of magnitude faster with no LP machinery — the practical
+    deployment story the paper's formulation lacks.
+
+    The bench's scheduler ablation measures its optimality gap against the
+    exact LP. *)
+
+val make : unit -> Scheduler.t
+(** Scheduler named "greedy-snf" producing slot-accurate plans. *)
+
+val make_percentile : ?percentile:float -> unit -> Scheduler.t
+(** A percentile-aware variant (default 95-th): under a q-th percentile
+    scheme the billing discards each link's top (100 - q)% of per-slot
+    volumes, so a slot already in the discarded set may burst at full
+    residual capacity for free, and other slots are free up to the
+    percentile charge rather than the peak. The scheduler routes with that
+    cost surface and concentrates unavoidable overflows into few burst
+    slots per link — an optimization outside the paper's 100-th percentile
+    model (named "burst-q"). Evaluate its runs with
+    {!Sim.Engine.evaluate_cost} under the same scheme. *)

@@ -1,0 +1,137 @@
+module Graph = Netgraph.Graph
+
+type t = {
+  base : Graph.t;
+  files : File.t list;
+  charged : float array;
+}
+
+type parse_state = {
+  mutable graph : Graph.t option;
+  mutable files_rev : File.t list;
+  (* Charged entries keyed by (src, dst), resolved to arc ids at the end. *)
+  mutable charged_rev : (int * int * float) list;
+}
+
+let parse_line state lineno line =
+  let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> Ok ()
+  | keyword :: _ when String.length keyword > 0 && keyword.[0] = '#' -> Ok ()
+  | [ "nodes"; n ] -> (
+      match (state.graph, int_of_string_opt n) with
+      | Some _, _ -> fail "duplicate nodes line"
+      | None, Some n when n >= 1 ->
+          state.graph <- Some (Graph.create ~n);
+          Ok ()
+      | None, (Some _ | None) -> fail "nodes needs a positive integer")
+  | [ "link"; src; dst; cost; capacity ] -> (
+      match state.graph with
+      | None -> fail "link before nodes"
+      | Some g -> (
+          match
+            ( int_of_string_opt src,
+              int_of_string_opt dst,
+              float_of_string_opt cost,
+              float_of_string_opt capacity )
+          with
+          | Some src, Some dst, Some cost, Some capacity -> (
+              match Graph.add_arc g ~src ~dst ~capacity ~cost () with
+              | _ -> Ok ()
+              | exception Invalid_argument msg -> fail "%s" msg)
+          | _, _, _, _ -> fail "link needs: src dst price capacity"))
+  | [ "file"; id; src; dst; size; deadline ] -> (
+      match state.graph with
+      | None -> fail "file before nodes"
+      | Some g -> (
+          match
+            ( int_of_string_opt id,
+              int_of_string_opt src,
+              int_of_string_opt dst,
+              float_of_string_opt size,
+              int_of_string_opt deadline )
+          with
+          | Some id, Some src, Some dst, Some size, Some deadline -> (
+              if src >= Graph.num_nodes g || dst >= Graph.num_nodes g then
+                fail "file endpoint outside graph"
+              else
+                match
+                  File.make ~id ~src ~dst ~size ~deadline ~release:0
+                with
+                | f ->
+                    state.files_rev <- f :: state.files_rev;
+                    Ok ()
+                | exception Invalid_argument msg -> fail "%s" msg)
+          | _, _, _, _, _ -> fail "file needs: id src dst size deadline"))
+  | [ "charged"; src; dst; volume ] -> (
+      match
+        (int_of_string_opt src, int_of_string_opt dst, float_of_string_opt volume)
+      with
+      | Some src, Some dst, Some volume when volume >= 0. ->
+          state.charged_rev <- (src, dst, volume) :: state.charged_rev;
+          Ok ()
+      | _, _, _ -> fail "charged needs: src dst volume")
+  | keyword :: _ -> fail "unknown directive %S" keyword
+
+let parse text =
+  let state = { graph = None; files_rev = []; charged_rev = [] } in
+  let lines = String.split_on_char '\n' text in
+  let rec walk lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line state lineno (String.trim line) with
+        | Ok () -> walk (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  match walk 1 lines with
+  | Error msg -> Error msg
+  | Ok () -> (
+      match state.graph with
+      | None -> Error "missing nodes line"
+      | Some base ->
+          let charged = Array.make (Graph.num_arcs base) 0. in
+          let rec resolve = function
+            | [] -> Ok ()
+            | (src, dst, volume) :: rest -> (
+                match Graph.find_arc base ~src ~dst with
+                | Some id ->
+                    charged.(id) <- volume;
+                    resolve rest
+                | None ->
+                    Error
+                      (Printf.sprintf "charged on missing link %d -> %d" src dst))
+          in
+          (match resolve state.charged_rev with
+           | Error msg -> Error msg
+           | Ok () ->
+               Ok { base; files = List.rev state.files_rev; charged }))
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.num_nodes t.base));
+  Graph.iter_arcs t.base (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %g %g\n" a.Graph.src a.Graph.dst
+           a.Graph.cost a.Graph.capacity));
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "file %d %d %d %g %d\n" f.File.id f.File.src f.File.dst
+           f.File.size f.File.deadline))
+    t.files;
+  Graph.iter_arcs t.base (fun a ->
+      if t.charged.(a.Graph.id) > 0. then
+        Buffer.add_string buf
+          (Printf.sprintf "charged %d %d %g\n" a.Graph.src a.Graph.dst
+             t.charged.(a.Graph.id)));
+  Buffer.contents buf

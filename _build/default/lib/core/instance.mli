@@ -1,0 +1,30 @@
+(** A small text format for standalone Postcard instances, used by the
+    [postcard_solve] command-line tool and handy for experiments:
+
+    {v
+    # comments and blank lines are ignored
+    nodes 4
+    link 0 3 6.0 5.0        # src dst price capacity
+    link 1 0 1.0 5.0
+    file 1 1 3 8.0 4        # id src dst size deadline
+    charged 0 3 2.5         # optional: already-charged volume on a link
+    v}
+
+    Nodes are 0-based. Every [link]/[file]/[charged] line must appear after
+    the [nodes] line. Files are released at epoch 0. *)
+
+type t = {
+  base : Netgraph.Graph.t;
+  files : File.t list;
+  charged : float array;  (** Indexed by arc id. *)
+}
+
+val parse : string -> (t, string) result
+(** Parse from the full text contents. The error message carries the
+    offending line number. *)
+
+val of_file : string -> (t, string) result
+(** Read and parse a file from disk. *)
+
+val to_string : t -> string
+(** Render back to the text format (stable round-trip modulo comments). *)

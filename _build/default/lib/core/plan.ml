@@ -1,0 +1,184 @@
+module Graph = Netgraph.Graph
+
+type transmission = {
+  file : int;
+  link : int;
+  slot : int;
+  volume : float;
+}
+
+type holdover = {
+  h_file : int;
+  h_node : int;
+  h_slot : int;
+  h_volume : float;
+}
+
+type t = {
+  transmissions : transmission list;
+  holdovers : holdover list;
+}
+
+let empty = { transmissions = []; holdovers = [] }
+
+let concat a b =
+  { transmissions = a.transmissions @ b.transmissions;
+    holdovers = a.holdovers @ b.holdovers }
+
+let volume_on t ~link ~slot =
+  List.fold_left
+    (fun acc tx ->
+      if tx.link = link && tx.slot = slot then acc +. tx.volume else acc)
+    0. t.transmissions
+
+let total_transmitted t =
+  List.fold_left (fun acc tx -> acc +. tx.volume) 0. t.transmissions
+
+let delivered_volume t ~base ~file =
+  List.fold_left
+    (fun acc tx ->
+      if tx.file = file.File.id then begin
+        let a = Graph.arc base tx.link in
+        if a.Graph.dst = file.File.dst then acc +. tx.volume
+        else if a.Graph.src = file.File.dst then acc -. tx.volume
+        else acc
+      end
+      else acc)
+    0. t.transmissions
+
+let slot_range t =
+  let slots =
+    List.map (fun tx -> tx.slot) t.transmissions
+    @ List.map (fun h -> h.h_slot) t.holdovers
+  in
+  match slots with
+  | [] -> None
+  | s :: rest ->
+      Some (List.fold_left (fun (lo, hi) x -> (min lo x, max hi x)) (s, s) rest)
+
+let eps = 1e-6
+
+let validate_capacity ~base ~capacity t =
+  (* Aggregate per (link, slot) and compare with capacity. *)
+  let table = Hashtbl.create 64 in
+  let bad = ref None in
+  List.iter
+    (fun tx ->
+      if !bad = None then begin
+        if tx.link < 0 || tx.link >= Graph.num_arcs base then
+          bad := Some (Printf.sprintf "transmission on unknown link %d" tx.link)
+        else if tx.volume < -.eps then
+          bad := Some (Printf.sprintf "negative volume %g on link %d" tx.volume tx.link)
+        else begin
+          let key = (tx.link, tx.slot) in
+          let cur = try Hashtbl.find table key with Not_found -> 0. in
+          Hashtbl.replace table key (cur +. tx.volume)
+        end
+      end)
+    t.transmissions;
+  (match !bad with
+   | Some _ -> ()
+   | None ->
+       Hashtbl.iter
+         (fun (link, slot) vol ->
+           if !bad = None then begin
+             let cap = capacity ~link ~slot in
+             if vol > cap +. eps then
+               bad :=
+                 Some
+                   (Printf.sprintf
+                      "link %d slot %d: volume %g exceeds capacity %g" link
+                      slot vol cap)
+           end)
+         table);
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let validate ~base ~files ~capacity t =
+  match validate_capacity ~base ~capacity t with
+  | Error _ as e -> e
+  | Ok () ->
+      let by_file = Hashtbl.create 16 in
+      List.iter (fun f -> Hashtbl.replace by_file f.File.id f) files;
+      let bad = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !bad = None then bad := Some s) fmt in
+      (* Group transmissions by file. *)
+      let txs = Hashtbl.create 16 in
+      List.iter
+        (fun tx ->
+          match Hashtbl.find_opt by_file tx.file with
+          | None -> fail "transmission for unknown file %d" tx.file
+          | Some f ->
+              if tx.slot < f.File.release || tx.slot > File.last_slot f then
+                fail "file %d: transmission at slot %d outside window [%d, %d]"
+                  f.File.id tx.slot f.File.release (File.last_slot f)
+              else begin
+                let cur = try Hashtbl.find txs tx.file with Not_found -> [] in
+                Hashtbl.replace txs tx.file (tx :: cur)
+              end)
+        t.transmissions;
+      if !bad <> None then Error (Option.get !bad)
+      else begin
+        (* Per-file slot-accurate conservation: track the amount of the file
+           present at each datacenter at the start of each slot. *)
+        let n = Graph.num_nodes base in
+        Hashtbl.iter
+          (fun _ f ->
+            if !bad = None then begin
+              let held = Array.make n 0. in
+              held.(f.File.src) <- f.File.size;
+              let entries =
+                try Hashtbl.find txs f.File.id with Not_found -> []
+              in
+              for slot = f.File.release to File.last_slot f do
+                if !bad = None then begin
+                  let this_slot =
+                    List.filter (fun tx -> tx.slot = slot) entries
+                  in
+                  (* Outgoing volume must be covered by current holdings. *)
+                  let outgoing = Array.make n 0. in
+                  List.iter
+                    (fun tx ->
+                      let a = Graph.arc base tx.link in
+                      outgoing.(a.Graph.src) <- outgoing.(a.Graph.src) +. tx.volume)
+                    this_slot;
+                  for node = 0 to n - 1 do
+                    if outgoing.(node) > held.(node) +. eps then
+                      fail
+                        "file %d: node %d sends %g at slot %d but holds only %g"
+                        f.File.id node outgoing.(node) slot held.(node)
+                  done;
+                  (* Apply movements: volume leaves now, arrives for the
+                     next slot. *)
+                  List.iter
+                    (fun tx ->
+                      let a = Graph.arc base tx.link in
+                      held.(a.Graph.src) <- held.(a.Graph.src) -. tx.volume;
+                      held.(a.Graph.dst) <- held.(a.Graph.dst) +. tx.volume)
+                    this_slot
+                end
+              done;
+              if !bad = None then begin
+                if abs_float (held.(f.File.dst) -. f.File.size) > 1e-4 then
+                  fail "file %d: only %g of %g delivered by deadline" f.File.id
+                    held.(f.File.dst) f.File.size
+              end
+            end)
+          by_file;
+        match !bad with None -> Ok () | Some msg -> Error msg
+      end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan: %d transmissions, %d holdovers"
+    (List.length t.transmissions)
+    (List.length t.holdovers);
+  List.iter
+    (fun tx ->
+      Format.fprintf ppf "@,file %d: %g on link %d at slot %d" tx.file
+        tx.volume tx.link tx.slot)
+    t.transmissions;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "@,file %d: hold %g at node %d during slot %d"
+        h.h_file h.h_volume h.h_node h.h_slot)
+    t.holdovers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Transfer plans: the output of every scheduler.
+
+    A plan states, per file, how much volume moves over which physical link
+    during which absolute slot, plus (informationally) how much is held in
+    storage at which datacenter. Plans from store-and-forward schedulers
+    satisfy slot-accurate conservation: data sent over a link during slot
+    [n] is available at the head datacenter from slot [n + 1]. Plans from
+    the fluid flow-based baseline only promise capacity feasibility (the
+    paper's Sec. II-B model ignores pipelining delay); see {!validate} and
+    {!validate_capacity}. *)
+
+type transmission = {
+  file : int;  (** File id. *)
+  link : int;  (** Base-graph arc id. *)
+  slot : int;  (** Absolute slot during which the volume moves. *)
+  volume : float;
+}
+
+type holdover = {
+  h_file : int;
+  h_node : int;
+  h_slot : int;  (** Stored at [h_node] from [h_slot] to [h_slot + 1]. *)
+  h_volume : float;
+}
+
+type t = {
+  transmissions : transmission list;
+  holdovers : holdover list;
+}
+
+val empty : t
+
+val concat : t -> t -> t
+
+val volume_on : t -> link:int -> slot:int -> float
+(** Aggregate planned volume of all files on a link during a slot. *)
+
+val total_transmitted : t -> float
+(** Sum of all transmission volumes (counts every hop). *)
+
+val delivered_volume : t -> base:Netgraph.Graph.t -> file:File.t -> float
+(** Net volume this plan delivers into the file's destination. *)
+
+val slot_range : t -> (int * int) option
+(** Smallest and largest slot mentioned; [None] for an empty plan. *)
+
+val validate :
+  base:Netgraph.Graph.t ->
+  files:File.t list ->
+  capacity:(link:int -> slot:int -> float) ->
+  t ->
+  (unit, string) result
+(** Full store-and-forward validation:
+    - every transmission has positive volume, a valid link, and lies inside
+      its file's window [[release, release + deadline - 1]];
+    - slot-accurate per-file conservation: a datacenter never sends more of
+      a file than it holds, and each file's full size sits at its
+      destination by the completion deadline;
+    - aggregate link volumes respect the per-slot capacities. *)
+
+val validate_capacity :
+  base:Netgraph.Graph.t ->
+  capacity:(link:int -> slot:int -> float) ->
+  t ->
+  (unit, string) result
+(** Capacity-only validation (for fluid baseline plans). *)
+
+val pp : Format.formatter -> t -> unit

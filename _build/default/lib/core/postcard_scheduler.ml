@@ -1,0 +1,44 @@
+let log_src = Logs.Src.create "postcard.scheduler" ~doc:"Postcard scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let make ?params ?(tie_break = 1e-7) () =
+  let schedule (ctx : Scheduler.context) files =
+    if files = [] then
+      { Scheduler.plan = Plan.empty; accepted = []; rejected = [] }
+    else begin
+      let capacity ~link ~layer = Scheduler.capacity_at_epoch ctx ~link ~layer in
+      let try_solve subset =
+        if subset = [] then
+          Some
+            (Formulate.Scheduled
+               { plan = Plan.empty;
+                 objective = 0.;
+                 charged = Array.copy ctx.Scheduler.charged })
+        else begin
+          let formulation =
+            Formulate.create ~base:ctx.Scheduler.base
+              ~charged:ctx.Scheduler.charged ~capacity ~files:subset
+              ~epoch:ctx.Scheduler.epoch ~tie_break ()
+          in
+          match Formulate.solve ?params formulation with
+          | Formulate.Scheduled _ as s -> Some s
+          | Formulate.Infeasible -> None
+          | Formulate.Solver_failure msg ->
+              Log.warn (fun m ->
+                  m "epoch %d: solver failure (%s); treating as infeasible"
+                    ctx.Scheduler.epoch msg);
+              None
+        end
+      in
+      match Scheduler.admit_greedy ~files ~try_solve with
+      | Some (Formulate.Scheduled { plan; _ }, accepted, rejected) ->
+          { Scheduler.plan; accepted; rejected }
+      | Some ((Formulate.Infeasible | Formulate.Solver_failure _), _, _) ->
+          assert false
+      | None ->
+          (* Even the empty instance failed; nothing we can do. *)
+          { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
+    end
+  in
+  { Scheduler.name = "postcard"; fluid = false; schedule }

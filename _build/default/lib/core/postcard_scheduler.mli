@@ -1,0 +1,10 @@
+(** The Postcard online scheduler: at each epoch, solve the time-expanded
+    program of {!Formulate} for the newly released files and commit the
+    optimal store-and-forward plan.
+
+    When the instance is infeasible (deadlines cannot be met under the
+    residual capacities), files are dropped highest-rate-first until the
+    rest fits; dropped files are reported as rejected. *)
+
+val make :
+  ?params:Lp.Simplex.params -> ?tie_break:float -> unit -> Scheduler.t

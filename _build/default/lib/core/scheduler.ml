@@ -1,0 +1,49 @@
+type context = {
+  base : Netgraph.Graph.t;
+  epoch : int;
+  period : int;
+  charged : float array;
+  residual : link:int -> slot:int -> float;
+  occupied : link:int -> slot:int -> float;
+}
+
+type outcome = {
+  plan : Plan.t;
+  accepted : File.t list;
+  rejected : File.t list;
+}
+
+type t = {
+  name : string;
+  fluid : bool;
+  schedule : context -> File.t list -> outcome;
+}
+
+let capacity_at_epoch ctx ~link ~layer =
+  ctx.residual ~link ~slot:(ctx.epoch + layer)
+
+let admit_greedy ~files ~try_solve =
+  let rec attempt accepted rejected =
+    match try_solve accepted with
+    | Some solution -> Some (solution, accepted, rejected)
+    | None -> (
+        match accepted with
+        | [] -> None
+        | _ ->
+            (* Drop the file with the highest desired rate: it stresses
+               capacity the most. *)
+            let hardest =
+              List.fold_left
+                (fun best f ->
+                  match best with
+                  | None -> Some f
+                  | Some b -> if File.rate f > File.rate b then Some f else best)
+                None accepted
+            in
+            let hardest = Option.get hardest in
+            let remaining =
+              List.filter (fun f -> f.File.id <> hardest.File.id) accepted
+            in
+            attempt remaining (hardest :: rejected))
+  in
+  attempt files []

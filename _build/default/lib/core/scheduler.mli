@@ -1,0 +1,54 @@
+(** Common interface implemented by every routing/scheduling strategy.
+
+    At each slot the simulation engine hands the scheduler the files just
+    released, together with the network state: the charged volume
+    [X_ij(t-1)] per link and the residual capacity of every link for every
+    future slot (accounting for transfers committed at earlier epochs).
+    The scheduler returns a {!Plan} for the files it accepts; files it
+    cannot serve within their deadlines are rejected (the paper assumes
+    this never happens at its operating points; the simulator tracks it for
+    robustness). *)
+
+type context = {
+  base : Netgraph.Graph.t;
+  epoch : int;  (** Current slot [t]. *)
+  period : int;
+      (** Total slots in the charging period ([I] in the paper); lets
+          percentile-aware strategies budget their free burst slots. *)
+  charged : float array;  (** [X_ij(t-1)] per base arc. *)
+  residual : link:int -> slot:int -> float;
+      (** Residual capacity of [link] during absolute [slot], i.e. the link
+          capacity minus volumes committed by previous epochs. *)
+  occupied : link:int -> slot:int -> float;
+      (** Volume already committed on [link] during absolute [slot] by
+          previous epochs. *)
+}
+
+type outcome = {
+  plan : Plan.t;
+  accepted : File.t list;
+  rejected : File.t list;
+}
+
+type t = {
+  name : string;
+  fluid : bool;
+      (** [true] when plans follow the fluid flow model (capacity-only
+          validation); [false] for slot-accurate store-and-forward plans. *)
+  schedule : context -> File.t list -> outcome;
+}
+
+val capacity_at_epoch : context -> link:int -> layer:int -> float
+(** Residual capacity in relative-layer terms:
+    [residual ~link ~slot:(epoch + layer)]. *)
+
+val admit_greedy :
+  files:File.t list ->
+  try_solve:(File.t list -> 'a option) ->
+  ('a * File.t list * File.t list) option
+(** Admission-control helper: attempt [try_solve] on the full file list;
+    while it returns [None], drop the file with the highest desired rate
+    (the hardest to place) and retry. Returns
+    [(solution, accepted, rejected)], or [None] when even the empty list
+    fails (which indicates a solver problem, since an empty instance is
+    trivially feasible). *)

@@ -1,0 +1,1 @@
+lib/lp/dense_form.ml: Array List Model Sparselin

@@ -1,0 +1,1 @@
+lib/lp/interior_point.ml: Array Dense_form Float Model Sparselin Status

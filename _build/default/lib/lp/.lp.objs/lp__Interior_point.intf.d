@@ -1,0 +1,1 @@
+lib/lp/interior_point.mli: Model Status

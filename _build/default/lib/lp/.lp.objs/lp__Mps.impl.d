@@ -1,0 +1,1 @@
+lib/lp/mps.ml: Array Buffer Hashtbl In_channel List Model Option Out_channel Printf String

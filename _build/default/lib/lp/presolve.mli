@@ -1,0 +1,35 @@
+(** Light LP presolve: removes what is trivially decided before the
+    simplex runs.
+
+    Reductions applied to a fixpoint:
+    - infeasible bound pairs ([lb > ub]) terminate immediately;
+    - fixed variables ([lb = ub]) are substituted into rows and the
+      objective;
+    - empty rows are checked for consistency and dropped;
+    - singleton rows ([a x <= b] etc.) are converted into bounds on their
+      variable (equality singletons fix the variable, which can cascade).
+
+    The reduced program preserves the optimal value up to the accumulated
+    objective constant, and the reduction remembers enough to reconstruct a
+    full primal assignment. Row duals of dropped rows are reported as zero
+    (dropped rows are either redundant or absorbed into bounds). *)
+
+type reduction
+
+val presolve : Model.t -> [ `Reduced of Model.t * reduction | `Infeasible ]
+
+val objective_offset : reduction -> float
+(** Objective contribution of substituted variables: add it to the reduced
+    model's optimum to recover the original optimum. *)
+
+val kept_vars : reduction -> int array
+(** Original indices of the reduced model's variables, in order. *)
+
+val kept_rows : reduction -> int array
+
+val restore_primal : reduction -> float array -> float array
+(** Lift a reduced primal assignment back to the original variables. *)
+
+val solve : ?params:Simplex.params -> Model.t -> Status.outcome
+(** [presolve] then {!Simplex.solve}, with the solution mapped back to the
+    original model's indexing and objective. *)

@@ -1,0 +1,637 @@
+module Csc = Sparselin.Csc
+module Lu = Sparselin.Lu
+module Eta = Sparselin.Eta
+
+let log_src = Logs.Src.create "lp.simplex" ~doc:"Revised simplex"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type params = {
+  max_iterations : int;
+  dual_tolerance : float;
+  feasibility_tolerance : float;
+  pivot_tolerance : float;
+  refactor_frequency : int;
+  degenerate_switch : int;
+}
+
+let default_params = {
+  max_iterations = 200_000;
+  dual_tolerance = 1e-7;
+  feasibility_tolerance = 1e-7;
+  pivot_tolerance = 1e-8;
+  refactor_frequency = 32;
+  degenerate_switch = 300;
+}
+
+type vstat = Basic | At_lower | At_upper | At_zero_free
+
+type state = {
+  p : params;
+  sf : Standard_form.t;
+  m : int;  (* rows *)
+  tot : int;  (* structural + slack columns *)
+  nall : int;  (* tot + m artificials *)
+  art_sign : float array;
+  lb : float array;  (* nall; artificial bounds mutated at phase switch *)
+  ub : float array;
+  cost : float array;  (* current (possibly perturbed) phase cost *)
+  cost_orig : float array;  (* the phase cost without perturbation *)
+  devex : float array;  (* reference-framework pricing weights *)
+  d : float array;  (* reduced costs, maintained incrementally *)
+  status : vstat array;
+  basis : int array;  (* m: variable basic at each row position *)
+  x : float array;  (* nall *)
+  mutable lu : Lu.t;
+  mutable etas : Eta.t list;  (* newest first *)
+  mutable n_etas : int;
+  mutable iterations : int;
+  mutable degenerate_run : int;
+  mutable perturbed : bool;
+  mutable perturb_rounds : int;
+  mutable bland : bool;
+  rng : Prelude.Rng.t;
+      (* Seeded per solve: randomized entering choices during stalls are
+         deterministic across runs. *)
+}
+
+(* Column of the working matrix [A | artificials]. *)
+let iter_column st j f =
+  if j < st.tot then Csc.iter_col st.sf.Standard_form.a j f
+  else f (j - st.tot) st.art_sign.(j - st.tot)
+
+(* Dot product of column [j] with a dense vector, avoiding closure
+   dispatch on the solver's hottest path. *)
+let dot_column st j v =
+  if j < st.tot then Csc.dot_col st.sf.Standard_form.a j v
+  else st.art_sign.(j - st.tot) *. v.(j - st.tot)
+
+let ftran st v =
+  Lu.solve st.lu v;
+  List.iter (fun e -> Eta.apply_ftran e v) (List.rev st.etas)
+
+let btran st v =
+  List.iter (fun e -> Eta.apply_btran e v) st.etas;
+  Lu.solve_transpose st.lu v
+
+exception Numerical_failure
+
+let factorize st =
+  let col k =
+    let acc = ref [] in
+    iter_column st st.basis.(k) (fun i v -> acc := (i, v) :: !acc);
+    Array.of_list !acc
+  in
+  match Lu.factorize ~dim:st.m col with
+  | Ok lu ->
+      st.lu <- lu;
+      st.etas <- [];
+      st.n_etas <- 0
+  | Error (Lu.Singular _) -> raise Numerical_failure
+
+(* Recompute the values of basic variables from the nonbasic assignment:
+   x_B = B^-1 (b - A_N x_N). *)
+let recompute_basics st =
+  let rhs = Array.copy st.sf.Standard_form.b in
+  for j = 0 to st.nall - 1 do
+    (match st.status.(j) with
+     | Basic -> ()
+     | At_lower | At_upper | At_zero_free ->
+         let xj = st.x.(j) in
+         if xj <> 0. then iter_column st j (fun i v -> rhs.(i) <- rhs.(i) -. (v *. xj)))
+  done;
+  ftran st rhs;
+  for i = 0 to st.m - 1 do
+    st.x.(st.basis.(i)) <- rhs.(i)
+  done
+
+let basic_cost_multipliers st =
+  let y = Array.make st.m 0. in
+  for i = 0 to st.m - 1 do
+    y.(i) <- st.cost.(st.basis.(i))
+  done;
+  btran st y;
+  y
+
+let reduced_cost st y j = st.cost.(j) -. dot_column st j y
+
+(* Rebuild every reduced cost from the multipliers; called at phase starts,
+   after cost perturbation/restoration, and periodically to wash out the
+   drift of incremental updates. *)
+let refresh_reduced_costs st =
+  let y = basic_cost_multipliers st in
+  for j = 0 to st.nall - 1 do
+    st.d.(j) <- (if st.status.(j) = Basic then 0. else reduced_cost st y j)
+  done
+
+(* Entering-variable eligibility given its reduced cost. *)
+let eligible st j d =
+  match st.status.(j) with
+  | Basic -> false
+  | At_lower -> st.lb.(j) < st.ub.(j) && d < -.st.p.dual_tolerance
+  | At_upper -> st.lb.(j) < st.ub.(j) && d > st.p.dual_tolerance
+  | At_zero_free -> abs_float d > st.p.dual_tolerance
+
+type pricing_result = Entering of int * float | Optimal_reached
+
+(* Pricing is a scan of the maintained reduced costs: Devex scores
+   (reduced-cost squared over reference weight) by default, Bland's rule
+   (first eligible index) as the anti-cycling fallback. *)
+let price st =
+  if st.bland then begin
+    let found = ref Optimal_reached in
+    (try
+       for j = 0 to st.nall - 1 do
+         if st.status.(j) <> Basic then begin
+           let d = st.d.(j) in
+           if eligible st j d then begin
+             found := Entering (j, d);
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    (* During long degenerate runs, randomize among near-best candidates:
+       deterministic tie-breaking is what lets stalls persist. *)
+    let randomize = st.degenerate_run > st.p.degenerate_switch / 2 in
+    let best = ref (-1) and best_score = ref 0. and best_d = ref 0. in
+    let seen = ref 0 in
+    for j = 0 to st.nall - 1 do
+      if st.status.(j) <> Basic then begin
+        let d = st.d.(j) in
+        if eligible st j d then begin
+          let score = d *. d /. st.devex.(j) in
+          let take =
+            if score > !best_score then true
+            else if randomize && score > 0.2 *. !best_score then begin
+              (* Reservoir-style: replace with decreasing probability. *)
+              incr seen;
+              Prelude.Rng.int st.rng (!seen + 2) = 0
+            end
+            else false
+          in
+          if take then begin
+            best := j;
+            best_score := max !best_score score;
+            best_d := d
+          end
+        end
+      end
+    done;
+    if !best < 0 then Optimal_reached else Entering (!best, !best_d)
+  end
+
+(* Combined post-pivot update of Devex weights and reduced costs. The
+   entering column q pivots at row r with tableau element alpha_r; for
+   every nonbasic j, the pivot-row entry beta_j = (B^-T e_r) . A_j drives
+   both the reference-weight update and the reduced-cost update
+   d_j -= (d_q / alpha_r) beta_j. Runs before the basis arrays change. *)
+let pivot_update st ~enter ~r ~alpha_r =
+  let gamma_q = st.devex.(enter) in
+  let d_q = st.d.(enter) in
+  let rho = Array.make st.m 0. in
+  rho.(r) <- 1.;
+  btran st rho;
+  let step = d_q /. alpha_r in
+  let ratio2 b = (b /. alpha_r) *. (b /. alpha_r) in
+  let too_big = ref false in
+  for j = 0 to st.nall - 1 do
+    if st.status.(j) <> Basic && j <> enter then begin
+      let beta = dot_column st j rho in
+      if beta <> 0. then begin
+        st.d.(j) <- st.d.(j) -. (step *. beta);
+        let candidate = ratio2 beta *. gamma_q in
+        if candidate > st.devex.(j) then st.devex.(j) <- candidate;
+        if st.devex.(j) > 1e8 then too_big := true
+      end
+    end
+  done;
+  (* The leaving variable becomes nonbasic. *)
+  let leaving = st.basis.(r) in
+  st.d.(leaving) <- -.step;
+  st.d.(enter) <- 0.;
+  let leaving_weight = max (gamma_q /. (alpha_r *. alpha_r)) 1. in
+  st.devex.(leaving) <- leaving_weight;
+  if leaving_weight > 1e8 then too_big := true;
+  if !too_big then Array.fill st.devex 0 st.nall 1.
+
+(* Deterministic tiny cost perturbation: breaks massive dual degeneracy
+   that would otherwise stall the iteration. The true costs are restored
+   (and optimality re-verified) before a phase can conclude. *)
+let perturb_costs st =
+  st.perturbed <- true;
+  st.perturb_rounds <- st.perturb_rounds + 1;
+  let noise j =
+    (* Map the index through a Weyl sequence for a stable pseudo-random
+       fraction in (0.5, 1.5); the round number shifts the sequence so each
+       escalation explores a different trajectory. *)
+    let golden = 0.6180339887498949 in
+    let silver = 0.4142135623730951 in
+    let f =
+      Float.rem
+        ((float_of_int (j + 1) *. golden)
+         +. (float_of_int st.perturb_rounds *. silver))
+        1.
+    in
+    0.5 +. f
+  in
+  for j = 0 to st.nall - 1 do
+    if st.lb.(j) < st.ub.(j) then begin
+      (* Well above the dual tolerance so that the perturbation actually
+         changes pricing decisions; scaled down on successive rounds'
+         survivors by the noise factor only. *)
+      let scale = 1e-5 *. (1. +. abs_float st.cost_orig.(j)) in
+      st.cost.(j) <- st.cost_orig.(j) +. (scale *. noise j)
+    end
+  done;
+  refresh_reduced_costs st
+
+let restore_costs st =
+  st.perturbed <- false;
+  Array.blit st.cost_orig 0 st.cost 0 st.nall;
+  refresh_reduced_costs st
+
+type ratio_result =
+  | Hit_basic of int * float  (* leaving basis position, step length *)
+  | Bound_flip of float
+  | Ratio_unbounded
+
+(* Two-pass ratio test. [dir] is +1. when the entering variable increases,
+   -1. when it decreases; [alpha] is the FTRAN'd entering column. *)
+let ratio_test st ~alpha ~dir ~enter =
+  let feas = st.p.feasibility_tolerance in
+  let piv_tol = st.p.pivot_tolerance in
+  let t_bound =
+    if st.lb.(enter) > neg_infinity && st.ub.(enter) < infinity then
+      st.ub.(enter) -. st.lb.(enter)
+    else infinity
+  in
+  (* Exact limit imposed by basic row [i]; infinity when none. *)
+  let limit ~slack i =
+    let delta = dir *. alpha.(i) in
+    let bvar = st.basis.(i) in
+    if delta > piv_tol then begin
+      let l = st.lb.(bvar) in
+      if l > neg_infinity then (st.x.(bvar) -. l +. slack) /. delta
+      else infinity
+    end
+    else if delta < -.piv_tol then begin
+      let u = st.ub.(bvar) in
+      if u < infinity then (u -. st.x.(bvar) +. slack) /. (-.delta)
+      else infinity
+    end
+    else infinity
+  in
+  (* Pass 1: relaxed maximum step. *)
+  let t_max = ref t_bound in
+  for i = 0 to st.m - 1 do
+    let l = limit ~slack:feas i in
+    if l < !t_max then t_max := l
+  done;
+  if !t_max = infinity then Ratio_unbounded
+  else begin
+    (* Pass 2: among rows whose exact limit is within the relaxed step,
+       prefer the largest pivot magnitude (numerical stability). In Bland
+       mode, prefer the smallest basic variable index among exact minima. *)
+    let choice = ref (-1) and choice_limit = ref infinity and choice_abs = ref 0. in
+    for i = 0 to st.m - 1 do
+      let l = limit ~slack:0. i in
+      if l <= !t_max then begin
+        let a = abs_float alpha.(i) in
+        let better =
+          if !choice < 0 then true
+          else if st.bland then
+            l < !choice_limit -. 1e-12
+            || (abs_float (l -. !choice_limit) <= 1e-12
+                && st.basis.(i) < st.basis.(!choice))
+          else a > !choice_abs
+        in
+        if better then begin
+          choice := i;
+          choice_limit := l;
+          choice_abs := a
+        end
+      end
+    done;
+    if !choice < 0 then
+      (* Every row limit exceeded the relaxed bound: the entering variable
+         flips to its opposite bound. *)
+      if t_bound < infinity then Bound_flip t_bound else Ratio_unbounded
+    else begin
+      let t = max 0. !choice_limit in
+      if t_bound <= t then Bound_flip t_bound else Hit_basic (!choice, t)
+    end
+  end
+
+(* Apply a step of length [t] (in the entering direction [dir]); updates
+   every basic value and the entering variable's value. *)
+let apply_step st ~alpha ~dir ~enter ~t =
+  if t <> 0. then begin
+    for i = 0 to st.m - 1 do
+      let delta = dir *. alpha.(i) in
+      if delta <> 0. then begin
+        let bvar = st.basis.(i) in
+        st.x.(bvar) <- st.x.(bvar) -. (delta *. t)
+      end
+    done;
+    st.x.(enter) <- st.x.(enter) +. (dir *. t)
+  end
+
+(* Escalating response to long degenerate (or micro-step) runs: first
+   perturb the costs (cheap, almost always enough), finally fall back to
+   Bland's rule. Steps below the feasibility tolerance make no meaningful
+   progress and count as degenerate. *)
+let note_degeneracy st t =
+  if t <= st.p.feasibility_tolerance then begin
+    st.degenerate_run <- st.degenerate_run + 1;
+    if st.degenerate_run > st.p.degenerate_switch then begin
+      st.degenerate_run <- 0;
+      if st.perturb_rounds < 10 then begin
+        Log.debug (fun m ->
+            m "stall at iteration %d: perturbing costs (round %d)"
+              st.iterations (st.perturb_rounds + 1));
+        perturb_costs st;
+        (* A fresh reference framework keeps Devex meaningful on the new
+           cost vector. *)
+        Array.fill st.devex 0 st.nall 1.
+      end
+      else begin
+        Log.debug (fun m ->
+            m "stall persists at iteration %d: switching to Bland's rule"
+              st.iterations);
+        st.bland <- true
+      end
+    end
+  end
+  else st.degenerate_run <- 0
+
+type phase_result = Phase_optimal | Phase_unbounded | Phase_iteration_limit
+
+let run_phase st =
+  let result = ref Phase_optimal in
+  refresh_reduced_costs st;
+  (try
+     while true do
+       if st.iterations >= st.p.max_iterations then begin
+         result := Phase_iteration_limit;
+         raise Exit
+       end;
+       if st.iterations mod 5000 = 4999 then
+         Log.debug (fun m ->
+             let obj = ref 0. in
+             for j = 0 to st.nall - 1 do
+               obj := !obj +. (st.cost_orig.(j) *. st.x.(j))
+             done;
+             m "iteration %d: objective %.6f%s%s" st.iterations !obj
+               (if st.perturbed then " (perturbed)" else "")
+               (if st.bland then " (bland)" else ""));
+       match price st with
+       | Optimal_reached ->
+           if st.perturbed then begin
+             (* Optimal for the perturbed costs: restore the real ones and
+                keep iterating (few cleanup pivots, if any). *)
+             restore_costs st;
+             st.degenerate_run <- 0
+           end
+           else raise Exit
+       | Entering (enter, d) ->
+           st.iterations <- st.iterations + 1;
+           let alpha = Array.make st.m 0. in
+           iter_column st enter (fun i v -> alpha.(i) <- alpha.(i) +. v);
+           ftran st alpha;
+           let dir =
+             match st.status.(enter) with
+             | At_lower -> 1.
+             | At_upper -> -1.
+             | At_zero_free -> if d < 0. then 1. else -1.
+             | Basic -> assert false
+           in
+           (match ratio_test st ~alpha ~dir ~enter with
+            | Ratio_unbounded ->
+                if st.perturbed then begin
+                  restore_costs st;
+                  st.degenerate_run <- 0
+                end
+                else begin
+                  result := Phase_unbounded;
+                  raise Exit
+                end
+            | Bound_flip t ->
+                apply_step st ~alpha ~dir ~enter ~t;
+                (match st.status.(enter) with
+                 | At_lower ->
+                     st.status.(enter) <- At_upper;
+                     st.x.(enter) <- st.ub.(enter)
+                 | At_upper ->
+                     st.status.(enter) <- At_lower;
+                     st.x.(enter) <- st.lb.(enter)
+                 | At_zero_free | Basic -> assert false);
+                note_degeneracy st t
+            | Hit_basic (r, t) ->
+                apply_step st ~alpha ~dir ~enter ~t;
+                pivot_update st ~enter ~r ~alpha_r:alpha.(r);
+                let leaving = st.basis.(r) in
+                let delta_r = dir *. alpha.(r) in
+                if delta_r > 0. then begin
+                  st.status.(leaving) <- At_lower;
+                  st.x.(leaving) <- st.lb.(leaving)
+                end
+                else begin
+                  st.status.(leaving) <- At_upper;
+                  st.x.(leaving) <- st.ub.(leaving)
+                end;
+                st.basis.(r) <- enter;
+                st.status.(enter) <- Basic;
+                (match Eta.make ~pos:r ~alpha with
+                 | eta ->
+                     st.etas <- eta :: st.etas;
+                     st.n_etas <- st.n_etas + 1
+                 | exception Invalid_argument _ ->
+                     (* Pivot too small for a stable eta update: rebuild the
+                        factorization from the new basis instead. *)
+                     factorize st;
+                     recompute_basics st;
+                     refresh_reduced_costs st);
+                if st.n_etas >= st.p.refactor_frequency then begin
+                  factorize st;
+                  recompute_basics st;
+                  (* Wash out incremental drift in the reduced costs. *)
+                  refresh_reduced_costs st
+                end;
+                note_degeneracy st t)
+     done
+   with Exit -> ());
+  !result
+
+let initialize ?params:(p = default_params) sf =
+  let m = sf.Standard_form.n_rows in
+  let tot = Standard_form.total_vars sf in
+  let nall = tot + m in
+  let lb = Array.make nall 0. and ub = Array.make nall 0. in
+  Array.blit sf.Standard_form.lb 0 lb 0 tot;
+  Array.blit sf.Standard_form.ub 0 ub 0 tot;
+  let status = Array.make nall At_lower in
+  let x = Array.make nall 0. in
+  for j = 0 to tot - 1 do
+    if lb.(j) > neg_infinity then begin
+      status.(j) <- At_lower;
+      x.(j) <- lb.(j)
+    end
+    else if ub.(j) < infinity then begin
+      status.(j) <- At_upper;
+      x.(j) <- ub.(j)
+    end
+    else begin
+      status.(j) <- At_zero_free;
+      x.(j) <- 0.
+    end
+  done;
+  (* Residuals determine the artificial signs so that artificial values
+     start non-negative. *)
+  let resid = Array.copy sf.Standard_form.b in
+  for j = 0 to tot - 1 do
+    let xj = x.(j) in
+    if xj <> 0. then
+      Csc.iter_col sf.Standard_form.a j (fun i v ->
+          resid.(i) <- resid.(i) -. (v *. xj))
+  done;
+  let art_sign = Array.make m 1. in
+  let basis = Array.init m (fun i -> tot + i) in
+  for i = 0 to m - 1 do
+    if resid.(i) < 0. then art_sign.(i) <- -1.;
+    let art = tot + i in
+    lb.(art) <- 0.;
+    ub.(art) <- infinity;
+    status.(art) <- Basic;
+    x.(art) <- abs_float resid.(i)
+  done;
+  (* The initial basis is the artificial diagonal, whose factorization is
+     immediate. *)
+  let lu0 =
+    match Lu.factorize ~dim:m (fun k -> [| (k, art_sign.(k)) |]) with
+    | Ok lu -> lu
+    | Error (Lu.Singular _) -> assert false
+  in
+  { p; sf; m; tot; nall; art_sign; lb; ub;
+    cost = Array.make nall 0.;
+    cost_orig = Array.make nall 0.;
+    devex = Array.make nall 1.;
+    d = Array.make nall 0.;
+    status; basis; x;
+    lu = lu0;
+    etas = [];
+    n_etas = 0;
+    iterations = 0;
+    degenerate_run = 0;
+    perturbed = false;
+    perturb_rounds = 0;
+    bland = false;
+    rng = Prelude.Rng.of_int (0x5ca1ab1e + m + tot) }
+
+let phase1_needed st =
+  let tol = st.p.feasibility_tolerance in
+  let needs = ref false in
+  for i = 0 to st.m - 1 do
+    if st.x.(st.tot + i) > tol then needs := true
+  done;
+  !needs
+
+let reset_phase_controls st =
+  Array.fill st.devex 0 st.nall 1.;
+  st.degenerate_run <- 0;
+  st.perturbed <- false;
+  st.perturb_rounds <- 0;
+  st.bland <- false
+
+let setup_phase1 st =
+  Array.fill st.cost 0 st.nall 0.;
+  for i = 0 to st.m - 1 do
+    st.cost.(st.tot + i) <- 1.
+  done;
+  Array.blit st.cost 0 st.cost_orig 0 st.nall;
+  reset_phase_controls st
+
+let phase1_infeasibility st =
+  let acc = ref 0. in
+  for i = 0 to st.m - 1 do
+    let a = st.tot + i in
+    acc := !acc +. (match st.status.(a) with
+                    | Basic -> max 0. st.x.(a)
+                    | At_lower | At_upper | At_zero_free -> st.x.(a))
+  done;
+  !acc
+
+let setup_phase2 st =
+  Array.fill st.cost 0 st.nall 0.;
+  Array.blit st.sf.Standard_form.cost 0 st.cost 0 st.tot;
+  Array.blit st.cost 0 st.cost_orig 0 st.nall;
+  (* Artificials are frozen at zero from now on. *)
+  for i = 0 to st.m - 1 do
+    let a = st.tot + i in
+    st.lb.(a) <- 0.;
+    st.ub.(a) <- 0.;
+    if st.status.(a) <> Basic then begin
+      st.status.(a) <- At_lower;
+      st.x.(a) <- 0.
+    end
+  done;
+  reset_phase_controls st
+
+let extract_solution st =
+  let sf = st.sf in
+  let n = sf.Standard_form.n_struct in
+  let primal = Array.sub st.x 0 n in
+  let y = basic_cost_multipliers st in
+  let flip v = if sf.Standard_form.flip_objective then -.v else v in
+  let dual = Array.map flip y in
+  let reduced = Array.init n (fun j -> flip (reduced_cost st y j)) in
+  let obj_sf = ref 0. in
+  for j = 0 to st.tot - 1 do
+    obj_sf := !obj_sf +. (sf.Standard_form.cost.(j) *. st.x.(j))
+  done;
+  { Status.objective = Standard_form.model_objective sf !obj_sf;
+    primal; dual; reduced_costs = reduced;
+    iterations = st.iterations }
+
+let solve ?params model =
+  let sf = Standard_form.of_model model in
+  (* Trivial bound inconsistencies mean infeasible, not an exception. *)
+  let inconsistent = ref false in
+  Array.iteri
+    (fun j l -> if l > sf.Standard_form.ub.(j) then inconsistent := true)
+    sf.Standard_form.lb;
+  if !inconsistent then Status.Infeasible
+  else
+    match initialize ?params sf with
+    | exception Numerical_failure -> Status.Iteration_limit
+    | st ->
+        (try
+           let phase1_result =
+             if phase1_needed st then begin
+               setup_phase1 st;
+               run_phase st
+             end
+             else Phase_optimal
+           in
+           Log.debug (fun m ->
+               m "phase 1 done after %d iterations" st.iterations);
+           match phase1_result with
+           | Phase_iteration_limit -> Status.Iteration_limit
+           | Phase_unbounded ->
+               (* Phase 1 minimizes a sum of non-negative variables and is
+                  bounded below by zero; an unbounded ray indicates numerical
+                  trouble. *)
+               Status.Iteration_limit
+           | Phase_optimal ->
+               if phase1_infeasibility st > 1e-6 then Status.Infeasible
+               else begin
+                 setup_phase2 st;
+                 match run_phase st with
+                 | Phase_optimal -> Status.Optimal (extract_solution st)
+                 | Phase_unbounded -> Status.Unbounded
+                 | Phase_iteration_limit -> Status.Iteration_limit
+               end
+         with Numerical_failure -> Status.Iteration_limit)

@@ -1,0 +1,39 @@
+(** Revised simplex method for linear programs with bounded variables.
+
+    The implementation is a primal, two-phase bounded-variable simplex:
+
+    - the basis inverse is maintained as a sparse {!Sparselin.Lu}
+      factorization composed with a file of product-form {!Sparselin.Eta}
+      updates, refactorized periodically;
+    - phase 1 drives explicit artificial variables (one per row) to zero;
+    - pricing is Devex (reference-framework weights), the standard remedy
+      for the massive dual degeneracy of network-structured programs;
+    - long runs of degenerate pivots first trigger a deterministic tiny
+      cost perturbation (restored, and optimality re-verified, before a
+      phase concludes), then Bland's rule as the terminal anti-cycling
+      guarantee;
+    - the ratio test is a two-pass test preferring large pivot elements
+      among near-tied ratios, and supports bound flips of the entering
+      variable.
+
+    This solver is exact up to floating-point tolerances for any LP built
+    with {!Model}; the test suite cross-checks it against the independent
+    dense implementation in {!Dense_simplex} and against combinatorial
+    network-flow algorithms. *)
+
+type params = {
+  max_iterations : int;  (** Pivot budget across both phases. *)
+  dual_tolerance : float;  (** Reduced-cost optimality tolerance. *)
+  feasibility_tolerance : float;  (** Bound/row violation tolerance. *)
+  pivot_tolerance : float;  (** Smallest acceptable pivot magnitude. *)
+  refactor_frequency : int;  (** Eta updates between refactorizations. *)
+  degenerate_switch : int;
+      (** Consecutive degenerate pivots before escalating (perturbation,
+          then Bland's rule). *)
+}
+
+val default_params : params
+
+val solve : ?params:params -> Model.t -> Status.outcome
+(** Solve a model. The returned solution is expressed in the model's own
+    variable/row indexing and objective sense. *)

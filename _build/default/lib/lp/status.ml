@@ -1,0 +1,29 @@
+type solution = {
+  objective : float;
+  primal : float array;
+  dual : float array;
+  reduced_costs : float array;
+  iterations : int;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let is_optimal = function Optimal _ -> true | Infeasible | Unbounded | Iteration_limit -> false
+
+let get_optimal = function
+  | Optimal s -> s
+  | Infeasible -> failwith "Lp.Status.get_optimal: infeasible"
+  | Unbounded -> failwith "Lp.Status.get_optimal: unbounded"
+  | Iteration_limit -> failwith "Lp.Status.get_optimal: iteration limit"
+
+let pp_outcome ppf = function
+  | Optimal s ->
+      Format.fprintf ppf "optimal (objective %g, %d iterations)" s.objective
+        s.iterations
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration limit"

@@ -1,0 +1,24 @@
+(** Solver outcome types shared by the revised simplex and the dense
+    oracle. *)
+
+type solution = {
+  objective : float;  (** Objective value in the model's own sense. *)
+  primal : float array;  (** One value per model variable. *)
+  dual : float array;  (** One value per model row (simplex multipliers). *)
+  reduced_costs : float array;  (** One value per model variable. *)
+  iterations : int;  (** Total simplex pivots across both phases. *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val is_optimal : outcome -> bool
+
+val get_optimal : outcome -> solution
+(** Raises [Failure] when the outcome is not [Optimal]; convenience for
+    callers whose programs are feasible by construction. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

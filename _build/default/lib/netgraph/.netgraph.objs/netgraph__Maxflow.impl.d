@@ -1,0 +1,1 @@
+lib/netgraph/maxflow.ml: Array Graph List Queue

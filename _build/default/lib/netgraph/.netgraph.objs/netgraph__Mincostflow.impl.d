@@ -1,0 +1,1 @@
+lib/netgraph/mincostflow.ml: Array Float Graph Maxflow Prelude

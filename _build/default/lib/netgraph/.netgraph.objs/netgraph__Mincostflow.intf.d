@@ -1,0 +1,1 @@
+lib/netgraph/mincostflow.mli: Graph

@@ -1,0 +1,1 @@
+lib/netgraph/paths.ml: Array Graph List Prelude

@@ -1,0 +1,1 @@
+lib/netgraph/paths.mli: Graph

@@ -1,0 +1,1 @@
+lib/netgraph/topology.mli: Graph Prelude

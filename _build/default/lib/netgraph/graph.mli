@@ -1,0 +1,52 @@
+(** Directed graphs with float capacities and per-unit costs on arcs.
+
+    Nodes are dense integers [0 .. num_nodes - 1]; arcs carry an id in
+    insertion order. Parallel arcs are allowed. This is the shared
+    representation for the inter-datacenter overlay ({!Topology}), the
+    combinatorial flow algorithms ({!Maxflow}, {!Mincostflow}) and the
+    time-expanded construction in the [timexp] library. *)
+
+type t
+
+type arc = {
+  id : int;
+  src : int;
+  dst : int;
+  capacity : float;
+  cost : float;  (** Cost per unit of traffic. *)
+}
+
+val create : n:int -> t
+(** Graph with [n] nodes and no arcs. *)
+
+val add_node : t -> int
+(** Append a node, returning its index. *)
+
+val add_arc : t -> src:int -> dst:int -> ?capacity:float -> ?cost:float -> unit -> int
+(** Add an arc and return its id. Defaults: infinite capacity, zero cost.
+    Raises [Invalid_argument] on out-of-range endpoints, negative capacity
+    or a self-loop. *)
+
+val num_nodes : t -> int
+val num_arcs : t -> int
+
+val arc : t -> int -> arc
+
+val out_arcs : t -> int -> int list
+(** Ids of arcs leaving a node, in insertion order. *)
+
+val in_arcs : t -> int -> int list
+
+val find_arc : t -> src:int -> dst:int -> int option
+(** First arc from [src] to [dst], if any. *)
+
+val iter_arcs : t -> (arc -> unit) -> unit
+val fold_arcs : t -> init:'a -> f:('a -> arc -> 'a) -> 'a
+
+val map_capacities : t -> (arc -> float) -> t
+(** Functional update of every arc capacity. *)
+
+val reverse : t -> t
+(** Same nodes, every arc reversed (ids preserved). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+type result = {
+  value : float;
+  flow : float array;
+}
+
+(* Residual network as flat arrays: edge 2k is the forward copy of arc k,
+   edge 2k+1 its reverse. *)
+type residual = {
+  to_ : int array;
+  cap : float array;
+  (* Out-edges of each node. *)
+  adj : int array array;
+}
+
+let residual_of_graph g =
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  let to_ = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0. in
+  let deg = Array.make n 0 in
+  Graph.iter_arcs g (fun a ->
+      to_.(2 * a.Graph.id) <- a.Graph.dst;
+      cap.(2 * a.Graph.id) <- a.Graph.capacity;
+      to_.((2 * a.Graph.id) + 1) <- a.Graph.src;
+      cap.((2 * a.Graph.id) + 1) <- 0.;
+      deg.(a.Graph.src) <- deg.(a.Graph.src) + 1;
+      deg.(a.Graph.dst) <- deg.(a.Graph.dst) + 1);
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Graph.iter_arcs g (fun a ->
+      adj.(a.Graph.src).(fill.(a.Graph.src)) <- 2 * a.Graph.id;
+      fill.(a.Graph.src) <- fill.(a.Graph.src) + 1;
+      adj.(a.Graph.dst).(fill.(a.Graph.dst)) <- (2 * a.Graph.id) + 1;
+      fill.(a.Graph.dst) <- fill.(a.Graph.dst) + 1);
+  { to_; cap; adj }
+
+let eps = 1e-9
+
+(* BFS levels in the residual network; [-1] for unreachable. *)
+let levels r ~n ~src =
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(src) <- 0;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun e ->
+        let v = r.to_.(e) in
+        if r.cap.(e) > eps && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.push v queue
+        end)
+      r.adj.(u)
+  done;
+  level
+
+let max_flow g ~src ~dst =
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Maxflow.max_flow: endpoint out of range";
+  if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
+  let r = residual_of_graph g in
+  let total = ref 0. in
+  let continue = ref true in
+  while !continue do
+    let level = levels r ~n ~src in
+    if level.(dst) < 0 then continue := false
+    else begin
+      let iter = Array.make n 0 in
+      (* DFS blocking flow with an explicit bound on pushed amount. *)
+      let rec dfs u pushed =
+        if u = dst then pushed
+        else begin
+          let sent = ref 0. in
+          while !sent = 0. && iter.(u) < Array.length r.adj.(u) do
+            let e = r.adj.(u).(iter.(u)) in
+            let v = r.to_.(e) in
+            if r.cap.(e) > eps && level.(v) = level.(u) + 1 then begin
+              let amount = dfs v (min pushed r.cap.(e)) in
+              if amount > 0. then begin
+                r.cap.(e) <- r.cap.(e) -. amount;
+                r.cap.(e lxor 1) <- r.cap.(e lxor 1) +. amount;
+                sent := amount
+              end
+              else iter.(u) <- iter.(u) + 1
+            end
+            else iter.(u) <- iter.(u) + 1
+          done;
+          !sent
+        end
+      in
+      let rec pump () =
+        let amount = dfs src infinity in
+        if amount > 0. then begin
+          total := !total +. amount;
+          if amount < infinity then pump ()
+          (* An infinite augmenting path saturates nothing; stop. *)
+        end
+      in
+      pump ();
+      if !total = infinity then continue := false
+    end
+  done;
+  let flow =
+    Array.init m (fun k ->
+        (* Flow on arc k is what accumulated on its reverse edge. *)
+        r.cap.((2 * k) + 1))
+  in
+  { value = !total; flow }
+
+let min_cut g ~src ~dst =
+  let res = max_flow g ~src ~dst in
+  (* Rebuild the final residual from the flow to compute reachability. *)
+  let n = Graph.num_nodes g in
+  let reachable = Array.make n false in
+  let queue = Queue.create () in
+  reachable.(src) <- true;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun id ->
+        let a = Graph.arc g id in
+        if a.Graph.capacity -. res.flow.(id) > eps && not reachable.(a.Graph.dst)
+        then begin
+          reachable.(a.Graph.dst) <- true;
+          Queue.push a.Graph.dst queue
+        end)
+      (Graph.out_arcs g u);
+    List.iter
+      (fun id ->
+        let a = Graph.arc g id in
+        if res.flow.(id) > eps && not reachable.(a.Graph.src) then begin
+          reachable.(a.Graph.src) <- true;
+          Queue.push a.Graph.src queue
+        end)
+      (Graph.in_arcs g u)
+  done;
+  (res, reachable)

@@ -1,0 +1,15 @@
+(** Maximum flow by Dinic's algorithm (BFS level graph + blocking flows).
+
+    Capacities are floats and may be infinite; an augmenting path made
+    entirely of infinite-capacity arcs yields an infinite flow value. *)
+
+type result = {
+  value : float;  (** Total flow shipped from source to sink. *)
+  flow : float array;  (** Flow on each arc, indexed by arc id. *)
+}
+
+val max_flow : Graph.t -> src:int -> dst:int -> result
+
+val min_cut : Graph.t -> src:int -> dst:int -> result * bool array
+(** Max flow plus the source side of a minimum cut (reachability in the
+    final residual network). *)

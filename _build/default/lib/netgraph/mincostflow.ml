@@ -1,0 +1,132 @@
+type result = {
+  flow : float array;
+  cost : float;
+  value : float;
+}
+
+let eps = 1e-9
+
+(* Residual edges: 2k forward (cost c), 2k+1 backward (cost -c). *)
+type residual = {
+  to_ : int array;
+  cap : float array;
+  cost : float array;
+  adj : int array array;
+}
+
+let residual_of_graph g =
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  let to_ = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0. in
+  let cost = Array.make (2 * m) 0. in
+  let deg = Array.make n 0 in
+  Graph.iter_arcs g (fun a ->
+      if a.Graph.cost < 0. then
+        invalid_arg "Mincostflow: negative arc cost";
+      let f = 2 * a.Graph.id in
+      to_.(f) <- a.Graph.dst;
+      cap.(f) <- a.Graph.capacity;
+      cost.(f) <- a.Graph.cost;
+      to_.(f + 1) <- a.Graph.src;
+      cap.(f + 1) <- 0.;
+      cost.(f + 1) <- -.a.Graph.cost;
+      deg.(a.Graph.src) <- deg.(a.Graph.src) + 1;
+      deg.(a.Graph.dst) <- deg.(a.Graph.dst) + 1);
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Graph.iter_arcs g (fun a ->
+      adj.(a.Graph.src).(fill.(a.Graph.src)) <- 2 * a.Graph.id;
+      fill.(a.Graph.src) <- fill.(a.Graph.src) + 1;
+      adj.(a.Graph.dst).(fill.(a.Graph.dst)) <- (2 * a.Graph.id) + 1;
+      fill.(a.Graph.dst) <- fill.(a.Graph.dst) + 1);
+  { to_; cap; cost; adj }
+
+(* Dijkstra on reduced costs cost(e) + pi(u) - pi(v) (non-negative by the
+   potential invariant). Returns distances and the incoming residual edge
+   per node. *)
+let shortest r ~n ~src ~pi =
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let heap = Prelude.Heap.create () in
+  dist.(src) <- 0.;
+  Prelude.Heap.push heap 0. src;
+  let continue = ref true in
+  while !continue do
+    match Prelude.Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if d <= dist.(u) +. eps then
+          Array.iter
+            (fun e ->
+              if r.cap.(e) > eps then begin
+                let v = r.to_.(e) in
+                let rc = r.cost.(e) +. pi.(u) -. pi.(v) in
+                let rc = max rc 0. (* clamp tiny negatives from roundoff *) in
+                let nd = d +. rc in
+                if nd < dist.(v) -. 1e-12 then begin
+                  dist.(v) <- nd;
+                  pred.(v) <- e;
+                  Prelude.Heap.push heap nd v
+                end
+              end)
+            r.adj.(u)
+  done;
+  (dist, pred)
+
+let min_cost_flow g ~src ~dst ~amount =
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Mincostflow: endpoint out of range";
+  if src = dst then invalid_arg "Mincostflow: src = dst";
+  if Float.is_nan amount || amount = infinity || amount < 0. then
+    invalid_arg "Mincostflow: amount must be finite and non-negative";
+  let r = residual_of_graph g in
+  let pi = Array.make n 0. in
+  let remaining = ref amount in
+  let feasible = ref true in
+  while !remaining > eps && !feasible do
+    let dist, pred = shortest r ~n ~src ~pi in
+    if dist.(dst) = infinity then feasible := false
+    else begin
+      (* Bottleneck along the path. *)
+      let rec bottleneck v acc =
+        if v = src then acc
+        else begin
+          let e = pred.(v) in
+          bottleneck r.to_.(e lxor 1) (min acc r.cap.(e))
+        end
+      in
+      let push = min !remaining (bottleneck dst infinity) in
+      let rec apply v =
+        if v <> src then begin
+          let e = pred.(v) in
+          r.cap.(e) <- r.cap.(e) -. push;
+          r.cap.(e lxor 1) <- r.cap.(e lxor 1) +. push;
+          apply r.to_.(e lxor 1)
+        end
+      in
+      apply dst;
+      remaining := !remaining -. push;
+      (* Update potentials with the new distances (reached nodes only). *)
+      for v = 0 to n - 1 do
+        if dist.(v) < infinity then pi.(v) <- pi.(v) +. dist.(v)
+      done
+    end
+  done;
+  if not !feasible then None
+  else begin
+    let flow = Array.init m (fun k -> r.cap.((2 * k) + 1)) in
+    let cost =
+      Graph.fold_arcs g ~init:0. ~f:(fun acc a ->
+          acc +. (flow.(a.Graph.id) *. a.Graph.cost))
+    in
+    Some { flow; cost; value = amount }
+  end
+
+let min_cost_max_flow g ~src ~dst =
+  let mf = Maxflow.max_flow g ~src ~dst in
+  if mf.Maxflow.value = infinity then
+    invalid_arg "Mincostflow.min_cost_max_flow: infinite maximum flow";
+  match min_cost_flow g ~src ~dst ~amount:mf.Maxflow.value with
+  | Some r -> r
+  | None -> assert false (* the amount is feasible by construction *)

@@ -1,0 +1,22 @@
+(** Minimum-cost flow by successive shortest augmenting paths with node
+    potentials (Dijkstra on reduced costs).
+
+    This combinatorial solver serves two purposes: it is a building block
+    of the flow-based baseline, and it cross-checks the LP solver — on a
+    single-commodity instance the LP optimum must equal the SSP optimum. *)
+
+type result = {
+  flow : float array;  (** Flow per arc id. *)
+  cost : float;  (** Total cost [sum over arcs of flow * cost]. *)
+  value : float;  (** Amount shipped from source to sink. *)
+}
+
+val min_cost_flow :
+  Graph.t -> src:int -> dst:int -> amount:float -> result option
+(** Ship exactly [amount] units at minimum cost; [None] when the network
+    cannot carry that amount. Requires non-negative arc costs (raises
+    [Invalid_argument] otherwise) and a finite [amount]. *)
+
+val min_cost_max_flow : Graph.t -> src:int -> dst:int -> result
+(** Ship the maximum possible amount (computed with {!Maxflow}) at minimum
+    cost. The maximum must be finite. *)

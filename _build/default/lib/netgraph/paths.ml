@@ -1,0 +1,80 @@
+type tree = {
+  dist : float array;
+  pred_arc : int array;
+}
+
+let dijkstra_filtered g ~src ~usable =
+  let n = Graph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Paths.dijkstra: src out of range";
+  let dist = Array.make n infinity in
+  let pred_arc = Array.make n (-1) in
+  let heap = Prelude.Heap.create () in
+  dist.(src) <- 0.;
+  Prelude.Heap.push heap 0. src;
+  let continue = ref true in
+  while !continue do
+    match Prelude.Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun id ->
+              let a = Graph.arc g id in
+              if usable a then begin
+                if a.Graph.cost < 0. then
+                  invalid_arg "Paths.dijkstra: negative arc cost";
+                let nd = d +. a.Graph.cost in
+                if nd < dist.(a.Graph.dst) -. 1e-15 then begin
+                  dist.(a.Graph.dst) <- nd;
+                  pred_arc.(a.Graph.dst) <- id;
+                  Prelude.Heap.push heap nd a.Graph.dst
+                end
+              end)
+            (Graph.out_arcs g u)
+  done;
+  { dist; pred_arc }
+
+let dijkstra g ~src = dijkstra_filtered g ~src ~usable:(fun _ -> true)
+
+let bellman_ford g ~src =
+  let n = Graph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Paths.bellman_ford: src out of range";
+  let dist = Array.make n infinity in
+  let pred_arc = Array.make n (-1) in
+  dist.(src) <- 0.;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Graph.iter_arcs g (fun a ->
+        if dist.(a.Graph.src) < infinity then begin
+          let nd = dist.(a.Graph.src) +. a.Graph.cost in
+          if nd < dist.(a.Graph.dst) -. 1e-12 then begin
+            dist.(a.Graph.dst) <- nd;
+            pred_arc.(a.Graph.dst) <- a.Graph.id;
+            changed := true
+          end
+        end)
+  done;
+  if !changed then None (* an n-th relaxation round still improved: cycle *)
+  else Some { dist; pred_arc }
+
+let path_to tree g ~dst =
+  if dst < 0 || dst >= Array.length tree.dist then
+    invalid_arg "Paths.path_to: dst out of range";
+  if tree.dist.(dst) = infinity then None
+  else begin
+    let rec walk node acc =
+      let id = tree.pred_arc.(node) in
+      if id < 0 then acc
+      else begin
+        let a = Graph.arc g id in
+        walk a.Graph.src (id :: acc)
+      end
+    in
+    Some (walk dst [])
+  end
+
+let path_cost g ids =
+  List.fold_left (fun acc id -> acc +. (Graph.arc g id).Graph.cost) 0. ids

@@ -1,0 +1,25 @@
+(** Shortest-path algorithms over {!Graph} arc costs. *)
+
+type tree = {
+  dist : float array;  (** [infinity] for unreachable nodes. *)
+  pred_arc : int array;  (** Arc id entering each node on the shortest path tree; [-1] at the source and unreachable nodes. *)
+}
+
+val dijkstra : Graph.t -> src:int -> tree
+(** Single-source shortest paths; requires non-negative arc costs (raises
+    [Invalid_argument] otherwise). *)
+
+val dijkstra_filtered : Graph.t -> src:int -> usable:(Graph.arc -> bool) -> tree
+(** Dijkstra restricted to arcs satisfying [usable] (e.g. arcs with
+    residual capacity). *)
+
+val bellman_ford : Graph.t -> src:int -> tree option
+(** Handles negative costs; [None] when a negative cycle is reachable from
+    [src]. *)
+
+val path_to : tree -> Graph.t -> dst:int -> int list option
+(** Arc ids of the shortest path from the source to [dst], in order;
+    [None] when unreachable. *)
+
+val path_cost : Graph.t -> int list -> float
+(** Total cost of a list of arc ids. *)

@@ -1,0 +1,57 @@
+let complete ~n ~rng ~cost_lo ~cost_hi ~capacity =
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let cost = Prelude.Rng.float_range rng cost_lo cost_hi in
+        ignore (Graph.add_arc g ~src:i ~dst:j ~capacity ~cost ())
+      end
+    done
+  done;
+  g
+
+let complete_symmetric ~n ~rng ~cost_lo ~cost_hi ~capacity =
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let cost = Prelude.Rng.float_range rng cost_lo cost_hi in
+      ignore (Graph.add_arc g ~src:i ~dst:j ~capacity ~cost ());
+      ignore (Graph.add_arc g ~src:j ~dst:i ~capacity ~cost ())
+    done
+  done;
+  g
+
+let ring ~n ~cost ~capacity =
+  if n < 2 then invalid_arg "Topology.ring: need at least 2 nodes";
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    ignore (Graph.add_arc g ~src:i ~dst:j ~capacity ~cost ());
+    ignore (Graph.add_arc g ~src:j ~dst:i ~capacity ~cost ())
+  done;
+  g
+
+let star ~n ~hub ~cost ~capacity =
+  if hub < 0 || hub >= n then invalid_arg "Topology.star: hub out of range";
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    if i <> hub then begin
+      ignore (Graph.add_arc g ~src:hub ~dst:i ~capacity ~cost ());
+      ignore (Graph.add_arc g ~src:i ~dst:hub ~capacity ~cost ())
+    end
+  done;
+  g
+
+let of_cost_matrix ?(capacity = infinity) costs =
+  let n = Array.length costs in
+  let g = Graph.create ~n in
+  for i = 0 to n - 1 do
+    if Array.length costs.(i) <> n then
+      invalid_arg "Topology.of_cost_matrix: ragged matrix";
+    for j = 0 to n - 1 do
+      let c = costs.(i).(j) in
+      if i <> j && c > 0. && c < infinity then
+        ignore (Graph.add_arc g ~src:i ~dst:j ~capacity ~cost:c ())
+    done
+  done;
+  g

@@ -1,0 +1,28 @@
+(** Inter-datacenter overlay topology generators.
+
+    The paper's evaluation (Sec. VII) uses a complete directed graph over 20
+    datacenters with per-unit costs uniform in [1, 10] and a common link
+    capacity; {!complete} reproduces that construction from a seeded RNG.
+    Additional shapes support the examples and extension experiments. *)
+
+val complete :
+  n:int -> rng:Prelude.Rng.t -> cost_lo:float -> cost_hi:float -> capacity:float -> Graph.t
+(** Complete directed graph: an arc in both directions between every pair,
+    each with an independent uniform cost in [cost_lo, cost_hi) and the
+    given capacity. *)
+
+val complete_symmetric :
+  n:int -> rng:Prelude.Rng.t -> cost_lo:float -> cost_hi:float -> capacity:float -> Graph.t
+(** Like {!complete} but the two directions of a pair share one sampled
+    cost. *)
+
+val ring : n:int -> cost:float -> capacity:float -> Graph.t
+(** Bidirectional ring (arcs both ways between consecutive nodes). *)
+
+val star : n:int -> hub:int -> cost:float -> capacity:float -> Graph.t
+(** Bidirectional star centred at [hub]. *)
+
+val of_cost_matrix : ?capacity:float -> float array array -> Graph.t
+(** Graph from an explicit cost matrix: entry [(i, j)] with a positive,
+    finite value becomes an arc [i -> j] with that per-unit cost. Diagonal
+    entries are ignored. *)

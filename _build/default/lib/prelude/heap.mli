@@ -1,0 +1,19 @@
+(** Mutable binary min-heap keyed by floats, used by Dijkstra-style
+    algorithms. Stale entries are tolerated: decrease-key is implemented by
+    reinsertion, and consumers skip entries whose key is out of date. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key. *)
+
+val clear : 'a t -> unit

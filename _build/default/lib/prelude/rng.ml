@@ -1,0 +1,68 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny generator with
+   excellent statistical quality for simulation purposes, trivially seedable
+   and splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy rng = { state = rng.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 rng =
+  rng.state <- Int64.add rng.state golden_gamma;
+  mix rng.state
+
+let split rng =
+  let seed = next_int64 rng in
+  (* Remix so that the child stream does not overlap a future parent output. *)
+  create (mix (Int64.logxor seed 0xD1B54A32D192ED03L))
+
+let bits30 rng = Int64.to_int (Int64.shift_right_logical (next_int64 rng) 34)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits30 rng land (bound - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec draw () =
+      let r = bits30 rng in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+
+let int_incl rng lo hi =
+  if hi < lo then invalid_arg "Rng.int_incl: hi < lo";
+  lo + int rng (hi - lo + 1)
+
+let float rng bound =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 rng) 11) in
+  float_of_int bits53 /. 9007199254740992.0 *. bound
+
+let float_range rng lo hi =
+  if hi < lo then invalid_arg "Rng.float_range: hi < lo";
+  lo +. float rng (hi -. lo)
+
+let bool rng = Int64.logand (next_int64 rng) 1L = 1L
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose rng a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int rng (Array.length a))

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, seedable generator (SplitMix64) used everywhere in the
+    repository so that workloads, property tests and benchmarks are exactly
+    reproducible from an integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** [copy rng] is an independent generator that will produce the same future
+    stream as [rng] produces from this point. *)
+
+val split : t -> t
+(** [split rng] advances [rng] and returns a new generator whose stream is
+    statistically independent from the remainder of [rng]'s stream. Used to
+    give each simulation run its own substream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform over [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl rng lo hi] is uniform over [lo, hi] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform over [0, bound). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range rng lo hi] is uniform over [lo, hi). Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

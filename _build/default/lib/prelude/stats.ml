@@ -1,0 +1,65 @@
+let sum a = Array.fold_left ( +. ) 0. a
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let std_error a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.std_error: empty array";
+  stddev a /. sqrt (float_of_int n)
+
+(* Two-sided 95% critical values (0.975 quantile) of Student's t. *)
+let t_table =
+  [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+     2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+     2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+let t_critical_95 dof =
+  if dof < 1 then invalid_arg "Stats.t_critical_95: dof < 1";
+  if dof <= Array.length t_table then t_table.(dof - 1)
+  else if dof <= 40 then 2.021
+  else if dof <= 60 then 2.000
+  else if dof <= 120 then 1.980
+  else 1.960
+
+let confidence_95 a =
+  let n = Array.length a in
+  let m = mean a in
+  if n < 2 then (m, 0.)
+  else (m, t_critical_95 (n - 1) *. std_error a)
+
+let percentile_rank n q =
+  if n <= 0 then invalid_arg "Stats.percentile_rank: n <= 0";
+  let idx = int_of_float (ceil (q /. 100. *. float_of_int n)) - 1 in
+  max 0 (min (n - 1) idx)
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted.(percentile_rank n q)
+
+let fold_running_max a =
+  let n = Array.length a in
+  let b = Array.make n 0. in
+  let acc = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if a.(i) > !acc then acc := a.(i);
+    b.(i) <- !acc
+  done;
+  b

@@ -1,0 +1,41 @@
+(** Descriptive statistics used by the simulator, the experiment runner and
+    the percentile-based charging schemes. *)
+
+val sum : float array -> float
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n - 1]); [0.] when fewer than two
+    samples. *)
+
+val stddev : float array -> float
+
+val std_error : float array -> float
+(** Standard error of the mean: [stddev a /. sqrt n]. *)
+
+val t_critical_95 : int -> float
+(** [t_critical_95 dof] is the two-sided 95% critical value of Student's t
+    distribution with [dof] degrees of freedom (the 0.975 quantile). Exact
+    table values for small [dof], asymptotic value beyond the table. Raises
+    [Invalid_argument] if [dof < 1]. *)
+
+val confidence_95 : float array -> float * float
+(** [confidence_95 samples] is [(mean, halfwidth)] of the Student-t 95%
+    confidence interval for the mean. Halfwidth is [0.] for a single
+    sample. *)
+
+val percentile_rank : int -> float -> int
+(** [percentile_rank n q] is the 0-based index of the q-th percentile under
+    the charging-scheme convention of the paper (Sec. II-A): samples sorted
+    ascending, index [ceil (q/100 * n) - 1], clamped to [0, n-1]. With
+    [q = 100.] this selects the maximum. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples q] sorts a copy of [samples] ascending and returns the
+    value at [percentile_rank]. Raises [Invalid_argument] on an empty
+    array. *)
+
+val fold_running_max : float array -> float array
+(** [fold_running_max a] returns [b] with [b.(i) = max a.(0..i)]. *)

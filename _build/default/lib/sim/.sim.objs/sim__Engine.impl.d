@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Ledger List Logs Netgraph Postcard Prelude Printf Workload

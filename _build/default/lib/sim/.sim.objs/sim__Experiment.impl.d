@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Engine List Netgraph Postcard Prelude Workload

@@ -1,0 +1,1 @@
+lib/sim/ledger.ml: Array Float List Netgraph Postcard Printf

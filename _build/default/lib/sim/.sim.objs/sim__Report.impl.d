@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Char Engine Experiment Format List Netgraph String

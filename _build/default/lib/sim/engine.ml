@@ -1,0 +1,85 @@
+module Graph = Netgraph.Graph
+module Scheduler = Postcard.Scheduler
+
+let log_src = Logs.Src.create "sim.engine" ~doc:"Simulation engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  cost_series : float array;
+  final_charged : float array;
+  total_files : int;
+  rejected_files : int;
+  delivered_volume : float;
+  link_volumes : float array array;
+}
+
+exception Invalid_plan of string
+
+let run ~base ~scheduler ~workload ~slots =
+  if slots < 1 then invalid_arg "Engine.run: need at least one slot";
+  let ledger = Ledger.create ~base in
+  let cost_series = Array.make slots 0. in
+  let total_files = ref 0 and rejected_files = ref 0 in
+  let delivered_volume = ref 0. in
+  for slot = 0 to slots - 1 do
+    let files = Workload.arrivals workload ~slot in
+    total_files := !total_files + List.length files;
+    let ctx =
+      { Scheduler.base;
+        epoch = slot;
+        period = slots;
+        charged = Ledger.charged_all ledger;
+        residual = (fun ~link ~slot -> Ledger.residual ledger ~link ~slot);
+        occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot) }
+    in
+    let { Scheduler.plan; accepted; rejected } =
+      scheduler.Scheduler.schedule ctx files
+    in
+    rejected_files := !rejected_files + List.length rejected;
+    if rejected <> [] then
+      Log.info (fun m ->
+          m "slot %d: %s rejected %d of %d files" slot
+            scheduler.Scheduler.name (List.length rejected) (List.length files));
+    let capacity ~link ~slot = Ledger.residual ledger ~link ~slot in
+    let check =
+      if scheduler.Scheduler.fluid then
+        Postcard.Plan.validate_capacity ~base ~capacity plan
+      else Postcard.Plan.validate ~base ~files:accepted ~capacity plan
+    in
+    (match check with
+     | Ok () -> ()
+     | Error msg ->
+         raise
+           (Invalid_plan
+              (Printf.sprintf "slot %d, scheduler %s: %s" slot
+                 scheduler.Scheduler.name msg)));
+    Ledger.commit_plan ledger plan;
+    List.iter (fun f -> delivered_volume := !delivered_volume +. f.Postcard.File.size) accepted;
+    cost_series.(slot) <- Ledger.cost_per_interval ledger
+  done;
+  let last_slot = max (slots - 1) (Ledger.max_booked_slot ledger) in
+  { cost_series;
+    final_charged = Ledger.charged_all ledger;
+    total_files = !total_files;
+    rejected_files = !rejected_files;
+    delivered_volume = !delivered_volume;
+    link_volumes = Ledger.volumes_through ledger ~last_slot }
+
+let average_cost outcome = Prelude.Stats.mean outcome.cost_series
+
+let evaluate_cost outcome ~scheme ~base =
+  let acc = ref 0. in
+  Graph.iter_arcs base (fun a ->
+      let volumes = outcome.link_volumes.(a.Graph.id) in
+      let charged = Postcard.Charging.charged_volume scheme volumes in
+      acc := !acc +. (a.Graph.cost *. charged));
+  !acc
+
+let evaluate_bill outcome ~scheme ~cost_of_link ~base =
+  let acc = ref 0. in
+  Graph.iter_arcs base (fun a ->
+      let volumes = outcome.link_volumes.(a.Graph.id) in
+      let charged = Postcard.Charging.charged_volume scheme volumes in
+      acc := !acc +. Postcard.Charging.cost (cost_of_link a.Graph.id) charged);
+  !acc

@@ -1,0 +1,50 @@
+(** The time-slotted simulation engine.
+
+    Per slot: draw the workload's arrivals, hand them to the scheduler with
+    the current network state (charged volumes, residual capacities), check
+    the returned plan (slot-accurate validation for store-and-forward
+    schedulers, capacity-only for fluid ones), book it in the {!Ledger}
+    and record the cost point [sum a_ij X_ij(t)]. *)
+
+type outcome = {
+  cost_series : float array;
+      (** Cost per interval after each slot's scheduling decisions, i.e.
+          [sum over links of price * X(t)] for [t = 0 .. slots-1]. *)
+  final_charged : float array;  (** [X_ij] per link at the end of the run. *)
+  total_files : int;
+  rejected_files : int;
+  delivered_volume : float;  (** Total size of accepted files. *)
+  link_volumes : float array array;
+      (** Per-link, per-slot committed volumes over the whole run
+          (including slots past the arrival window where tails of accepted
+          transfers still flow). *)
+}
+
+exception Invalid_plan of string
+(** Raised when a scheduler produces a plan that fails validation — always
+    a bug in the scheduler, never expected in a healthy run. *)
+
+val run :
+  base:Netgraph.Graph.t ->
+  scheduler:Postcard.Scheduler.t ->
+  workload:Workload.t ->
+  slots:int ->
+  outcome
+
+val average_cost : outcome -> float
+(** Mean of the cost series — the quantity plotted in Figs. 4-7. *)
+
+val evaluate_cost :
+  outcome -> scheme:Postcard.Charging.scheme -> base:Netgraph.Graph.t -> float
+(** Re-evaluate the run's final bill under an arbitrary percentile scheme
+    (e.g. the 95-th): [sum over links of price * percentile(volumes)]. *)
+
+val evaluate_bill :
+  outcome ->
+  scheme:Postcard.Charging.scheme ->
+  cost_of_link:(int -> Postcard.Charging.cost_function) ->
+  base:Netgraph.Graph.t ->
+  float
+(** Like {!evaluate_cost} but with an arbitrary non-decreasing
+    piecewise-linear cost function per link (Sec. II-A's general charging
+    model), e.g. volume discounts beyond a threshold. *)

@@ -1,0 +1,132 @@
+type setting = {
+  label : string;
+  nodes : int;
+  capacity : float;
+  cost_lo : float;
+  cost_hi : float;
+  files_max : int;
+  size_max : float;
+  max_deadline : int;
+  uniform_deadlines : bool;
+  slots : int;
+  runs : int;
+  seed : int;
+}
+
+let paper_figure n =
+  let base =
+    { label = "";
+      nodes = 20;
+      capacity = 100.;
+      cost_lo = 1.;
+      cost_hi = 10.;
+      files_max = 20;
+      size_max = 100.;
+      max_deadline = 3;
+      uniform_deadlines = true;
+      slots = 100;
+      runs = 10;
+      seed = 42 }
+  in
+  match n with
+  | 4 -> { base with label = "fig4: c=100 GB, max T=3" }
+  | 5 -> { base with label = "fig5: c=100 GB, max T=8"; max_deadline = 8 }
+  | 6 -> { base with label = "fig6: c=30 GB, max T=3"; capacity = 30. }
+  | 7 ->
+      { base with
+        label = "fig7: c=30 GB, max T=8";
+        capacity = 30.;
+        max_deadline = 8 }
+  | _ -> invalid_arg "Experiment.paper_figure: figures 4-7 only"
+
+let scaled_figure n =
+  (* The qualitative regime is set by the per-file pressure F_k / (T_k c)
+     — whether a single transfer saturates its cheapest links — so the
+     scaled settings keep the paper's capacities and sizes and shrink only
+     the fleet, the arrival rate and the horizon. *)
+  let base = paper_figure n in
+  { base with
+    label = base.label ^ " (scaled)";
+    nodes = 8;
+    files_max = 6;
+    slots = 40;
+    runs = 5 }
+
+type scheduler_summary = {
+  scheduler : string;
+  mean_cost : float;
+  ci95 : float;
+  run_costs : float array;
+  mean_series : float array;
+  rejected : int;
+}
+
+type results = {
+  setting : setting;
+  summaries : scheduler_summary list;
+}
+
+let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) setting ~schedulers =
+  if setting.runs < 1 then invalid_arg "Experiment.run_setting: runs < 1";
+  let per_scheduler =
+    List.map (fun s -> (s, Array.make setting.runs 0., ref [], ref 0)) schedulers
+  in
+  for run = 0 to setting.runs - 1 do
+    (* One topology and one workload stream per run, shared by all
+       schedulers (paired comparison). *)
+    let topo_rng = Prelude.Rng.of_int ((setting.seed * 7919) + run) in
+    let base =
+      Netgraph.Topology.complete ~n:setting.nodes ~rng:topo_rng
+        ~cost_lo:setting.cost_lo ~cost_hi:setting.cost_hi
+        ~capacity:setting.capacity
+    in
+    let spec =
+      let base_spec =
+        { (Workload.paper_spec ~nodes:setting.nodes
+             ~files_max:setting.files_max ~max_deadline:setting.max_deadline)
+          with
+          Workload.size_max = setting.size_max }
+      in
+      if setting.uniform_deadlines then
+        { base_spec with Workload.urgent_size_cap = Some setting.capacity }
+      else
+        { base_spec with
+          Workload.deadlines = Workload.Fixed_deadline setting.max_deadline }
+    in
+    List.iter
+      (fun (scheduler, costs, series_acc, rejected) ->
+        progress ~run ~scheduler:scheduler.Postcard.Scheduler.name;
+        let workload =
+          Workload.create spec
+            (Prelude.Rng.of_int ((setting.seed * 104729) + run))
+        in
+        let outcome =
+          Engine.run ~base ~scheduler ~workload ~slots:setting.slots
+        in
+        costs.(run) <- Engine.average_cost outcome;
+        series_acc := outcome.Engine.cost_series :: !series_acc;
+        rejected := !rejected + outcome.Engine.rejected_files)
+      per_scheduler
+  done;
+  let summaries =
+    List.map
+      (fun (scheduler, costs, series_acc, rejected) ->
+        let mean_cost, ci95 = Prelude.Stats.confidence_95 costs in
+        let mean_series =
+          Array.init setting.slots (fun t ->
+              let acc = ref 0. in
+              List.iter (fun s -> acc := !acc +. s.(t)) !series_acc;
+              !acc /. float_of_int setting.runs)
+        in
+        { scheduler = scheduler.Postcard.Scheduler.name;
+          mean_cost;
+          ci95;
+          run_costs = costs;
+          mean_series;
+          rejected = !rejected })
+      per_scheduler
+  in
+  { setting; summaries }
+
+let find_summary results name =
+  List.find (fun s -> s.scheduler = name) results.summaries

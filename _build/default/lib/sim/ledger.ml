@@ -1,0 +1,85 @@
+module Graph = Netgraph.Graph
+
+type t = {
+  base : Graph.t;
+  (* volumes.(link) is a growable slot -> volume array. *)
+  mutable volumes : float array array;
+  mutable charged : float array;
+  mutable max_slot : int;
+}
+
+let create ~base =
+  { base;
+    volumes = Array.make (Graph.num_arcs base) [||];
+    charged = Array.make (Graph.num_arcs base) 0.;
+    max_slot = -1 }
+
+let base t = t.base
+
+let check_link t link =
+  if link < 0 || link >= Graph.num_arcs t.base then
+    invalid_arg "Ledger: unknown link"
+
+let occupied t ~link ~slot =
+  check_link t link;
+  if slot < 0 then invalid_arg "Ledger: negative slot";
+  let vols = t.volumes.(link) in
+  if slot < Array.length vols then vols.(slot) else 0.
+
+let residual t ~link ~slot =
+  let a = Graph.arc t.base link in
+  max 0. (a.Graph.capacity -. occupied t ~link ~slot)
+
+let commit t ~link ~slot volume =
+  check_link t link;
+  if slot < 0 then invalid_arg "Ledger.commit: negative slot";
+  if volume < 0. || Float.is_nan volume then
+    invalid_arg "Ledger.commit: negative volume";
+  if volume > 0. then begin
+    let a = Graph.arc t.base link in
+    let current = occupied t ~link ~slot in
+    if current +. volume > a.Graph.capacity +. 1e-6 then
+      failwith
+        (Printf.sprintf
+           "Ledger.commit: link %d slot %d: %g + %g exceeds capacity %g" link
+           slot current volume a.Graph.capacity);
+    let vols = t.volumes.(link) in
+    let vols =
+      if slot < Array.length vols then vols
+      else begin
+        let vols' = Array.make (max (slot + 1) (2 * Array.length vols)) 0. in
+        Array.blit vols 0 vols' 0 (Array.length vols);
+        t.volumes.(link) <- vols';
+        vols'
+      end
+    in
+    vols.(slot) <- vols.(slot) +. volume;
+    if vols.(slot) > t.charged.(link) then t.charged.(link) <- vols.(slot);
+    if slot > t.max_slot then t.max_slot <- slot
+  end
+
+let commit_plan t plan =
+  List.iter
+    (fun tx ->
+      commit t ~link:tx.Postcard.Plan.link ~slot:tx.Postcard.Plan.slot
+        tx.Postcard.Plan.volume)
+    plan.Postcard.Plan.transmissions
+
+let charged t ~link =
+  check_link t link;
+  t.charged.(link)
+
+let charged_all t = Array.copy t.charged
+
+let cost_per_interval t =
+  Graph.fold_arcs t.base ~init:0. ~f:(fun acc a ->
+      acc +. (a.Graph.cost *. t.charged.(a.Graph.id)))
+
+let volumes_through t ~last_slot =
+  if last_slot < 0 then invalid_arg "Ledger.volumes_through: negative slot";
+  Array.init
+    (Graph.num_arcs t.base)
+    (fun link ->
+      Array.init (last_slot + 1) (fun slot -> occupied t ~link ~slot))
+
+let max_booked_slot t = t.max_slot

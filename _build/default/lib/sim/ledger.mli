@@ -1,0 +1,44 @@
+(** Per-link traffic ledger: committed volumes per slot, residual
+    capacities, and the running charged volume [X_ij].
+
+    Committed volumes include future slots — once a plan is accepted its
+    transmissions are booked, so the charge (which, under the 100-th
+    percentile scheme, is the running peak of per-slot volumes) reflects
+    everything scheduled so far, exactly as [X_ij(t)] in the paper's
+    objective. *)
+
+type t
+
+val create : base:Netgraph.Graph.t -> t
+
+val base : t -> Netgraph.Graph.t
+
+val commit : t -> link:int -> slot:int -> float -> unit
+(** Book additional volume. Raises [Invalid_argument] on a negative volume
+    or unknown link, and [Failure] when the booking would exceed the link
+    capacity beyond tolerance (schedulers must respect residuals). *)
+
+val commit_plan : t -> Postcard.Plan.t -> unit
+
+val occupied : t -> link:int -> slot:int -> float
+
+val residual : t -> link:int -> slot:int -> float
+(** Link capacity minus {!occupied}; never negative. *)
+
+val charged : t -> link:int -> float
+(** Running charged volume of the link: the peak committed per-slot volume
+    so far (including booked future slots). *)
+
+val charged_all : t -> float array
+
+val cost_per_interval : t -> float
+(** [sum over links of price * charged] — the instantaneous cost rate of
+    the 100-th percentile scheme. *)
+
+val volumes_through : t -> last_slot:int -> float array array
+(** [volumes_through t ~last_slot] materializes the per-link volume series
+    for slots [0 .. last_slot] (for end-of-run percentile evaluation):
+    result.(link).(slot). *)
+
+val max_booked_slot : t -> int
+(** Largest slot with any booking; [-1] when empty. *)

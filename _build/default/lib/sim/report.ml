@@ -1,0 +1,90 @@
+let print_summary ppf (results : Experiment.results) =
+  let s = results.Experiment.setting in
+  Format.fprintf ppf "@[<v>== %s ==@," s.Experiment.label;
+  Format.fprintf ppf
+    "   %d datacenters, capacity %g GB/interval, files/slot <= %d, deadlines <= %d, %d slots x %d runs@,"
+    s.Experiment.nodes s.Experiment.capacity s.Experiment.files_max
+    s.Experiment.max_deadline s.Experiment.slots s.Experiment.runs;
+  Format.fprintf ppf "   %-12s %14s %14s %9s@," "scheduler" "avg cost/t"
+    "95%% CI (+/-)" "rejected";
+  List.iter
+    (fun (sum : Experiment.scheduler_summary) ->
+      Format.fprintf ppf "   %-12s %14.1f %14.1f %9d@,"
+        sum.Experiment.scheduler sum.Experiment.mean_cost sum.Experiment.ci95
+        sum.Experiment.rejected)
+    results.Experiment.summaries;
+  Format.fprintf ppf "@]"
+
+let print_series ?(every = 5) ppf (results : Experiment.results) =
+  let summaries = results.Experiment.summaries in
+  Format.fprintf ppf "@[<v>   slot";
+  List.iter
+    (fun (s : Experiment.scheduler_summary) ->
+      Format.fprintf ppf " %12s" s.Experiment.scheduler)
+    summaries;
+  Format.fprintf ppf "@,";
+  let slots = results.Experiment.setting.Experiment.slots in
+  let t = ref (every - 1) in
+  while !t < slots do
+    Format.fprintf ppf "   %4d" (!t + 1);
+    List.iter
+      (fun (s : Experiment.scheduler_summary) ->
+        Format.fprintf ppf " %12.1f" s.Experiment.mean_series.(!t))
+      summaries;
+    Format.fprintf ppf "@,";
+    t := !t + every
+  done;
+  Format.fprintf ppf "@]"
+
+let print_utilization ?(top = 5) ppf ~base ~(outcome : Engine.outcome) =
+  let module Graph = Netgraph.Graph in
+  (* Rank links by total carried volume. *)
+  let ranked =
+    Graph.fold_arcs base ~init:[] ~f:(fun acc a ->
+        let volumes = outcome.Engine.link_volumes.(a.Graph.id) in
+        (Array.fold_left ( +. ) 0. volumes, a) :: acc)
+    |> List.sort (fun (x, _) (y, _) -> compare y x)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  Format.fprintf ppf "@[<v>   busiest links ('.' idle, 1-9 utilization decile, '#' full):@,";
+  List.iter
+    (fun (_, (a : Graph.arc)) ->
+      let volumes = outcome.Engine.link_volumes.(a.Graph.id) in
+      let cells =
+        String.init (Array.length volumes) (fun t ->
+            if a.Graph.capacity = infinity || a.Graph.capacity <= 0. then
+              if volumes.(t) > 1e-9 then '+' else '.'
+            else begin
+              let u = volumes.(t) /. a.Graph.capacity in
+              if u <= 1e-9 then '.'
+              else if u >= 0.95 then '#'
+              else Char.chr (Char.code '0' + max 1 (int_of_float (u *. 10.)))
+            end)
+      in
+      Format.fprintf ppf "   %2d->%-2d (price %4.1f, charged %6.1f) %s@,"
+        a.Graph.src a.Graph.dst a.Graph.cost
+        outcome.Engine.final_charged.(a.Graph.id)
+        cells)
+    (take top ranked);
+  Format.fprintf ppf "@]"
+
+let print_comparison ppf ~baseline ~contender (results : Experiment.results) =
+  match
+    ( Experiment.find_summary results baseline,
+      Experiment.find_summary results contender )
+  with
+  | exception Not_found ->
+      Format.fprintf ppf "   (missing scheduler for comparison)@,"
+  | b, c ->
+      let ratio = c.Experiment.mean_cost /. b.Experiment.mean_cost in
+      let verdict =
+        if ratio < 0.98 then "wins"
+        else if ratio > 1.02 then "loses"
+        else "ties"
+      in
+      Format.fprintf ppf "   %s %s against %s: cost ratio %.3f@," contender
+        verdict baseline ratio

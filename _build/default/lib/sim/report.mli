@@ -1,0 +1,29 @@
+(** Plain-text rendering of experiment results, in the shape of the
+    paper's figures: one row per scheduler with mean cost per interval and
+    its 95% confidence interval, plus optional time series. *)
+
+val print_summary : Format.formatter -> Experiment.results -> unit
+
+val print_series :
+  ?every:int -> Format.formatter -> Experiment.results -> unit
+(** Cost-per-interval series averaged over runs, sampled every [every]
+    slots (default 5), one column per scheduler. *)
+
+val print_comparison :
+  Format.formatter ->
+  baseline:string ->
+  contender:string ->
+  Experiment.results ->
+  unit
+(** One-line verdict: contender-vs-baseline cost ratio for the setting. *)
+
+val print_utilization :
+  ?top:int ->
+  Format.formatter ->
+  base:Netgraph.Graph.t ->
+  outcome:Engine.outcome ->
+  unit
+(** ASCII utilization timelines of the [top] (default 5) busiest links:
+    one row per link, one character per slot — '.' idle, '1'-'9' the
+    utilization decile, '#' saturated — plus the link's final charged
+    volume. Makes the "paid once, free later" dynamics visible. *)

@@ -1,0 +1,117 @@
+type deadline_spec =
+  | Fixed_deadline of int
+  | Uniform_deadline of int * int
+
+type arrival_pattern =
+  | Steady
+  | Diurnal of { period : int; trough_scale : float }
+
+type endpoint_pattern =
+  | Uniform_endpoints
+  | Hotspot of { node : int; weight : float }
+
+type spec = {
+  nodes : int;
+  files_min : int;
+  files_max : int;
+  size_min : float;
+  size_max : float;
+  deadlines : deadline_spec;
+  arrivals : arrival_pattern;
+  endpoints : endpoint_pattern;
+  urgent_size_cap : float option;
+}
+
+let paper_spec ~nodes ~files_max ~max_deadline =
+  { nodes;
+    files_min = 1;
+    files_max;
+    size_min = 10.;
+    size_max = 100.;
+    deadlines = Uniform_deadline (1, max_deadline);
+    arrivals = Steady;
+    endpoints = Uniform_endpoints;
+    urgent_size_cap = None }
+
+type t = {
+  spec : spec;
+  rng : Prelude.Rng.t;
+  mutable next_id : int;
+}
+
+let validate spec =
+  if spec.nodes < 2 then invalid_arg "Workload: need at least 2 nodes";
+  if spec.files_min < 0 || spec.files_max < spec.files_min then
+    invalid_arg "Workload: bad file count range";
+  if spec.size_min <= 0. || spec.size_max < spec.size_min then
+    invalid_arg "Workload: bad size range";
+  (match spec.deadlines with
+   | Fixed_deadline d when d < 1 -> invalid_arg "Workload: bad deadline"
+   | Uniform_deadline (lo, hi) when lo < 1 || hi < lo ->
+       invalid_arg "Workload: bad deadline range"
+   | Fixed_deadline _ | Uniform_deadline _ -> ());
+  (match spec.endpoints with
+   | Hotspot { node; weight } ->
+       if node < 0 || node >= spec.nodes then
+         invalid_arg "Workload: hotspot outside node range";
+       if weight < 0. || weight > 1. then
+         invalid_arg "Workload: hotspot weight outside [0, 1]"
+   | Uniform_endpoints -> ());
+  match spec.arrivals with
+  | Diurnal { period; trough_scale } ->
+      if period < 2 then invalid_arg "Workload: diurnal period too short";
+      if trough_scale < 0. || trough_scale > 1. then
+        invalid_arg "Workload: trough scale outside [0, 1]"
+  | Steady -> ()
+
+let create spec rng =
+  validate spec;
+  { spec; rng; next_id = 0 }
+
+let count_at t ~slot =
+  let base = Prelude.Rng.int_incl t.rng t.spec.files_min t.spec.files_max in
+  match t.spec.arrivals with
+  | Steady -> base
+  | Diurnal { period; trough_scale } ->
+      (* Raised cosine: 1.0 at the peak, trough_scale at the trough. *)
+      let phase = 2. *. Float.pi *. float_of_int slot /. float_of_int period in
+      let scale =
+        trough_scale +. ((1. -. trough_scale) *. (0.5 *. (1. +. cos phase)))
+      in
+      int_of_float (Float.round (scale *. float_of_int base))
+
+let pick_src t =
+  match t.spec.endpoints with
+  | Uniform_endpoints -> Prelude.Rng.int t.rng t.spec.nodes
+  | Hotspot { node; weight } ->
+      if Prelude.Rng.float t.rng 1. < weight then node
+      else Prelude.Rng.int t.rng t.spec.nodes
+
+let arrivals t ~slot =
+  if slot < 0 then invalid_arg "Workload.arrivals: negative slot";
+  let n = count_at t ~slot in
+  List.init n (fun _ ->
+      let src = pick_src t in
+      let rec pick_dst () =
+        let d = Prelude.Rng.int t.rng t.spec.nodes in
+        if d = src then pick_dst () else d
+      in
+      let dst = pick_dst () in
+      let size =
+        Prelude.Rng.float_range t.rng t.spec.size_min t.spec.size_max
+      in
+      let deadline =
+        match t.spec.deadlines with
+        | Fixed_deadline d -> d
+        | Uniform_deadline (lo, hi) -> Prelude.Rng.int_incl t.rng lo hi
+      in
+      let size =
+        match t.spec.urgent_size_cap with
+        | Some cap when deadline = 1 -> min size (max t.spec.size_min cap)
+        | Some _ | None -> size
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Postcard.File.make ~id ~src ~dst ~size ~deadline ~release:slot)
+
+let generated t = t.next_id

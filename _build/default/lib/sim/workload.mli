@@ -1,0 +1,57 @@
+(** Workload generators for the simulation engine.
+
+    The paper's evaluation (Sec. VII) draws, at every slot, a uniform
+    number of files in [1, 20], each with a uniform size in [10, 100] GB
+    and endpoints uniform over the datacenters; deadlines are bounded by
+    [max_k T_k] of 3 (urgent) or 8 (delay-tolerant). {!paper_spec} encodes
+    that model; {!Diurnal} and {!Hotspot} variants exercise the diurnal
+    pattern and skewed traffic the introduction motivates. *)
+
+type deadline_spec =
+  | Fixed_deadline of int  (** Every file gets exactly this deadline. *)
+  | Uniform_deadline of int * int  (** Uniform in [lo, hi], inclusive. *)
+
+type arrival_pattern =
+  | Steady
+  | Diurnal of { period : int; trough_scale : float }
+      (** File count scaled by a raised cosine with the given period;
+          [trough_scale] in [0, 1] is the off-peak fraction of the peak. *)
+
+type endpoint_pattern =
+  | Uniform_endpoints
+  | Hotspot of { node : int; weight : float }
+      (** The hotspot node is chosen as source with probability [weight];
+          otherwise uniform. *)
+
+type spec = {
+  nodes : int;
+  files_min : int;
+  files_max : int;  (** Files per slot uniform in [files_min, files_max]. *)
+  size_min : float;
+  size_max : float;  (** Size uniform in [size_min, size_max) GB. *)
+  deadlines : deadline_spec;
+  arrivals : arrival_pattern;
+  endpoints : endpoint_pattern;
+  urgent_size_cap : float option;
+      (** When set, a file that draws deadline 1 has its size capped at
+          this value (usually the link capacity): a deadline-1 file larger
+          than its direct link is unservable under slotted semantics, and
+          the paper implicitly assumes every transfer is serviceable. *)
+}
+
+val paper_spec : nodes:int -> files_max:int -> max_deadline:int -> spec
+(** Sec. VII's workload: 1..[files_max] files per slot, sizes
+    [10, 100) GB, deadlines uniform in [1, max_deadline], steady arrivals,
+    uniform endpoints. *)
+
+type t
+
+val create : spec -> Prelude.Rng.t -> t
+(** The generator owns the RNG and a file-id counter. *)
+
+val arrivals : t -> slot:int -> Postcard.File.t list
+(** Files released at [slot]. Deterministic given the creation RNG state
+    and the sequence of calls. *)
+
+val generated : t -> int
+(** Files generated so far. *)

@@ -1,0 +1,1 @@
+lib/sparselin/csc.ml: Array Format

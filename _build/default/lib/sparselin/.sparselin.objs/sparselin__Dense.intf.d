@@ -1,0 +1,1 @@
+lib/sparselin/dense.mli:

@@ -1,0 +1,1 @@
+lib/sparselin/eta.mli:

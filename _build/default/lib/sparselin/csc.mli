@@ -1,0 +1,62 @@
+(** Immutable sparse matrices in compressed sparse column form, plus a
+    mutable triplet builder. Row/column indices are 0-based. *)
+
+type t
+
+type builder
+
+val builder : nrows:int -> ncols:int -> builder
+(** Fresh empty builder for an [nrows] x [ncols] matrix. *)
+
+val add : builder -> row:int -> col:int -> float -> unit
+(** Accumulate a coefficient; duplicate [(row, col)] entries are summed at
+    [finalize] time. Raises [Invalid_argument] on out-of-range indices. *)
+
+val finalize : builder -> t
+(** Build the CSC matrix. Entries that sum to exactly [0.] are dropped.
+    Within each column, rows are sorted ascending. The builder remains
+    usable. *)
+
+val nrows : t -> int
+val ncols : t -> int
+val nnz : t -> int
+
+val column : t -> int -> (int * float) array
+(** [column m j] materializes column [j] as (row, value) pairs sorted by
+    row. Allocates; prefer [iter_col] in hot paths. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col m j f] applies [f row value] to each structural nonzero of
+    column [j], in ascending row order. *)
+
+val fold_col : t -> int -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+
+val dot_col : t -> int -> float array -> float
+(** [dot_col m j v] is the dot product of column [j] with the dense vector
+    [v] — a tight loop without closure dispatch, for solver hot paths. *)
+
+val scatter_col : t -> int -> float array -> unit
+(** [scatter_col m j v] adds column [j] into the dense vector [v]. *)
+
+val col_nnz : t -> int -> int
+
+val get : t -> int -> int -> float
+(** [get m i j] is the [(i, j)] coefficient ([0.] when structurally zero).
+    Logarithmic in the column size. *)
+
+val matvec : t -> float array -> float array
+(** [matvec m x] is the dense product [m * x]. *)
+
+val matvec_t : t -> float array -> float array
+(** [matvec_t m y] is the dense product [transpose m * y]. *)
+
+val to_dense : t -> float array array
+(** Row-major dense copy; intended for tests and small matrices. *)
+
+val of_dense : float array array -> t
+
+val select_columns : t -> int array -> t
+(** [select_columns m cols] is the matrix whose [k]-th column is column
+    [cols.(k)] of [m]. *)
+
+val pp : Format.formatter -> t -> unit

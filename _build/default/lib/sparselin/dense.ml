@@ -1,0 +1,193 @@
+type mat = float array array
+
+let make m n = Array.make_matrix m n 0.
+
+let identity n =
+  let a = make n n in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 1.
+  done;
+  a
+
+let copy a = Array.map Array.copy a
+
+let dims a =
+  let m = Array.length a in
+  (m, if m = 0 then 0 else Array.length a.(0))
+
+let matmul a b =
+  let m, k = dims a and k', n = dims b in
+  if k <> k' then invalid_arg "Dense.matmul: dimension mismatch";
+  let c = make m n in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.(i).(p) in
+      if aip <> 0. then
+        for j = 0 to n - 1 do
+          c.(i).(j) <- c.(i).(j) +. (aip *. b.(p).(j))
+        done
+    done
+  done;
+  c
+
+let matvec a x =
+  let m, n = dims a in
+  if Array.length x <> n then invalid_arg "Dense.matvec: dimension mismatch";
+  Array.init m (fun i ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. (a.(i).(j) *. x.(j))
+      done;
+      !acc)
+
+let transpose a =
+  let m, n = dims a in
+  let t = make n m in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      t.(j).(i) <- a.(i).(j)
+    done
+  done;
+  t
+
+(* In-place LU with partial pivoting on a working copy; returns the
+   permutation or None if singular. *)
+let lu_decompose work =
+  let n = Array.length work in
+  let perm = Array.init n (fun i -> i) in
+  let ok = ref true in
+  (try
+     for k = 0 to n - 1 do
+       let best = ref k and best_abs = ref (abs_float work.(k).(k)) in
+       for i = k + 1 to n - 1 do
+         let a = abs_float work.(i).(k) in
+         if a > !best_abs then begin
+           best := i;
+           best_abs := a
+         end
+       done;
+       if !best_abs < 1e-12 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !best <> k then begin
+         let tmp = work.(k) in
+         work.(k) <- work.(!best);
+         work.(!best) <- tmp;
+         let tp = perm.(k) in
+         perm.(k) <- perm.(!best);
+         perm.(!best) <- tp
+       end;
+       for i = k + 1 to n - 1 do
+         let factor = work.(i).(k) /. work.(k).(k) in
+         work.(i).(k) <- factor;
+         if factor <> 0. then
+           for j = k + 1 to n - 1 do
+             work.(i).(j) <- work.(i).(j) -. (factor *. work.(k).(j))
+           done
+       done
+     done
+   with Exit -> ());
+  if !ok then Some perm else None
+
+let lu_apply work perm b =
+  let n = Array.length work in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (work.(i).(j) *. x.(j))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (work.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. work.(i).(i)
+  done;
+  x
+
+let lu_solve a b =
+  let m, n = dims a in
+  if m <> n || Array.length b <> n then
+    invalid_arg "Dense.lu_solve: dimension mismatch";
+  let work = copy a in
+  match lu_decompose work with
+  | None -> None
+  | Some perm -> Some (lu_apply work perm b)
+
+let lu_solve_many a rhs =
+  let m, n = dims a in
+  let rm, rn = dims rhs in
+  if m <> n || rm <> n then invalid_arg "Dense.lu_solve_many: dimension mismatch";
+  let work = copy a in
+  match lu_decompose work with
+  | None -> None
+  | Some perm ->
+      let sol = make n rn in
+      for j = 0 to rn - 1 do
+        let b = Array.init n (fun i -> rhs.(i).(j)) in
+        let x = lu_apply work perm b in
+        for i = 0 to n - 1 do
+          sol.(i).(j) <- x.(i)
+        done
+      done;
+      Some sol
+
+let cholesky a =
+  let m, n = dims a in
+  if m <> n then invalid_arg "Dense.cholesky: not square";
+  let l = make n n in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to i do
+         let acc = ref a.(i).(j) in
+         for k = 0 to j - 1 do
+           acc := !acc -. (l.(i).(k) *. l.(j).(k))
+         done;
+         if i = j then begin
+           if !acc <= 1e-14 then begin
+             ok := false;
+             raise Exit
+           end;
+           l.(i).(i) <- sqrt !acc
+         end
+         else l.(i).(j) <- !acc /. l.(j).(j)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+let cholesky_solve a b =
+  match cholesky a with
+  | None -> None
+  | Some l ->
+      let n = Array.length b in
+      let y = Array.make n 0. in
+      for i = 0 to n - 1 do
+        let acc = ref b.(i) in
+        for k = 0 to i - 1 do
+          acc := !acc -. (l.(i).(k) *. y.(k))
+        done;
+        y.(i) <- !acc /. l.(i).(i)
+      done;
+      let x = Array.make n 0. in
+      for i = n - 1 downto 0 do
+        let acc = ref y.(i) in
+        for k = i + 1 to n - 1 do
+          acc := !acc -. (l.(k).(i) *. x.(k))
+        done;
+        x.(i) <- !acc /. l.(i).(i)
+      done;
+      Some x
+
+let max_abs_diff a b =
+  let m, n = dims a and m', n' = dims b in
+  if m <> m' || n <> n' then invalid_arg "Dense.max_abs_diff: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      acc := max !acc (abs_float (a.(i).(j) -. b.(i).(j)))
+    done
+  done;
+  !acc

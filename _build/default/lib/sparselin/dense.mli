@@ -1,0 +1,33 @@
+(** Small dense linear algebra: used by the dense tableau simplex, the
+    interior-point cross-check and the test suites. Matrices are row-major
+    [float array array]. *)
+
+type mat = float array array
+
+val make : int -> int -> mat
+val identity : int -> mat
+val copy : mat -> mat
+val dims : mat -> int * int
+
+val matmul : mat -> mat -> mat
+val matvec : mat -> float array -> float array
+val transpose : mat -> mat
+
+val lu_solve : mat -> float array -> float array option
+(** [lu_solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting; [None] when [a] is numerically singular. [a] and [b] are not
+    modified. *)
+
+val lu_solve_many : mat -> mat -> mat option
+(** Solve with multiple right-hand sides given as columns of the second
+    argument. *)
+
+val cholesky : mat -> mat option
+(** [cholesky a] returns the lower-triangular [l] with [l l^T = a] for a
+    symmetric positive-definite [a]; [None] if a non-positive pivot is
+    met. *)
+
+val cholesky_solve : mat -> float array -> float array option
+(** Solve a symmetric positive-definite system via {!cholesky}. *)
+
+val max_abs_diff : mat -> mat -> float

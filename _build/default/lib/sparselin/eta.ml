@@ -1,0 +1,56 @@
+type t = {
+  pos : int;
+  diag : float;
+  (* Off-diagonal nonzeros of the eta column, stored as parallel arrays to
+     avoid boxing: these are built once per simplex pivot from a dense
+     FTRAN result and traversed on every subsequent solve. *)
+  off_idx : int array;
+  off_val : float array;
+}
+
+let make ~pos ~alpha =
+  let d = alpha.(pos) in
+  if abs_float d < 1e-11 then
+    invalid_arg "Eta.make: pivot element too small";
+  let n = Array.length alpha in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> pos && alpha.(i) <> 0. then incr count
+  done;
+  let off_idx = Array.make !count 0 in
+  let off_val = Array.make !count 0. in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> pos && alpha.(i) <> 0. then begin
+      off_idx.(!k) <- i;
+      off_val.(!k) <- alpha.(i);
+      incr k
+    end
+  done;
+  { pos; diag = d; off_idx; off_val }
+
+let pos e = e.pos
+let diag e = e.diag
+let nnz e = Array.length e.off_idx + 1
+
+(* E^-1 x: x'_pos = x_pos / d, then x'_i = x_i - off_i * x'_pos. *)
+let apply_ftran e x =
+  let xp = x.(e.pos) /. e.diag in
+  x.(e.pos) <- xp;
+  if xp <> 0. then
+    for k = 0 to Array.length e.off_idx - 1 do
+      let i = Array.unsafe_get e.off_idx k in
+      Array.unsafe_set x i
+        (Array.unsafe_get x i -. (Array.unsafe_get e.off_val k *. xp))
+    done
+
+(* E^-T y: y'_pos = (y_pos - sum_i off_i * y_i) / d, others unchanged. *)
+let apply_btran e y =
+  let acc = ref y.(e.pos) in
+  for k = 0 to Array.length e.off_idx - 1 do
+    acc :=
+      !acc
+      -. (Array.unsafe_get e.off_val k
+          *. Array.unsafe_get y (Array.unsafe_get e.off_idx k))
+  done;
+  y.(e.pos) <- !acc /. e.diag

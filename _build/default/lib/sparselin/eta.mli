@@ -1,0 +1,27 @@
+(** Product-form-of-the-inverse updates for the revised simplex basis.
+
+    After a pivot that replaces basis position [pos] with a column whose
+    FTRAN image is [alpha], the new basis satisfies [B' = B * E] where [E]
+    is the identity with column [pos] replaced by [alpha]. A file of such
+    eta matrices composes with an {!Lu} factorization to represent the
+    current basis inverse between refactorizations. *)
+
+type t
+(** One eta matrix. *)
+
+val make : pos:int -> alpha:float array -> t
+(** [make ~pos ~alpha] captures the nonzeros of [alpha] (the FTRAN'd
+    entering column). Raises [Invalid_argument] if the diagonal element
+    [alpha.(pos)] is too close to zero to pivot on. *)
+
+val pos : t -> int
+
+val diag : t -> float
+
+val apply_ftran : t -> float array -> unit
+(** [apply_ftran e x] overwrites [x] with [E^-1 x]. *)
+
+val apply_btran : t -> float array -> unit
+(** [apply_btran e y] overwrites [y] with [E^-T y]. *)
+
+val nnz : t -> int

@@ -1,0 +1,206 @@
+type t = {
+  n : int;
+  (* L: one column per elimination step; entries are (original_row, value)
+     with the unit diagonal implicit. *)
+  l_cols : (int * float) array array;
+  (* U: one column per elimination step; entries are (pivot_step, value) for
+     rows already pivoted, strictly above the diagonal. *)
+  u_cols : (int * float) array array;
+  u_diag : float array;
+  (* pivot_row.(k) = original row chosen as pivot at step k;
+     pinv.(r) = step at which original row r was pivoted. *)
+  pivot_row : int array;
+  pinv : int array;
+  (* q.(k) = original column eliminated at step k. *)
+  q : int array;
+}
+
+type error = Singular of int
+
+let dim f = f.n
+
+let nnz f =
+  let count cols =
+    Array.fold_left (fun acc c -> acc + Array.length c) 0 cols
+  in
+  count f.l_cols + count f.u_cols + f.n
+
+let min_abs_diag f =
+  Array.fold_left (fun acc d -> min acc (abs_float d)) infinity f.u_diag
+
+(* Depth-first search computing the topological order of the rows reachable
+   from [start] through already-computed L columns. Rows are pushed onto
+   [stack] in reverse topological order. Uses an explicit stack to avoid
+   overflowing the OCaml call stack on long elimination chains. *)
+let reach ~pinv ~l_cols ~visited ~stack ~top start =
+  let dfs_stack = ref [ (start, 0) ] in
+  while !dfs_stack <> [] do
+    match !dfs_stack with
+    | [] -> ()
+    | (node, child) :: rest ->
+        if child = 0 then visited.(node) <- true;
+        let step = pinv.(node) in
+        let children = if step >= 0 then l_cols.(step) else [||] in
+        if child < Array.length children then begin
+          dfs_stack := (node, child + 1) :: rest;
+          let next, _ = children.(child) in
+          if not visited.(next) then dfs_stack := (next, 0) :: !dfs_stack
+        end
+        else begin
+          dfs_stack := rest;
+          stack.(!top) <- node;
+          incr top
+        end
+  done
+
+let default_col_order ~dim col =
+  let order = Array.init dim (fun j -> j) in
+  let counts = Array.init dim (fun j -> Array.length (col j)) in
+  Array.sort
+    (fun a b ->
+      let c = compare counts.(a) counts.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let factorize ?col_order ~dim:n col =
+  let q = match col_order with
+    | Some order ->
+        if Array.length order <> n then
+          invalid_arg "Lu.factorize: col_order length mismatch";
+        order
+    | None -> default_col_order ~dim:n col
+  in
+  let l_cols = Array.make n [||] in
+  let u_cols = Array.make n [||] in
+  let u_diag = Array.make n 0. in
+  let pivot_row = Array.make n (-1) in
+  let pinv = Array.make n (-1) in
+  let x = Array.make n 0. in
+  let visited = Array.make n false in
+  let stack = Array.make n 0 in
+  let exception Singular_at of int in
+  try
+    for k = 0 to n - 1 do
+      let a_col = col q.(k) in
+      (* Symbolic: topological order of the nonzero pattern of
+         L^{-1} a_col. *)
+      let top = ref 0 in
+      Array.iter
+        (fun (r, _) -> if not visited.(r) then
+            reach ~pinv ~l_cols ~visited ~stack ~top r)
+        a_col;
+      (* Numeric sparse triangular solve: scatter, then eliminate in
+         topological order (stack holds reverse topological order, so walk
+         it from the end). *)
+      Array.iter (fun (r, v) -> x.(r) <- x.(r) +. v) a_col;
+      for s = !top - 1 downto 0 do
+        let node = stack.(s) in
+        let step = pinv.(node) in
+        if step >= 0 then begin
+          let xj = x.(node) in
+          if xj <> 0. then
+            Array.iter
+              (fun (r, lv) -> x.(r) <- x.(r) -. (lv *. xj))
+              l_cols.(step)
+        end
+      done;
+      (* Partial pivoting among not-yet-pivoted rows of the pattern. *)
+      let best = ref (-1) and best_abs = ref 0. in
+      for s = 0 to !top - 1 do
+        let r = stack.(s) in
+        if pinv.(r) < 0 then begin
+          let a = abs_float x.(r) in
+          if a > !best_abs then begin
+            best_abs := a;
+            best := r
+          end
+        end
+      done;
+      if !best < 0 || !best_abs <= 1e-13 then raise (Singular_at k);
+      let piv = !best in
+      let d = x.(piv) in
+      (* Gather U (pivoted rows) and L (remaining rows, scaled). *)
+      let u_acc = ref [] and l_acc = ref [] in
+      for s = 0 to !top - 1 do
+        let r = stack.(s) in
+        let v = x.(r) in
+        if v <> 0. then begin
+          if pinv.(r) >= 0 then u_acc := (pinv.(r), v) :: !u_acc
+          else if r <> piv then l_acc := (r, v /. d) :: !l_acc
+        end;
+        x.(r) <- 0.;
+        visited.(r) <- false
+      done;
+      u_cols.(k) <- Array.of_list !u_acc;
+      l_cols.(k) <- Array.of_list !l_acc;
+      u_diag.(k) <- d;
+      pivot_row.(k) <- piv;
+      pinv.(piv) <- k
+    done;
+    Ok { n; l_cols; u_cols; u_diag; pivot_row; pinv; q }
+  with Singular_at k ->
+    (* Reset scratch state is unnecessary: arrays are local. *)
+    Error (Singular k)
+
+(* FTRAN: solve B x = b with P B Q = L U, i.e. x = Q (U \ (L \ P b)).
+   [b] is indexed by original rows on entry, by original columns on exit. *)
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Lu.solve: size mismatch";
+  let n = f.n in
+  (* Forward solve L y = P b, working directly in original row space: the
+     value at pivot_row.(k) is y_k. *)
+  for k = 0 to n - 1 do
+    let yk = b.(f.pivot_row.(k)) in
+    if yk <> 0. then
+      Array.iter (fun (r, lv) -> b.(r) <- b.(r) -. (lv *. yk)) f.l_cols.(k)
+  done;
+  (* Move into pivot-step space. *)
+  let y = Array.make n 0. in
+  for k = 0 to n - 1 do
+    y.(k) <- b.(f.pivot_row.(k))
+  done;
+  (* Backward solve U w = y by columns. *)
+  for k = n - 1 downto 0 do
+    let wk = y.(k) /. f.u_diag.(k) in
+    y.(k) <- wk;
+    if wk <> 0. then
+      Array.iter (fun (i, uv) -> y.(i) <- y.(i) -. (uv *. wk)) f.u_cols.(k)
+  done;
+  (* Apply column permutation: x.(q.(k)) = w_k. *)
+  Array.fill b 0 n 0.;
+  for k = 0 to n - 1 do
+    b.(f.q.(k)) <- y.(k)
+  done
+
+(* BTRAN: solve B^T y = c. With B = P^T L U Q^T this is
+   y = P^T (L^T \ (U^T \ Q^T c)). [c] is indexed by original columns on
+   entry, by original rows on exit. *)
+let solve_transpose f c =
+  if Array.length c <> f.n then invalid_arg "Lu.solve_transpose: size mismatch";
+  let n = f.n in
+  let u = Array.make n 0. in
+  for k = 0 to n - 1 do
+    u.(k) <- c.(f.q.(k))
+  done;
+  (* Forward solve U^T v = u: U^T is lower triangular; row k of U^T is
+     column k of U. *)
+  for k = 0 to n - 1 do
+    let acc = ref u.(k) in
+    Array.iter (fun (i, uv) -> acc := !acc -. (uv *. u.(i))) f.u_cols.(k);
+    u.(k) <- !acc /. f.u_diag.(k)
+  done;
+  (* Backward solve (P L)^T z = v: row k of (P L)^T is column k of L with
+     rows mapped through pinv. *)
+  for k = n - 1 downto 0 do
+    let acc = ref u.(k) in
+    Array.iter
+      (fun (r, lv) -> acc := !acc -. (lv *. u.(f.pinv.(r))))
+      f.l_cols.(k);
+    u.(k) <- !acc
+  done;
+  (* y = P^T z: y.(pivot_row.(k)) = z_k. *)
+  Array.fill c 0 n 0.;
+  for k = 0 to n - 1 do
+    c.(f.pivot_row.(k)) <- u.(k)
+  done

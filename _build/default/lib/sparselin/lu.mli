@@ -1,0 +1,40 @@
+(** Sparse LU factorization of a square matrix with partial pivoting,
+    in the left-looking (Gilbert-Peierls) style. This is the basis
+    factorization engine of the revised simplex method in {!Lp}.
+
+    The factorization computed is [P * B * Q = L * U] where [P] is the row
+    permutation chosen by threshold-free partial pivoting, [Q] is a caller
+    supplied (or nnz-ascending) column ordering, [L] is unit lower triangular
+    and [U] is upper triangular. *)
+
+type t
+
+type error =
+  | Singular of int
+      (** [Singular k]: no acceptable pivot was found while factorizing the
+          [k]-th column of the ordered matrix. *)
+
+val factorize :
+  ?col_order:int array -> dim:int -> (int -> (int * float) array) -> (t, error) result
+(** [factorize ~dim col] factorizes the [dim] x [dim] matrix whose [j]-th
+    column is [col j], given as (row, value) pairs with distinct rows.
+    [col_order], when given, is the permutation [Q] (its [k]-th entry is the
+    original column eliminated at step [k]); otherwise columns are ordered by
+    increasing nonzero count, a cheap fill-reducing heuristic that suits
+    near-triangular simplex bases. *)
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Total stored entries of [L] and [U], a measure of fill-in. *)
+
+val solve : t -> float array -> unit
+(** [solve f b] overwrites [b] with the solution [x] of [B x = b]
+    (the simplex FTRAN). *)
+
+val solve_transpose : t -> float array -> unit
+(** [solve_transpose f c] overwrites [c] with the solution [y] of
+    [transpose B y = c] (the simplex BTRAN). *)
+
+val min_abs_diag : t -> float
+(** Smallest pivot magnitude; a stability diagnostic. *)

@@ -1,0 +1,1 @@
+lib/timexp/time_expanded.mli: Netgraph

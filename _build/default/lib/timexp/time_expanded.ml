@@ -1,0 +1,86 @@
+module Graph = Netgraph.Graph
+
+type arc_kind =
+  | Transmission of { link : int; layer : int }
+  | Storage of { node : int; layer : int }
+
+type t = {
+  base : Graph.t;
+  horizon : int;
+  graph : Graph.t;
+  kinds : arc_kind array;
+  (* transmission.(layer).(link) and storage.(layer).(node): expanded ids *)
+  transmission : int array array;
+  storage : int array array;
+}
+
+let build ~base ~horizon ~capacity =
+  if horizon < 1 then invalid_arg "Time_expanded.build: horizon < 1";
+  let n = Graph.num_nodes base and m = Graph.num_arcs base in
+  let g = Graph.create ~n:(n * (horizon + 1)) in
+  let node_at ~node ~layer = (layer * n) + node in
+  let kinds = Array.make (horizon * (m + n)) (Storage { node = 0; layer = 0 }) in
+  let transmission = Array.make_matrix horizon m 0 in
+  let storage = Array.make_matrix horizon n 0 in
+  for layer = 0 to horizon - 1 do
+    Graph.iter_arcs base (fun a ->
+        let cap = capacity ~link:a.Graph.id ~layer in
+        let id =
+          Graph.add_arc g
+            ~src:(node_at ~node:a.Graph.src ~layer)
+            ~dst:(node_at ~node:a.Graph.dst ~layer:(layer + 1))
+            ~capacity:cap ~cost:a.Graph.cost ()
+        in
+        kinds.(id) <- Transmission { link = a.Graph.id; layer };
+        transmission.(layer).(a.Graph.id) <- id);
+    for node = 0 to n - 1 do
+      let id =
+        Graph.add_arc g
+          ~src:(node_at ~node ~layer)
+          ~dst:(node_at ~node ~layer:(layer + 1))
+          ~capacity:infinity ~cost:0. ()
+      in
+      kinds.(id) <- Storage { node; layer };
+      storage.(layer).(node) <- id
+    done
+  done;
+  { base; horizon; graph = g; kinds; transmission; storage }
+
+let graph t = t.graph
+let base t = t.base
+let horizon t = t.horizon
+let num_layers t = t.horizon + 1
+
+let node_at t ~node ~layer =
+  let n = Graph.num_nodes t.base in
+  if node < 0 || node >= n then invalid_arg "Time_expanded.node_at: bad node";
+  if layer < 0 || layer > t.horizon then
+    invalid_arg "Time_expanded.node_at: bad layer";
+  (layer * n) + node
+
+let node_of t id =
+  let n = Graph.num_nodes t.base in
+  if id < 0 || id >= Graph.num_nodes t.graph then
+    invalid_arg "Time_expanded.node_of: bad node id";
+  (id mod n, id / n)
+
+let kind t id =
+  if id < 0 || id >= Array.length t.kinds then
+    invalid_arg "Time_expanded.kind: bad arc id";
+  t.kinds.(id)
+
+let transmission_arc t ~link ~layer =
+  if layer < 0 || layer >= t.horizon then
+    invalid_arg "Time_expanded.transmission_arc: bad layer";
+  if link < 0 || link >= Graph.num_arcs t.base then
+    invalid_arg "Time_expanded.transmission_arc: bad link";
+  t.transmission.(layer).(link)
+
+let storage_arc t ~node ~layer =
+  if layer < 0 || layer >= t.horizon then
+    invalid_arg "Time_expanded.storage_arc: bad layer";
+  if node < 0 || node >= Graph.num_nodes t.base then
+    invalid_arg "Time_expanded.storage_arc: bad node";
+  t.storage.(layer).(node)
+
+let iter_arcs t f = Graph.iter_arcs t.graph (fun a -> f a t.kinds.(a.Graph.id))

@@ -1,0 +1,61 @@
+(** Time-expanded graphs (Ford-Fulkerson's gadget as used by Postcard,
+    Sec. V of the paper).
+
+    Given a base inter-datacenter graph [G = (V, E)] and a horizon of [T]
+    time intervals, the expansion [G(t)] contains one virtual copy of every
+    datacenter per {e layer} [0 .. T] (layer [n] models the beginning of
+    interval [t + n]), plus:
+
+    - a {e transmission arc} [i^n -> j^(n+1)] for every base arc
+      [(i, j)] and every [n < T], carrying the base cost and the residual
+      capacity of link [(i, j)] during interval [t + n];
+    - a {e storage arc} [i^n -> i^(n+1)] for every datacenter and every
+      [n < T], with infinite capacity and zero cost — holding data at a
+      datacenter for one interval.
+
+    Layers are {e relative} to the construction epoch: callers translate
+    absolute slot indices before building. *)
+
+type t
+
+type arc_kind =
+  | Transmission of { link : int; layer : int }
+      (** Copy of base arc [link] spanning layers [layer -> layer + 1]. *)
+  | Storage of { node : int; layer : int }
+      (** Holdover at base node [node] from [layer] to [layer + 1]. *)
+
+val build :
+  base:Netgraph.Graph.t ->
+  horizon:int ->
+  capacity:(link:int -> layer:int -> float) ->
+  t
+(** [build ~base ~horizon ~capacity] expands [base] over [horizon]
+    intervals. [capacity ~link ~layer] gives the residual capacity of base
+    arc [link] during relative interval [layer] (per-interval volume, i.e.
+    already multiplied by the interval length). Raises [Invalid_argument]
+    if [horizon < 1]. *)
+
+val graph : t -> Netgraph.Graph.t
+(** The expanded graph. Do not mutate. *)
+
+val base : t -> Netgraph.Graph.t
+val horizon : t -> int
+
+val num_layers : t -> int
+(** [horizon + 1] node layers. *)
+
+val node_at : t -> node:int -> layer:int -> int
+(** Expanded id of the copy of [node] at [layer]. *)
+
+val node_of : t -> int -> int * int
+(** Inverse of {!node_at}: [(base node, layer)]. *)
+
+val kind : t -> int -> arc_kind
+(** Classify an expanded arc id. *)
+
+val transmission_arc : t -> link:int -> layer:int -> int
+(** Expanded arc id of base arc [link] at [layer]. *)
+
+val storage_arc : t -> node:int -> layer:int -> int
+
+val iter_arcs : t -> (Netgraph.Graph.arc -> arc_kind -> unit) -> unit

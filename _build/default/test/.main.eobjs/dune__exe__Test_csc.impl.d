@@ -1,0 +1,1 @@
+test/test_csc.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Sparselin

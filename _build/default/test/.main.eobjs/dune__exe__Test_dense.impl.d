@@ -1,0 +1,1 @@
+test/test_dense.ml: Alcotest Array Prelude Sparselin

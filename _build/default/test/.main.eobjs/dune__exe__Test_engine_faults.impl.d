@@ -1,0 +1,1 @@
+test/test_engine_faults.ml: Alcotest Array Netgraph Postcard Prelude Sim

@@ -1,0 +1,1 @@
+test/test_eta.ml: Alcotest Array Prelude Sparselin

@@ -1,0 +1,1 @@
+test/test_file_charging.ml: Alcotest Array Postcard Result

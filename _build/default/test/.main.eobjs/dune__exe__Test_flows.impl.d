@@ -1,0 +1,1 @@
+test/test_flows.ml: Alcotest Array List Lp Netgraph Prelude Printf

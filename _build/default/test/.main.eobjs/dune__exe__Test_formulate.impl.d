@@ -1,0 +1,1 @@
+test/test_formulate.ml: Alcotest Array List Netgraph Postcard Prelude

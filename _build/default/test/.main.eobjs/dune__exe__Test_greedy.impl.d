@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array List Netgraph Postcard Prelude Printf

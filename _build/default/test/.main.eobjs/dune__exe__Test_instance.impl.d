@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array List Netgraph Option Postcard String

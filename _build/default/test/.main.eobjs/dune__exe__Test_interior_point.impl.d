@@ -1,0 +1,1 @@
+test/test_interior_point.ml: Alcotest Array Lp Prelude

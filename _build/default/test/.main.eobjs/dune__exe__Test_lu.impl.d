@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Prelude Printf Sparselin

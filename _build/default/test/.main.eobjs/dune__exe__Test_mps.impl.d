@@ -1,0 +1,1 @@
+test/test_mps.ml: Alcotest Array List Lp Prelude Printf

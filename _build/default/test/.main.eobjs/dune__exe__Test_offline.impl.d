@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Array Hashtbl List Netgraph Postcard Prelude Printf Sim

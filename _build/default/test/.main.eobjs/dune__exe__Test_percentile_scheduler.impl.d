@@ -1,0 +1,1 @@
+test/test_percentile_scheduler.ml: Alcotest Array List Netgraph Postcard Prelude Printf Sim

@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array List Lp Prelude

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array List Lp Netgraph Postcard Prelude QCheck2 QCheck_alcotest Sim Timexp

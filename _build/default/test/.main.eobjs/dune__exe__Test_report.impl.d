@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Format Netgraph Postcard Prelude Sim String

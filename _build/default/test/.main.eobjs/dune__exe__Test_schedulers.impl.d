@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Array List Netgraph Postcard Printf

@@ -1,0 +1,1 @@
+test/test_simplex_hard.ml: Alcotest Array Float List Lp Prelude Printf

@@ -1,0 +1,1 @@
+test/test_timexp.ml: Alcotest Netgraph Timexp

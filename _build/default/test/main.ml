@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "postcard"
+    [ ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("csc", Test_csc.suite);
+      ("lu", Test_lu.suite);
+      ("dense", Test_dense.suite);
+      ("eta", Test_eta.suite);
+      ("lp-model", Test_model.suite);
+      ("simplex", Test_simplex.suite);
+      ("lp-oracle", Test_oracle.suite);
+      ("simplex-hard", Test_simplex_hard.suite);
+      ("lp-presolve", Test_presolve.suite);
+      ("lp-ipm", Test_interior_point.suite);
+      ("lp-mps", Test_mps.suite);
+      ("graph", Test_graph.suite);
+      ("paths", Test_paths.suite);
+      ("flows", Test_flows.suite);
+      ("timexp", Test_timexp.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("file-charging", Test_file_charging.suite);
+      ("plan", Test_plan.suite);
+      ("formulate", Test_formulate.suite);
+      ("schedulers", Test_schedulers.suite);
+      ("extensions", Test_extensions.suite);
+      ("offline", Test_offline.suite);
+      ("instance", Test_instance.suite);
+      ("greedy", Test_greedy.suite);
+      ("percentile-scheduler", Test_percentile_scheduler.suite);
+      ("sim", Test_sim.suite);
+      ("report", Test_report.suite);
+      ("engine-faults", Test_engine_faults.suite);
+      ("properties", Test_properties.suite) ]

@@ -1,0 +1,122 @@
+(* Failure injection: the engine must catch schedulers that lie. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+
+let base () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. ());
+  g
+
+let workload () =
+  Sim.Workload.create
+    { (Sim.Workload.paper_spec ~nodes:2 ~files_max:1 ~max_deadline:2) with
+      Sim.Workload.size_min = 4.;
+      size_max = 8. }
+    (Prelude.Rng.of_int 1)
+
+(* A scheduler that accepts files but returns a plan violating [mangle]. *)
+let lying_scheduler ~fluid mangle =
+  { Scheduler.name = "liar";
+    fluid;
+    schedule =
+      (fun ctx files ->
+        ignore ctx;
+        { Scheduler.plan = mangle files; accepted = files; rejected = [] }) }
+
+let expect_invalid name scheduler =
+  match
+    Sim.Engine.run ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2
+  with
+  | exception Sim.Engine.Invalid_plan _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_plan" name
+
+let test_overbooked_plan_caught () =
+  expect_invalid "overbooked"
+    (lying_scheduler ~fluid:true (fun files ->
+         match files with
+         | f :: _ ->
+             (* 3x the link capacity in one slot. *)
+             { Plan.transmissions =
+                 [ { Plan.file = f.File.id; link = 0; slot = f.File.release;
+                     volume = 30. } ];
+               holdovers = [] }
+         | [] -> Plan.empty))
+
+let test_underdelivery_caught () =
+  expect_invalid "underdelivery"
+    (lying_scheduler ~fluid:false (fun files ->
+         match files with
+         | f :: _ ->
+             { Plan.transmissions =
+                 [ { Plan.file = f.File.id; link = 0; slot = f.File.release;
+                     volume = f.File.size /. 2. } ];
+               holdovers = [] }
+         | [] -> Plan.empty))
+
+let test_deadline_violation_caught () =
+  expect_invalid "deadline violation"
+    (lying_scheduler ~fluid:false (fun files ->
+         match files with
+         | f :: _ ->
+             { Plan.transmissions =
+                 [ { Plan.file = f.File.id; link = 0;
+                     slot = File.last_slot f + 3; volume = f.File.size } ];
+               holdovers = [] }
+         | [] -> Plan.empty))
+
+let test_fluid_skips_conservation () =
+  (* A fluid scheduler's plan is only capacity-checked: the same
+     underdelivering plan passes when flagged fluid. *)
+  let scheduler =
+    lying_scheduler ~fluid:true (fun files ->
+        match files with
+        | f :: _ ->
+            { Plan.transmissions =
+                [ { Plan.file = f.File.id; link = 0; slot = f.File.release;
+                    volume = min 10. (f.File.size /. 2.) } ];
+              holdovers = [] }
+        | [] -> Plan.empty)
+  in
+  let outcome =
+    Sim.Engine.run ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2
+  in
+  Alcotest.(check bool) "ran to completion" true
+    (Array.length outcome.Sim.Engine.cost_series = 2)
+
+let test_engine_rejects_zero_slots () =
+  Alcotest.(check bool) "slots >= 1" true
+    (match
+       Sim.Engine.run ~base:(base ())
+         ~scheduler:(Postcard.Direct_scheduler.make ())
+         ~workload:(workload ()) ~slots:0
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_tail_slots_accounted () =
+  (* A file accepted near the end books slots past the arrival window; the
+     link_volumes matrix must cover them. *)
+  let g = base () in
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:2 ~files_max:1 ~max_deadline:4) with
+      Sim.Workload.size_min = 8.;
+      size_max = 9.;
+      deadlines = Sim.Workload.Fixed_deadline 4 }
+  in
+  let workload = Sim.Workload.create spec (Prelude.Rng.of_int 3) in
+  let outcome = Sim.Engine.run ~base:g ~scheduler ~workload ~slots:2 in
+  (* The slot-1 file of deadline 4 books up to slot 4. *)
+  Alcotest.(check bool) "tail recorded" true
+    (Array.length outcome.Sim.Engine.link_volumes.(0) >= 4)
+
+let suite =
+  [ Alcotest.test_case "overbooked caught" `Quick test_overbooked_plan_caught;
+    Alcotest.test_case "underdelivery caught" `Quick test_underdelivery_caught;
+    Alcotest.test_case "deadline violation caught" `Quick test_deadline_violation_caught;
+    Alcotest.test_case "fluid skips conservation" `Quick test_fluid_skips_conservation;
+    Alcotest.test_case "zero slots rejected" `Quick test_engine_rejects_zero_slots;
+    Alcotest.test_case "tail slots accounted" `Quick test_tail_slots_accounted ]

@@ -1,0 +1,72 @@
+module Eta = Sparselin.Eta
+module Dense = Sparselin.Dense
+
+(* Dense reference: the eta matrix E is the identity with column [pos]
+   replaced by [alpha]. apply_ftran must compute E^-1 x and apply_btran
+   must compute E^-T y. *)
+let dense_eta n ~pos ~alpha =
+  let e = Dense.identity n in
+  for i = 0 to n - 1 do
+    e.(i).(pos) <- alpha.(i)
+  done;
+  e
+
+let test_ftran_matches_dense () =
+  let rng = Prelude.Rng.of_int 31 in
+  for _ = 1 to 50 do
+    let n = 2 + Prelude.Rng.int rng 8 in
+    let pos = Prelude.Rng.int rng n in
+    let alpha =
+      Array.init n (fun _ ->
+          if Prelude.Rng.bool rng then 0. else Prelude.Rng.float_range rng (-3.) 3.)
+    in
+    alpha.(pos) <- (1. +. Prelude.Rng.float rng 3.) *. (if Prelude.Rng.bool rng then 1. else -1.);
+    let x = Array.init n (fun _ -> Prelude.Rng.float_range rng (-5.) 5.) in
+    let e = dense_eta n ~pos ~alpha in
+    let eta = Eta.make ~pos ~alpha in
+    (* Check E * (E^-1 x) = x. *)
+    let x' = Array.copy x in
+    Eta.apply_ftran eta x';
+    let back = Dense.matvec e x' in
+    Array.iteri
+      (fun i v -> Alcotest.(check (float 1e-9)) "E (E^-1 x) = x" x.(i) v)
+      back
+  done
+
+let test_btran_matches_dense () =
+  let rng = Prelude.Rng.of_int 37 in
+  for _ = 1 to 50 do
+    let n = 2 + Prelude.Rng.int rng 8 in
+    let pos = Prelude.Rng.int rng n in
+    let alpha =
+      Array.init n (fun _ ->
+          if Prelude.Rng.bool rng then 0. else Prelude.Rng.float_range rng (-3.) 3.)
+    in
+    alpha.(pos) <- 2.5;
+    let y = Array.init n (fun _ -> Prelude.Rng.float_range rng (-5.) 5.) in
+    let e = dense_eta n ~pos ~alpha in
+    let eta = Eta.make ~pos ~alpha in
+    let y' = Array.copy y in
+    Eta.apply_btran eta y';
+    let back = Dense.matvec (Dense.transpose e) y' in
+    Array.iteri
+      (fun i v -> Alcotest.(check (float 1e-9)) "E^T (E^-T y) = y" y.(i) v)
+      back
+  done
+
+let test_small_pivot_rejected () =
+  Alcotest.check_raises "tiny diagonal"
+    (Invalid_argument "Eta.make: pivot element too small") (fun () ->
+      ignore (Eta.make ~pos:0 ~alpha:[| 1e-13; 1. |]))
+
+let test_accessors () =
+  let eta = Eta.make ~pos:1 ~alpha:[| 0.5; 2.; 0. |] in
+  Alcotest.(check int) "pos" 1 (Eta.pos eta);
+  Alcotest.(check (float 0.)) "diag" 2. (Eta.diag eta);
+  Alcotest.(check int) "nnz counts off-diagonal plus diag" 2 (Eta.nnz eta)
+
+let suite =
+  [ Alcotest.test_case "ftran matches dense" `Quick test_ftran_matches_dense;
+    Alcotest.test_case "btran matches dense" `Quick test_btran_matches_dense;
+    Alcotest.test_case "small pivot rejected" `Quick test_small_pivot_rejected;
+    Alcotest.test_case "accessors" `Quick test_accessors ]

@@ -1,0 +1,193 @@
+(* Sec. VI extensions: bulk background-transfer maximization (problem 11)
+   and budget-constrained admission. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Bulk = Postcard.Bulk
+module Budget = Postcard.Budget
+
+let line_graph ?(capacity = 10.) ?(cost = 2.) () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity ~cost ());
+  g
+
+let cap c ~link:_ ~layer:_ = c
+let occ c ~link:_ ~layer:_ = c
+
+let file ?(id = 0) ?(size = 10.) ?(deadline = 2) () =
+  File.make ~id ~src:0 ~dst:1 ~size ~deadline ~release:0
+
+let get = function
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let test_bulk_paid_only_uses_headroom () =
+  (* Charged 6, nothing committed: 2 slots x 6 of free capacity carry at
+     most 12 of the 20-unit backlog. *)
+  let base = line_graph () in
+  let r =
+    get
+      (Bulk.solve ~base ~charged:[| 6. |] ~capacity:(cap 10.) ~occupied:(occ 0.)
+         ~files:[ file ~size:20. ~deadline:2 () ]
+         ~epoch:0 ~paid_only:true ())
+  in
+  Alcotest.(check (float 1e-4)) "delivered" 12. r.Bulk.total_delivered
+
+let test_bulk_paid_only_zero_headroom () =
+  let base = line_graph () in
+  let r =
+    get
+      (Bulk.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.) ~occupied:(occ 0.)
+         ~files:[ file () ]
+         ~epoch:0 ~paid_only:true ())
+  in
+  Alcotest.(check (float 1e-4)) "nothing moves for free" 0. r.Bulk.total_delivered
+
+let test_bulk_full_capacity () =
+  let base = line_graph () in
+  let r =
+    get
+      (Bulk.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.) ~occupied:(occ 0.)
+         ~files:[ file ~size:30. ~deadline:2 () ]
+         ~epoch:0 ~paid_only:false ())
+  in
+  Alcotest.(check (float 1e-4)) "capacity-bound" 20. r.Bulk.total_delivered
+
+let test_bulk_occupancy_shrinks_headroom () =
+  (* Charged 6 but 4 already committed per slot: only 2 free per slot. *)
+  let base = line_graph () in
+  let r =
+    get
+      (Bulk.solve ~base ~charged:[| 6. |] ~capacity:(cap 6.) ~occupied:(occ 4.)
+         ~files:[ file ~size:20. ~deadline:2 () ]
+         ~epoch:0 ~paid_only:true ())
+  in
+  Alcotest.(check (float 1e-4)) "headroom only" 4. r.Bulk.total_delivered
+
+let test_bulk_multiple_files_share () =
+  let base = line_graph () in
+  let files = [ file ~id:0 ~size:8. (); file ~id:1 ~size:8. () ] in
+  let r =
+    get
+      (Bulk.solve ~base ~charged:[| 5. |] ~capacity:(cap 10.) ~occupied:(occ 0.)
+         ~files ~epoch:0 ~paid_only:true ())
+  in
+  (* 2 slots x 5 headroom = 10 total across both files. *)
+  Alcotest.(check (float 1e-4)) "total" 10. r.Bulk.total_delivered;
+  Alcotest.(check int) "per-file breakdown" 2 (Array.length r.Bulk.delivered);
+  Alcotest.(check (float 1e-4)) "sums match" r.Bulk.total_delivered
+    (r.Bulk.delivered.(0) +. r.Bulk.delivered.(1))
+
+let test_bulk_storage_multihop () =
+  (* Free headroom exists only on a relayed path with disjoint windows:
+     storage at the relay is required to use it. *)
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. ());
+  let charged = [| 5.; 5. |] in
+  (* Hop 0 -> 1 free at layers 0..1; hop 1 -> 2 free only at layer 2. *)
+  let occupied ~link ~layer =
+    if link = 1 && layer < 2 then 5. else 0.
+  in
+  let files = [ File.make ~id:0 ~src:0 ~dst:2 ~size:9. ~deadline:3 ~release:0 ] in
+  let r =
+    get
+      (Bulk.solve ~base:g ~charged ~capacity:(cap 10.) ~occupied ~files
+         ~epoch:0 ~paid_only:true ())
+  in
+  (* Hop 1->2 has a single free slot of 5: that caps delivery. *)
+  Alcotest.(check (float 1e-4)) "bottleneck respected" 5. r.Bulk.total_delivered;
+  Alcotest.(check bool) "storage used" true (r.Bulk.plan.Plan.holdovers <> [])
+
+let test_budget_unlimited () =
+  let base = line_graph ~cost:2. () in
+  let r =
+    get
+      (Budget.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.)
+         ~files:[ file ~size:10. ~deadline:2 () ]
+         ~epoch:0 ~budget:1000. ())
+  in
+  Alcotest.(check (float 1e-4)) "all delivered" 10. r.Budget.total_delivered;
+  (* Even spread: X = 5, cost 10. *)
+  Alcotest.(check (float 1e-4)) "cost" 10. r.Budget.cost
+
+let test_budget_binding () =
+  (* Budget 6 with price 2 allows X <= 3: over 2 slots at most 6 deliverable. *)
+  let base = line_graph ~cost:2. () in
+  let r =
+    get
+      (Budget.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.)
+         ~files:[ file ~size:10. ~deadline:2 () ]
+         ~epoch:0 ~budget:6. ())
+  in
+  Alcotest.(check (float 1e-4)) "volume capped by budget" 6.
+    r.Budget.total_delivered;
+  Alcotest.(check bool) "budget respected" true (r.Budget.cost <= 6. +. 1e-6)
+
+let test_budget_zero () =
+  let base = line_graph ~cost:2. () in
+  let r =
+    get
+      (Budget.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.)
+         ~files:[ file () ]
+         ~epoch:0 ~budget:0. ())
+  in
+  Alcotest.(check (float 1e-4)) "nothing moves" 0. r.Budget.total_delivered
+
+let test_budget_below_committed () =
+  (* Already charged 4 at price 2 = cost 8 > budget 5: infeasible. *)
+  let base = line_graph ~cost:2. () in
+  match
+    Budget.solve ~base ~charged:[| 4. |] ~capacity:(cap 10.)
+      ~files:[ file () ]
+      ~epoch:0 ~budget:5. ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "budget below committed cost must fail"
+
+let test_budget_free_riding_first () =
+  (* Charged 5 (cost 10): with budget exactly 10, only free capacity can
+     be used; 2 slots x 5 headroom still moves the whole 10-unit file. *)
+  let base = line_graph ~cost:2. () in
+  let r =
+    get
+      (Budget.solve ~base ~charged:[| 5. |] ~capacity:(cap 10.)
+         ~files:[ file ~size:10. ~deadline:2 () ]
+         ~epoch:0 ~budget:10. ())
+  in
+  Alcotest.(check (float 1e-4)) "full delivery for free" 10.
+    r.Budget.total_delivered;
+  Alcotest.(check (float 1e-4)) "cost pinned at floor" 10. r.Budget.cost
+
+let test_budget_plan_validates () =
+  let base = line_graph ~cost:2. () in
+  let files = [ file ~size:10. ~deadline:2 () ] in
+  let r =
+    get
+      (Budget.solve ~base ~charged:[| 0. |] ~capacity:(cap 10.) ~files ~epoch:0
+         ~budget:6. ())
+  in
+  (* Budget plans deliver partial volumes, so only capacity validation
+     applies. *)
+  match
+    Plan.validate_capacity ~base
+      ~capacity:(fun ~link:_ ~slot:_ -> 10.)
+      r.Budget.plan
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [ Alcotest.test_case "bulk paid-only headroom" `Quick test_bulk_paid_only_uses_headroom;
+    Alcotest.test_case "bulk zero headroom" `Quick test_bulk_paid_only_zero_headroom;
+    Alcotest.test_case "bulk full capacity" `Quick test_bulk_full_capacity;
+    Alcotest.test_case "bulk occupancy shrinks headroom" `Quick test_bulk_occupancy_shrinks_headroom;
+    Alcotest.test_case "bulk multiple files" `Quick test_bulk_multiple_files_share;
+    Alcotest.test_case "bulk storage multihop" `Quick test_bulk_storage_multihop;
+    Alcotest.test_case "budget unlimited" `Quick test_budget_unlimited;
+    Alcotest.test_case "budget binding" `Quick test_budget_binding;
+    Alcotest.test_case "budget zero" `Quick test_budget_zero;
+    Alcotest.test_case "budget below committed" `Quick test_budget_below_committed;
+    Alcotest.test_case "budget free riding" `Quick test_budget_free_riding_first;
+    Alcotest.test_case "budget plan validates" `Quick test_budget_plan_validates ]

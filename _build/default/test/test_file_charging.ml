@@ -1,0 +1,87 @@
+module File = Postcard.File
+module Charging = Postcard.Charging
+
+let test_file_make () =
+  let f = File.make ~id:3 ~src:0 ~dst:2 ~size:60. ~deadline:4 ~release:10 in
+  Alcotest.(check (float 0.)) "rate" 15. (File.rate f);
+  Alcotest.(check int) "last slot" 13 (File.last_slot f);
+  Alcotest.(check int) "completion" 14 (File.completion_deadline f)
+
+let test_file_invalid () =
+  let attempt name f = Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  attempt "zero size" (fun () ->
+      File.make ~id:0 ~src:0 ~dst:1 ~size:0. ~deadline:1 ~release:0);
+  attempt "zero deadline" (fun () ->
+      File.make ~id:0 ~src:0 ~dst:1 ~size:1. ~deadline:0 ~release:0);
+  attempt "same endpoints" (fun () ->
+      File.make ~id:0 ~src:1 ~dst:1 ~size:1. ~deadline:1 ~release:0);
+  attempt "negative release" (fun () ->
+      File.make ~id:0 ~src:0 ~dst:1 ~size:1. ~deadline:1 ~release:(-1))
+
+let test_scheme_bounds () =
+  Alcotest.(check bool) "valid" true
+    (match Charging.scheme 95. with _ -> true);
+  let invalid q =
+    match Charging.scheme q with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "zero" true (invalid 0.);
+  Alcotest.(check bool) "above 100" true (invalid 100.5)
+
+let test_charged_volume_100 () =
+  let v = [| 3.; 9.; 1.; 7. |] in
+  Alcotest.(check (float 0.)) "max" 9.
+    (Charging.charged_volume Charging.max_percentile v)
+
+let test_charged_volume_95 () =
+  (* 100 samples: the 95th percentile picks the 95th sorted value. *)
+  let v = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.)) "95th" 95.
+    (Charging.charged_volume (Charging.scheme 95.) v)
+
+let test_charged_volume_prefix () =
+  let v = [| 5.; 2.; 9.; 1. |] in
+  let s = Charging.max_percentile in
+  Alcotest.(check (float 0.)) "prefix 0" 0. (Charging.charged_volume_prefix s v 0);
+  Alcotest.(check (float 0.)) "prefix 2" 5. (Charging.charged_volume_prefix s v 2);
+  Alcotest.(check (float 0.)) "prefix 3" 9. (Charging.charged_volume_prefix s v 3);
+  Alcotest.(check (float 0.)) "prefix beyond" 9.
+    (Charging.charged_volume_prefix s v 10)
+
+let test_linear_cost () =
+  Alcotest.(check (float 0.)) "linear" 35. (Charging.cost (Charging.Linear 7.) 5.)
+
+let test_piecewise_cost () =
+  (* 2 units at slope 1, then 3 units at slope 2, then slope 0.5 forever:
+     c(7) = 2 + 6 + 1 = 9. *)
+  let f = Charging.Piecewise [ (2., 1.); (3., 2.); (0., 0.5) ] in
+  Alcotest.(check (float 1e-12)) "within first" 1.5 (Charging.cost f 1.5);
+  Alcotest.(check (float 1e-12)) "within second" 4. (Charging.cost f 3.);
+  Alcotest.(check (float 1e-12)) "beyond" 9. (Charging.cost f 7.)
+
+let test_piecewise_invalid () =
+  Alcotest.(check bool) "negative slope" true
+    (Charging.validate_cost_function (Charging.Piecewise [ (1., -1.) ])
+     = Error "Piecewise: negative slope");
+  Alcotest.(check bool) "empty" true
+    (Charging.validate_cost_function (Charging.Piecewise []) |> Result.is_error)
+
+let test_cost_negative_volume () =
+  Alcotest.check_raises "negative volume"
+    (Invalid_argument "Charging.cost: negative volume") (fun () ->
+      ignore (Charging.cost (Charging.Linear 1.) (-1.)))
+
+let suite =
+  [ Alcotest.test_case "file make" `Quick test_file_make;
+    Alcotest.test_case "file invalid" `Quick test_file_invalid;
+    Alcotest.test_case "scheme bounds" `Quick test_scheme_bounds;
+    Alcotest.test_case "charged volume 100th" `Quick test_charged_volume_100;
+    Alcotest.test_case "charged volume 95th" `Quick test_charged_volume_95;
+    Alcotest.test_case "charged volume prefix" `Quick test_charged_volume_prefix;
+    Alcotest.test_case "linear cost" `Quick test_linear_cost;
+    Alcotest.test_case "piecewise cost" `Quick test_piecewise_cost;
+    Alcotest.test_case "piecewise invalid" `Quick test_piecewise_invalid;
+    Alcotest.test_case "cost negative volume" `Quick test_cost_negative_volume ]

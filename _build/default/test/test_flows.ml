@@ -1,0 +1,155 @@
+(* Max-flow and min-cost-flow tests, including the LP cross-checks that
+   tie the combinatorial algorithms to the simplex solver. *)
+
+module Graph = Netgraph.Graph
+module Maxflow = Netgraph.Maxflow
+module Mcf = Netgraph.Mincostflow
+module Model = Lp.Model
+
+let classic () =
+  (* CLRS-style network with max flow 23 from 0 to 5. *)
+  let g = Graph.create ~n:6 in
+  let add s d c = ignore (Graph.add_arc g ~src:s ~dst:d ~capacity:c ()) in
+  add 0 1 16.;
+  add 0 2 13.;
+  add 1 3 12.;
+  add 2 1 4.;
+  add 2 4 14.;
+  add 3 2 9.;
+  add 3 5 20.;
+  add 4 3 7.;
+  add 4 5 4.;
+  g
+
+let test_maxflow_classic () =
+  let g = classic () in
+  let r = Maxflow.max_flow g ~src:0 ~dst:5 in
+  Alcotest.(check (float 1e-9)) "value" 23. r.Maxflow.value
+
+let test_maxflow_disconnected () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:4. ());
+  let r = Maxflow.max_flow g ~src:0 ~dst:2 in
+  Alcotest.(check (float 0.)) "zero" 0. r.Maxflow.value
+
+let test_maxflow_conservation () =
+  let g = classic () in
+  let r = Maxflow.max_flow g ~src:0 ~dst:5 in
+  (* Per-node conservation of the returned flow. *)
+  for v = 1 to 4 do
+    let inflow =
+      List.fold_left (fun acc id -> acc +. r.Maxflow.flow.(id)) 0. (Graph.in_arcs g v)
+    in
+    let outflow =
+      List.fold_left (fun acc id -> acc +. r.Maxflow.flow.(id)) 0. (Graph.out_arcs g v)
+    in
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "node %d" v) inflow outflow
+  done;
+  Graph.iter_arcs g (fun a ->
+      Alcotest.(check bool) "within capacity" true
+        (r.Maxflow.flow.(a.Graph.id) <= a.Graph.capacity +. 1e-9))
+
+let test_min_cut_matches () =
+  let g = classic () in
+  let r, side = Maxflow.min_cut g ~src:0 ~dst:5 in
+  Alcotest.(check bool) "src in cut" true side.(0);
+  Alcotest.(check bool) "dst not in cut" false side.(5);
+  (* Cut capacity equals the flow value. *)
+  let cut =
+    Graph.fold_arcs g ~init:0. ~f:(fun acc a ->
+        if side.(a.Graph.src) && not side.(a.Graph.dst) then
+          acc +. a.Graph.capacity
+        else acc)
+  in
+  Alcotest.(check (float 1e-9)) "max-flow = min-cut" r.Maxflow.value cut
+
+let test_mcf_simple () =
+  (* Two paths: cheap with capacity 2, expensive with capacity 10. *)
+  let g = Graph.create ~n:4 in
+  let _cheap1 = Graph.add_arc g ~src:0 ~dst:1 ~capacity:2. ~cost:1. () in
+  let _cheap2 = Graph.add_arc g ~src:1 ~dst:3 ~capacity:2. ~cost:1. () in
+  let _exp1 = Graph.add_arc g ~src:0 ~dst:2 ~capacity:10. ~cost:5. () in
+  let _exp2 = Graph.add_arc g ~src:2 ~dst:3 ~capacity:10. ~cost:5. () in
+  match Mcf.min_cost_flow g ~src:0 ~dst:3 ~amount:5. with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      (* 2 units at cost 2 each, 3 units at cost 10 each. *)
+      Alcotest.(check (float 1e-9)) "cost" 34. r.Mcf.cost
+
+let test_mcf_infeasible () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1. ~cost:1. ());
+  Alcotest.(check bool) "too much" true
+    (Mcf.min_cost_flow g ~src:0 ~dst:1 ~amount:2. = None)
+
+let test_mcf_zero_amount () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1. ~cost:1. ());
+  match Mcf.min_cost_flow g ~src:0 ~dst:1 ~amount:0. with
+  | None -> Alcotest.fail "zero is feasible"
+  | Some r -> Alcotest.(check (float 0.)) "no cost" 0. r.Mcf.cost
+
+(* LP formulation of the same min-cost flow problem. *)
+let mcf_by_lp g ~src ~dst ~amount =
+  let model = Model.create Model.Minimize in
+  let vars =
+    Array.init (Graph.num_arcs g) (fun id ->
+        let a = Graph.arc g id in
+        Model.add_var model ~ub:a.Graph.capacity ~obj:a.Graph.cost ())
+  in
+  for v = 0 to Graph.num_nodes g - 1 do
+    let terms =
+      List.map (fun id -> (vars.(id), 1.)) (Graph.out_arcs g v)
+      @ List.map (fun id -> (vars.(id), -1.)) (Graph.in_arcs g v)
+    in
+    let rhs = if v = src then amount else if v = dst then -.amount else 0. in
+    if terms <> [] || rhs <> 0. then
+      ignore (Model.add_constraint model terms Model.Eq rhs)
+  done;
+  match Lp.Simplex.solve model with
+  | Lp.Status.Optimal s -> Some s.Lp.Status.objective
+  | Lp.Status.Infeasible -> None
+  | Lp.Status.Unbounded | Lp.Status.Iteration_limit ->
+      Alcotest.fail "unexpected LP outcome"
+
+let test_mcf_matches_lp_random () =
+  let rng = Prelude.Rng.of_int 4242 in
+  for trial = 1 to 40 do
+    let n = 4 + Prelude.Rng.int rng 6 in
+    let g = Graph.create ~n in
+    for _ = 1 to n * 3 do
+      let s = Prelude.Rng.int rng n and d = Prelude.Rng.int rng n in
+      if s <> d then
+        ignore
+          (Graph.add_arc g ~src:s ~dst:d
+             ~capacity:(1. +. Prelude.Rng.float rng 9.)
+             ~cost:(Prelude.Rng.float rng 10.)
+             ())
+    done;
+    let amount = Prelude.Rng.float rng 8. in
+    let combinatorial = Mcf.min_cost_flow g ~src:0 ~dst:(n - 1) ~amount in
+    let lp = mcf_by_lp g ~src:0 ~dst:(n - 1) ~amount in
+    match (combinatorial, lp) with
+    | None, None -> ()
+    | Some r, Some obj ->
+        if abs_float (r.Mcf.cost -. obj) > 1e-5 *. (1. +. abs_float obj) then
+          Alcotest.failf "trial %d: SSP %.9g vs LP %.9g" trial r.Mcf.cost obj
+    | Some _, None -> Alcotest.failf "trial %d: SSP feasible but LP not" trial
+    | None, Some _ -> Alcotest.failf "trial %d: LP feasible but SSP not" trial
+  done
+
+let test_min_cost_max_flow () =
+  let g = classic () in
+  let r = Mcf.min_cost_max_flow g ~src:0 ~dst:5 in
+  Alcotest.(check (float 1e-9)) "ships max flow" 23. r.Mcf.value
+
+let suite =
+  [ Alcotest.test_case "maxflow classic" `Quick test_maxflow_classic;
+    Alcotest.test_case "maxflow disconnected" `Quick test_maxflow_disconnected;
+    Alcotest.test_case "maxflow conservation" `Quick test_maxflow_conservation;
+    Alcotest.test_case "min cut matches" `Quick test_min_cut_matches;
+    Alcotest.test_case "mcf simple" `Quick test_mcf_simple;
+    Alcotest.test_case "mcf infeasible" `Quick test_mcf_infeasible;
+    Alcotest.test_case "mcf zero amount" `Quick test_mcf_zero_amount;
+    Alcotest.test_case "mcf matches LP x40" `Quick test_mcf_matches_lp_random;
+    Alcotest.test_case "min cost max flow" `Quick test_min_cost_max_flow ]

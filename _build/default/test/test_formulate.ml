@@ -1,0 +1,218 @@
+(* Behavioural tests of the Postcard formulation beyond the golden
+   examples: free-riding, deadline pressure, infeasibility detection,
+   capacity sharing, and randomized validity properties. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Formulate = Postcard.Formulate
+
+let solve_get ~base ~charged ~capacity ~files =
+  let f = Formulate.create ~base ~charged ~capacity ~files ~epoch:0 () in
+  Formulate.solve f
+
+type scheduled = {
+  plan : Plan.t;
+  objective : float;
+  charged : float array;
+}
+
+let expect_scheduled = function
+  | Formulate.Scheduled { plan; objective; charged } ->
+      { plan; objective; charged }
+  | Formulate.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Formulate.Solver_failure msg -> Alcotest.fail msg
+
+let two_node () =
+  let g = Graph.create ~n:2 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:3. () in
+  (g, a)
+
+let test_single_link_spread () =
+  (* One file, one link: the optimum spreads the file evenly to minimize
+     the peak, X = size / deadline. *)
+  let g, a = two_node () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 0. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f ])
+  in
+  Alcotest.(check (float 1e-4)) "X = rate" 3. r.charged.(a);
+  Alcotest.(check (float 1e-4)) "objective" 9. r.objective
+
+let test_free_riding_under_charge () =
+  (* The link is already charged at 5: shipping up to 5 per slot is free,
+     so the whole file rides for nothing and X stays at 5. *)
+  let g, a = two_node () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 5. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f ])
+  in
+  Alcotest.(check (float 1e-4)) "X unchanged" 5. r.charged.(a);
+  Alcotest.(check (float 1e-4)) "objective = old charge" 15. r.objective
+
+let test_tight_deadline_forces_peak () =
+  let g, a = two_node () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:1 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 0. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f ])
+  in
+  Alcotest.(check (float 1e-4)) "X = full size" 9. r.charged.(a)
+
+let test_infeasible_capacity () =
+  let g, _ = two_node () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:25. ~deadline:2 ~release:0 in
+  match
+    solve_get ~base:g ~charged:[| 0. |]
+      ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+      ~files:[ f ]
+  with
+  | Formulate.Infeasible -> ()
+  | Formulate.Scheduled _ -> Alcotest.fail "25 GB cannot fit in 2 x 10"
+  | Formulate.Solver_failure msg -> Alcotest.fail msg
+
+let test_per_layer_capacity_respected () =
+  (* Capacity 10 at layer 0 but only 2 at layer 1: a 12-unit file with
+     deadline 2 must send 10 then 2. *)
+  let g, a = two_node () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:12. ~deadline:2 ~release:0 in
+  let capacity ~link:_ ~layer = if layer = 0 then 10. else 2. in
+  let r =
+    expect_scheduled (solve_get ~base:g ~charged:[| 0. |] ~capacity ~files:[ f ])
+  in
+  Alcotest.(check (float 1e-4)) "X = 10" 10. r.charged.(a);
+  let vol0 = Plan.volume_on r.plan ~link:a ~slot:0 in
+  let vol1 = Plan.volume_on r.plan ~link:a ~slot:1 in
+  Alcotest.(check (float 1e-4)) "slot 0" 10. vol0;
+  Alcotest.(check (float 1e-4)) "slot 1" 2. vol1
+
+let test_two_files_share_capacity () =
+  let g, a = two_node () in
+  let f1 = File.make ~id:0 ~src:0 ~dst:1 ~size:10. ~deadline:2 ~release:0 in
+  let f2 = File.make ~id:1 ~src:0 ~dst:1 ~size:10. ~deadline:2 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 0. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f1; f2 ])
+  in
+  (* 20 units over 2 slots on a 10-capacity link: X = 10, saturated. *)
+  Alcotest.(check (float 1e-4)) "X" 10. r.charged.(a);
+  match
+    Plan.validate ~base:g ~files:[ f1; f2 ]
+      ~capacity:(fun ~link:_ ~slot:_ -> 10.)
+      r.plan
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_charged_lower_bound_kept () =
+  (* X never decreases even when the link is unused. *)
+  let g = Graph.create ~n:3 in
+  let a01 = Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. () in
+  let a12 = Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. () in
+  let f = File.make ~id:0 ~src:0 ~dst:1 ~size:1. ~deadline:1 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 0.5; 7. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f ])
+  in
+  Alcotest.(check (float 1e-4)) "used link X" 1. r.charged.(a01);
+  Alcotest.(check (float 1e-4)) "idle link X keeps charge" 7.
+    r.charged.(a12)
+
+let test_storage_exploits_cheap_path () =
+  (* A cheap two-hop path with a capacity bottleneck at the first hop in
+     early slots only: storage lets the whole file take the cheap path. *)
+  let g = Graph.create ~n:3 in
+  let a01 = Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. () in
+  let a12 = Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. () in
+  let a02 = Graph.add_arc g ~src:0 ~dst:2 ~capacity:10. ~cost:100. () in
+  ignore a02;
+  let f = File.make ~id:0 ~src:0 ~dst:2 ~size:8. ~deadline:4 ~release:0 in
+  let r =
+    expect_scheduled
+      (solve_get ~base:g ~charged:[| 0.; 0.; 0. |]
+         ~capacity:(fun ~link:_ ~layer:_ -> 10.)
+         ~files:[ f ])
+  in
+  (* Optimal: trickle 8/3 per slot on each cheap link, pipelined; the
+     expensive link stays unused. *)
+  Alcotest.(check (float 1e-3)) "objective" (16. /. 3.) r.objective;
+  Alcotest.(check (float 1e-3)) "hop 1 peak" (8. /. 3.) r.charged.(a01);
+  Alcotest.(check (float 1e-3)) "hop 2 peak" (8. /. 3.) r.charged.(a12)
+
+(* Randomized: every optimal plan validates, and the objective never
+   beats the trivial lower bound sum_l a_l * charged_l. *)
+let test_random_plans_validate () =
+  let rng = Prelude.Rng.of_int 2718 in
+  for trial = 1 to 25 do
+    (* Capacity 100 with sizes <= 40 keeps every instance feasible even
+       when several deadline-1 files share a source. *)
+    let n = 3 + Prelude.Rng.int rng 3 in
+    let base =
+      Netgraph.Topology.complete ~n ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:100.
+    in
+    let m = Graph.num_arcs base in
+    let charged =
+      Array.init m (fun _ ->
+          if Prelude.Rng.bool rng then Prelude.Rng.float rng 10. else 0.)
+    in
+    let nfiles = 1 + Prelude.Rng.int rng 4 in
+    let files =
+      List.init nfiles (fun id ->
+          let src = Prelude.Rng.int rng n in
+          let rec dst () =
+            let d = Prelude.Rng.int rng n in
+            if d = src then dst () else d
+          in
+          File.make ~id ~src ~dst:(dst ())
+            ~size:(Prelude.Rng.float_range rng 5. 40.)
+            ~deadline:(Prelude.Rng.int_incl rng 1 5)
+            ~release:0)
+    in
+    let capacity ~link:_ ~layer:_ = 100. in
+    match solve_get ~base ~charged ~capacity ~files with
+    | Formulate.Infeasible -> Alcotest.failf "trial %d: unexpectedly infeasible" trial
+    | Formulate.Solver_failure msg -> Alcotest.failf "trial %d: %s" trial msg
+    | Formulate.Scheduled { plan; objective; charged = x } ->
+        (match
+           Plan.validate ~base ~files
+             ~capacity:(fun ~link:_ ~slot:_ -> 100.)
+             plan
+         with
+         | Ok () -> ()
+         | Error msg -> Alcotest.failf "trial %d: invalid plan: %s" trial msg);
+        (* Lower bound: the pre-existing charge must be paid regardless. *)
+        let floor_cost =
+          Graph.fold_arcs base ~init:0. ~f:(fun acc a ->
+              acc +. (a.Graph.cost *. charged.(a.Graph.id)))
+        in
+        if objective < floor_cost -. 1e-6 then
+          Alcotest.failf "trial %d: objective below charge floor" trial;
+        Array.iteri
+          (fun l xv ->
+            if xv < charged.(l) -. 1e-6 then
+              Alcotest.failf "trial %d: X decreased on link %d" trial l)
+          x
+  done
+
+let suite =
+  [ Alcotest.test_case "single link spread" `Quick test_single_link_spread;
+    Alcotest.test_case "free riding under charge" `Quick test_free_riding_under_charge;
+    Alcotest.test_case "tight deadline forces peak" `Quick test_tight_deadline_forces_peak;
+    Alcotest.test_case "infeasible capacity" `Quick test_infeasible_capacity;
+    Alcotest.test_case "per-layer capacity" `Quick test_per_layer_capacity_respected;
+    Alcotest.test_case "two files share capacity" `Quick test_two_files_share_capacity;
+    Alcotest.test_case "charged lower bound kept" `Quick test_charged_lower_bound_kept;
+    Alcotest.test_case "storage exploits cheap path" `Quick test_storage_exploits_cheap_path;
+    Alcotest.test_case "random plans validate x25" `Quick test_random_plans_validate ]

@@ -1,0 +1,167 @@
+(* The combinatorial greedy store-and-forward scheduler: plan validity,
+   free-riding behaviour, and its optimality gap against the exact LP. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+
+let ctx ?(charged_value = 0.) base capacity =
+  { Scheduler.base;
+    epoch = 0;
+    period = 100;
+    charged = Array.make (Graph.num_arcs base) charged_value;
+    residual = (fun ~link:_ ~slot:_ -> capacity);
+    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+
+let plan_cost base charged plan =
+  let horizon =
+    match Plan.slot_range plan with Some (_, hi) -> hi + 1 | None -> 1
+  in
+  Graph.fold_arcs base ~init:0. ~f:(fun acc a ->
+      let peak = ref charged.(a.Graph.id) in
+      for slot = 0 to horizon - 1 do
+        peak := max !peak (Plan.volume_on plan ~link:a.Graph.id ~slot)
+      done;
+      acc +. (a.Graph.cost *. !peak))
+
+let test_single_file_spreads () =
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:10. ~cost:2. ());
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ] in
+  let { Scheduler.plan; accepted; _ } =
+    scheduler.Scheduler.schedule (ctx base 10.) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  (match Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> 10.) plan with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail msg);
+  (* The min-cost flow packs into free+cheapest arcs; all 9 units move. *)
+  Alcotest.(check (float 1e-6)) "all moved" 9. (Plan.total_transmitted plan)
+
+let test_free_riding () =
+  (* Already-charged direct link: the file should ride completely free. *)
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:10. ~cost:5. ());
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ] in
+  let { Scheduler.plan; _ } =
+    scheduler.Scheduler.schedule (ctx ~charged_value:4. base 10.) files
+  in
+  let cost = plan_cost base [| 4. |] plan in
+  Alcotest.(check (float 1e-6)) "no new charge" 20. cost
+
+let test_relay_when_cheaper () =
+  (* Expensive direct link vs a cheap (and long-deadline) relay path. *)
+  let base = Graph.create ~n:3 in
+  let _direct = Graph.add_arc base ~src:0 ~dst:2 ~capacity:100. ~cost:50. () in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:100. ~cost:1. ());
+  ignore (Graph.add_arc base ~src:1 ~dst:2 ~capacity:100. ~cost:1. ());
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:2 ~size:8. ~deadline:4 ~release:0 ] in
+  let { Scheduler.plan; _ } = scheduler.Scheduler.schedule (ctx base 100.) files in
+  Alcotest.(check (float 1e-6)) "direct unused" 0.
+    (Plan.volume_on plan ~link:0 ~slot:0
+     +. Plan.volume_on plan ~link:0 ~slot:1
+     +. Plan.volume_on plan ~link:0 ~slot:2
+     +. Plan.volume_on plan ~link:0 ~slot:3)
+
+let test_rejects_infeasible () =
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:5. ~cost:1. ());
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:20. ~deadline:2 ~release:0 ] in
+  let { Scheduler.rejected; _ } = scheduler.Scheduler.schedule (ctx base 5.) files in
+  Alcotest.(check int) "rejected" 1 (List.length rejected)
+
+let test_batch_respects_capacity () =
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:10. ~cost:1. ());
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:12. ~deadline:2 ~release:0;
+      File.make ~id:1 ~src:0 ~dst:1 ~size:8. ~deadline:2 ~release:0 ]
+  in
+  let { Scheduler.plan; accepted; _ } =
+    scheduler.Scheduler.schedule (ctx base 10.) files
+  in
+  Alcotest.(check int) "both fit (20 <= 2x10)" 2 (List.length accepted);
+  match
+    Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> 10.) plan
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* The greedy heuristic can never beat the exact LP, and must stay
+   reasonably close on random instances. *)
+let test_gap_against_lp () =
+  let rng = Prelude.Rng.of_int 606 in
+  let total_lp = ref 0. and total_greedy = ref 0. in
+  for trial = 1 to 15 do
+    let n = 4 + Prelude.Rng.int rng 3 in
+    let base =
+      Netgraph.Topology.complete ~n ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:60.
+    in
+    let m = Graph.num_arcs base in
+    let charged =
+      Array.init m (fun _ ->
+          if Prelude.Rng.bool rng then Prelude.Rng.float rng 8. else 0.)
+    in
+    let files =
+      List.init (1 + Prelude.Rng.int rng 4) (fun id ->
+          let src = Prelude.Rng.int rng n in
+          let rec dst () =
+            let d = Prelude.Rng.int rng n in
+            if d = src then dst () else d
+          in
+          File.make ~id ~src ~dst:(dst ())
+            ~size:(Prelude.Rng.float_range rng 5. 30.)
+            ~deadline:(Prelude.Rng.int_incl rng 2 4)
+            ~release:0)
+    in
+    let context =
+      { Scheduler.base;
+        epoch = 0;
+        period = 100;
+        charged;
+        residual = (fun ~link:_ ~slot:_ -> 60.);
+        occupied = (fun ~link:_ ~slot:_ -> 0.) }
+    in
+    let run scheduler =
+      let { Scheduler.plan; rejected; _ } =
+        scheduler.Scheduler.schedule context files
+      in
+      if rejected <> [] then
+        Alcotest.failf "trial %d: %s rejected files at ample capacity" trial
+          scheduler.Scheduler.name;
+      (match
+         Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> 60.) plan
+       with
+       | Ok () -> ()
+       | Error msg ->
+           Alcotest.failf "trial %d (%s): %s" trial scheduler.Scheduler.name msg);
+      plan_cost base charged plan
+    in
+    let lp_cost = run (Postcard.Postcard_scheduler.make ()) in
+    let greedy_cost = run (Postcard.Greedy_scheduler.make ()) in
+    if greedy_cost < lp_cost -. 1e-4 then
+      Alcotest.failf "trial %d: greedy %.4f beat the exact LP %.4f" trial
+        greedy_cost lp_cost;
+    total_lp := !total_lp +. lp_cost;
+    total_greedy := !total_greedy +. greedy_cost
+  done;
+  (* Sanity on the aggregate gap: greedy should be within 2x overall. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate gap reasonable (lp %.0f, greedy %.0f)" !total_lp
+       !total_greedy)
+    true
+    (!total_greedy <= 2. *. !total_lp +. 1e-6)
+
+let suite =
+  [ Alcotest.test_case "single file spreads" `Quick test_single_file_spreads;
+    Alcotest.test_case "free riding" `Quick test_free_riding;
+    Alcotest.test_case "relay when cheaper" `Quick test_relay_when_cheaper;
+    Alcotest.test_case "rejects infeasible" `Quick test_rejects_infeasible;
+    Alcotest.test_case "batch respects capacity" `Quick test_batch_respects_capacity;
+    Alcotest.test_case "gap against LP x15" `Quick test_gap_against_lp ]

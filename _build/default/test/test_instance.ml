@@ -1,0 +1,101 @@
+module Graph = Netgraph.Graph
+module Instance = Postcard.Instance
+module File = Postcard.File
+
+let sample = {|
+# Fig. 3 style instance
+nodes 4
+link 0 3 6.0 5.0
+link 1 0 1.0 5.0
+link 1 2 4.0 5.0
+link 2 3 6.0 5.0
+
+file 1 1 3 8.0 4
+file 2 0 3 10.0 2
+charged 0 3 2.5
+|}
+
+let parse_ok text =
+  match Instance.parse text with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_sample () =
+  let t = parse_ok sample in
+  Alcotest.(check int) "nodes" 4 (Graph.num_nodes t.Instance.base);
+  Alcotest.(check int) "links" 4 (Graph.num_arcs t.Instance.base);
+  Alcotest.(check int) "files" 2 (List.length t.Instance.files);
+  let f1 = List.hd t.Instance.files in
+  Alcotest.(check int) "file src" 1 f1.File.src;
+  Alcotest.(check (float 0.)) "file size" 8. f1.File.size;
+  let link = Option.get (Graph.find_arc t.Instance.base ~src:0 ~dst:3) in
+  Alcotest.(check (float 0.)) "charged" 2.5 t.Instance.charged.(link);
+  let a = Graph.arc t.Instance.base link in
+  Alcotest.(check (float 0.)) "cost" 6. a.Graph.cost;
+  Alcotest.(check (float 0.)) "capacity" 5. a.Graph.capacity
+
+let test_roundtrip () =
+  let t = parse_ok sample in
+  let t' = parse_ok (Instance.to_string t) in
+  Alcotest.(check int) "links preserved" (Graph.num_arcs t.Instance.base)
+    (Graph.num_arcs t'.Instance.base);
+  Alcotest.(check int) "files preserved" (List.length t.Instance.files)
+    (List.length t'.Instance.files);
+  Alcotest.(check (array (float 1e-12))) "charges preserved"
+    t.Instance.charged t'.Instance.charged
+
+let expect_error name text =
+  match Instance.parse text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+
+let test_errors () =
+  expect_error "missing nodes" "link 0 1 1 1\n";
+  expect_error "duplicate nodes" "nodes 2\nnodes 3\n";
+  expect_error "bad arity" "nodes 2\nlink 0 1 1\n";
+  expect_error "self loop" "nodes 2\nlink 0 0 1 1\n";
+  expect_error "endpoint range" "nodes 2\nfile 0 0 5 1 1\n";
+  expect_error "unknown directive" "nodes 2\nfrobnicate 1\n";
+  expect_error "charged missing link" "nodes 2\ncharged 0 1 3\n";
+  expect_error "zero size" "nodes 2\nlink 0 1 1 1\nfile 0 0 1 0 1\n"
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_error_line_number () =
+  match Instance.parse "nodes 2\nlink 0 1 1 1\nbogus\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions line 3" true
+        (contains_substring msg "line 3")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_comments_and_blanks () =
+  let t = parse_ok "\n# hello\nnodes 2\n\nlink 0 1 2.5 10\n# done\n" in
+  Alcotest.(check int) "one link" 1 (Graph.num_arcs t.Instance.base)
+
+let test_solvable () =
+  (* The parsed Fig. 3 fragment is directly solvable. *)
+  let t = parse_ok sample in
+  let ctx_capacity ~link ~layer =
+    ignore layer;
+    (Graph.arc t.Instance.base link).Graph.capacity
+  in
+  let f =
+    Postcard.Formulate.create ~base:t.Instance.base ~charged:t.Instance.charged
+      ~capacity:ctx_capacity ~files:t.Instance.files ~epoch:0 ()
+  in
+  match Postcard.Formulate.solve f with
+  | Postcard.Formulate.Scheduled { objective; _ } ->
+      Alcotest.(check bool) "positive objective" true (objective > 0.)
+  | Postcard.Formulate.Infeasible -> Alcotest.fail "infeasible"
+  | Postcard.Formulate.Solver_failure msg -> Alcotest.fail msg
+
+let suite =
+  [ Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "error line number" `Quick test_error_line_number;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "solvable" `Quick test_solvable ]

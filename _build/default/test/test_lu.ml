@@ -1,0 +1,149 @@
+module Lu = Sparselin.Lu
+module Csc = Sparselin.Csc
+module Dense = Sparselin.Dense
+
+let cols_of_dense d =
+  let n = Array.length d in
+  fun j ->
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if d.(i).(j) <> 0. then acc := (i, d.(i).(j)) :: !acc
+    done;
+    Array.of_list !acc
+
+let check_solve d b =
+  let n = Array.length d in
+  match Lu.factorize ~dim:n (cols_of_dense d) with
+  | Error (Lu.Singular _) -> Alcotest.fail "unexpected singular"
+  | Ok f ->
+      let x = Array.copy b in
+      Lu.solve f x;
+      (* Verify A x = b. *)
+      let ax = Dense.matvec d x in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-8)) (Printf.sprintf "Ax=b row %d" i) b.(i) v)
+        ax;
+      let y = Array.copy b in
+      Lu.solve_transpose f y;
+      let aty = Dense.matvec (Dense.transpose d) y in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-8)) (Printf.sprintf "A'y=c row %d" i) b.(i) v)
+        aty
+
+let test_identity () = check_solve (Dense.identity 4) [| 1.; 2.; 3.; 4. |]
+
+let test_permutation () =
+  (* A permutation matrix needs pivoting bookkeeping but no arithmetic. *)
+  let d = [| [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |]; [| 1.; 0.; 0. |] |] in
+  check_solve d [| 3.; 1.; 2. |]
+
+let test_dense_3x3 () =
+  let d = [| [| 2.; 1.; 1. |]; [| 4.; -6.; 0. |]; [| -2.; 7.; 2. |] |] in
+  check_solve d [| 5.; -2.; 9. |]
+
+let test_requires_pivoting () =
+  (* Zero in the leading position forces a row exchange. *)
+  let d = [| [| 0.; 2. |]; [| 1.; 1. |] |] in
+  check_solve d [| 2.; 3. |]
+
+let test_singular_detected () =
+  let d = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  match Lu.factorize ~dim:2 (cols_of_dense d) with
+  | Error (Lu.Singular _) -> ()
+  | Ok _ -> Alcotest.fail "expected Singular"
+
+let test_zero_column_singular () =
+  let d = [| [| 1.; 0. |]; [| 0.; 0. |] |] in
+  match Lu.factorize ~dim:2 (cols_of_dense d) with
+  | Error (Lu.Singular _) -> ()
+  | Ok _ -> Alcotest.fail "expected Singular"
+
+let test_near_triangular_sparse () =
+  (* Typical simplex basis shape: identity plus a few off-diagonal spikes. *)
+  let n = 50 in
+  let d = Dense.identity n in
+  d.(10).(3) <- 0.5;
+  d.(20).(3) <- -1.5;
+  d.(3).(20) <- 2.0;
+  d.(45).(44) <- 1.0;
+  d.(44).(45) <- -0.25;
+  let b = Array.init n (fun i -> float_of_int (i mod 7) -. 3.) in
+  check_solve d b
+
+let test_min_abs_diag () =
+  let d = [| [| 4.; 0. |]; [| 0.; 0.5 |] |] in
+  match Lu.factorize ~dim:2 (cols_of_dense d) with
+  | Error _ -> Alcotest.fail "unexpected singular"
+  | Ok f -> Alcotest.(check (float 1e-12)) "min diag" 0.5 (Lu.min_abs_diag f)
+
+let random_nonsingular rng n =
+  (* Random sparse matrix with a dominant diagonal: always nonsingular. *)
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- Prelude.Rng.float_range rng 1. 5.
+                 *. (if Prelude.Rng.bool rng then 1. else -1.)
+  done;
+  let extras = n * 2 in
+  for _ = 1 to extras do
+    let i = Prelude.Rng.int rng n and j = Prelude.Rng.int rng n in
+    if i <> j then d.(i).(j) <- Prelude.Rng.float_range rng (-0.9) 0.9
+  done;
+  d
+
+let test_random_sparse_solves () =
+  let rng = Prelude.Rng.of_int 2024 in
+  for trial = 1 to 25 do
+    let n = 5 + Prelude.Rng.int rng 40 in
+    let d = random_nonsingular rng n in
+    let b = Array.init n (fun _ -> Prelude.Rng.float_range rng (-10.) 10.) in
+    (match Lu.factorize ~dim:n (cols_of_dense d) with
+     | Error (Lu.Singular _) ->
+         Alcotest.fail (Printf.sprintf "trial %d: unexpected singular" trial)
+     | Ok f ->
+         let x = Array.copy b in
+         Lu.solve f x;
+         let ax = Dense.matvec d x in
+         Array.iteri
+           (fun i v ->
+             if abs_float (v -. b.(i)) > 1e-7 then
+               Alcotest.fail
+                 (Printf.sprintf "trial %d row %d: residual %g" trial i
+                    (abs_float (v -. b.(i)))))
+           ax;
+         let y = Array.init n (fun _ -> Prelude.Rng.float_range rng (-1.) 1.) in
+         let c = Array.copy y in
+         Lu.solve_transpose f c;
+         let atc = Dense.matvec (Dense.transpose d) c in
+         Array.iteri
+           (fun i v ->
+             if abs_float (v -. y.(i)) > 1e-7 then
+               Alcotest.fail
+                 (Printf.sprintf "trial %d (transpose) row %d: residual %g"
+                    trial i (abs_float (v -. y.(i)))))
+           atc)
+  done
+
+let test_explicit_col_order () =
+  let d = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  match Lu.factorize ~col_order:[| 1; 0 |] ~dim:2 (cols_of_dense d) with
+  | Error _ -> Alcotest.fail "unexpected singular"
+  | Ok f ->
+      let x = [| 4.; 7. |] in
+      Lu.solve f x;
+      let ax = Dense.matvec d x in
+      Alcotest.(check (float 1e-10)) "row 0" 4. ax.(0);
+      Alcotest.(check (float 1e-10)) "row 1" 7. ax.(1)
+
+let suite =
+  [ Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "dense 3x3" `Quick test_dense_3x3;
+    Alcotest.test_case "requires pivoting" `Quick test_requires_pivoting;
+    Alcotest.test_case "singular detected" `Quick test_singular_detected;
+    Alcotest.test_case "zero column singular" `Quick test_zero_column_singular;
+    Alcotest.test_case "near-triangular sparse" `Quick test_near_triangular_sparse;
+    Alcotest.test_case "min abs diag" `Quick test_min_abs_diag;
+    Alcotest.test_case "random sparse solves" `Quick test_random_sparse_solves;
+    Alcotest.test_case "explicit column order" `Quick test_explicit_col_order ]

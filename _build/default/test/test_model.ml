@@ -1,0 +1,102 @@
+module Model = Lp.Model
+
+let test_defaults () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m () in
+  Alcotest.(check (float 0.)) "lb" 0. (Model.lower_bound m x);
+  Alcotest.(check bool) "ub" true (Model.upper_bound m x = infinity);
+  Alcotest.(check (float 0.)) "obj" 0. (Model.obj_coeff m x)
+
+let test_names () =
+  let m = Model.create ~name:"test" Model.Maximize in
+  let x = Model.add_var m ~name:"flow" () in
+  let r = Model.add_constraint m ~name:"cap" [ (x, 1.) ] Model.Le 5. in
+  Alcotest.(check string) "model name" "test" (Model.name m);
+  Alcotest.(check string) "var name" "flow" (Model.var_name m x);
+  Alcotest.(check string) "row name" "cap" (Model.row_name m r)
+
+let test_bad_bounds () =
+  let m = Model.create Model.Minimize in
+  Alcotest.check_raises "lb > ub" (Invalid_argument "Model.add_var: lb > ub")
+    (fun () -> ignore (Model.add_var m ~lb:2. ~ub:1. ()))
+
+let test_dedup_terms () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m () in
+  let y = Model.add_var m () in
+  let r = Model.add_constraint m [ (x, 1.); (y, 2.); (x, 3.) ] Model.Eq 5. in
+  Alcotest.(check int) "merged terms" 2 (List.length (Model.row_terms m r));
+  let cx = List.assoc x (Model.row_terms m r) in
+  Alcotest.(check (float 0.)) "summed coefficient" 4. cx
+
+let test_cancelling_terms_dropped () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m () in
+  let y = Model.add_var m () in
+  let r = Model.add_constraint m [ (x, 1.); (x, -1.); (y, 1.) ] Model.Le 1. in
+  Alcotest.(check int) "zero coefficient dropped" 1
+    (List.length (Model.row_terms m r))
+
+let test_objective_value () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:2. () in
+  let _y = Model.add_var m ~obj:(-1.) () in
+  Model.add_obj m x 0.5;
+  Alcotest.(check (float 1e-12)) "objective" (2.5 *. 3. -. 4.)
+    (Model.objective_value m [| 3.; 4. |])
+
+let test_constraint_violation () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:0. ~ub:10. () in
+  let y = Model.add_var m () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 5.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 1.);
+  Alcotest.(check (float 1e-12)) "feasible" 0.
+    (Model.constraint_violation m [| 2.; 3. |]);
+  Alcotest.(check (float 1e-12)) "Le violated by 1" 1.
+    (Model.constraint_violation m [| 3.; 3. |]);
+  Alcotest.(check (float 1e-12)) "Ge violated" 1.
+    (Model.constraint_violation m [| 0.; 0. |]);
+  Alcotest.(check (float 1e-12)) "bound violated" 7.
+    (Model.constraint_violation m [| 12.; -7. |])
+
+let test_add_vars_bulk () =
+  let m = Model.create Model.Minimize in
+  let xs = Model.add_vars m 5 ~lb:1. ~ub:2. () in
+  Alcotest.(check int) "count" 5 (Model.num_vars m);
+  Array.iter
+    (fun x -> Alcotest.(check (float 0.)) "bulk lb" 1. (Model.lower_bound m x))
+    xs
+
+let test_standard_form () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:3. () in
+  let y = Model.add_var m ~obj:5. ~lb:1. ~ub:6. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 2.) ] Model.Le 10.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 2.);
+  ignore (Model.add_constraint m [ (y, 1.) ] Model.Eq 3.);
+  let sf = Lp.Standard_form.of_model m in
+  Alcotest.(check int) "struct vars" 2 sf.Lp.Standard_form.n_struct;
+  Alcotest.(check int) "rows" 3 sf.Lp.Standard_form.n_rows;
+  Alcotest.(check int) "total" 5 (Lp.Standard_form.total_vars sf);
+  (* Maximize flips costs. *)
+  Alcotest.(check (float 0.)) "flipped cost" (-3.) sf.Lp.Standard_form.cost.(0);
+  (* Slack bounds encode senses. *)
+  Alcotest.(check (float 0.)) "Le slack lb" 0. sf.Lp.Standard_form.lb.(2);
+  Alcotest.(check bool) "Le slack ub" true (sf.Lp.Standard_form.ub.(2) = infinity);
+  Alcotest.(check bool) "Ge slack lb" true
+    (sf.Lp.Standard_form.lb.(3) = neg_infinity);
+  Alcotest.(check (float 0.)) "Ge slack ub" 0. sf.Lp.Standard_form.ub.(3);
+  Alcotest.(check (float 0.)) "Eq slack fixed lb" 0. sf.Lp.Standard_form.lb.(4);
+  Alcotest.(check (float 0.)) "Eq slack fixed ub" 0. sf.Lp.Standard_form.ub.(4)
+
+let suite =
+  [ Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "bad bounds" `Quick test_bad_bounds;
+    Alcotest.test_case "dedup terms" `Quick test_dedup_terms;
+    Alcotest.test_case "cancelling terms dropped" `Quick test_cancelling_terms_dropped;
+    Alcotest.test_case "objective value" `Quick test_objective_value;
+    Alcotest.test_case "constraint violation" `Quick test_constraint_violation;
+    Alcotest.test_case "add_vars bulk" `Quick test_add_vars_bulk;
+    Alcotest.test_case "standard form" `Quick test_standard_form ]

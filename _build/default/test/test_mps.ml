@@ -1,0 +1,183 @@
+module Model = Lp.Model
+module Status = Lp.Status
+module Mps = Lp.Mps
+
+let sample_model () =
+  let m = Model.create ~name:"sample" Model.Minimize in
+  let x = Model.add_var m ~name:"x" ~obj:2. () in
+  let y = Model.add_var m ~name:"y" ~obj:3. ~lb:1. ~ub:6. () in
+  let z = Model.add_var m ~name:"z" ~lb:neg_infinity ~obj:(-1.) () in
+  ignore (Model.add_constraint m ~name:"c1" [ (x, 1.); (y, 1.) ] Model.Ge 4.);
+  ignore (Model.add_constraint m ~name:"c2" [ (x, 2.); (z, 1.) ] Model.Le 9.);
+  ignore (Model.add_constraint m ~name:"c3" [ (y, 1.); (z, -1.) ] Model.Eq 2.);
+  m
+
+let parse_ok text =
+  match Mps.read text with
+  | Ok m -> m
+  | Error msg -> Alcotest.fail msg
+
+let test_roundtrip_structure () =
+  let m = sample_model () in
+  let m' = parse_ok (Mps.write m) in
+  Alcotest.(check int) "vars" (Model.num_vars m) (Model.num_vars m');
+  Alcotest.(check int) "rows" (Model.num_rows m) (Model.num_rows m');
+  for v = 0 to Model.num_vars m - 1 do
+    let a = Model.var_of_index m v and b = Model.var_of_index m' v in
+    Alcotest.(check string) "name" (Model.var_name m a) (Model.var_name m' b);
+    Alcotest.(check bool) "lb" true
+      (Model.lower_bound m a = Model.lower_bound m' b);
+    Alcotest.(check bool) "ub" true
+      (Model.upper_bound m a = Model.upper_bound m' b)
+  done
+
+let test_roundtrip_solution () =
+  let m = sample_model () in
+  let m' = parse_ok (Mps.write m) in
+  match (Lp.Simplex.solve m, Lp.Simplex.solve m') with
+  | Status.Optimal a, Status.Optimal b ->
+      Alcotest.(check (float 1e-6)) "objective preserved" a.Status.objective
+        b.Status.objective
+  | a, b ->
+      Alcotest.failf "outcomes differ: %a vs %a" Status.pp_outcome a
+        Status.pp_outcome b
+
+let test_maximize_flip () =
+  (* A maximization model writes as negated minimization; solving the
+     written file gives the negated optimum at the same point. *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~name:"x" ~obj:3. ~ub:4. () in
+  ignore (Model.add_constraint m ~name:"r" [ (x, 1.) ] Model.Le 10.);
+  let m' = parse_ok (Mps.write m) in
+  match (Lp.Simplex.solve m, Lp.Simplex.solve m') with
+  | Status.Optimal a, Status.Optimal b ->
+      Alcotest.(check (float 1e-6)) "negated objective" (-.a.Status.objective)
+        b.Status.objective;
+      Alcotest.(check (float 1e-6)) "same point" a.Status.primal.(0)
+        b.Status.primal.(0)
+  | _, _ -> Alcotest.fail "expected optimal"
+
+let test_parse_handwritten () =
+  let text =
+    {|* a comment
+NAME tiny
+ROWS
+ N cost
+ L cap
+ G demand
+COLUMNS
+    a cost 1.5 cap 1.0
+    a demand 1.0
+    b cost 2.0
+    b cap 1.0 demand 1.0
+RHS
+    RHS cap 10.0 demand 3.0
+BOUNDS
+ UP BND a 8.0
+ENDATA
+|}
+  in
+  let m = parse_ok text in
+  Alcotest.(check int) "vars" 2 (Model.num_vars m);
+  Alcotest.(check int) "rows" 2 (Model.num_rows m);
+  match Lp.Simplex.solve m with
+  | Status.Optimal s ->
+      (* min 1.5a + 2b, a + b >= 3, a + b <= 10, a <= 8: a = 3. *)
+      Alcotest.(check (float 1e-6)) "objective" 4.5 s.Status.objective
+  | other -> Alcotest.failf "expected optimal, got %a" Status.pp_outcome other
+
+let test_errors () =
+  let expect name text =
+    match Mps.read text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+  in
+  expect "no objective" "ROWS\n L r\nENDATA\n";
+  expect "ranges" "ROWS\n N obj\nRANGES\nENDATA\n";
+  expect "duplicate row" "ROWS\n N obj\n L r\n L r\n";
+  expect "bad coefficient" "ROWS\n N obj\n L r\nCOLUMNS\n    x r oops\n";
+  expect "unknown rhs row" "ROWS\n N obj\nRHS\n    RHS nope 3\n";
+  expect "integer bounds" "ROWS\n N obj\nBOUNDS\n BV BND x\n"
+
+let test_fixed_and_free_bounds () =
+  let text =
+    {|NAME b
+ROWS
+ N obj
+ E r
+COLUMNS
+    x obj 1.0 r 1.0
+    y obj 1.0 r 1.0
+RHS
+    RHS r 5.0
+BOUNDS
+ FX BND x 2.0
+ FR BND y
+ENDATA
+|}
+  in
+  let m = parse_ok text in
+  let x = Model.var_of_index m 0 and y = Model.var_of_index m 1 in
+  Alcotest.(check (float 0.)) "x fixed lb" 2. (Model.lower_bound m x);
+  Alcotest.(check (float 0.)) "x fixed ub" 2. (Model.upper_bound m x);
+  Alcotest.(check bool) "y free below" true
+    (Model.lower_bound m y = neg_infinity);
+  match Lp.Simplex.solve m with
+  | Status.Optimal s ->
+      Alcotest.(check (float 1e-6)) "y = 3" 3. s.Status.primal.(1)
+  | other -> Alcotest.failf "expected optimal, got %a" Status.pp_outcome other
+
+let test_random_roundtrip () =
+  let rng = Prelude.Rng.of_int 8080 in
+  for trial = 1 to 50 do
+    let m = Model.create Model.Minimize in
+    let n = 1 + Prelude.Rng.int rng 6 in
+    let vars =
+      Array.init n (fun i ->
+          Model.add_var m
+            ~name:(Printf.sprintf "v%d" i)
+            ~obj:(Prelude.Rng.float_range rng (-4.) 4.)
+            ~lb:(if Prelude.Rng.bool rng then 0. else -2.)
+            ~ub:(Prelude.Rng.float_range rng 3. 9.)
+            ())
+    in
+    for r = 0 to Prelude.Rng.int rng 5 do
+      let terms =
+        Array.to_list vars
+        |> List.filter_map (fun v ->
+               if Prelude.Rng.bool rng then
+                 Some (v, Prelude.Rng.float_range rng (-3.) 3.)
+               else None)
+      in
+      if terms <> [] then
+        ignore
+          (Model.add_constraint m
+             ~name:(Printf.sprintf "r%d" r)
+             terms
+             (match Prelude.Rng.int rng 3 with
+              | 0 -> Model.Le
+              | 1 -> Model.Ge
+              | _ -> Model.Eq)
+             (Prelude.Rng.float_range rng (-5.) 5.))
+    done;
+    let m' = parse_ok (Mps.write m) in
+    match (Lp.Simplex.solve m, Lp.Simplex.solve m') with
+    | Status.Optimal a, Status.Optimal b ->
+        if abs_float (a.Status.objective -. b.Status.objective) > 1e-6 then
+          Alcotest.failf "trial %d: %.9g vs %.9g" trial a.Status.objective
+            b.Status.objective
+    | Status.Infeasible, Status.Infeasible -> ()
+    | Status.Unbounded, Status.Unbounded -> ()
+    | a, b ->
+        Alcotest.failf "trial %d: %a vs %a" trial Status.pp_outcome a
+          Status.pp_outcome b
+  done
+
+let suite =
+  [ Alcotest.test_case "roundtrip structure" `Quick test_roundtrip_structure;
+    Alcotest.test_case "roundtrip solution" `Quick test_roundtrip_solution;
+    Alcotest.test_case "maximize flip" `Quick test_maximize_flip;
+    Alcotest.test_case "parse handwritten" `Quick test_parse_handwritten;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "fixed and free bounds" `Quick test_fixed_and_free_bounds;
+    Alcotest.test_case "random roundtrip x50" `Quick test_random_roundtrip ]

@@ -1,0 +1,228 @@
+(* Golden tests reproducing the quantitative claims of the paper's two
+   worked examples (Fig. 1 and Fig. 3 / Sec. V). These exercise the whole
+   pipeline: topology, time expansion, LP formulation, simplex, plan
+   extraction and validation. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Formulate = Postcard.Formulate
+module Flow = Postcard.Flow_baseline
+module Scheduler = Postcard.Scheduler
+
+let unlimited ~link:_ ~layer:_ = infinity
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: 3 datacenters. D2 sends 6 MB to D3 within 3 intervals.
+   Prices: D2 -> D3 = 10, D2 -> D1 = 1, D1 -> D3 = 3.
+   Direct: peak 2/interval on the price-10 link -> cost 20/interval.
+   Routed + scheduled: two blocks pipelined through D1 -> peak 3 on both
+   cheap links -> cost 1*3 + 3*3 = 12/interval. *)
+
+(* Nodes: 0 = D1, 1 = D2, 2 = D3. *)
+let fig1_graph () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:1000. ~cost:10. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:0 ~capacity:1000. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:1000. ~cost:3. ());
+  g
+
+let fig1_file () = File.make ~id:0 ~src:1 ~dst:2 ~size:6. ~deadline:3 ~release:0
+
+let test_fig1_postcard () =
+  let base = fig1_graph () in
+  let charged = Array.make (Graph.num_arcs base) 0. in
+  let f =
+    Formulate.create ~base ~charged ~capacity:unlimited ~files:[ fig1_file () ]
+      ~epoch:0 ()
+  in
+  match Formulate.solve f with
+  | Formulate.Scheduled { plan; objective; charged = x } ->
+      Alcotest.(check (float 1e-4)) "optimal cost per interval" 12. objective;
+      (* X on the cheap links is 3 each; the direct link is unused. *)
+      Alcotest.(check (float 1e-4)) "X direct" 0. x.(0);
+      Alcotest.(check (float 1e-4)) "X D2->D1" 3. x.(1);
+      Alcotest.(check (float 1e-4)) "X D1->D3" 3. x.(2);
+      (* The plan must be a valid store-and-forward schedule. *)
+      (match
+         Plan.validate ~base ~files:[ fig1_file () ]
+           ~capacity:(fun ~link:_ ~slot:_ -> 1000.)
+           plan
+       with
+       | Ok () -> ()
+       | Error msg -> Alcotest.fail msg)
+  | Formulate.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Formulate.Solver_failure msg -> Alcotest.fail msg
+
+let test_fig1_direct () =
+  let base = fig1_graph () in
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let ctx =
+    { Scheduler.base;
+      epoch = 0;
+      period = 100;
+      charged = Array.make (Graph.num_arcs base) 0.;
+      residual = (fun ~link:_ ~slot:_ -> 1000.);
+      occupied = (fun ~link:_ ~slot:_ -> 0.) }
+  in
+  let { Scheduler.plan; accepted; rejected } =
+    scheduler.Scheduler.schedule ctx [ fig1_file () ]
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  Alcotest.(check int) "rejected" 0 (List.length rejected);
+  (* Direct: 2 MB on the price-10 link in each of 3 intervals. *)
+  let peak = ref 0. in
+  for slot = 0 to 2 do
+    peak := max !peak (Plan.volume_on plan ~link:0 ~slot)
+  done;
+  Alcotest.(check (float 1e-9)) "peak on direct link" 2. !peak;
+  Alcotest.(check (float 1e-9)) "cost per interval" 20. (10. *. !peak)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 / Sec. V: 4 datacenters, capacity 5 on every link.
+   File 1: D2 -> D4, size 8, deadline 4. File 2: D1 -> D4, size 10,
+   deadline 2. Prices reconstructed to match every number quoted in the
+   text (see DESIGN.md): the Postcard optimum is 98/3 = 32.67, the
+   flow-based optimum 50, direct send 52. *)
+
+(* Nodes: 0 = D1, 1 = D2, 2 = D3, 3 = D4. *)
+let fig3_costs =
+  [| [| 0.; 1.; 5.; 6. |];
+     [| 1.; 0.; 4.; 11. |];
+     [| 5.; 4.; 0.; 6. |];
+     [| 6.; 11.; 6.; 0. |] |]
+
+let fig3_graph () = Netgraph.Topology.of_cost_matrix ~capacity:5. fig3_costs
+
+let fig3_files () =
+  [ File.make ~id:1 ~src:1 ~dst:3 ~size:8. ~deadline:4 ~release:0;
+    File.make ~id:2 ~src:0 ~dst:3 ~size:10. ~deadline:2 ~release:0 ]
+
+let capacity5 ~link:_ ~layer:_ = 5.
+
+let test_fig3_postcard () =
+  let base = fig3_graph () in
+  let charged = Array.make (Graph.num_arcs base) 0. in
+  let f =
+    Formulate.create ~base ~charged ~capacity:capacity5 ~files:(fig3_files ())
+      ~epoch:0 ()
+  in
+  match Formulate.solve f with
+  | Formulate.Scheduled { plan; objective; charged = x } ->
+      Alcotest.(check (float 1e-3)) "optimal cost per interval" (98. /. 3.)
+        objective;
+      (* File 2 saturates the cheap D1->D4 link; file 1 trickles over
+         D2->D1 at peak 8/3 and free-rides D1->D4 afterwards. *)
+      let link_14 = Option.get (Graph.find_arc base ~src:0 ~dst:3) in
+      let link_21 = Option.get (Graph.find_arc base ~src:1 ~dst:0) in
+      Alcotest.(check (float 1e-3)) "X on D1->D4" 5. x.(link_14);
+      Alcotest.(check (float 1e-3)) "X on D2->D1" (8. /. 3.) x.(link_21);
+      (match
+         Plan.validate ~base ~files:(fig3_files ())
+           ~capacity:(fun ~link:_ ~slot:_ -> 5.)
+           plan
+       with
+       | Ok () -> ()
+       | Error msg -> Alcotest.fail msg);
+      (* Store-and-forward must actually be used: file 1 is held at D1. *)
+      let stored_at_d1 =
+        List.exists
+          (fun h -> h.Plan.h_file = 1 && h.Plan.h_node = 0)
+          plan.Plan.holdovers
+      in
+      Alcotest.(check bool) "file 1 stored at D1" true stored_at_d1
+  | Formulate.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Formulate.Solver_failure msg -> Alcotest.fail msg
+
+let fig3_instance () =
+  let base = fig3_graph () in
+  { Flow.base;
+    cap = Array.make (Graph.num_arcs base) 5.;
+    occ_peak = Array.make (Graph.num_arcs base) 0.;
+    charged = Array.make (Graph.num_arcs base) 0. }
+
+let test_fig3_flow_based () =
+  let inst = fig3_instance () in
+  match Flow.solve_two_stage inst ~files:(fig3_files ()) with
+  | None -> Alcotest.fail "flow model is feasible here"
+  | Some flows ->
+      Alcotest.(check (float 1e-3)) "flow-based cost per interval" 50.
+        flows.Flow.estimated_cost;
+      (* File 2 (rate 5) takes the whole cheap link, forcing file 1 (rate
+         2) onto D2 -> D3 -> D4. *)
+      let base = inst.Flow.base in
+      let link_14 = Option.get (Graph.find_arc base ~src:0 ~dst:3) in
+      let link_23 = Option.get (Graph.find_arc base ~src:1 ~dst:2) in
+      let link_34 = Option.get (Graph.find_arc base ~src:2 ~dst:3) in
+      Alcotest.(check (float 1e-3)) "file2 on D1->D4" 5.
+        flows.Flow.rates.(1).(link_14);
+      Alcotest.(check (float 1e-3)) "file1 on D2->D3" 2.
+        flows.Flow.rates.(0).(link_23);
+      Alcotest.(check (float 1e-3)) "file1 on D3->D4" 2.
+        flows.Flow.rates.(0).(link_34)
+
+let test_fig3_joint_flow_not_better () =
+  (* The joint LP is the exact flow-based optimum; on this instance the
+     two-stage decomposition already finds it. *)
+  let inst = fig3_instance () in
+  match Flow.solve_joint inst ~files:(fig3_files ()) with
+  | None -> Alcotest.fail "feasible"
+  | Some flows ->
+      Alcotest.(check (float 1e-3)) "joint flow cost" 50.
+        flows.Flow.estimated_cost
+
+let test_fig3_direct () =
+  let base = fig3_graph () in
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let ctx =
+    { Scheduler.base;
+      epoch = 0;
+      period = 100;
+      charged = Array.make (Graph.num_arcs base) 0.;
+      residual = (fun ~link:_ ~slot:_ -> 5.);
+      occupied = (fun ~link:_ ~slot:_ -> 0.) }
+  in
+  let { Scheduler.plan; accepted; _ } =
+    scheduler.Scheduler.schedule ctx (fig3_files ())
+  in
+  Alcotest.(check int) "both accepted" 2 (List.length accepted);
+  let link_14 = Option.get (Graph.find_arc base ~src:0 ~dst:3) in
+  let link_24 = Option.get (Graph.find_arc base ~src:1 ~dst:3) in
+  let peak link =
+    let acc = ref 0. in
+    for slot = 0 to 3 do
+      acc := max !acc (Plan.volume_on plan ~link ~slot)
+    done;
+    !acc
+  in
+  (* Cost = 6 * 5 + 11 * 2 = 52, as quoted. *)
+  Alcotest.(check (float 1e-9)) "peak D1->D4" 5. (peak link_14);
+  Alcotest.(check (float 1e-9)) "peak D2->D4" 2. (peak link_24);
+  Alcotest.(check (float 1e-9)) "cost" 52.
+    ((6. *. peak link_14) +. (11. *. peak link_24))
+
+(* Postcard can never do worse than direct send on the same instance:
+   the direct schedule is a feasible point of the Postcard program. *)
+let test_postcard_dominates_direct () =
+  let base = fig3_graph () in
+  let charged = Array.make (Graph.num_arcs base) 0. in
+  let f =
+    Formulate.create ~base ~charged ~capacity:capacity5 ~files:(fig3_files ())
+      ~epoch:0 ()
+  in
+  match Formulate.solve f with
+  | Formulate.Scheduled { objective; _ } ->
+      Alcotest.(check bool) "postcard <= direct" true (objective <= 52. +. 1e-6);
+      Alcotest.(check bool) "postcard <= flow-based" true
+        (objective <= 50. +. 1e-6)
+  | Formulate.Infeasible | Formulate.Solver_failure _ ->
+      Alcotest.fail "expected optimal"
+
+let suite =
+  [ Alcotest.test_case "fig1 postcard = 12" `Quick test_fig1_postcard;
+    Alcotest.test_case "fig1 direct = 20" `Quick test_fig1_direct;
+    Alcotest.test_case "fig3 postcard = 32.67" `Quick test_fig3_postcard;
+    Alcotest.test_case "fig3 flow-based = 50" `Quick test_fig3_flow_based;
+    Alcotest.test_case "fig3 joint flow = 50" `Quick test_fig3_joint_flow_not_better;
+    Alcotest.test_case "fig3 direct = 52" `Quick test_fig3_direct;
+    Alcotest.test_case "postcard dominates baselines" `Quick test_postcard_dominates_direct ]

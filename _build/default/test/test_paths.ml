@@ -1,0 +1,100 @@
+module Graph = Netgraph.Graph
+module Paths = Netgraph.Paths
+
+let diamond () =
+  (* 0 -> 1 -> 3 (cost 1 + 1), 0 -> 2 -> 3 (cost 2 + 3), 0 -> 3 (cost 5). *)
+  let g = Graph.create ~n:4 in
+  let a01 = Graph.add_arc g ~src:0 ~dst:1 ~cost:1. () in
+  let a13 = Graph.add_arc g ~src:1 ~dst:3 ~cost:1. () in
+  let _a02 = Graph.add_arc g ~src:0 ~dst:2 ~cost:2. () in
+  let _a23 = Graph.add_arc g ~src:2 ~dst:3 ~cost:3. () in
+  let _a03 = Graph.add_arc g ~src:0 ~dst:3 ~cost:5. () in
+  (g, a01, a13)
+
+let test_dijkstra () =
+  let g, a01, a13 = diamond () in
+  let tree = Paths.dijkstra g ~src:0 in
+  Alcotest.(check (float 1e-12)) "dist 3" 2. tree.Paths.dist.(3);
+  Alcotest.(check (float 1e-12)) "dist 2" 2. tree.Paths.dist.(2);
+  Alcotest.(check (option (list int))) "path" (Some [ a01; a13 ])
+    (Paths.path_to tree g ~dst:3)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cost:1. ());
+  let tree = Paths.dijkstra g ~src:0 in
+  Alcotest.(check bool) "unreachable" true (tree.Paths.dist.(2) = infinity);
+  Alcotest.(check (option (list int))) "no path" None (Paths.path_to tree g ~dst:2)
+
+let test_dijkstra_filtered () =
+  let g, _, _ = diamond () in
+  (* Exclude the cheap middle arc: the best route becomes 0 -> 3 at 5
+     (0->2->3 also costs 5; Dijkstra may return either; check distance). *)
+  let tree =
+    Paths.dijkstra_filtered g ~src:0 ~usable:(fun a -> a.Graph.cost <> 1.)
+  in
+  Alcotest.(check (float 1e-12)) "dist without cheap arcs" 5. tree.Paths.dist.(3)
+
+let test_dijkstra_negative_rejected () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cost:(-1.) ());
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Paths.dijkstra: negative arc cost") (fun () ->
+      ignore (Paths.dijkstra g ~src:0))
+
+let test_bellman_ford_negative_costs () =
+  let g = Graph.create ~n:4 in
+  let a01 = Graph.add_arc g ~src:0 ~dst:1 ~cost:4. () in
+  let a12 = Graph.add_arc g ~src:1 ~dst:2 ~cost:(-2.) () in
+  let _a02 = Graph.add_arc g ~src:0 ~dst:2 ~cost:3. () in
+  let a23 = Graph.add_arc g ~src:2 ~dst:3 ~cost:1. () in
+  match Paths.bellman_ford g ~src:0 with
+  | None -> Alcotest.fail "no negative cycle here"
+  | Some tree ->
+      Alcotest.(check (float 1e-12)) "dist 2" 2. tree.Paths.dist.(2);
+      Alcotest.(check (option (list int))) "path through negative arc"
+        (Some [ a01; a12; a23 ])
+        (Paths.path_to tree g ~dst:3)
+
+let test_bellman_ford_negative_cycle () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cost:1. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cost:(-3.) ());
+  ignore (Graph.add_arc g ~src:2 ~dst:1 ~cost:1. ());
+  Alcotest.(check bool) "cycle detected" true (Paths.bellman_ford g ~src:0 = None)
+
+let test_agreement_with_dijkstra () =
+  let rng = Prelude.Rng.of_int 11 in
+  for _ = 1 to 20 do
+    let n = 4 + Prelude.Rng.int rng 8 in
+    let g = Graph.create ~n in
+    for _ = 1 to n * 3 do
+      let s = Prelude.Rng.int rng n and d = Prelude.Rng.int rng n in
+      if s <> d then
+        ignore (Graph.add_arc g ~src:s ~dst:d ~cost:(Prelude.Rng.float rng 10.) ())
+    done;
+    let t1 = Paths.dijkstra g ~src:0 in
+    match Paths.bellman_ford g ~src:0 with
+    | None -> Alcotest.fail "no negative costs, no cycle possible"
+    | Some t2 ->
+        for v = 0 to n - 1 do
+          let d1 = t1.Paths.dist.(v) and d2 = t2.Paths.dist.(v) in
+          if d1 = infinity || d2 = infinity then
+            Alcotest.(check bool) "both unreachable" true (d1 = d2)
+          else Alcotest.(check (float 1e-9)) "distances agree" d1 d2
+        done
+  done
+
+let test_path_cost () =
+  let g, a01, a13 = diamond () in
+  Alcotest.(check (float 1e-12)) "cost" 2. (Paths.path_cost g [ a01; a13 ])
+
+let suite =
+  [ Alcotest.test_case "dijkstra" `Quick test_dijkstra;
+    Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "dijkstra filtered" `Quick test_dijkstra_filtered;
+    Alcotest.test_case "dijkstra rejects negative" `Quick test_dijkstra_negative_rejected;
+    Alcotest.test_case "bellman-ford negative costs" `Quick test_bellman_ford_negative_costs;
+    Alcotest.test_case "bellman-ford negative cycle" `Quick test_bellman_ford_negative_cycle;
+    Alcotest.test_case "dijkstra/bellman-ford agree" `Quick test_agreement_with_dijkstra;
+    Alcotest.test_case "path cost" `Quick test_path_cost ]

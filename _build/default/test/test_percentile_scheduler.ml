@@ -1,0 +1,134 @@
+(* The percentile-aware burst scheduler: free burst slots under q-th
+   percentile billing. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+
+let ctx ?(period = 20) ?(occupied = fun ~link:_ ~slot:_ -> 0.) base capacity =
+  { Scheduler.base;
+    epoch = 0;
+    period;
+    charged = Array.make (Graph.num_arcs base) 0.;
+    residual = (fun ~link ~slot -> capacity -. occupied ~link ~slot);
+    occupied }
+
+let line () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:100. ~cost:3. ());
+  g
+
+let test_bursts_are_free () =
+  (* Period 20, 90th percentile: the top 2 slots per link are free. A
+     single urgent file fits entirely in one burst slot, so the 90th
+     percentile bill stays zero. *)
+  let base = line () in
+  let scheduler = Postcard.Greedy_scheduler.make_percentile ~percentile:90. () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ] in
+  let { Scheduler.plan; accepted; _ } =
+    scheduler.Scheduler.schedule (ctx base 100.) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  (* Build the period's volume series and evaluate under the scheme. *)
+  let volumes = Array.make 20 0. in
+  List.iter
+    (fun tx -> volumes.(tx.Plan.slot) <- volumes.(tx.Plan.slot) +. tx.Plan.volume)
+    plan.Plan.transmissions;
+  let billed =
+    Postcard.Charging.charged_volume (Postcard.Charging.scheme 90.) volumes
+  in
+  Alcotest.(check (float 1e-9)) "90th percentile bill is zero" 0. billed
+
+let test_peak_mode_pays () =
+  (* The same instance under the peak-aware greedy: the 100th percentile
+     charge is size / deadline. *)
+  let base = line () in
+  let scheduler = Postcard.Greedy_scheduler.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ] in
+  let { Scheduler.plan; _ } = scheduler.Scheduler.schedule (ctx base 100.) files in
+  Alcotest.(check (float 1e-9)) "peak charge" 50.
+    (Plan.volume_on plan ~link:0 ~slot:0)
+
+let test_reuses_existing_burst_slot () =
+  (* Slot 3 already carries a huge committed burst: the percentile
+     scheduler should pile onto it rather than open a second burst slot,
+     when the deadline window allows. *)
+  let base = line () in
+  let occupied ~link:_ ~slot = if slot = 3 then 60. else 0. in
+  let scheduler = Postcard.Greedy_scheduler.make_percentile ~percentile:95. () in
+  (* 95th percentile of 20 slots discards only the single top slot. *)
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:30. ~deadline:6 ~release:0 ] in
+  let { Scheduler.plan; _ } =
+    scheduler.Scheduler.schedule (ctx ~occupied base 100.) files
+  in
+  (* All volume should land in slot 3 (the already-discarded burst slot). *)
+  Alcotest.(check (float 1e-6)) "piled onto the burst slot" 30.
+    (Plan.volume_on plan ~link:0 ~slot:3)
+
+let test_plans_stay_valid () =
+  let rng = Prelude.Rng.of_int 77 in
+  for _ = 1 to 10 do
+    let n = 4 + Prelude.Rng.int rng 3 in
+    let base =
+      Netgraph.Topology.complete ~n ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:40.
+    in
+    let files =
+      List.init (1 + Prelude.Rng.int rng 4) (fun id ->
+          let src = Prelude.Rng.int rng n in
+          let rec dst () =
+            let d = Prelude.Rng.int rng n in
+            if d = src then dst () else d
+          in
+          File.make ~id ~src ~dst:(dst ())
+            ~size:(Prelude.Rng.float_range rng 5. 30.)
+            ~deadline:(Prelude.Rng.int_incl rng 1 4)
+            ~release:0)
+    in
+    let scheduler = Postcard.Greedy_scheduler.make_percentile () in
+    let { Scheduler.plan; accepted; _ } =
+      scheduler.Scheduler.schedule (ctx ~period:30 base 40.) files
+    in
+    match
+      Plan.validate ~base ~files:accepted
+        ~capacity:(fun ~link:_ ~slot:_ -> 40.)
+        plan
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  done
+
+let test_end_to_end_beats_peak_under_95 () =
+  (* Full engine runs: under 95th percentile *evaluation*, the burst-aware
+     scheduler should not be worse than the peak-aware greedy. *)
+  let rng = Prelude.Rng.of_int 5150 in
+  let base =
+    Netgraph.Topology.complete ~n:5 ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:40.
+  in
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:5 ~files_max:3 ~max_deadline:4) with
+      Sim.Workload.size_min = 5.;
+      size_max = 25.;
+      deadlines = Sim.Workload.Uniform_deadline (1, 4) }
+  in
+  let slots = 40 in
+  let run scheduler =
+    let workload = Sim.Workload.create spec (Prelude.Rng.of_int 31415) in
+    let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+    Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme 95.)
+      ~base
+  in
+  let peak_cost = run (Postcard.Greedy_scheduler.make ()) in
+  let burst_cost = run (Postcard.Greedy_scheduler.make_percentile ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst %.1f <= peak %.1f under 95th-percentile billing"
+       burst_cost peak_cost)
+    true
+    (burst_cost <= peak_cost +. 1e-6)
+
+let suite =
+  [ Alcotest.test_case "bursts are free" `Quick test_bursts_are_free;
+    Alcotest.test_case "peak mode pays" `Quick test_peak_mode_pays;
+    Alcotest.test_case "reuses burst slot" `Quick test_reuses_existing_burst_slot;
+    Alcotest.test_case "plans stay valid" `Quick test_plans_stay_valid;
+    Alcotest.test_case "beats peak under 95th" `Quick test_end_to_end_beats_peak_under_95 ]

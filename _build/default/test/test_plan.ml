@@ -1,0 +1,146 @@
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+
+(* Line graph 0 -> 1 -> 2 plus a direct 0 -> 2. *)
+let base () =
+  let g = Graph.create ~n:3 in
+  let a01 = Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. () in
+  let a12 = Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. () in
+  let a02 = Graph.add_arc g ~src:0 ~dst:2 ~capacity:10. ~cost:5. () in
+  (g, a01, a12, a02)
+
+let cap10 ~link:_ ~slot:_ = 10.
+
+let file ?(size = 4.) ?(deadline = 3) () =
+  File.make ~id:0 ~src:0 ~dst:2 ~size ~deadline ~release:0
+
+let tx file link slot volume = { Plan.file; link; slot; volume }
+
+let test_valid_relay () =
+  let g, a01, a12, _ = base () in
+  let f = file () in
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a12 1 4. ]; holdovers = [] }
+  in
+  match Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_valid_split_paths () =
+  let g, a01, a12, a02 = base () in
+  let f = file () in
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 2.; tx 0 a12 1 2.; tx 0 a02 0 2. ];
+      holdovers = [] }
+  in
+  match Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_premature_forward_rejected () =
+  let g, a01, a12, _ = base () in
+  let f = file () in
+  (* Forwarding in the same slot the data leaves the source: invalid in the
+     store-and-forward model. *)
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a12 0 4. ]; holdovers = [] }
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan))
+
+let test_underdelivery_rejected () =
+  let g, a01, a12, _ = base () in
+  let f = file () in
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 3.; tx 0 a12 1 3. ]; holdovers = [] }
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan))
+
+let test_deadline_violation_rejected () =
+  let g, a01, a12, _ = base () in
+  let f = file ~deadline:2 () in
+  (* Second hop lands at slot 2, outside the window [0, 1]. *)
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a12 2 4. ]; holdovers = [] }
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan))
+
+let test_capacity_violation_rejected () =
+  let g, _, _, a02 = base () in
+  let f = file ~size:12. ~deadline:1 () in
+  let plan = { Plan.transmissions = [ tx 0 a02 0 12. ]; holdovers = [] } in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Plan.validate ~base:g ~files:[ f ] ~capacity:cap10 plan))
+
+let test_capacity_aggregates_across_files () =
+  let g, _, _, a02 = base () in
+  let f1 = File.make ~id:0 ~src:0 ~dst:2 ~size:6. ~deadline:1 ~release:0 in
+  let f2 = File.make ~id:1 ~src:0 ~dst:2 ~size:6. ~deadline:1 ~release:0 in
+  (* Each fits alone; together they exceed capacity 10. *)
+  let plan =
+    { Plan.transmissions = [ tx 0 a02 0 6.; tx 1 a02 0 6. ]; holdovers = [] }
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error
+       (Plan.validate ~base:g ~files:[ f1; f2 ] ~capacity:cap10 plan))
+
+let test_unknown_file_rejected () =
+  let g, a01, _, _ = base () in
+  let plan = { Plan.transmissions = [ tx 9 a01 0 1. ]; holdovers = [] } in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Plan.validate ~base:g ~files:[ file () ] ~capacity:cap10 plan))
+
+let test_capacity_only_accepts_fluid () =
+  let g, a01, a12, _ = base () in
+  (* Same-slot relay: invalid as store-and-forward, fine as fluid. *)
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a12 0 4. ]; holdovers = [] }
+  in
+  match Plan.validate_capacity ~base:g ~capacity:cap10 plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_volume_helpers () =
+  let g, a01, a12, _ = base () in
+  ignore g;
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a01 0 2.; tx 0 a12 1 6. ];
+      holdovers = [] }
+  in
+  Alcotest.(check (float 0.)) "volume_on sums" 6.
+    (Plan.volume_on plan ~link:a01 ~slot:0);
+  Alcotest.(check (float 0.)) "total" 12. (Plan.total_transmitted plan);
+  Alcotest.(check (option (pair int int))) "slot range" (Some (0, 1))
+    (Plan.slot_range plan)
+
+let test_delivered_volume () =
+  let g, a01, a12, _ = base () in
+  let f = file () in
+  let plan =
+    { Plan.transmissions = [ tx 0 a01 0 4.; tx 0 a12 1 4. ]; holdovers = [] }
+  in
+  Alcotest.(check (float 0.)) "delivered" 4.
+    (Plan.delivered_volume plan ~base:g ~file:f)
+
+let test_empty_plan_valid () =
+  let g, _, _, _ = base () in
+  match Plan.validate ~base:g ~files:[] ~capacity:cap10 Plan.empty with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [ Alcotest.test_case "valid relay" `Quick test_valid_relay;
+    Alcotest.test_case "valid split paths" `Quick test_valid_split_paths;
+    Alcotest.test_case "premature forward rejected" `Quick test_premature_forward_rejected;
+    Alcotest.test_case "underdelivery rejected" `Quick test_underdelivery_rejected;
+    Alcotest.test_case "deadline violation rejected" `Quick test_deadline_violation_rejected;
+    Alcotest.test_case "capacity violation rejected" `Quick test_capacity_violation_rejected;
+    Alcotest.test_case "capacity aggregates files" `Quick test_capacity_aggregates_across_files;
+    Alcotest.test_case "unknown file rejected" `Quick test_unknown_file_rejected;
+    Alcotest.test_case "capacity-only accepts fluid" `Quick test_capacity_only_accepts_fluid;
+    Alcotest.test_case "volume helpers" `Quick test_volume_helpers;
+    Alcotest.test_case "delivered volume" `Quick test_delivered_volume;
+    Alcotest.test_case "empty plan valid" `Quick test_empty_plan_valid ]

@@ -1,0 +1,142 @@
+module Model = Lp.Model
+module Status = Lp.Status
+module Presolve = Lp.Presolve
+
+let get_opt = function
+  | Status.Optimal s -> s
+  | other -> Alcotest.failf "expected optimal, got %a" Status.pp_outcome other
+
+let test_fixed_variable_substituted () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:2. ~ub:2. ~obj:5. () in
+  let y = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 6.);
+  (match Presolve.presolve m with
+   | `Infeasible -> Alcotest.fail "feasible"
+   | `Reduced (reduced, r) ->
+       Alcotest.(check int) "one variable left" 1 (Model.num_vars reduced);
+       Alcotest.(check (float 1e-9)) "objective offset" 10.
+         (Presolve.objective_offset r));
+  let s = get_opt (Presolve.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 14. s.Status.objective;
+  Alcotest.(check (float 1e-6)) "x restored" 2. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "y solved" 4. s.Status.primal.(1)
+
+let test_singleton_le_tightens () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 2.) ] Model.Le 10.);
+  (match Presolve.presolve m with
+   | `Infeasible -> Alcotest.fail "feasible"
+   | `Reduced (reduced, _) ->
+       Alcotest.(check int) "row absorbed into bound" 0 (Model.num_rows reduced);
+       let v = Model.var_of_index reduced 0 in
+       Alcotest.(check (float 1e-9)) "ub tightened" 5. (Model.upper_bound reduced v));
+  let s = get_opt (Presolve.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 5. s.Status.objective
+
+let test_singleton_eq_fixes_and_cascades () =
+  (* x = 3 via a singleton equality; then x + y = 5 becomes a singleton
+     for y, fixing y = 2; the whole program dissolves. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Eq 3.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 5.);
+  (match Presolve.presolve m with
+   | `Infeasible -> Alcotest.fail "feasible"
+   | `Reduced (reduced, _) ->
+       Alcotest.(check int) "all vars fixed" 0 (Model.num_vars reduced);
+       Alcotest.(check int) "all rows gone" 0 (Model.num_rows reduced));
+  let s = get_opt (Presolve.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 5. s.Status.objective;
+  Alcotest.(check (float 1e-6)) "x" 3. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "y" 2. s.Status.primal.(1)
+
+let test_infeasible_bounds () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~ub:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 2.);
+  Alcotest.(check bool) "infeasible via singleton" true
+    (Presolve.presolve m = `Infeasible)
+
+let test_infeasible_empty_row () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:1. ~ub:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Eq 2.);
+  Alcotest.(check bool) "contradictory after substitution" true
+    (Presolve.presolve m = `Infeasible)
+
+let test_redundant_empty_row_dropped () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:1. ~ub:1. ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 5.);
+  match Presolve.presolve m with
+  | `Infeasible -> Alcotest.fail "feasible"
+  | `Reduced (reduced, _) ->
+      Alcotest.(check int) "nothing left" 0 (Model.num_rows reduced)
+
+let random_model rng =
+  let n = 1 + Prelude.Rng.int rng 5 in
+  let rows = 1 + Prelude.Rng.int rng 5 in
+  let m = Model.create
+      (if Prelude.Rng.bool rng then Model.Minimize else Model.Maximize)
+  in
+  let vars =
+    Array.init n (fun _ ->
+        let obj = Prelude.Rng.float_range rng (-3.) 3. in
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Model.add_var m ~obj ()
+        | 1 ->
+            let b = Prelude.Rng.float rng 4. in
+            Model.add_var m ~obj ~lb:b ~ub:b ()
+        | _ -> Model.add_var m ~obj ~ub:(Prelude.Rng.float_range rng 1. 8.) ())
+  in
+  for _ = 1 to rows do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Prelude.Rng.int rng 2 = 0 then None
+             else Some (v, Prelude.Rng.float_range rng (-3.) 3.))
+    in
+    if terms <> [] then begin
+      let sense =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Model.Le
+        | 1 -> Model.Ge
+        | _ -> Model.Eq
+      in
+      ignore (Model.add_constraint m terms sense (Prelude.Rng.float_range rng (-6.) 6.))
+    end
+  done;
+  m
+
+(* The presolved solve must agree with the direct solve on every random
+   program (outcome class and objective). *)
+let test_random_agreement () =
+  let rng = Prelude.Rng.of_int 555 in
+  for trial = 1 to 200 do
+    let m = random_model rng in
+    match (Lp.Simplex.solve m, Presolve.solve m) with
+    | Status.Optimal a, Status.Optimal b ->
+        if abs_float (a.Status.objective -. b.Status.objective) > 1e-5 then
+          Alcotest.failf "trial %d: %.9g vs %.9g" trial a.Status.objective
+            b.Status.objective;
+        let viol = Model.constraint_violation m b.Status.primal in
+        if viol > 1e-6 then
+          Alcotest.failf "trial %d: restored primal infeasible (%g)" trial viol
+    | Status.Infeasible, Status.Infeasible -> ()
+    | Status.Unbounded, Status.Unbounded -> ()
+    | a, b ->
+        Alcotest.failf "trial %d: direct %a vs presolved %a" trial
+          Status.pp_outcome a Status.pp_outcome b
+  done
+
+let suite =
+  [ Alcotest.test_case "fixed variable" `Quick test_fixed_variable_substituted;
+    Alcotest.test_case "singleton le" `Quick test_singleton_le_tightens;
+    Alcotest.test_case "singleton eq cascade" `Quick test_singleton_eq_fixes_and_cascades;
+    Alcotest.test_case "infeasible bounds" `Quick test_infeasible_bounds;
+    Alcotest.test_case "infeasible empty row" `Quick test_infeasible_empty_row;
+    Alcotest.test_case "redundant row dropped" `Quick test_redundant_empty_row_dropped;
+    Alcotest.test_case "random agreement x200" `Quick test_random_agreement ]

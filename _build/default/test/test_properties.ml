@@ -1,0 +1,203 @@
+(* Cross-cutting property tests (qcheck, registered through
+   QCheck_alcotest): invariants that should hold for *every* input, not
+   just hand-picked cases. *)
+
+module Gen = QCheck2.Gen
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Heap: pop order is sorted. --- *)
+let prop_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops keys in ascending order" ~count:200
+    Gen.(list_size (int_range 0 60) (float_range (-100.) 100.))
+    (fun keys ->
+      let h = Prelude.Heap.create () in
+      List.iteri (fun i k -> Prelude.Heap.push h k i) keys;
+      let rec drain last =
+        match Prelude.Heap.pop_min h with
+        | None -> true
+        | Some (k, _) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+(* --- Charging: the charged volume is monotone in the percentile. --- *)
+let prop_charge_monotone_in_percentile =
+  QCheck2.Test.make ~name:"charged volume monotone in percentile" ~count:200
+    Gen.(
+      let* volumes = array_size (int_range 1 50) (float_range 0. 100.) in
+      let* q1 = float_range 1. 100. in
+      let* q2 = float_range 1. 100. in
+      return (volumes, min q1 q2, max q1 q2))
+    (fun (volumes, q_lo, q_hi) ->
+      Postcard.Charging.charged_volume (Postcard.Charging.scheme q_lo) volumes
+      <= Postcard.Charging.charged_volume (Postcard.Charging.scheme q_hi)
+           volumes
+         +. 1e-12)
+
+(* --- Charging: piecewise cost functions are non-decreasing. --- *)
+let prop_piecewise_monotone =
+  QCheck2.Test.make ~name:"piecewise cost non-decreasing" ~count:200
+    Gen.(
+      let* segments =
+        list_size (int_range 1 5)
+          (pair (float_range 0.1 10.) (float_range 0. 5.))
+      in
+      let* x1 = float_range 0. 50. in
+      let* x2 = float_range 0. 50. in
+      return (segments, min x1 x2, max x1 x2))
+    (fun (segments, x_lo, x_hi) ->
+      let f = Postcard.Charging.Piecewise segments in
+      Postcard.Charging.cost f x_lo <= Postcard.Charging.cost f x_hi +. 1e-9)
+
+(* --- Stats: the 100th percentile is the maximum; mean within range. --- *)
+let prop_percentile_100_is_max =
+  QCheck2.Test.make ~name:"100th percentile = max" ~count:200
+    Gen.(array_size (int_range 1 60) (float_range (-50.) 50.))
+    (fun a ->
+      let maximum = Array.fold_left max neg_infinity a in
+      Prelude.Stats.percentile a 100. = maximum)
+
+let prop_mean_within_bounds =
+  QCheck2.Test.make ~name:"mean within [min, max]" ~count:200
+    Gen.(array_size (int_range 1 60) (float_range (-50.) 50.))
+    (fun a ->
+      let lo = Array.fold_left min infinity a in
+      let hi = Array.fold_left max neg_infinity a in
+      let m = Prelude.Stats.mean a in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+(* --- Simplex: the reported optimum beats any feasible point we can
+   construct. LPs are built *around* a known feasible point, so feasibility
+   is guaranteed. --- *)
+let lp_around_point =
+  Gen.(
+    let* n = int_range 1 5 in
+    let* point = array_size (return n) (float_range 0. 4.) in
+    let* objs = array_size (return n) (float_range (-5.) 5.) in
+    let* rows =
+      list_size (int_range 1 5)
+        (pair
+           (array_size (return n) (float_range (-3.) 3.))
+           (float_range 0.1 2.))
+    in
+    return (point, objs, rows))
+
+let prop_simplex_beats_feasible_point =
+  QCheck2.Test.make ~name:"simplex optimum <= known feasible point" ~count:150
+    lp_around_point
+    (fun (point, objs, rows) ->
+      let n = Array.length point in
+      let m = Lp.Model.create Lp.Model.Minimize in
+      let vars =
+        Array.init n (fun i -> Lp.Model.add_var m ~obj:objs.(i) ~ub:10. ())
+      in
+      List.iter
+        (fun (coeffs, slack) ->
+          let lhs = ref 0. in
+          let terms = ref [] in
+          Array.iteri
+            (fun i c ->
+              lhs := !lhs +. (c *. point.(i));
+              terms := (vars.(i), c) :: !terms)
+            coeffs;
+          (* The known point satisfies the row with strict slack. *)
+          ignore (Lp.Model.add_constraint m !terms Lp.Model.Le (!lhs +. slack)))
+        rows;
+      match Lp.Simplex.solve m with
+      | Lp.Status.Optimal s ->
+          let point_cost = ref 0. in
+          Array.iteri (fun i x -> point_cost := !point_cost +. (objs.(i) *. x)) point;
+          s.Lp.Status.objective <= !point_cost +. 1e-6
+      | Lp.Status.Unbounded -> true (* even better than any point *)
+      | Lp.Status.Infeasible | Lp.Status.Iteration_limit -> false)
+
+(* --- Time expansion: arc and node counts follow the formulas. --- *)
+let prop_texp_counts =
+  QCheck2.Test.make ~name:"time-expanded counts" ~count:100
+    Gen.(
+      let* n = int_range 2 8 in
+      let* horizon = int_range 1 6 in
+      let* seed = int_range 0 10_000 in
+      return (n, horizon, seed))
+    (fun (n, horizon, seed) ->
+      let rng = Prelude.Rng.of_int seed in
+      let base =
+        Netgraph.Topology.complete ~n ~rng ~cost_lo:1. ~cost_hi:10.
+          ~capacity:5.
+      in
+      let t =
+        Timexp.Time_expanded.build ~base ~horizon
+          ~capacity:(fun ~link:_ ~layer:_ -> 5.)
+      in
+      let g = Timexp.Time_expanded.graph t in
+      Netgraph.Graph.num_nodes g = n * (horizon + 1)
+      && Netgraph.Graph.num_arcs g
+         = horizon * (Netgraph.Graph.num_arcs base + n))
+
+(* --- Postcard on a single link: the optimal charge is exactly
+   max(charged, total/deadline) when capacity allows an even spread. --- *)
+let prop_single_link_charge =
+  QCheck2.Test.make ~name:"single-link optimum = max(old charge, rate)"
+    ~count:100
+    Gen.(
+      let* size = float_range 1. 50. in
+      let* deadline = int_range 1 6 in
+      let* old_charge = float_range 0. 30. in
+      return (size, deadline, old_charge))
+    (fun (size, deadline, old_charge) ->
+      let base = Netgraph.Graph.create ~n:2 in
+      ignore (Netgraph.Graph.add_arc base ~src:0 ~dst:1 ~capacity:1000. ~cost:2. ());
+      let file =
+        Postcard.File.make ~id:0 ~src:0 ~dst:1 ~size ~deadline ~release:0
+      in
+      let program =
+        Postcard.Formulate.create ~base ~charged:[| old_charge |]
+          ~capacity:(fun ~link:_ ~layer:_ -> 1000.)
+          ~files:[ file ] ~epoch:0 ()
+      in
+      match Postcard.Formulate.solve program with
+      | Postcard.Formulate.Scheduled { charged; _ } ->
+          let expected = max old_charge (size /. float_of_int deadline) in
+          abs_float (charged.(0) -. expected) < 1e-4
+      | Postcard.Formulate.Infeasible
+      | Postcard.Formulate.Solver_failure _ ->
+          false)
+
+(* --- Workload generator: sizes/deadlines/endpoints always in spec. --- *)
+let prop_workload_in_spec =
+  QCheck2.Test.make ~name:"workload respects its spec" ~count:100
+    Gen.(
+      let* nodes = int_range 2 12 in
+      let* files_max = int_range 1 10 in
+      let* max_deadline = int_range 1 8 in
+      let* seed = int_range 0 100_000 in
+      return (nodes, files_max, max_deadline, seed))
+    (fun (nodes, files_max, max_deadline, seed) ->
+      let spec = Sim.Workload.paper_spec ~nodes ~files_max ~max_deadline in
+      let w = Sim.Workload.create spec (Prelude.Rng.of_int seed) in
+      let ok = ref true in
+      for slot = 0 to 9 do
+        List.iter
+          (fun f ->
+            if
+              f.Postcard.File.size < 10.
+              || f.Postcard.File.size >= 100.
+              || f.Postcard.File.deadline < 1
+              || f.Postcard.File.deadline > max_deadline
+              || f.Postcard.File.src = f.Postcard.File.dst
+              || f.Postcard.File.release <> slot
+            then ok := false)
+          (Sim.Workload.arrivals w ~slot)
+      done;
+      !ok)
+
+let suite =
+  [ to_alcotest prop_heap_sorted;
+    to_alcotest prop_charge_monotone_in_percentile;
+    to_alcotest prop_piecewise_monotone;
+    to_alcotest prop_percentile_100_is_max;
+    to_alcotest prop_mean_within_bounds;
+    to_alcotest prop_simplex_beats_feasible_point;
+    to_alcotest prop_texp_counts;
+    to_alcotest prop_single_link_charge;
+    to_alcotest prop_workload_in_spec ]

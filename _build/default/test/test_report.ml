@@ -1,0 +1,120 @@
+(* Report rendering and the generalized billing evaluation. *)
+
+module Graph = Netgraph.Graph
+module Charging = Postcard.Charging
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let small_results () =
+  let setting =
+    { Sim.Experiment.label = "render-test";
+      nodes = 3;
+      capacity = 120.;
+      cost_lo = 1.;
+      cost_hi = 10.;
+      files_max = 2;
+      size_max = 40.;
+      max_deadline = 2;
+      uniform_deadlines = false;
+      slots = 4;
+      runs = 2;
+      seed = 11 }
+  in
+  Sim.Experiment.run_setting setting
+    ~schedulers:[ Postcard.Direct_scheduler.make (); Postcard.Greedy_scheduler.make () ]
+
+let test_summary_renders () =
+  let results = small_results () in
+  let text = render (fun ppf -> Sim.Report.print_summary ppf results) in
+  Alcotest.(check bool) "has label" true (contains text "render-test");
+  Alcotest.(check bool) "has schedulers" true
+    (contains text "direct" && contains text "greedy-snf")
+
+let test_series_renders () =
+  let results = small_results () in
+  let text = render (fun ppf -> Sim.Report.print_series ~every:2 ppf results) in
+  Alcotest.(check bool) "has slot header" true (contains text "slot");
+  Alcotest.(check bool) "has sampled rows" true
+    (contains text "2" && contains text "4")
+
+let test_comparison_renders () =
+  let results = small_results () in
+  let text =
+    render (fun ppf ->
+        Sim.Report.print_comparison ppf ~baseline:"direct"
+          ~contender:"greedy-snf" results)
+  in
+  Alcotest.(check bool) "has ratio" true (contains text "cost ratio");
+  let missing =
+    render (fun ppf ->
+        Sim.Report.print_comparison ppf ~baseline:"nope" ~contender:"direct"
+          results)
+  in
+  Alcotest.(check bool) "handles missing" true (contains missing "missing")
+
+let test_utilization_renders () =
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:10. ~cost:2. ());
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:2 ~files_max:1 ~max_deadline:2) with
+      Sim.Workload.size_min = 4.;
+      size_max = 9. }
+  in
+  let workload = Sim.Workload.create spec (Prelude.Rng.of_int 5) in
+  let outcome =
+    Sim.Engine.run ~base ~scheduler:(Postcard.Greedy_scheduler.make ())
+      ~workload ~slots:5
+  in
+  let text =
+    render (fun ppf -> Sim.Report.print_utilization ~top:1 ppf ~base ~outcome)
+  in
+  Alcotest.(check bool) "mentions the link" true (contains text "0->1");
+  Alcotest.(check bool) "shows charge" true (contains text "charged")
+
+let test_evaluate_bill_piecewise () =
+  let base = Graph.create ~n:2 in
+  ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:100. ~cost:2. ());
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:2 ~files_max:1 ~max_deadline:2) with
+      Sim.Workload.size_min = 10.;
+      size_max = 20. }
+  in
+  let workload = Sim.Workload.create spec (Prelude.Rng.of_int 5) in
+  let outcome =
+    Sim.Engine.run ~base ~scheduler:(Postcard.Direct_scheduler.make ())
+      ~workload ~slots:6
+  in
+  (* A linear cost function must agree with evaluate_cost. *)
+  let linear =
+    Sim.Engine.evaluate_bill outcome ~scheme:Charging.max_percentile
+      ~cost_of_link:(fun _ -> Charging.Linear 2.)
+      ~base
+  in
+  let reference =
+    Sim.Engine.evaluate_cost outcome ~scheme:Charging.max_percentile ~base
+  in
+  Alcotest.(check (float 1e-9)) "linear matches" reference linear;
+  (* A discounted tail can only reduce the bill. *)
+  let discounted =
+    Sim.Engine.evaluate_bill outcome ~scheme:Charging.max_percentile
+      ~cost_of_link:(fun _ -> Charging.Piecewise [ (5., 2.); (0., 1.) ])
+      ~base
+  in
+  Alcotest.(check bool) "discount helps" true (discounted <= linear +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "summary renders" `Quick test_summary_renders;
+    Alcotest.test_case "series renders" `Quick test_series_renders;
+    Alcotest.test_case "comparison renders" `Quick test_comparison_renders;
+    Alcotest.test_case "utilization renders" `Quick test_utilization_renders;
+    Alcotest.test_case "piecewise bill" `Quick test_evaluate_bill_piecewise ]

@@ -1,0 +1,94 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Prelude.Rng.of_int 42 and b = Prelude.Rng.of_int 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true
+      (Prelude.Rng.next_int64 a = Prelude.Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prelude.Rng.of_int 1 and b = Prelude.Rng.of_int 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prelude.Rng.next_int64 a = Prelude.Rng.next_int64 b then incr same
+  done;
+  check_int "streams differ" 0 !same
+
+let test_int_range () =
+  let rng = Prelude.Rng.of_int 7 in
+  for _ = 1 to 1000 do
+    let v = Prelude.Rng.int rng 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done
+
+let test_int_incl_covers () =
+  let rng = Prelude.Rng.of_int 9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prelude.Rng.int_incl rng 0 4) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_float_range () =
+  let rng = Prelude.Rng.of_int 11 in
+  for _ = 1 to 1000 do
+    let v = Prelude.Rng.float_range rng 1. 10. in
+    check_bool "in [1,10)" true (v >= 1. && v < 10.)
+  done
+
+let test_float_mean () =
+  let rng = Prelude.Rng.of_int 13 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prelude.Rng.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_copy_independent () =
+  let a = Prelude.Rng.of_int 5 in
+  ignore (Prelude.Rng.next_int64 a);
+  let b = Prelude.Rng.copy a in
+  let va = Prelude.Rng.next_int64 a and vb = Prelude.Rng.next_int64 b in
+  check_bool "copy continues identically" true (va = vb)
+
+let test_split_differs () =
+  let a = Prelude.Rng.of_int 5 in
+  let b = Prelude.Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prelude.Rng.next_int64 a = Prelude.Rng.next_int64 b then incr same
+  done;
+  check_int "split stream differs" 0 !same
+
+let test_shuffle_permutation () =
+  let rng = Prelude.Rng.of_int 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Prelude.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_bounds_errors () =
+  let rng = Prelude.Rng.of_int 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prelude.Rng.int rng 0));
+  Alcotest.check_raises "int_incl reversed" (Invalid_argument "Rng.int_incl: hi < lo")
+    (fun () -> ignore (Prelude.Rng.int_incl rng 3 2));
+  Alcotest.check_raises "choose empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Prelude.Rng.choose rng [||]))
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_incl covers" `Quick test_int_incl_covers;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split differs" `Quick test_split_differs;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "bounds errors" `Quick test_bounds_errors ]

@@ -1,0 +1,217 @@
+(* Scheduler-level behaviour: admission control, context plumbing, and the
+   flow baseline's static model. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+module Flow = Postcard.Flow_baseline
+
+let simple_ctx ?(charged_value = 0.) base capacity =
+  { Scheduler.base;
+    epoch = 0;
+    period = 100;
+    charged = Array.make (Graph.num_arcs base) charged_value;
+    residual = (fun ~link:_ ~slot:_ -> capacity);
+    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+
+let line_graph () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:2. ());
+  g
+
+let test_admit_greedy_drops_hardest () =
+  let f1 = File.make ~id:0 ~src:0 ~dst:1 ~size:10. ~deadline:1 ~release:0 in
+  let f2 = File.make ~id:1 ~src:0 ~dst:1 ~size:6. ~deadline:3 ~release:0 in
+  let f3 = File.make ~id:2 ~src:0 ~dst:1 ~size:30. ~deadline:2 ~release:0 in
+  (* Pretend only batches with total rate <= 13 fit. *)
+  let try_solve subset =
+    let rate = List.fold_left (fun acc f -> acc +. File.rate f) 0. subset in
+    if rate <= 13. then Some rate else None
+  in
+  match Scheduler.admit_greedy ~files:[ f1; f2; f3 ] ~try_solve with
+  | None -> Alcotest.fail "nonempty feasible subset exists"
+  | Some (rate, accepted, rejected) ->
+      (* f3 (rate 15) is the hardest and must go first. *)
+      Alcotest.(check (list int)) "rejected ids" [ 2 ]
+        (List.map (fun f -> f.File.id) rejected);
+      Alcotest.(check int) "accepted" 2 (List.length accepted);
+      Alcotest.(check (float 1e-9)) "solution passed through" 12. rate
+
+let test_admit_greedy_empty_failure () =
+  Alcotest.(check bool) "None when even empty fails" true
+    (Scheduler.admit_greedy ~files:[] ~try_solve:(fun _ -> None) = None)
+
+let test_postcard_scheduler_accepts () =
+  let base = line_graph () in
+  let scheduler = Postcard.Postcard_scheduler.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ]
+  in
+  let { Scheduler.plan; accepted; rejected } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  Alcotest.(check int) "rejected" 0 (List.length rejected);
+  Alcotest.(check (float 1e-4)) "total moved" 9. (Plan.total_transmitted plan)
+
+let test_postcard_scheduler_rejects_oversize () =
+  let base = line_graph () in
+  let scheduler = Postcard.Postcard_scheduler.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0;
+      (* This one can never fit: 50 GB in 1 slot of capacity 10. *)
+      File.make ~id:1 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ]
+  in
+  let { Scheduler.accepted; rejected; _ } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+  in
+  Alcotest.(check (list int)) "rejected oversize" [ 1 ]
+    (List.map (fun f -> f.File.id) rejected);
+  Alcotest.(check (list int)) "kept the rest" [ 0 ]
+    (List.map (fun f -> f.File.id) accepted)
+
+let test_postcard_scheduler_empty () =
+  let base = line_graph () in
+  let scheduler = Postcard.Postcard_scheduler.make () in
+  let { Scheduler.plan; _ } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) []
+  in
+  Alcotest.(check (float 0.)) "empty plan" 0. (Plan.total_transmitted plan)
+
+let test_direct_scheduler_batch_contention () =
+  (* Two files sharing the same direct link: together they exceed the
+     per-slot capacity at the desired rates, so the second spills into
+     its window; both still fit. *)
+  let base = line_graph () in
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:16. ~deadline:2 ~release:0;
+      File.make ~id:1 ~src:0 ~dst:1 ~size:4. ~deadline:4 ~release:0 ]
+  in
+  let { Scheduler.plan; accepted; rejected } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+  in
+  Alcotest.(check int) "both accepted" 2 (List.length accepted);
+  Alcotest.(check int) "none rejected" 0 (List.length rejected);
+  (* Per-slot totals never exceed 10. *)
+  for slot = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d within capacity" slot)
+      true
+      (Plan.volume_on plan ~link:0 ~slot <= 10. +. 1e-9)
+  done;
+  Alcotest.(check (float 1e-9)) "all volume moved" 20.
+    (Plan.total_transmitted plan)
+
+let test_direct_scheduler_rejects_missing_link () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. ());
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:2 ~size:1. ~deadline:2 ~release:0 ]
+  in
+  let { Scheduler.rejected; _ } =
+    scheduler.Scheduler.schedule (simple_ctx g 10.) files
+  in
+  Alcotest.(check int) "rejected (no direct link)" 1 (List.length rejected)
+
+let test_flow_instance_of_context () =
+  let base = line_graph () in
+  let ctx =
+    { Scheduler.base;
+      epoch = 5;
+      period = 100;
+      charged = [| 4. |];
+      residual =
+        (fun ~link:_ ~slot -> if slot = 6 then 3. else 10.);
+      occupied = (fun ~link:_ ~slot -> if slot = 6 then 7. else 0.) }
+  in
+  let inst = Flow.instance_of_context ctx ~horizon:3 in
+  (* Worst residual over slots 5..7 is 3; peak occupancy is 7. *)
+  Alcotest.(check (float 0.)) "cap" 3. inst.Flow.cap.(0);
+  Alcotest.(check (float 0.)) "occ peak" 7. inst.Flow.occ_peak.(0);
+  Alcotest.(check (float 0.)) "charged" 4. inst.Flow.charged.(0)
+
+let test_flow_free_riding () =
+  (* A link already charged at 6 with nothing committed: a rate-5 demand
+     rides free; estimated cost stays at the charge floor. *)
+  let base = line_graph () in
+  let inst =
+    { Flow.base;
+      cap = [| 10. |];
+      occ_peak = [| 0. |];
+      charged = [| 6. |] }
+  in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:10. ~deadline:2 ~release:0 ]
+  in
+  match Flow.solve_two_stage inst ~files with
+  | None -> Alcotest.fail "feasible"
+  | Some flows ->
+      Alcotest.(check (float 1e-4)) "lambda = 1" 1. flows.Flow.lambda;
+      Alcotest.(check (float 1e-4)) "no extra cost" 12. flows.Flow.estimated_cost
+
+let test_flow_partial_free_riding () =
+  (* Free headroom 2, demand rate 5: stage 1 carries 2/5 of it. *)
+  let base = line_graph () in
+  let inst =
+    { Flow.base; cap = [| 10. |]; occ_peak = [| 0. |]; charged = [| 2. |] }
+  in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:10. ~deadline:2 ~release:0 ]
+  in
+  match Flow.solve_two_stage inst ~files with
+  | None -> Alcotest.fail "feasible"
+  | Some flows ->
+      Alcotest.(check (float 1e-4)) "lambda" 0.4 flows.Flow.lambda;
+      (* Total rate 5, charge rises from 2 to 5: cost 2 * 5. *)
+      Alcotest.(check (float 1e-4)) "cost" 10. flows.Flow.estimated_cost
+
+let test_flow_scheduler_plan_capacity () =
+  let base = line_graph () in
+  let scheduler = Flow.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:12. ~deadline:3 ~release:0;
+      File.make ~id:1 ~src:0 ~dst:1 ~size:8. ~deadline:2 ~release:0 ]
+  in
+  let { Scheduler.plan; accepted; _ } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+  in
+  Alcotest.(check int) "both accepted" 2 (List.length accepted);
+  (match
+     Plan.validate_capacity ~base
+       ~capacity:(fun ~link:_ ~slot:_ -> 10.)
+       plan
+   with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail msg);
+  (* Rates 4 and 4: slot 0 and 1 carry 8, slot 2 carries 4. *)
+  Alcotest.(check (float 1e-4)) "slot 0" 8. (Plan.volume_on plan ~link:0 ~slot:0);
+  Alcotest.(check (float 1e-4)) "slot 2" 4. (Plan.volume_on plan ~link:0 ~slot:2)
+
+let test_flow_scheduler_rejects_overload () =
+  let base = line_graph () in
+  let scheduler = Flow.make () in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:30. ~deadline:2 ~release:0 ]
+  in
+  let { Scheduler.rejected; _ } =
+    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+  in
+  Alcotest.(check int) "rejected" 1 (List.length rejected)
+
+let suite =
+  [ Alcotest.test_case "admit_greedy drops hardest" `Quick test_admit_greedy_drops_hardest;
+    Alcotest.test_case "admit_greedy empty failure" `Quick test_admit_greedy_empty_failure;
+    Alcotest.test_case "postcard accepts" `Quick test_postcard_scheduler_accepts;
+    Alcotest.test_case "postcard rejects oversize" `Quick test_postcard_scheduler_rejects_oversize;
+    Alcotest.test_case "postcard empty batch" `Quick test_postcard_scheduler_empty;
+    Alcotest.test_case "direct batch contention" `Quick test_direct_scheduler_batch_contention;
+    Alcotest.test_case "direct missing link" `Quick test_direct_scheduler_rejects_missing_link;
+    Alcotest.test_case "flow instance of context" `Quick test_flow_instance_of_context;
+    Alcotest.test_case "flow free riding" `Quick test_flow_free_riding;
+    Alcotest.test_case "flow partial free riding" `Quick test_flow_partial_free_riding;
+    Alcotest.test_case "flow plan capacity" `Quick test_flow_scheduler_plan_capacity;
+    Alcotest.test_case "flow rejects overload" `Quick test_flow_scheduler_rejects_overload ]

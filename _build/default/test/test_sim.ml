@@ -1,0 +1,238 @@
+(* Simulation-layer tests: workload generation, the ledger, the engine,
+   and a small end-to-end experiment. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+
+let test_workload_paper_ranges () =
+  let spec = Sim.Workload.paper_spec ~nodes:20 ~files_max:20 ~max_deadline:8 in
+  let w = Sim.Workload.create spec (Prelude.Rng.of_int 1) in
+  for slot = 0 to 49 do
+    let files = Sim.Workload.arrivals w ~slot in
+    let n = List.length files in
+    Alcotest.(check bool) "count in [1,20]" true (n >= 1 && n <= 20);
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) "size in [10,100)" true
+          (f.File.size >= 10. && f.File.size < 100.);
+        Alcotest.(check bool) "deadline in [1,8]" true
+          (f.File.deadline >= 1 && f.File.deadline <= 8);
+        Alcotest.(check bool) "endpoints" true
+          (f.File.src <> f.File.dst && f.File.src < 20 && f.File.dst < 20);
+        Alcotest.(check int) "release" slot f.File.release)
+      files
+  done;
+  Alcotest.(check bool) "ids unique and counted" true (Sim.Workload.generated w > 0)
+
+let test_workload_deterministic () =
+  let spec = Sim.Workload.paper_spec ~nodes:5 ~files_max:4 ~max_deadline:3 in
+  let w1 = Sim.Workload.create spec (Prelude.Rng.of_int 9) in
+  let w2 = Sim.Workload.create spec (Prelude.Rng.of_int 9) in
+  for slot = 0 to 9 do
+    let f1 = Sim.Workload.arrivals w1 ~slot and f2 = Sim.Workload.arrivals w2 ~slot in
+    Alcotest.(check int) "same count" (List.length f1) (List.length f2);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool) "same files" true
+          (a.File.src = b.File.src && a.File.dst = b.File.dst
+           && a.File.size = b.File.size && a.File.deadline = b.File.deadline))
+      f1 f2
+  done
+
+let test_workload_diurnal () =
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:5 ~files_max:10 ~max_deadline:3) with
+      Sim.Workload.arrivals = Sim.Workload.Diurnal { period = 20; trough_scale = 0.1 } }
+  in
+  let w = Sim.Workload.create spec (Prelude.Rng.of_int 3) in
+  (* Average counts near the peak must exceed those near the trough. *)
+  let count_at slot = List.length (Sim.Workload.arrivals w ~slot) in
+  let peak = ref 0 and trough = ref 0 in
+  for cycle = 0 to 19 do
+    peak := !peak + count_at (cycle * 20);
+    trough := !trough + count_at ((cycle * 20) + 10)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d > trough %d" !peak !trough)
+    true (!peak > !trough)
+
+let test_workload_hotspot () =
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:6 ~files_max:8 ~max_deadline:3) with
+      Sim.Workload.endpoints = Sim.Workload.Hotspot { node = 2; weight = 0.8 } }
+  in
+  let w = Sim.Workload.create spec (Prelude.Rng.of_int 3) in
+  let from_hotspot = ref 0 and total = ref 0 in
+  for slot = 0 to 99 do
+    List.iter
+      (fun f ->
+        incr total;
+        if f.File.src = 2 then incr from_hotspot)
+      (Sim.Workload.arrivals w ~slot)
+  done;
+  let fraction = float_of_int !from_hotspot /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "hotspot fraction %.2f > 0.6" fraction)
+    true (fraction > 0.6)
+
+let line_base () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:2. ());
+  g
+
+let test_ledger_basics () =
+  let base = line_base () in
+  let ledger = Sim.Ledger.create ~base in
+  Alcotest.(check (float 0.)) "empty occupied" 0.
+    (Sim.Ledger.occupied ledger ~link:0 ~slot:5);
+  Alcotest.(check (float 0.)) "full residual" 10.
+    (Sim.Ledger.residual ledger ~link:0 ~slot:5);
+  Sim.Ledger.commit ledger ~link:0 ~slot:5 4.;
+  Sim.Ledger.commit ledger ~link:0 ~slot:5 2.;
+  Alcotest.(check (float 0.)) "accumulates" 6.
+    (Sim.Ledger.occupied ledger ~link:0 ~slot:5);
+  Alcotest.(check (float 0.)) "residual" 4.
+    (Sim.Ledger.residual ledger ~link:0 ~slot:5);
+  Alcotest.(check (float 0.)) "charged is peak" 6.
+    (Sim.Ledger.charged ledger ~link:0);
+  Sim.Ledger.commit ledger ~link:0 ~slot:7 3.;
+  Alcotest.(check (float 0.)) "peak unchanged" 6.
+    (Sim.Ledger.charged ledger ~link:0);
+  Alcotest.(check (float 0.)) "cost per interval" 12.
+    (Sim.Ledger.cost_per_interval ledger);
+  Alcotest.(check int) "max booked slot" 7 (Sim.Ledger.max_booked_slot ledger)
+
+let test_ledger_overbooking_fails () =
+  let base = line_base () in
+  let ledger = Sim.Ledger.create ~base in
+  Sim.Ledger.commit ledger ~link:0 ~slot:0 9.;
+  Alcotest.(check bool) "overbooking raises" true
+    (match Sim.Ledger.commit ledger ~link:0 ~slot:0 2. with
+     | exception Failure _ -> true
+     | () -> false)
+
+let test_ledger_volumes_through () =
+  let base = line_base () in
+  let ledger = Sim.Ledger.create ~base in
+  Sim.Ledger.commit ledger ~link:0 ~slot:1 5.;
+  Sim.Ledger.commit ledger ~link:0 ~slot:3 7.;
+  let v = Sim.Ledger.volumes_through ledger ~last_slot:4 in
+  Alcotest.(check (array (float 0.))) "series" [| 0.; 5.; 0.; 7.; 0. |] v.(0)
+
+(* Capacity 110 >= the largest file size (100) keeps even the direct
+   scheduler rejection-free with deadline-1 files. *)
+let mini_setting =
+  { Sim.Experiment.label = "mini";
+    nodes = 4;
+    capacity = 110.;
+    cost_lo = 1.;
+    cost_hi = 10.;
+    files_max = 2;
+    size_max = 100.;
+    max_deadline = 3;
+    uniform_deadlines = false;
+    slots = 6;
+    runs = 2;
+    seed = 7 }
+
+(* Sizes well below the per-slot capacity so every instance is feasible. *)
+let feasible_spec ~nodes =
+  { (Sim.Workload.paper_spec ~nodes ~files_max:2 ~max_deadline:3) with
+    Sim.Workload.size_min = 4.;
+    size_max = 10.;
+    deadlines = Sim.Workload.Uniform_deadline (2, 3) }
+
+let test_engine_postcard_run () =
+  let rng = Prelude.Rng.of_int 3 in
+  let base =
+    Netgraph.Topology.complete ~n:4 ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:12.
+  in
+  let workload = Sim.Workload.create (feasible_spec ~nodes:4) (Prelude.Rng.of_int 11) in
+  let scheduler = Postcard.Postcard_scheduler.make () in
+  let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots:6 in
+  Alcotest.(check int) "no rejections at this load" 0
+    outcome.Sim.Engine.rejected_files;
+  Alcotest.(check bool) "files generated" true (outcome.Sim.Engine.total_files > 0);
+  (* Under the 100th percentile the cost series is non-decreasing. *)
+  let series = outcome.Sim.Engine.cost_series in
+  for t = 1 to Array.length series - 1 do
+    Alcotest.(check bool) "monotone cost" true (series.(t) >= series.(t - 1) -. 1e-9)
+  done;
+  (* The final cost point matches the final charged volumes. *)
+  let recomputed =
+    Graph.fold_arcs base ~init:0. ~f:(fun acc a ->
+        acc +. (a.Graph.cost *. outcome.Sim.Engine.final_charged.(a.Graph.id)))
+  in
+  Alcotest.(check (float 1e-6)) "cost consistency" recomputed
+    series.(Array.length series - 1)
+
+let test_engine_evaluate_percentile () =
+  let rng = Prelude.Rng.of_int 3 in
+  let base =
+    Netgraph.Topology.complete ~n:4 ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:12.
+  in
+  let spec = Sim.Workload.paper_spec ~nodes:4 ~files_max:2 ~max_deadline:3 in
+  let workload = Sim.Workload.create spec (Prelude.Rng.of_int 11) in
+  let scheduler = Postcard.Direct_scheduler.make () in
+  let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots:6 in
+  let full =
+    Sim.Engine.evaluate_cost outcome ~scheme:Postcard.Charging.max_percentile
+      ~base
+  in
+  let p80 =
+    Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme 80.)
+      ~base
+  in
+  Alcotest.(check bool) "lower percentile never costs more" true (p80 <= full +. 1e-9)
+
+let test_experiment_paired_runs () =
+  let schedulers =
+    [ Postcard.Direct_scheduler.make (); Postcard.Flow_baseline.make () ]
+  in
+  let results = Sim.Experiment.run_setting mini_setting ~schedulers in
+  Alcotest.(check int) "two summaries" 2
+    (List.length results.Sim.Experiment.summaries);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "positive cost" true (s.Sim.Experiment.mean_cost > 0.);
+      Alcotest.(check int) "runs recorded" 2
+        (Array.length s.Sim.Experiment.run_costs);
+      Alcotest.(check int) "series length" 6
+        (Array.length s.Sim.Experiment.mean_series))
+    results.Sim.Experiment.summaries;
+  (* Routing through cheap relays can only help: the flow baseline must
+     not lose to direct send on identical instances. *)
+  let direct = Sim.Experiment.find_summary results "direct" in
+  let flow = Sim.Experiment.find_summary results "flow-based" in
+  Alcotest.(check bool) "flow <= direct" true
+    (flow.Sim.Experiment.mean_cost <= direct.Sim.Experiment.mean_cost +. 1e-6)
+
+let test_paper_figure_settings () =
+  let f4 = Sim.Experiment.paper_figure 4 in
+  Alcotest.(check int) "nodes" 20 f4.Sim.Experiment.nodes;
+  Alcotest.(check (float 0.)) "capacity" 100. f4.Sim.Experiment.capacity;
+  Alcotest.(check int) "deadline" 3 f4.Sim.Experiment.max_deadline;
+  let f7 = Sim.Experiment.paper_figure 7 in
+  Alcotest.(check (float 0.)) "fig7 capacity" 30. f7.Sim.Experiment.capacity;
+  Alcotest.(check int) "fig7 deadline" 8 f7.Sim.Experiment.max_deadline;
+  Alcotest.(check bool) "bad figure" true
+    (match Sim.Experiment.paper_figure 3 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  let s6 = Sim.Experiment.scaled_figure 6 in
+  Alcotest.(check int) "scaled nodes" 8 s6.Sim.Experiment.nodes;
+  Alcotest.(check (float 0.)) "scaled keeps paper capacity" 30.
+    s6.Sim.Experiment.capacity
+
+let suite =
+  [ Alcotest.test_case "workload paper ranges" `Quick test_workload_paper_ranges;
+    Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "workload diurnal" `Quick test_workload_diurnal;
+    Alcotest.test_case "workload hotspot" `Quick test_workload_hotspot;
+    Alcotest.test_case "ledger basics" `Quick test_ledger_basics;
+    Alcotest.test_case "ledger overbooking" `Quick test_ledger_overbooking_fails;
+    Alcotest.test_case "ledger volume series" `Quick test_ledger_volumes_through;
+    Alcotest.test_case "engine postcard run" `Quick test_engine_postcard_run;
+    Alcotest.test_case "engine percentile eval" `Quick test_engine_evaluate_percentile;
+    Alcotest.test_case "experiment paired runs" `Quick test_experiment_paired_runs;
+    Alcotest.test_case "paper figure settings" `Quick test_paper_figure_settings ]

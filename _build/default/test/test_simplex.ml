@@ -1,0 +1,225 @@
+module Model = Lp.Model
+module Status = Lp.Status
+
+let solve = Lp.Simplex.solve
+
+let get_opt outcome =
+  match outcome with
+  | Status.Optimal s -> s
+  | other ->
+      Alcotest.failf "expected optimal, got %a" Status.pp_outcome other
+
+let check_obj name expected outcome =
+  let s = get_opt outcome in
+  Alcotest.(check (float 1e-6)) name expected s.Status.objective
+
+(* Classic textbook LP: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. *)
+let test_textbook_max () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:3. () in
+  let y = Model.add_var m ~obj:5. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 4.);
+  ignore (Model.add_constraint m [ (y, 2.) ] Model.Le 12.);
+  ignore (Model.add_constraint m [ (x, 3.); (y, 2.) ] Model.Le 18.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 36. s.Status.objective;
+  Alcotest.(check (float 1e-6)) "x" 2. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "y" 6. s.Status.primal.(1)
+
+let test_min_with_ge () =
+  (* min 2x + 3y s.t. x + y >= 4, x + 2y >= 6: optimum at (2, 2) -> 10. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:2. () in
+  let y = Model.add_var m ~obj:3. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 4.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 2.) ] Model.Ge 6.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 10. s.Status.objective;
+  Alcotest.(check (float 1e-6)) "x" 2. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "y" 2. s.Status.primal.(1)
+
+let test_equality () =
+  (* min x + y s.t. x + y = 5, x - y = 1 -> unique point (3, 2). *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 5.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, -1.) ] Model.Eq 1.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "x" 3. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "y" 2. s.Status.primal.(1)
+
+let test_infeasible () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 5.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 3.);
+  Alcotest.(check bool) "infeasible" true (solve m = Status.Infeasible)
+
+let test_infeasible_bounds () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:0. ~ub:1. () in
+  let y = Model.add_var m ~lb:0. ~ub:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 3.);
+  Alcotest.(check bool) "infeasible" true (solve m = Status.Infeasible)
+
+let test_unbounded () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:0. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, -1.) ] Model.Le 1.);
+  Alcotest.(check bool) "unbounded" true (solve m = Status.Unbounded)
+
+let test_unbounded_free_var () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:neg_infinity ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 10.);
+  Alcotest.(check bool) "unbounded below" true (solve m = Status.Unbounded)
+
+let test_free_variable () =
+  (* min |shape|: free variable pinned by equalities. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:neg_infinity ~obj:1. () in
+  let y = Model.add_var m ~obj:2. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 2.);
+  ignore (Model.add_constraint m [ (y, 1.) ] Model.Le 5.);
+  (* x = 2 - y; objective x + 2y = 2 + y minimized at y = 0 -> 2. *)
+  check_obj "objective" 2. (solve m)
+
+let test_negative_lower_bound () =
+  (* min x subject to x >= -3. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:(-3.) ~ub:7. ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 100.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "at lower bound" (-3.) s.Status.primal.(0)
+
+let test_upper_bounds_respected () =
+  (* max x + y with x <= 2, y <= 3 as bounds (not rows). *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~ub:2. ~obj:1. () in
+  let y = Model.add_var m ~ub:3. ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 100.);
+  check_obj "objective" 5. (solve m)
+
+let test_bound_flip_path () =
+  (* Optimum requires a nonbasic variable to flip from lower to upper
+     bound: max x + y, x + y <= 10, 0 <= x <= 4, 0 <= y <= 4. *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~ub:4. ~obj:1. () in
+  let y = Model.add_var m ~ub:4. ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 10.);
+  check_obj "objective" 8. (solve m)
+
+let test_fixed_variable () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:2. ~ub:2. ~obj:5. () in
+  let y = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 6.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "fixed" 2. s.Status.primal.(0);
+  Alcotest.(check (float 1e-6)) "objective" 14. s.Status.objective
+
+let test_degenerate () =
+  (* A highly degenerate LP (many constraints active at the optimum). *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:1. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 1.);
+  ignore (Model.add_constraint m [ (y, 1.) ] Model.Le 1.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 2.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 2.) ] Model.Le 3.);
+  ignore (Model.add_constraint m [ (x, 2.); (y, 1.) ] Model.Le 3.);
+  check_obj "objective" 2. (solve m)
+
+let test_no_constraints () =
+  let m = Model.create Model.Minimize in
+  let _x = Model.add_var m ~lb:1. ~ub:3. ~obj:2. () in
+  check_obj "bounds only" 2. (solve m)
+
+let test_zero_objective () =
+  (* Any feasible point is optimal; checks phase 1 alone. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m () in
+  let y = Model.add_var m () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 4.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "feasible sum" 4.
+    (s.Status.primal.(0) +. s.Status.primal.(1));
+  Alcotest.(check (float 1e-6)) "objective" 0. s.Status.objective
+
+let test_duals_textbook () =
+  (* For max 3x + 5y above, the optimal duals are (0, 3/2, 1). *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:3. () in
+  let y = Model.add_var m ~obj:5. () in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 4.);
+  ignore (Model.add_constraint m [ (y, 2.) ] Model.Le 12.);
+  ignore (Model.add_constraint m [ (x, 3.); (y, 2.) ] Model.Le 18.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "dual 1" 0. s.Status.dual.(0);
+  Alcotest.(check (float 1e-6)) "dual 2" 1.5 s.Status.dual.(1);
+  Alcotest.(check (float 1e-6)) "dual 3" 1. s.Status.dual.(2);
+  (* Strong duality for this all-Le maximization: b'y = objective. *)
+  let by = (4. *. 0.) +. (12. *. 1.5) +. (18. *. 1.) in
+  Alcotest.(check (float 1e-6)) "strong duality" s.Status.objective by
+
+let test_primal_feasibility_reported () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:2. () in
+  let z = Model.add_var m ~obj:(-1.) ~ub:4. () in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.); (z, 1.) ] Model.Ge 3.);
+  ignore (Model.add_constraint m [ (x, 2.); (y, -1.) ] Model.Le 4.);
+  ignore (Model.add_constraint m [ (y, 1.); (z, 2.) ] Model.Eq 6.);
+  let s = get_opt (solve m) in
+  Alcotest.(check (float 1e-6)) "feasible" 0.
+    (Model.constraint_violation m s.Status.primal)
+
+(* Transportation problem with known optimum: 2 supplies, 3 demands. *)
+let test_transportation () =
+  let supply = [| 20.; 30. |] and demand = [| 10.; 25.; 15. |] in
+  let cost = [| [| 2.; 3.; 1. |]; [| 5.; 4.; 8. |] |] in
+  let m = Model.create Model.Minimize in
+  let x = Array.init 2 (fun i ->
+      Array.init 3 (fun j -> Model.add_var m ~obj:cost.(i).(j) ()))
+  in
+  for i = 0 to 1 do
+    ignore
+      (Model.add_constraint m
+         (List.init 3 (fun j -> (x.(i).(j), 1.)))
+         Model.Le supply.(i))
+  done;
+  for j = 0 to 2 do
+    ignore
+      (Model.add_constraint m
+         (List.init 2 (fun i -> (x.(i).(j), 1.)))
+         Model.Eq demand.(j))
+  done;
+  (* Optimal: ship d3 (15) and part of d1/d2 from s1 (cheap), rest from s2.
+     s1: d1=5? Let's verify: s1 capacity 20; costs favour s1 everywhere.
+     Send d3=15 (cost 1) and d1=5? d1 from s1 costs 2 vs 5 from s2; d2 from
+     s1 costs 3 vs 4. Use s1 for d3 (15) then 5 left: best marginal saving
+     is d1 (3/unit) -> d1 = 5 from s1, d1 = 5 from s2, d2 = 25 from s2.
+     Cost = 15*1 + 5*2 + 5*5 + 25*4 = 150. *)
+  check_obj "objective" 150. (solve m)
+
+let suite =
+  [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+    Alcotest.test_case "min with ge" `Quick test_min_with_ge;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "infeasible bounds" `Quick test_infeasible_bounds;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "unbounded free var" `Quick test_unbounded_free_var;
+    Alcotest.test_case "free variable" `Quick test_free_variable;
+    Alcotest.test_case "negative lower bound" `Quick test_negative_lower_bound;
+    Alcotest.test_case "upper bounds respected" `Quick test_upper_bounds_respected;
+    Alcotest.test_case "bound flip path" `Quick test_bound_flip_path;
+    Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+    Alcotest.test_case "degenerate" `Quick test_degenerate;
+    Alcotest.test_case "no constraints" `Quick test_no_constraints;
+    Alcotest.test_case "zero objective" `Quick test_zero_objective;
+    Alcotest.test_case "duals textbook" `Quick test_duals_textbook;
+    Alcotest.test_case "primal feasibility" `Quick test_primal_feasibility_reported;
+    Alcotest.test_case "transportation" `Quick test_transportation ]

@@ -1,0 +1,138 @@
+(* Adversarial inputs for the revised simplex: exponential-path cubes,
+   highly degenerate polytopes, redundant rows, and scale extremes. *)
+
+module Model = Lp.Model
+module Status = Lp.Status
+
+let get_opt = function
+  | Status.Optimal s -> s
+  | other -> Alcotest.failf "expected optimal, got %a" Status.pp_outcome other
+
+(* Klee-Minty cube of dimension n:
+   max sum 2^(n-j) x_j  s.t.  2 sum_{i<j} 2^(j-i) x_i + x_j <= 5^j.
+   Optimal value 5^n at x = (0, ..., 0, 5^n). Dantzig's rule visits 2^n
+   vertices; a competent pricing rule must stay far below that. *)
+let klee_minty n =
+  let m = Model.create Model.Maximize in
+  let vars =
+    Array.init n (fun j ->
+        Model.add_var m ~name:(Printf.sprintf "x%d" j)
+          ~obj:(Float.pow 2. (float_of_int (n - 1 - j)))
+          ())
+  in
+  for j = 0 to n - 1 do
+    let terms = ref [ (vars.(j), 1.) ] in
+    for i = 0 to j - 1 do
+      terms := (vars.(i), 2. *. Float.pow 2. (float_of_int (j - i))) :: !terms
+    done;
+    ignore
+      (Model.add_constraint m !terms Model.Le (Float.pow 5. (float_of_int (j + 1))))
+  done;
+  m
+
+let test_klee_minty () =
+  List.iter
+    (fun n ->
+      let s = get_opt (Lp.Simplex.solve (klee_minty n)) in
+      Alcotest.(check (float 1e-4))
+        (Printf.sprintf "optimal value at n=%d" n)
+        (Float.pow 5. (float_of_int n))
+        s.Status.objective;
+      (* Far below the 2^n pivots Dantzig would need. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "pivot count reasonable at n=%d (%d)" n
+           s.Status.iterations)
+        true
+        (s.Status.iterations < 50 * n))
+    [ 4; 8; 12 ]
+
+let test_highly_redundant_rows () =
+  (* The same constraint repeated many times: every copy is degenerate at
+     the optimum. *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1. () in
+  let y = Model.add_var m ~obj:1. () in
+  for _ = 1 to 40 do
+    ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 10.)
+  done;
+  let s = get_opt (Lp.Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 10. s.Status.objective
+
+let test_assignment_degeneracy () =
+  (* Assignment polytopes are classic degenerate LPs. 6x6 with a known
+     optimal diagonal. *)
+  let n = 6 in
+  let rng = Prelude.Rng.of_int 12 in
+  let cost = Array.init n (fun _ -> Array.init n (fun _ -> 1. +. Prelude.Rng.float rng 9.)) in
+  for i = 0 to n - 1 do
+    cost.(i).(i) <- 0.5 (* make the diagonal clearly optimal *)
+  done;
+  let m = Model.create Model.Minimize in
+  let x =
+    Array.init n (fun i ->
+        Array.init n (fun j -> Model.add_var m ~obj:cost.(i).(j) ~ub:1. ()))
+  in
+  for i = 0 to n - 1 do
+    ignore
+      (Model.add_constraint m (List.init n (fun j -> (x.(i).(j), 1.))) Model.Eq 1.);
+    ignore
+      (Model.add_constraint m (List.init n (fun j -> (x.(j).(i), 1.))) Model.Eq 1.)
+  done;
+  let s = get_opt (Lp.Simplex.solve m) in
+  Alcotest.(check (float 1e-5)) "diagonal assignment" (0.5 *. float_of_int n)
+    s.Status.objective
+
+let test_scale_extremes () =
+  (* Mixed coefficient magnitudes. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1e4 () in
+  let y = Model.add_var m ~obj:1e-3 () in
+  ignore (Model.add_constraint m [ (x, 1e3); (y, 1e-2) ] Model.Ge 10.);
+  let s = get_opt (Lp.Simplex.solve m) in
+  (* Cheapest satisfaction: use y: y = 1000 at cost 1. x would cost 100. *)
+  Alcotest.(check (float 1e-4)) "objective" 1. s.Status.objective
+
+let test_long_chain () =
+  (* A chain x1 >= x2 >= ... >= xn with xn >= 1, min x1: forces a long
+     sequential pivot structure. *)
+  let n = 60 in
+  let m = Model.create Model.Minimize in
+  let vars = Array.init n (fun i -> Model.add_var m ~obj:(if i = 0 then 1. else 0.) ()) in
+  for i = 0 to n - 2 do
+    ignore (Model.add_constraint m [ (vars.(i), 1.); (vars.(i + 1), -1.) ] Model.Ge 0.)
+  done;
+  ignore (Model.add_constraint m [ (vars.(n - 1), 1.) ] Model.Ge 1.);
+  let s = get_opt (Lp.Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 1. s.Status.objective
+
+let test_dense_random_medium () =
+  (* A denser random program than the oracle suite uses, to exercise the
+     refactorization path with non-trivial fill. *)
+  let rng = Prelude.Rng.of_int 321 in
+  let n = 40 and rows = 30 in
+  let m = Model.create Model.Minimize in
+  let point = Array.init n (fun _ -> Prelude.Rng.float rng 3.) in
+  let vars =
+    Array.init n (fun _ -> Model.add_var m ~obj:(Prelude.Rng.float_range rng 0.1 5.) ~ub:10. ())
+  in
+  for _ = 1 to rows do
+    let lhs = ref 0. and terms = ref [] in
+    Array.iteri
+      (fun i v ->
+        let c = Prelude.Rng.float_range rng (-2.) 2. in
+        lhs := !lhs +. (c *. point.(i));
+        terms := (v, c) :: !terms)
+      vars;
+    ignore (Model.add_constraint m !terms Model.Ge (!lhs -. Prelude.Rng.float rng 1.))
+  done;
+  let s = get_opt (Lp.Simplex.solve m) in
+  Alcotest.(check (float 1e-5)) "feasible optimum" 0.
+    (Model.constraint_violation m s.Status.primal)
+
+let suite =
+  [ Alcotest.test_case "klee-minty cubes" `Quick test_klee_minty;
+    Alcotest.test_case "redundant rows" `Quick test_highly_redundant_rows;
+    Alcotest.test_case "assignment degeneracy" `Quick test_assignment_degeneracy;
+    Alcotest.test_case "scale extremes" `Quick test_scale_extremes;
+    Alcotest.test_case "long chain" `Quick test_long_chain;
+    Alcotest.test_case "dense random medium" `Quick test_dense_random_medium ]

@@ -1,0 +1,66 @@
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () = feq "mean" 2.5 (Prelude.Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_variance () =
+  feq "variance" (14. /. 3.) (Prelude.Stats.variance [| 1.; 2.; 3.; 6. |]);
+  feq "single sample" 0. (Prelude.Stats.variance [| 5. |])
+
+let test_stddev () = feq "stddev" 2. (Prelude.Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] *. sqrt (7. /. 8.))
+
+let test_confidence_95 () =
+  (* 10 samples, as in the paper's 10 simulation runs. *)
+  let samples = [| 10.; 12.; 9.; 11.; 10.; 13.; 8.; 12.; 11.; 10. |] in
+  let mean, half = Prelude.Stats.confidence_95 samples in
+  feq "mean" 10.6 mean;
+  (* t(9, 0.975) = 2.262; se = stddev/sqrt(10). *)
+  let se = Prelude.Stats.std_error samples in
+  feq "halfwidth" (2.262 *. se) half
+
+let test_confidence_single () =
+  let mean, half = Prelude.Stats.confidence_95 [| 42. |] in
+  feq "mean" 42. mean;
+  feq "halfwidth" 0. half
+
+let test_t_table () =
+  feq "dof 1" 12.706 (Prelude.Stats.t_critical_95 1);
+  feq "dof 9" 2.262 (Prelude.Stats.t_critical_95 9);
+  feq "dof 30" 2.042 (Prelude.Stats.t_critical_95 30);
+  feq "dof large" 1.960 (Prelude.Stats.t_critical_95 10_000)
+
+let test_percentile_rank () =
+  (* The paper's example: 95th percentile of a year of 5-minute samples
+     selects the 99864-th sorted interval (1-based). *)
+  let n = 365 * 24 * 60 / 5 in
+  Alcotest.(check int) "paper example" (99864 - 1) (Prelude.Stats.percentile_rank n 95.);
+  Alcotest.(check int) "100th is max" (n - 1) (Prelude.Stats.percentile_rank n 100.);
+  Alcotest.(check int) "tiny q clamps to 0" 0 (Prelude.Stats.percentile_rank 10 0.)
+
+let test_percentile_values () =
+  let a = [| 5.; 1.; 4.; 2.; 3. |] in
+  feq "100th = max" 5. (Prelude.Stats.percentile a 100.);
+  feq "20th = min" 1. (Prelude.Stats.percentile a 20.);
+  feq "60th" 3. (Prelude.Stats.percentile a 60.)
+
+let test_running_max () =
+  Alcotest.(check (array (float 0.))) "running max"
+    [| 1.; 3.; 3.; 7.; 7. |]
+    (Prelude.Stats.fold_running_max [| 1.; 3.; 2.; 7.; 0. |])
+
+let test_empty_errors () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Prelude.Stats.mean [||]));
+  Alcotest.check_raises "percentile" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Prelude.Stats.percentile [||] 50.))
+
+let suite =
+  [ Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "confidence 95" `Quick test_confidence_95;
+    Alcotest.test_case "confidence single" `Quick test_confidence_single;
+    Alcotest.test_case "t table" `Quick test_t_table;
+    Alcotest.test_case "percentile rank" `Quick test_percentile_rank;
+    Alcotest.test_case "percentile values" `Quick test_percentile_values;
+    Alcotest.test_case "running max" `Quick test_running_max;
+    Alcotest.test_case "empty errors" `Quick test_empty_errors ]

@@ -1,0 +1,97 @@
+module Graph = Netgraph.Graph
+module Texp = Timexp.Time_expanded
+
+let base_triangle () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:5. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:5. ~cost:2. ());
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:5. ~cost:4. ());
+  g
+
+let constant_capacity c ~link:_ ~layer:_ = c
+
+let test_counts () =
+  let base = base_triangle () in
+  let t = Texp.build ~base ~horizon:4 ~capacity:(constant_capacity 5.) in
+  let g = Texp.graph t in
+  (* 5 layers of 3 nodes; per layer: 3 transmission + 3 storage arcs. *)
+  Alcotest.(check int) "nodes" 15 (Graph.num_nodes g);
+  Alcotest.(check int) "arcs" 24 (Graph.num_arcs g);
+  Alcotest.(check int) "layers" 5 (Texp.num_layers t);
+  Alcotest.(check int) "horizon" 4 (Texp.horizon t)
+
+let test_structure () =
+  let base = base_triangle () in
+  let t = Texp.build ~base ~horizon:3 ~capacity:(constant_capacity 7.) in
+  (* Every transmission arc connects consecutive layers with the base
+     endpoints and carries the base cost and the layer capacity. *)
+  Texp.iter_arcs t (fun a kind ->
+      let src_node, src_layer = Texp.node_of t a.Graph.src in
+      let dst_node, dst_layer = Texp.node_of t a.Graph.dst in
+      Alcotest.(check int) "consecutive layers" (src_layer + 1) dst_layer;
+      match kind with
+      | Texp.Transmission { link; layer } ->
+          let b = Graph.arc base link in
+          Alcotest.(check int) "src" b.Graph.src src_node;
+          Alcotest.(check int) "dst" b.Graph.dst dst_node;
+          Alcotest.(check int) "layer" src_layer layer;
+          Alcotest.(check (float 0.)) "cost copied" b.Graph.cost a.Graph.cost;
+          Alcotest.(check (float 0.)) "capacity from callback" 7. a.Graph.capacity
+      | Texp.Storage { node; layer } ->
+          Alcotest.(check int) "same node" node src_node;
+          Alcotest.(check int) "same node dst" node dst_node;
+          Alcotest.(check int) "layer" src_layer layer;
+          Alcotest.(check (float 0.)) "zero cost" 0. a.Graph.cost;
+          Alcotest.(check bool) "infinite capacity" true
+            (a.Graph.capacity = infinity))
+
+let test_layer_capacities () =
+  let base = base_triangle () in
+  let capacity ~link ~layer = float_of_int ((10 * layer) + link) in
+  let t = Texp.build ~base ~horizon:3 ~capacity in
+  for layer = 0 to 2 do
+    for link = 0 to 2 do
+      let id = Texp.transmission_arc t ~link ~layer in
+      let a = Graph.arc (Texp.graph t) id in
+      Alcotest.(check (float 0.)) "per-layer capacity"
+        (float_of_int ((10 * layer) + link))
+        a.Graph.capacity
+    done
+  done
+
+let test_node_roundtrip () =
+  let base = base_triangle () in
+  let t = Texp.build ~base ~horizon:2 ~capacity:(constant_capacity 1.) in
+  for node = 0 to 2 do
+    for layer = 0 to 2 do
+      let id = Texp.node_at t ~node ~layer in
+      Alcotest.(check (pair int int)) "roundtrip" (node, layer) (Texp.node_of t id)
+    done
+  done
+
+let test_storage_lookup () =
+  let base = base_triangle () in
+  let t = Texp.build ~base ~horizon:2 ~capacity:(constant_capacity 1.) in
+  let id = Texp.storage_arc t ~node:1 ~layer:0 in
+  match Texp.kind t id with
+  | Texp.Storage { node; layer } ->
+      Alcotest.(check int) "node" 1 node;
+      Alcotest.(check int) "layer" 0 layer
+  | Texp.Transmission _ -> Alcotest.fail "expected storage arc"
+
+let test_bad_inputs () =
+  let base = base_triangle () in
+  Alcotest.check_raises "horizon" (Invalid_argument "Time_expanded.build: horizon < 1")
+    (fun () -> ignore (Texp.build ~base ~horizon:0 ~capacity:(constant_capacity 1.)));
+  let t = Texp.build ~base ~horizon:2 ~capacity:(constant_capacity 1.) in
+  Alcotest.check_raises "bad layer"
+    (Invalid_argument "Time_expanded.node_at: bad layer") (fun () ->
+      ignore (Texp.node_at t ~node:0 ~layer:3))
+
+let suite =
+  [ Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "layer capacities" `Quick test_layer_capacities;
+    Alcotest.test_case "node roundtrip" `Quick test_node_roundtrip;
+    Alcotest.test_case "storage lookup" `Quick test_storage_lookup;
+    Alcotest.test_case "bad inputs" `Quick test_bad_inputs ]
