@@ -276,6 +276,27 @@ let ablation_deadline_heterogeneity () =
   Format.printf "  nearly tie (see EXPERIMENTS.md).@."
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start macro-benchmark: cold vs basis-crashed simplex across an
+   online run (see DESIGN.md, "Warm-started LP pipeline"). *)
+
+let solver_warm_bench ~json =
+  section "Solver warm start — cold vs carried-basis simplex";
+  let summary = Sim.Solver_bench.run ~nodes:6 ~slots:12 ~seed:1 () in
+  Format.printf "%a" Sim.Solver_bench.pp_summary summary;
+  (match json with
+   | None -> ()
+   | Some path -> (
+       match open_out path with
+       | oc ->
+           output_string oc (Sim.Solver_bench.to_json summary);
+           close_out oc;
+           Format.printf "  wrote %s@." path
+       | exception Sys_error msg ->
+           Format.eprintf "  cannot write JSON summary: %s@." msg;
+           exit 1));
+  summary
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the solver kernels. *)
 
 let bechamel_benches () =
@@ -385,19 +406,34 @@ let bechamel_benches () =
   in
   List.iter benchmark [ lu_bench; simplex_bench; postcard_bench; mcf_bench ]
 
+let usage = "main.exe [--solver-only] [--json PATH]"
+
 let () =
+  let json = ref None and solver_only = ref false in
+  let spec =
+    [ ("--json",
+       Arg.String (fun p -> json := Some p),
+       "PATH  write the warm-start benchmark summary as JSON");
+      ("--solver-only",
+       Arg.Set solver_only,
+       "  run only the solver warm-start benchmark (skip the figures)") ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
-  fig1 ();
-  fig3 ();
-  let r4 = figure 4 in
-  let r5 = figure 5 in
-  let r6 = figure 6 in
-  let r7 = figure 7 in
-  check_figure_shapes r4 r5 r6 r7;
-  ablation_flow_variants ();
-  ablation_greedy_vs_lp ();
-  ablation_deadline_heterogeneity ();
-  ablation_price_of_myopia ();
-  extension_percentile_billing ();
-  bechamel_benches ();
+  if not !solver_only then begin
+    fig1 ();
+    fig3 ();
+    let r4 = figure 4 in
+    let r5 = figure 5 in
+    let r6 = figure 6 in
+    let r7 = figure 7 in
+    check_figure_shapes r4 r5 r6 r7;
+    ablation_flow_variants ();
+    ablation_greedy_vs_lp ();
+    ablation_deadline_heterogeneity ();
+    ablation_price_of_myopia ();
+    extension_percentile_billing ()
+  end;
+  ignore (solver_warm_bench ~json:!json);
+  if not !solver_only then bechamel_benches ();
   Format.printf "@.done.@."

@@ -64,4 +64,4 @@ let make () =
       accepted = List.rev !accepted;
       rejected = List.rev !rejected }
   in
-  { Scheduler.name = "direct"; fluid = false; schedule }
+  Scheduler.stateless ~name:"direct" ~fluid:false schedule

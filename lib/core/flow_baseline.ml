@@ -414,4 +414,4 @@ let make ?params ?(variant = `Two_stage) () =
           { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
     end
   in
-  { Scheduler.name; fluid = true; schedule }
+  Scheduler.stateless ~name ~fluid:true schedule

@@ -36,11 +36,27 @@ type result =
   | Infeasible
   | Solver_failure of string
 
-let solve ?params t =
-  match Lp.Simplex.solve ?params t.model with
-  | Lp.Status.Infeasible -> Infeasible
-  | Lp.Status.Unbounded -> Solver_failure "unbounded Postcard program"
-  | Lp.Status.Iteration_limit -> Solver_failure "iteration limit reached"
+type solve_info = {
+  iterations : int;
+  basis : Basis_map.t option;
+}
+
+let keymap t = Texp_lp.keymap t.program ~model:t.model
+
+let solve_with_info ?params ?warm_start t =
+  let warm_start =
+    match warm_start with
+    | None -> None
+    | Some carried -> Some (Basis_map.apply carried (keymap t))
+  in
+  match Lp.Simplex.solve ?params ?warm_start t.model with
+  | Lp.Status.Infeasible -> (Infeasible, { iterations = 0; basis = None })
+  | Lp.Status.Unbounded ->
+      (Solver_failure "unbounded Postcard program",
+       { iterations = 0; basis = None })
+  | Lp.Status.Iteration_limit ->
+      (Solver_failure "iteration limit reached",
+       { iterations = 0; basis = None })
   | Lp.Status.Optimal s ->
       let primal = s.Lp.Status.primal in
       let plan = Texp_lp.extract_plan t.program ~primal in
@@ -51,4 +67,12 @@ let solve ?params t =
       let objective = ref 0. in
       Graph.iter_arcs t.base (fun a ->
           objective := !objective +. (a.Graph.cost *. charged.(a.Graph.id)));
-      Scheduled { plan; objective = !objective; charged }
+      let basis =
+        match s.Lp.Status.basis with
+        | None -> None
+        | Some b -> Some (Basis_map.capture (keymap t) b)
+      in
+      (Scheduled { plan; objective = !objective; charged },
+       { iterations = s.Lp.Status.iterations; basis })
+
+let solve ?params t = fst (solve_with_info ?params t)

@@ -56,3 +56,22 @@ val model : t -> Lp.Model.t
 val horizon : t -> int
 
 val solve : ?params:Lp.Simplex.params -> t -> result
+
+val keymap : t -> Basis_map.keymap
+(** Structural keys of the program's columns and rows (see
+    {!Texp_lp.keymap}); useful with {!Basis_map.hit_rate} to measure how
+    much structure two epochs share. *)
+
+type solve_info = {
+  iterations : int;  (** Simplex pivots spent ([0] unless [Scheduled]). *)
+  basis : Basis_map.t option;
+      (** The optimal basis re-keyed by stable structural keys, ready to
+          warm-start the next epoch's program. *)
+}
+
+val solve_with_info :
+  ?params:Lp.Simplex.params -> ?warm_start:Basis_map.t -> t -> result * solve_info
+(** Like {!solve}, additionally accepting the previous epoch's captured
+    basis ([warm_start] is translated onto this program's columns and rows
+    before the solve) and returning solver diagnostics plus this solve's
+    own captured basis. [solve] is [fun t -> fst (solve_with_info t)]. *)

@@ -2,7 +2,13 @@ let log_src = Logs.Src.create "postcard.scheduler" ~doc:"Postcard scheduler"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let make ?params ?(tie_break = 1e-7) () =
+let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
+  (* The previous epoch's optimal basis, re-keyed by stable structural
+     keys. Consecutive epochs share most of their columns and rows (the
+     horizon slides by one slot), so crashing the simplex from this basis
+     typically saves the bulk of the pivots. Correctness never depends on
+     it: the solver repairs or discards anything stale. *)
+  let carried : Basis_map.t option ref = ref None in
   let schedule (ctx : Scheduler.context) files =
     if files = [] then
       { Scheduler.plan = Plan.empty; accepted = []; rejected = [] }
@@ -11,20 +17,23 @@ let make ?params ?(tie_break = 1e-7) () =
       let try_solve subset =
         if subset = [] then
           Some
-            (Formulate.Scheduled
-               { plan = Plan.empty;
-                 objective = 0.;
-                 charged = Array.copy ctx.Scheduler.charged })
+            ( Formulate.Scheduled
+                { plan = Plan.empty;
+                  objective = 0.;
+                  charged = Array.copy ctx.Scheduler.charged },
+              None )
         else begin
           let formulation =
             Formulate.create ~base:ctx.Scheduler.base
               ~charged:ctx.Scheduler.charged ~capacity ~files:subset
               ~epoch:ctx.Scheduler.epoch ~tie_break ()
           in
-          match Formulate.solve ?params formulation with
-          | Formulate.Scheduled _ as s -> Some s
-          | Formulate.Infeasible -> None
-          | Formulate.Solver_failure msg ->
+          let warm = if warm_start then !carried else None in
+          match Formulate.solve_with_info ?params ?warm_start:warm formulation with
+          | Formulate.Scheduled _ as s, info ->
+              Some (s, info.Formulate.basis)
+          | Formulate.Infeasible, _ -> None
+          | Formulate.Solver_failure msg, _ ->
               Log.warn (fun m ->
                   m "epoch %d: solver failure (%s); treating as infeasible"
                     ctx.Scheduler.epoch msg);
@@ -32,13 +41,19 @@ let make ?params ?(tie_break = 1e-7) () =
         end
       in
       match Scheduler.admit_greedy ~files ~try_solve with
-      | Some (Formulate.Scheduled { plan; _ }, accepted, rejected) ->
+      | Some ((Formulate.Scheduled { plan; _ }, basis), accepted, rejected) ->
+          (* Carry only the accepted solve's basis forward; when nothing
+             was solved (all files dropped) the previous one stays. *)
+          (match basis with Some _ -> carried := basis | None -> ());
           { Scheduler.plan; accepted; rejected }
-      | Some ((Formulate.Infeasible | Formulate.Solver_failure _), _, _) ->
+      | Some (((Formulate.Infeasible | Formulate.Solver_failure _), _), _, _) ->
           assert false
       | None ->
           (* Even the empty instance failed; nothing we can do. *)
           { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
     end
   in
-  { Scheduler.name = "postcard"; fluid = false; schedule }
+  { Scheduler.name = "postcard";
+    fluid = false;
+    schedule;
+    reset = (fun () -> carried := None) }

@@ -17,7 +17,10 @@ type t = {
   name : string;
   fluid : bool;
   schedule : context -> File.t list -> outcome;
+  reset : unit -> unit;
 }
+
+let stateless ~name ~fluid schedule = { name; fluid; schedule; reset = (fun () -> ()) }
 
 let capacity_at_epoch ctx ~link ~layer =
   ctx.residual ~link ~slot:(ctx.epoch + layer)

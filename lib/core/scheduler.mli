@@ -36,7 +36,15 @@ type t = {
       (** [true] when plans follow the fluid flow model (capacity-only
           validation); [false] for slot-accurate store-and-forward plans. *)
   schedule : context -> File.t list -> outcome;
+  reset : unit -> unit;
+      (** Clear any cross-epoch state (e.g. a carried simplex basis). The
+          engine calls this once at the start of every run, so a scheduler
+          value can be reused across independent simulations. *)
 }
+
+val stateless :
+  name:string -> fluid:bool -> (context -> File.t list -> outcome) -> t
+(** Build a scheduler with no cross-epoch state ([reset] is a no-op). *)
 
 val capacity_at_epoch : context -> link:int -> layer:int -> float
 (** Residual capacity in relative-layer terms:

@@ -261,7 +261,8 @@ let solve ?(max_iterations = 100_000) model =
           primal;
           dual = Array.make (Model.num_rows model) 0.;
           reduced_costs = Array.make n 0.;
-          iterations = !iterations }
+          iterations = !iterations;
+          basis = None }
     end
   with
   | Unbounded_lp -> Status.Unbounded

@@ -42,7 +42,8 @@ let solve ?(max_iterations = 100) ?(tolerance = 1e-8) model =
         primal = Array.make (Model.num_vars model) 0.;
         dual = Array.make (Model.num_rows model) 0.;
         reduced_costs = Array.make (Model.num_vars model) 0.;
-        iterations = 0 }
+        iterations = 0;
+        basis = None }
   else begin
     let at = Dense.transpose a in
     (* Starting point: positive x and s at a data-driven scale. *)
@@ -81,7 +82,8 @@ let solve ?(max_iterations = 100) ?(tolerance = 1e-8) model =
                        cross-check role. *)
                     Array.init (Model.num_vars model) (fun v ->
                         if v < Array.length z then z.(v) else 0.));
-                 iterations = !iterations };
+                 iterations = !iterations;
+                 basis = None };
            raise Exit
          end;
          (* Divergence guard. *)

@@ -58,8 +58,10 @@ let add_var t ?name ?(lb = 0.) ?(ub = infinity) ?(obj = 0.) () =
   if lb > ub then invalid_arg "Model.add_var: lb > ub";
   grow_vars t;
   let id = t.n_vars in
-  let vname = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
-  t.vars_name.(id) <- vname;
+  (* Names are lazy: the empty string marks "unset" and [var_name]
+     synthesizes ["x<id>"] on demand. At bench scale the eager sprintf per
+     variable was pure allocation overhead. *)
+  (match name with Some n -> t.vars_name.(id) <- n | None -> ());
   t.vars_lb.(id) <- lb;
   t.vars_ub.(id) <- ub;
   t.vars_obj.(id) <- obj;
@@ -97,7 +99,7 @@ let dedup_terms terms =
 let add_constraint t ?name terms sense rhs =
   List.iter (fun (v, _) -> check_var t v) terms;
   let id = t.n_rows in
-  let rname = match name with Some n -> n | None -> Printf.sprintf "r%d" id in
+  let rname = match name with Some n -> n | None -> "" in
   if t.n_rows = Array.length t.rows then begin
     let rows' =
       Array.make (2 * Array.length t.rows)
@@ -122,8 +124,15 @@ let row_of_index t i =
   check_row t i;
   i
 
-let var_name t v = check_var t v; t.vars_name.(v)
-let row_name t r = check_row t r; t.rows.(r).r_name
+let var_name t v =
+  check_var t v;
+  let n = t.vars_name.(v) in
+  if n = "" then Printf.sprintf "x%d" v else n
+
+let row_name t r =
+  check_row t r;
+  let n = t.rows.(r).r_name in
+  if n = "" then Printf.sprintf "r%d" r else n
 let lower_bound t v = check_var t v; t.vars_lb.(v)
 let upper_bound t v = check_var t v; t.vars_ub.(v)
 let obj_coeff t v = check_var t v; t.vars_obj.(v)
@@ -176,18 +185,18 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>%s: %s" t.m_name dir;
   for v = 0 to t.n_vars - 1 do
     if t.vars_obj.(v) <> 0. then
-      Format.fprintf ppf " %+g %s" t.vars_obj.(v) t.vars_name.(v)
+      Format.fprintf ppf " %+g %s" t.vars_obj.(v) (var_name t v)
   done;
   Format.fprintf ppf "@,subject to:";
   iter_rows t (fun r terms sense rhs ->
-      Format.fprintf ppf "@,  %s:" t.rows.(r).r_name;
+      Format.fprintf ppf "@,  %s:" (row_name t r);
       List.iter
-        (fun (v, c) -> Format.fprintf ppf " %+g %s" c t.vars_name.(v))
+        (fun (v, c) -> Format.fprintf ppf " %+g %s" c (var_name t v))
         terms;
       Format.fprintf ppf " %a %g" pp_sense sense rhs);
   Format.fprintf ppf "@,bounds:";
   for v = 0 to t.n_vars - 1 do
-    Format.fprintf ppf "@,  %g <= %s <= %g" t.vars_lb.(v) t.vars_name.(v)
+    Format.fprintf ppf "@,  %g <= %s <= %g" t.vars_lb.(v) (var_name t v)
       t.vars_ub.(v)
   done;
   Format.fprintf ppf "@]"

@@ -28,7 +28,10 @@ val add_var :
   t -> ?name:string -> ?lb:float -> ?ub:float -> ?obj:float -> unit -> var
 (** Add a variable. Defaults: [lb = 0.], [ub = infinity], [obj = 0.].
     Use [lb:neg_infinity] for a free variable. Raises [Invalid_argument]
-    if [lb > ub] or either bound is NaN. *)
+    if [lb > ub] or either bound is NaN. When [name] is omitted no name is
+    stored; {!var_name} synthesizes ["x<index>"] on demand (large
+    formulations should omit names — an eager name per column is pure
+    allocation overhead). *)
 
 val add_vars : t -> int -> ?lb:float -> ?ub:float -> ?obj:float -> unit -> var array
 (** [add_vars t k] adds [k] variables sharing the same bounds/objective. *)
@@ -41,7 +44,9 @@ val add_obj : t -> var -> float -> unit
 
 val add_constraint : t -> ?name:string -> (var * float) list -> sense -> float -> row
 (** [add_constraint t terms sense rhs] adds [sum terms (sense) rhs].
-    Duplicate variables in [terms] are summed. *)
+    Duplicate variables in [terms] are summed. As with {!add_var}, an
+    omitted [name] stores nothing and {!row_name} synthesizes
+    ["r<index>"]. *)
 
 val num_vars : t -> int
 val num_rows : t -> int

@@ -165,5 +165,8 @@ let solve ?params model =
               primal;
               dual;
               reduced_costs;
-              iterations = s.Status.iterations }
+              iterations = s.Status.iterations;
+              (* Postsolve re-adds eliminated variables/rows, so the
+                 reduced model's basis does not transfer. *)
+              basis = None }
       | (Status.Infeasible | Status.Unbounded | Status.Iteration_limit) as o -> o)

@@ -43,7 +43,10 @@ type state = {
   basis : int array;  (* m: variable basic at each row position *)
   x : float array;  (* nall *)
   mutable lu : Lu.t;
-  mutable etas : Eta.t list;  (* newest first *)
+  (* Eta file in application (oldest-first) order: FTRAN walks it forward,
+     BTRAN backward. A growable array keeps the hot loops allocation-free
+     (a list would need reversing on every FTRAN). *)
+  mutable etas : Eta.t array;
   mutable n_etas : int;
   mutable iterations : int;
   mutable degenerate_run : int;
@@ -68,24 +71,36 @@ let dot_column st j v =
 
 let ftran st v =
   Lu.solve st.lu v;
-  List.iter (fun e -> Eta.apply_ftran e v) (List.rev st.etas)
+  for k = 0 to st.n_etas - 1 do
+    Eta.apply_ftran (Array.unsafe_get st.etas k) v
+  done
 
 let btran st v =
-  List.iter (fun e -> Eta.apply_btran e v) st.etas;
+  for k = st.n_etas - 1 downto 0 do
+    Eta.apply_btran (Array.unsafe_get st.etas k) v
+  done;
   Lu.solve_transpose st.lu v
+
+let push_eta st e =
+  let cap = Array.length st.etas in
+  if st.n_etas = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) e in
+    Array.blit st.etas 0 grown 0 st.n_etas;
+    st.etas <- grown
+  end;
+  st.etas.(st.n_etas) <- e;
+  st.n_etas <- st.n_etas + 1
 
 exception Numerical_failure
 
 let factorize st =
-  let col k =
-    let acc = ref [] in
-    iter_column st st.basis.(k) (fun i v -> acc := (i, v) :: !acc);
-    Array.of_list !acc
-  in
-  match Lu.factorize ~dim:st.m col with
+  (* Entries stream straight into the factorization's scratch vectors; no
+     per-column intermediate. *)
+  match
+    Lu.factorize_iter ~dim:st.m (fun k f -> iter_column st st.basis.(k) f)
+  with
   | Ok lu ->
       st.lu <- lu;
-      st.etas <- [];
       st.n_etas <- 0
   | Error (Lu.Singular _) -> raise Numerical_failure
 
@@ -446,9 +461,7 @@ let run_phase st =
                 st.basis.(r) <- enter;
                 st.status.(enter) <- Basic;
                 (match Eta.make ~pos:r ~alpha with
-                 | eta ->
-                     st.etas <- eta :: st.etas;
-                     st.n_etas <- st.n_etas + 1
+                 | eta -> push_eta st eta
                  | exception Invalid_argument _ ->
                      (* Pivot too small for a stable eta update: rebuild the
                         factorization from the new basis instead. *)
@@ -522,7 +535,7 @@ let initialize ?params:(p = default_params) sf =
     d = Array.make nall 0.;
     status; basis; x;
     lu = lu0;
-    etas = [];
+    etas = [||];
     n_etas = 0;
     iterations = 0;
     degenerate_run = 0;
@@ -580,6 +593,13 @@ let setup_phase2 st =
   done;
   reset_phase_controls st
 
+let export_status st j =
+  match st.status.(j) with
+  | Basic -> Status.Basis.Basic
+  | At_lower -> Status.Basis.At_lower
+  | At_upper -> Status.Basis.At_upper
+  | At_zero_free -> Status.Basis.Free
+
 let extract_solution st =
   let sf = st.sf in
   let n = sf.Standard_form.n_struct in
@@ -592,11 +612,216 @@ let extract_solution st =
   for j = 0 to st.tot - 1 do
     obj_sf := !obj_sf +. (sf.Standard_form.cost.(j) *. st.x.(j))
   done;
+  let basis =
+    Status.Basis.make
+      ~cols:(Array.init n (fun j -> export_status st j))
+      ~rows:(Array.init st.m (fun i -> export_status st (n + i)))
+  in
   { Status.objective = Standard_form.model_objective sf !obj_sf;
     primal; dual; reduced_costs = reduced;
-    iterations = st.iterations }
+    iterations = st.iterations;
+    basis = Some basis }
 
-let solve ?params model =
+(* ------------------------------------------------------------------ *)
+(* Warm start: crash the solver onto a basis carried over from an earlier
+   (usually structurally similar) solve.
+
+   The carried basis is never trusted. Installation runs a repair ladder:
+
+   1. dimension mismatch -> reject (caller falls back to the cold start);
+   2. the basic-marked columns go through {!Lu.crash_select}, which keeps a
+      maximal independent subset and reports the rows it left unpivoted;
+      skipped columns are demoted to a bound and every uncovered row gets
+      its artificial column back;
+   3. artificial basic values driven negative have their sign flipped
+      (an artificial column is +-e_i, so the flip negates only its own
+      value);
+   4. basic structural/slack variables outside their bounds are demoted to
+      the violated bound and the crash re-runs without them — each round
+      strictly shrinks the candidate set, and a bounded number of rounds
+      guards the pathological case;
+   5. any Numerical_failure along the way rejects the warm start entirely.
+
+   On success the state is primal feasible except possibly for positive
+   artificial values, exactly the invariant the cold start establishes, so
+   the ordinary phase-1/phase-2 driver runs unchanged. *)
+
+(* Park nonbasic column [j] consistently with a carried status, preferring
+   the carried bound when it exists. *)
+let park_nonbasic st j (ws : Status.Basis.var_status) =
+  let at_lower () =
+    st.status.(j) <- At_lower;
+    st.x.(j) <- st.lb.(j)
+  and at_upper () =
+    st.status.(j) <- At_upper;
+    st.x.(j) <- st.ub.(j)
+  and free () =
+    st.status.(j) <- At_zero_free;
+    st.x.(j) <- 0.
+  in
+  match ws with
+  | Status.Basis.At_upper when st.ub.(j) < infinity -> at_upper ()
+  | Status.Basis.At_upper | Status.Basis.At_lower | Status.Basis.Basic
+  | Status.Basis.Free ->
+      if st.lb.(j) > neg_infinity then at_lower ()
+      else if st.ub.(j) < infinity then at_upper ()
+      else free ()
+
+let max_repair_rounds = 12
+
+let try_warm_start st (wb : Status.Basis.t) =
+  let n = st.sf.Standard_form.n_struct in
+  if Status.Basis.num_cols wb <> n || Status.Basis.num_rows wb <> st.m then
+    false
+  else begin
+    let wanted j =
+      if j < n then Status.Basis.col_status wb j
+      else Status.Basis.row_status wb (j - n)
+    in
+    (* Park every nonbasic column at its carried bound; collect the
+       basic-marked ones as crash candidates. *)
+    let candidates = ref [] in
+    for j = st.tot - 1 downto 0 do
+      match wanted j with
+      | Status.Basis.Basic -> candidates := j :: !candidates
+      | ws -> park_nonbasic st j ws
+    done;
+    let cands = ref (Array.of_list !candidates) in
+    let installed = ref false and rejected = ref false in
+    let rounds = ref 0 in
+    while (not !installed) && not !rejected do
+      incr rounds;
+      if !rounds > max_repair_rounds then rejected := true
+      else begin
+        (* Artificials restart nonbasic at zero each round; the crash
+           re-adds the ones it needs. *)
+        for i = 0 to st.m - 1 do
+          let a = st.tot + i in
+          st.status.(a) <- At_lower;
+          st.x.(a) <- 0.
+        done;
+        let cands_now = !cands in
+        let accepted, unpivoted =
+          Lu.crash_select ~dim:st.m ~ncols:(Array.length cands_now) (fun k f ->
+              iter_column st cands_now.(k) f)
+        in
+        let kept = Array.make (Array.length cands_now) false in
+        Array.iter (fun k -> kept.(k) <- true) accepted;
+        Array.iteri
+          (fun k j ->
+            if not kept.(k) then park_nonbasic st j Status.Basis.At_lower)
+          cands_now;
+        let pos = ref 0 in
+        Array.iter
+          (fun k ->
+            let j = cands_now.(k) in
+            st.basis.(!pos) <- j;
+            st.status.(j) <- Basic;
+            incr pos)
+          accepted;
+        Array.iter
+          (fun r ->
+            let a = st.tot + r in
+            st.basis.(!pos) <- a;
+            st.status.(a) <- Basic;
+            incr pos)
+          unpivoted;
+        assert (!pos = st.m);
+        match factorize st with
+        | exception Numerical_failure -> rejected := true
+        | () ->
+            recompute_basics st;
+            (* An artificial column is art_sign * e_r: flipping the sign
+               negates only that basic value, turning a negative (infeasible
+               below its zero lower bound) artificial into a positive
+               phase-1 residual. *)
+            let flipped = ref false in
+            for i = 0 to st.m - 1 do
+              let bv = st.basis.(i) in
+              if bv >= st.tot && st.x.(bv) < 0. then begin
+                st.art_sign.(bv - st.tot) <- -.st.art_sign.(bv - st.tot);
+                flipped := true
+              end
+            done;
+            if !flipped then begin
+              match factorize st with
+              | exception Numerical_failure -> rejected := true
+              | () -> recompute_basics st
+            end;
+            if not !rejected then begin
+              (* Demote basic structural/slack variables parked outside
+                 their bounds by the carried point; re-crash without them. *)
+              let violators = ref [] in
+              let feas = st.p.feasibility_tolerance in
+              for i = 0 to st.m - 1 do
+                let j = st.basis.(i) in
+                if j < st.tot then begin
+                  let xj = st.x.(j) in
+                  if xj < st.lb.(j) -. feas || xj > st.ub.(j) +. feas then
+                    violators := j :: !violators
+                end
+              done;
+              match !violators with
+              | [] -> installed := true
+              | bad ->
+                  List.iter
+                    (fun j ->
+                      let ws =
+                        if st.x.(j) > st.ub.(j) then Status.Basis.At_upper
+                        else Status.Basis.At_lower
+                      in
+                      park_nonbasic st j ws)
+                    bad;
+                  let keep = Array.make st.tot false in
+                  for i = 0 to st.m - 1 do
+                    let j = st.basis.(i) in
+                    if j < st.tot && st.status.(j) = Basic then
+                      keep.(j) <- true
+                  done;
+                  List.iter (fun j -> keep.(j) <- false) bad;
+                  let next = ref [] in
+                  for j = st.tot - 1 downto 0 do
+                    if keep.(j) then next := j :: !next
+                  done;
+                  cands := Array.of_list !next
+            end
+      end
+    done;
+    if !installed then
+      Log.debug (fun m ->
+          m "warm start installed after %d repair round(s)" !rounds);
+    !installed
+  end
+
+(* Two-phase driver over an initialized (cold or warm-started) state.
+   Raises [Numerical_failure] when the factorization engine gives up. *)
+let drive st =
+  let phase1_result =
+    if phase1_needed st then begin
+      setup_phase1 st;
+      run_phase st
+    end
+    else Phase_optimal
+  in
+  Log.debug (fun m -> m "phase 1 done after %d iterations" st.iterations);
+  match phase1_result with
+  | Phase_iteration_limit -> Status.Iteration_limit
+  | Phase_unbounded ->
+      (* Phase 1 minimizes a sum of non-negative variables and is
+         bounded below by zero; an unbounded ray indicates numerical
+         trouble. *)
+      Status.Iteration_limit
+  | Phase_optimal ->
+      if phase1_infeasibility st > 1e-6 then Status.Infeasible
+      else begin
+        setup_phase2 st;
+        match run_phase st with
+        | Phase_optimal -> Status.Optimal (extract_solution st)
+        | Phase_unbounded -> Status.Unbounded
+        | Phase_iteration_limit -> Status.Iteration_limit
+      end
+
+let solve ?params ?warm_start model =
   let sf = Standard_form.of_model model in
   (* Trivial bound inconsistencies mean infeasible, not an exception. *)
   let inconsistent = ref false in
@@ -604,34 +829,27 @@ let solve ?params model =
     (fun j l -> if l > sf.Standard_form.ub.(j) then inconsistent := true)
     sf.Standard_form.lb;
   if !inconsistent then Status.Infeasible
-  else
-    match initialize ?params sf with
-    | exception Numerical_failure -> Status.Iteration_limit
-    | st ->
-        (try
-           let phase1_result =
-             if phase1_needed st then begin
-               setup_phase1 st;
-               run_phase st
-             end
-             else Phase_optimal
-           in
-           Log.debug (fun m ->
-               m "phase 1 done after %d iterations" st.iterations);
-           match phase1_result with
-           | Phase_iteration_limit -> Status.Iteration_limit
-           | Phase_unbounded ->
-               (* Phase 1 minimizes a sum of non-negative variables and is
-                  bounded below by zero; an unbounded ray indicates numerical
-                  trouble. *)
-               Status.Iteration_limit
-           | Phase_optimal ->
-               if phase1_infeasibility st > 1e-6 then Status.Infeasible
-               else begin
-                 setup_phase2 st;
-                 match run_phase st with
-                 | Phase_optimal -> Status.Optimal (extract_solution st)
-                 | Phase_unbounded -> Status.Unbounded
-                 | Phase_iteration_limit -> Status.Iteration_limit
-               end
-         with Numerical_failure -> Status.Iteration_limit)
+  else begin
+    let cold () =
+      match initialize ?params sf with
+      | exception Numerical_failure -> Status.Iteration_limit
+      | st -> ( try drive st with Numerical_failure -> Status.Iteration_limit)
+    in
+    match warm_start with
+    | None -> cold ()
+    | Some wb -> (
+        (* Any failure along the warm path — a basis that cannot be
+           repaired, or a numerical breakdown while iterating from it —
+           falls back to the cold start, so supplying a warm basis can
+           never produce a worse outcome class than not supplying one. *)
+        match initialize ?params sf with
+        | exception Numerical_failure -> Status.Iteration_limit
+        | st -> (
+            match try_warm_start st wb with
+            | false ->
+                Log.debug (fun m ->
+                    m "warm basis rejected; falling back to cold start");
+                cold ()
+            | true -> ( try drive st with Numerical_failure -> cold ())
+            | exception Numerical_failure -> cold ()))
+  end

@@ -34,6 +34,19 @@ type params = {
 
 val default_params : params
 
-val solve : ?params:params -> Model.t -> Status.outcome
+val solve :
+  ?params:params -> ?warm_start:Status.Basis.t -> Model.t -> Status.outcome
 (** Solve a model. The returned solution is expressed in the model's own
-    variable/row indexing and objective sense. *)
+    variable/row indexing and objective sense, and carries the optimal
+    basis ({!Status.solution.basis}).
+
+    [warm_start] crashes the solver from a basis captured by an earlier
+    solve (of this model or of a structurally similar one, translated onto
+    this model's indices). The carried basis is repaired before use —
+    dependent columns are demoted through {!Sparselin.Lu.crash_select},
+    uncovered rows regain their slack/artificial column, out-of-bound
+    basic values are parked at the violated bound — and the solver falls
+    back to the ordinary cold start whenever repair fails or a numerical
+    failure occurs while iterating from the warm basis. Supplying a wrong
+    or stale basis is therefore always safe: it can only cost iterations,
+    never correctness. *)

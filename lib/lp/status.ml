@@ -1,9 +1,37 @@
+module Basis = struct
+  type var_status = Basic | At_lower | At_upper | Free
+
+  type t = {
+    cols : var_status array;  (* one per structural variable *)
+    rows : var_status array;  (* one per row: the status of its slack *)
+  }
+
+  let make ~cols ~rows = { cols = Array.copy cols; rows = Array.copy rows }
+  let num_cols b = Array.length b.cols
+  let num_rows b = Array.length b.rows
+  let col_status b j = b.cols.(j)
+  let row_status b i = b.rows.(i)
+
+  let count_basic b =
+    let count =
+      Array.fold_left
+        (fun acc s -> if s = Basic then acc + 1 else acc)
+        0
+    in
+    count b.cols + count b.rows
+
+  let pp ppf b =
+    Format.fprintf ppf "basis (%d cols, %d rows, %d basic)" (num_cols b)
+      (num_rows b) (count_basic b)
+end
+
 type solution = {
   objective : float;
   primal : float array;
   dual : float array;
   reduced_costs : float array;
   iterations : int;
+  basis : Basis.t option;
 }
 
 type outcome =

@@ -1,12 +1,52 @@
 (** Solver outcome types shared by the revised simplex and the dense
     oracle. *)
 
+(** An exportable simplex basis: the status of every structural variable
+    and of every row's slack at a vertex. Captured from an optimal solve
+    and replayed — possibly onto a {e different} model, after translation
+    through {!Basis.make} — as the [?warm_start] argument of
+    {!Simplex.solve}. The warm-start machinery never trusts a basis: a
+    singular, truncated, or simply wrong basis is repaired or discarded,
+    so any statuses are safe to supply. *)
+module Basis : sig
+  type var_status =
+    | Basic
+    | At_lower  (** Nonbasic at its lower bound. *)
+    | At_upper  (** Nonbasic at its upper bound. *)
+    | Free  (** Nonbasic free variable (both bounds infinite), at zero. *)
+
+  type t
+
+  val make : cols:var_status array -> rows:var_status array -> t
+  (** [make ~cols ~rows] builds a basis for a model with
+      [Array.length cols] variables and [Array.length rows] rows; the
+      arrays are copied. *)
+
+  val num_cols : t -> int
+  val num_rows : t -> int
+
+  val col_status : t -> int -> var_status
+  (** Status of the [j]-th structural variable. *)
+
+  val row_status : t -> int -> var_status
+  (** Status of the [i]-th row's slack. *)
+
+  val count_basic : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
 type solution = {
   objective : float;  (** Objective value in the model's own sense. *)
   primal : float array;  (** One value per model variable. *)
   dual : float array;  (** One value per model row (simplex multipliers). *)
   reduced_costs : float array;  (** One value per model variable. *)
   iterations : int;  (** Total simplex pivots across both phases. *)
+  basis : Basis.t option;
+      (** The optimal basis, when the solver maintains one (the revised
+          simplex does; the dense oracle and the interior-point method
+          return [None]). Feed it back as [?warm_start] to resolve a
+          perturbed or structurally similar model. *)
 }
 
 type outcome =

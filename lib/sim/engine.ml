@@ -18,6 +18,9 @@ exception Invalid_plan of string
 
 let run ~base ~scheduler ~workload ~slots =
   if slots < 1 then invalid_arg "Engine.run: need at least one slot";
+  (* Scheduler values may be reused across runs (Experiment does); drop
+     any cross-epoch state such as a carried warm-start basis. *)
+  scheduler.Scheduler.reset ();
   let ledger = Ledger.create ~base in
   let cost_series = Array.make slots 0. in
   let total_files = ref 0 and rejected_files = ref 0 in

@@ -1,0 +1,192 @@
+module Graph = Netgraph.Graph
+module Formulate = Postcard.Formulate
+module Basis_map = Postcard.Basis_map
+
+type slot_stat = {
+  slot : int;
+  files : int;
+  cols : int;
+  rows : int;
+  cold_iterations : int;
+  warm_iterations : int;
+  cold_ms : float;
+  warm_ms : float;
+  objective_gap : float;
+  hit_rate : float;
+}
+
+type summary = {
+  nodes : int;
+  slots : int;
+  seed : int;
+  per_slot : slot_stat list;
+  cold_iterations : int;  (* totals over slots >= 1, where a basis exists *)
+  warm_iterations : int;
+  cold_ms : float;
+  warm_ms : float;
+  max_objective_gap : float;
+}
+
+let iteration_ratio s =
+  if s.warm_iterations = 0 then infinity
+  else float_of_int s.cold_iterations /. float_of_int s.warm_iterations
+
+(* One Sec. VII-style online run. Each slot's program is solved twice from
+   scratch — once cold, once crashed from the previous slot's basis — and
+   the cold plan is the one committed, so both solvers always face the
+   identical sequence of programs. *)
+let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
+  let rng = Prelude.Rng.of_int (seed * 7919) in
+  let base =
+    Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
+      ~capacity:50.
+  in
+  let spec =
+    { (Workload.paper_spec ~nodes ~files_max:4 ~max_deadline:4) with
+      Workload.size_min = 5.;
+      size_max = 25.;
+      deadlines = Workload.Uniform_deadline (2, 4) }
+  in
+  let workload = Workload.create spec (Prelude.Rng.of_int seed) in
+  let ledger = Ledger.create ~base in
+  let carried : Basis_map.t option ref = ref None in
+  let stats = ref [] in
+  for slot = 0 to slots - 1 do
+    let files = Workload.arrivals workload ~slot in
+    if files <> [] then begin
+      let capacity ~link ~layer =
+        Ledger.residual ledger ~link ~slot:(slot + layer)
+      in
+      let program =
+        Formulate.create ~base ~charged:(Ledger.charged_all ledger) ~capacity
+          ~files ~epoch:slot ()
+      in
+      let model = Formulate.model program in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, 1000. *. (Unix.gettimeofday () -. t0))
+      in
+      let (cold, cold_info), cold_ms =
+        timed (fun () -> Formulate.solve_with_info program)
+      in
+      let (warm, warm_info), warm_ms =
+        timed (fun () -> Formulate.solve_with_info ?warm_start:!carried program)
+      in
+      let objective = function
+        | Formulate.Scheduled { objective; _ } -> objective
+        | Formulate.Infeasible | Formulate.Solver_failure _ -> nan
+      in
+      let gap =
+        match (cold, warm) with
+        | Formulate.Scheduled _, Formulate.Scheduled _ ->
+            abs_float (objective cold -. objective warm)
+        | Formulate.Infeasible, Formulate.Infeasible -> 0.
+        | _ -> nan
+      in
+      let hit_rate =
+        match !carried with
+        | None -> 0.
+        | Some b -> Basis_map.hit_rate b (Formulate.keymap program)
+      in
+      stats :=
+        { slot;
+          files = List.length files;
+          cols = Lp.Model.num_vars model;
+          rows = Lp.Model.num_rows model;
+          cold_iterations = cold_info.Formulate.iterations;
+          warm_iterations = warm_info.Formulate.iterations;
+          cold_ms;
+          warm_ms;
+          objective_gap = gap;
+          hit_rate }
+        :: !stats;
+      carried := warm_info.Formulate.basis;
+      match cold with
+      | Formulate.Scheduled { plan; _ } -> Ledger.commit_plan ledger plan
+      | Formulate.Infeasible | Formulate.Solver_failure _ ->
+          (* Sized so this cannot happen; skip the slot if it does. *)
+          ()
+    end
+  done;
+  let per_slot = List.rev !stats in
+  let warmed = List.filter (fun s -> s.slot >= 1) per_slot in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0. warmed in
+  { nodes;
+    slots;
+    seed;
+    per_slot;
+    cold_iterations =
+      List.fold_left (fun acc (s : slot_stat) -> acc + s.cold_iterations) 0
+        warmed;
+    warm_iterations =
+      List.fold_left (fun acc (s : slot_stat) -> acc + s.warm_iterations) 0
+        warmed;
+    cold_ms = sum (fun s -> s.cold_ms);
+    warm_ms = sum (fun s -> s.warm_ms);
+    max_objective_gap =
+      List.fold_left (fun acc s -> max acc s.objective_gap) 0. per_slot }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "  cold vs warm simplex on a %d-DC, %d-slot online run (seed %d)@."
+    s.nodes s.slots s.seed;
+  Format.fprintf ppf "  %-5s %6s %6s %6s %11s %11s %9s %9s %8s@." "slot"
+    "files" "cols" "rows" "cold iters" "warm iters" "cold ms" "warm ms"
+    "hit";
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "  %-5d %6d %6d %6d %11d %11d %9.2f %9.2f %7.0f%%@."
+        st.slot st.files st.cols st.rows st.cold_iterations
+        st.warm_iterations st.cold_ms st.warm_ms (100. *. st.hit_rate))
+    s.per_slot;
+  Format.fprintf ppf
+    "  totals over warm-started slots (>= 1): %d cold vs %d warm pivots \
+     (%.2fx), %.1f vs %.1f ms@."
+    s.cold_iterations s.warm_iterations (iteration_ratio s) s.cold_ms
+    s.warm_ms;
+  Format.fprintf ppf "  largest cold/warm objective gap: %.2e@."
+    s.max_objective_gap
+
+(* Hand-rolled JSON (no JSON library in the tree); numbers are printed
+   with enough digits to round-trip. *)
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && abs_float f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_json s =
+  let b = Buffer.create 4096 in
+  let field ?(last = false) name v =
+    Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" name v
+                           (if last then "" else ","))
+  in
+  Buffer.add_string b "{\n";
+  field "bench" "\"solver_warm_start\"";
+  field "nodes" (string_of_int s.nodes);
+  field "slots" (string_of_int s.slots);
+  field "seed" (string_of_int s.seed);
+  Buffer.add_string b "  \"per_slot\": [\n";
+  let n = List.length s.per_slot in
+  List.iteri
+    (fun i st ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"slot\": %d, \"files\": %d, \"cols\": %d, \"rows\": %d, \
+            \"cold_iterations\": %d, \"warm_iterations\": %d, \"cold_ms\": \
+            %s, \"warm_ms\": %s, \"objective_gap\": %s, \"hit_rate\": %s}%s\n"
+           st.slot st.files st.cols st.rows st.cold_iterations
+           st.warm_iterations (json_float st.cold_ms) (json_float st.warm_ms)
+           (json_float st.objective_gap) (json_float st.hit_rate)
+           (if i = n - 1 then "" else ",")))
+    s.per_slot;
+  Buffer.add_string b "  ],\n";
+  field "cold_iterations" (string_of_int s.cold_iterations);
+  field "warm_iterations" (string_of_int s.warm_iterations);
+  field "iteration_ratio" (json_float (iteration_ratio s));
+  field "cold_ms" (json_float s.cold_ms);
+  field "warm_ms" (json_float s.warm_ms);
+  field ~last:true "max_objective_gap" (json_float s.max_objective_gap);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,50 @@
+(** Cold-vs-warm simplex benchmark for the online scheduler.
+
+    Replays a Sec. VII-style online run and solves every epoch's
+    time-expanded program twice: from scratch, and crashed from the
+    previous epoch's optimal basis translated through
+    {!Postcard.Basis_map}. The committed plan is always the cold one, so
+    both solvers face identical programs; slot 0 has no previous basis and
+    is excluded from the totals. *)
+
+type slot_stat = {
+  slot : int;
+  files : int;  (** Files released this slot. *)
+  cols : int;  (** LP columns. *)
+  rows : int;  (** LP rows. *)
+  cold_iterations : int;  (** Simplex pivots, phases 1+2, cold start. *)
+  warm_iterations : int;  (** Same, warm-started. *)
+  cold_ms : float;
+  warm_ms : float;
+  objective_gap : float;  (** |cold - warm| objective (must be ~0). *)
+  hit_rate : float;
+      (** Fraction of this epoch's columns/rows found in the carried
+          basis (0 on slot 0). *)
+}
+
+type summary = {
+  nodes : int;
+  slots : int;
+  seed : int;
+  per_slot : slot_stat list;
+  cold_iterations : int;  (** Total over slots >= 1. *)
+  warm_iterations : int;  (** Total over slots >= 1. *)
+  cold_ms : float;
+  warm_ms : float;
+  max_objective_gap : float;
+}
+
+val run : ?nodes:int -> ?slots:int -> ?seed:int -> unit -> summary
+(** Defaults: 6 datacenters (complete topology, capacity 50), 12 slots,
+    seed 1 — a workload whose epochs overlap enough for warm starts to
+    matter, matching the scaled Sec. VII settings. *)
+
+val iteration_ratio : summary -> float
+(** [cold_iterations / warm_iterations] over the warm-started slots;
+    [infinity] when every warm solve took zero pivots. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val to_json : summary -> string
+(** The summary as a self-contained JSON document (the repository carries
+    no JSON library, so this is a small hand-rolled emitter). *)

@@ -53,9 +53,14 @@ let reach ~pinv ~l_cols ~visited ~stack ~top start =
         end
   done
 
-let default_col_order ~dim col =
+let default_col_order ~dim iter_col =
   let order = Array.init dim (fun j -> j) in
-  let counts = Array.init dim (fun j -> Array.length (col j)) in
+  let counts = Array.make dim 0 in
+  for j = 0 to dim - 1 do
+    let c = ref 0 in
+    iter_col j (fun _ _ -> incr c);
+    counts.(j) <- !c
+  done;
   Array.sort
     (fun a b ->
       let c = compare counts.(a) counts.(b) in
@@ -63,13 +68,58 @@ let default_col_order ~dim col =
     order;
   order
 
-let factorize ?col_order ~dim:n col =
+(* Shared per-column front end of the elimination: scatter column [j] into
+   the dense accumulator [x] while collecting (in [stack], via [reach]) the
+   topological order of its fill pattern, then run the sparse triangular
+   solve against the L columns computed so far. Returns the pattern size. *)
+let eliminate_column ~iter_col ~pinv ~l_cols ~visited ~stack ~x j =
+  let top = ref 0 in
+  iter_col j (fun r v ->
+      if not visited.(r) then reach ~pinv ~l_cols ~visited ~stack ~top r;
+      x.(r) <- x.(r) +. v);
+  for s = !top - 1 downto 0 do
+    let node = stack.(s) in
+    let step = pinv.(node) in
+    if step >= 0 then begin
+      let xj = x.(node) in
+      if xj <> 0. then
+        Array.iter
+          (fun (r, lv) -> x.(r) <- x.(r) -. (lv *. xj))
+          l_cols.(step)
+    end
+  done;
+  !top
+
+(* Partial pivoting among not-yet-pivoted rows of the pattern. Returns the
+   chosen row, or -1 when no entry exceeds [threshold]. *)
+let select_pivot ~pinv ~stack ~x ~top ~threshold =
+  let best = ref (-1) and best_abs = ref threshold in
+  for s = 0 to top - 1 do
+    let r = stack.(s) in
+    if pinv.(r) < 0 then begin
+      let a = abs_float x.(r) in
+      if a > !best_abs then begin
+        best_abs := a;
+        best := r
+      end
+    end
+  done;
+  !best
+
+let clear_pattern ~visited ~stack ~x ~top =
+  for s = 0 to top - 1 do
+    let r = stack.(s) in
+    x.(r) <- 0.;
+    visited.(r) <- false
+  done
+
+let factorize_iter ?col_order ~dim:n iter_col =
   let q = match col_order with
     | Some order ->
         if Array.length order <> n then
           invalid_arg "Lu.factorize: col_order length mismatch";
         order
-    | None -> default_col_order ~dim:n col
+    | None -> default_col_order ~dim:n iter_col
   in
   let l_cols = Array.make n [||] in
   let u_cols = Array.make n [||] in
@@ -82,47 +132,15 @@ let factorize ?col_order ~dim:n col =
   let exception Singular_at of int in
   try
     for k = 0 to n - 1 do
-      let a_col = col q.(k) in
-      (* Symbolic: topological order of the nonzero pattern of
-         L^{-1} a_col. *)
-      let top = ref 0 in
-      Array.iter
-        (fun (r, _) -> if not visited.(r) then
-            reach ~pinv ~l_cols ~visited ~stack ~top r)
-        a_col;
-      (* Numeric sparse triangular solve: scatter, then eliminate in
-         topological order (stack holds reverse topological order, so walk
-         it from the end). *)
-      Array.iter (fun (r, v) -> x.(r) <- x.(r) +. v) a_col;
-      for s = !top - 1 downto 0 do
-        let node = stack.(s) in
-        let step = pinv.(node) in
-        if step >= 0 then begin
-          let xj = x.(node) in
-          if xj <> 0. then
-            Array.iter
-              (fun (r, lv) -> x.(r) <- x.(r) -. (lv *. xj))
-              l_cols.(step)
-        end
-      done;
-      (* Partial pivoting among not-yet-pivoted rows of the pattern. *)
-      let best = ref (-1) and best_abs = ref 0. in
-      for s = 0 to !top - 1 do
-        let r = stack.(s) in
-        if pinv.(r) < 0 then begin
-          let a = abs_float x.(r) in
-          if a > !best_abs then begin
-            best_abs := a;
-            best := r
-          end
-        end
-      done;
-      if !best < 0 || !best_abs <= 1e-13 then raise (Singular_at k);
-      let piv = !best in
+      let top =
+        eliminate_column ~iter_col ~pinv ~l_cols ~visited ~stack ~x q.(k)
+      in
+      let piv = select_pivot ~pinv ~stack ~x ~top ~threshold:1e-13 in
+      if piv < 0 then raise (Singular_at k);
       let d = x.(piv) in
       (* Gather U (pivoted rows) and L (remaining rows, scaled). *)
       let u_acc = ref [] and l_acc = ref [] in
-      for s = 0 to !top - 1 do
+      for s = 0 to top - 1 do
         let r = stack.(s) in
         let v = x.(r) in
         if v <> 0. then begin
@@ -142,6 +160,54 @@ let factorize ?col_order ~dim:n col =
   with Singular_at k ->
     (* Reset scratch state is unnecessary: arrays are local. *)
     Error (Singular k)
+
+let factorize ?col_order ~dim col =
+  factorize_iter ?col_order ~dim (fun j f ->
+      Array.iter (fun (r, v) -> f r v) (col j))
+
+(* Rank-revealing greedy pass used to repair a carried simplex basis: run
+   the same left-looking elimination over [ncols] candidate columns, but
+   instead of failing on a column with no acceptable pivot, skip it. The
+   threshold is far above the factorization's own (1e-13): a candidate that
+   only barely avoids singularity would produce a terrible starting basis.
+   Returns the accepted candidate indices (in elimination order) and the
+   rows left unpivoted, which the caller must cover with slack/artificial
+   columns. *)
+let crash_select ~dim:n ~ncols iter_col =
+  let l_cols = Array.make (min n ncols) [||] in
+  let pinv = Array.make n (-1) in
+  let x = Array.make n 0. in
+  let visited = Array.make n false in
+  let stack = Array.make n 0 in
+  let accepted = ref [] and n_accepted = ref 0 in
+  let j = ref 0 in
+  while !j < ncols && !n_accepted < n do
+    let top = eliminate_column ~iter_col ~pinv ~l_cols ~visited ~stack ~x !j in
+    let piv = select_pivot ~pinv ~stack ~x ~top ~threshold:1e-9 in
+    if piv < 0 then clear_pattern ~visited ~stack ~x ~top
+    else begin
+      let d = x.(piv) in
+      let l_acc = ref [] in
+      for s = 0 to top - 1 do
+        let r = stack.(s) in
+        let v = x.(r) in
+        if v <> 0. && pinv.(r) < 0 && r <> piv then
+          l_acc := (r, v /. d) :: !l_acc;
+        x.(r) <- 0.;
+        visited.(r) <- false
+      done;
+      l_cols.(!n_accepted) <- Array.of_list !l_acc;
+      pinv.(piv) <- !n_accepted;
+      accepted := !j :: !accepted;
+      incr n_accepted
+    end;
+    incr j
+  done;
+  let unpivoted = ref [] in
+  for r = n - 1 downto 0 do
+    if pinv.(r) < 0 then unpivoted := r :: !unpivoted
+  done;
+  (Array.of_list (List.rev !accepted), Array.of_list !unpivoted)
 
 (* FTRAN: solve B x = b with P B Q = L U, i.e. x = Q (U \ (L \ P b)).
    [b] is indexed by original rows on entry, by original columns on exit. *)

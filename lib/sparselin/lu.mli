@@ -23,6 +23,32 @@ val factorize :
     increasing nonzero count, a cheap fill-reducing heuristic that suits
     near-triangular simplex bases. *)
 
+val factorize_iter :
+  ?col_order:int array ->
+  dim:int ->
+  (int -> (int -> float -> unit) -> unit) ->
+  (t, error) result
+(** [factorize_iter ~dim iter_col] is {!factorize} with the matrix supplied
+    as an iterator: [iter_col j f] must call [f row value] for every nonzero
+    of column [j] (distinct rows, any order). This is the allocation-free
+    entry point used by the simplex basis factorization: entries stream
+    straight into the elimination's scratch vectors with no intermediate
+    per-column array. *)
+
+val crash_select :
+  dim:int ->
+  ncols:int ->
+  (int -> (int -> float -> unit) -> unit) ->
+  int array * int array
+(** [crash_select ~dim ~ncols iter_col] greedily selects a maximal
+    independent subset of the [ncols] candidate columns by running the same
+    left-looking elimination and skipping (instead of failing on) columns
+    with no acceptable pivot. Returns [(accepted, unpivoted)]: the indices
+    of accepted candidates in elimination order, and the rows no accepted
+    column pivoted — together they describe a nonsingular basis once the
+    caller covers each unpivoted row with its slack or artificial column.
+    Used to repair a warm-start basis carried between LP solves. *)
+
 val dim : t -> int
 
 val nnz : t -> int

@@ -30,4 +30,5 @@ let () =
       ("sim", Test_sim.suite);
       ("report", Test_report.suite);
       ("engine-faults", Test_engine_faults.suite);
+      ("warm-start", Test_warm_start.suite);
       ("properties", Test_properties.suite) ]

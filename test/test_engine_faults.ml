@@ -19,12 +19,9 @@ let workload () =
 
 (* A scheduler that accepts files but returns a plan violating [mangle]. *)
 let lying_scheduler ~fluid mangle =
-  { Scheduler.name = "liar";
-    fluid;
-    schedule =
-      (fun ctx files ->
-        ignore ctx;
-        { Scheduler.plan = mangle files; accepted = files; rejected = [] }) }
+  Scheduler.stateless ~name:"liar" ~fluid (fun ctx files ->
+      ignore ctx;
+      { Scheduler.plan = mangle files; accepted = files; rejected = [] })
 
 let expect_invalid name scheduler =
   match

@@ -15,6 +15,21 @@ let test_names () =
   Alcotest.(check string) "var name" "flow" (Model.var_name m x);
   Alcotest.(check string) "row name" "cap" (Model.row_name m r)
 
+let test_synthesized_names () =
+  (* Names are lazy: omitting [name] stores nothing and the accessors
+     synthesize positional names on demand. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m () in
+  let y = Model.add_var m ~name:"real" () in
+  let z = Model.add_var m () in
+  let r0 = Model.add_constraint m [ (x, 1.) ] Model.Le 1. in
+  let r1 = Model.add_constraint m ~name:"cap" [ (y, 1.) ] Model.Le 1. in
+  Alcotest.(check string) "x0" "x0" (Model.var_name m x);
+  Alcotest.(check string) "named kept" "real" (Model.var_name m y);
+  Alcotest.(check string) "x2" "x2" (Model.var_name m z);
+  Alcotest.(check string) "r0" "r0" (Model.row_name m r0);
+  Alcotest.(check string) "named row kept" "cap" (Model.row_name m r1)
+
 let test_bad_bounds () =
   let m = Model.create Model.Minimize in
   Alcotest.check_raises "lb > ub" (Invalid_argument "Model.add_var: lb > ub")
@@ -93,6 +108,7 @@ let test_standard_form () =
 let suite =
   [ Alcotest.test_case "defaults" `Quick test_defaults;
     Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "synthesized lazy names" `Quick test_synthesized_names;
     Alcotest.test_case "bad bounds" `Quick test_bad_bounds;
     Alcotest.test_case "dedup terms" `Quick test_dedup_terms;
     Alcotest.test_case "cancelling terms dropped" `Quick test_cancelling_terms_dropped;
