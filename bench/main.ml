@@ -406,19 +406,67 @@ let bechamel_benches () =
   in
   List.iter benchmark [ lu_bench; simplex_bench; postcard_bench; mcf_bench ]
 
-let usage = "main.exe [--solver-only] [--json PATH]"
+(* Verify the "telemetry off costs nothing" contract: with the metrics
+   registry disabled and no trace sink installed, a burst of guarded
+   instrumentation calls — the exact pattern sitting on the simplex pivot
+   path — must allocate nothing on the minor heap. *)
+let obs_noop_bench () =
+  section "Telemetry overhead — disabled instrumentation";
+  let open Bechamel in
+  assert (not (Obs.Metrics.enabled ()));
+  assert (not (Obs.Trace.enabled ()));
+  let c = Obs.Metrics.counter "bench.noop_counter" in
+  let h = Obs.Metrics.histogram "bench.noop_hist" in
+  let test =
+    Test.make ~name:"1000 guarded metric+trace updates"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             Obs.Metrics.incr c;
+             Obs.Metrics.add c i;
+             Obs.Metrics.observe h 1.5;
+             if Obs.Trace.enabled () then
+               Obs.Trace.point "bench.noop" [ ("i", Obs.Trace.Int i) ]
+           done))
+  in
+  let instances = [ Toolkit.Instance.minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.minor_allocated raw
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          Format.printf "  %-40s %8.2f minor words/run %s@." name est
+            (if est < 1. then "(allocation-free: OK)" else "(ALLOCATES)")
+      | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
+    results
+
+let usage = "main.exe [--solver-only] [--json PATH] [--log-level LEVEL]"
 
 let () =
   let json = ref None and solver_only = ref false in
+  let log_level = ref (Some Logs.Warning) in
   let spec =
     [ ("--json",
        Arg.String (fun p -> json := Some p),
        "PATH  write the warm-start benchmark summary as JSON");
       ("--solver-only",
        Arg.Set solver_only,
-       "  run only the solver warm-start benchmark (skip the figures)") ]
+       "  run only the solver warm-start benchmark (skip the figures)");
+      ("--log-level",
+       Arg.String
+         (fun s ->
+           match Obs.Logging.parse_level s with
+           | Ok l -> log_level := l
+           | Error msg -> raise (Arg.Bad msg)),
+       "LEVEL  log verbosity: quiet, app, error, warning, info or debug") ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  Obs.Logging.setup ~level:!log_level ();
   Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
   if not !solver_only then begin
     fig1 ();
@@ -435,5 +483,6 @@ let () =
     extension_percentile_billing ()
   end;
   ignore (solver_warm_bench ~json:!json);
+  obs_noop_bench ();
   if not !solver_only then bechamel_benches ();
   Format.printf "@.done.@."

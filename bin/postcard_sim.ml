@@ -1,6 +1,8 @@
 (* Command-line driver for the Postcard evaluation: reproduce any of the
    paper's figure settings (4-7), at paper scale or bench scale, or run a
-   fully custom setting, with any subset of the implemented schedulers. *)
+   fully custom setting, with any subset of the implemented schedulers.
+   The [trace-summary] subcommand analyzes a JSONL trace produced with
+   [--trace]. *)
 
 let make_scheduler = function
   | "postcard" -> Ok (Postcard.Postcard_scheduler.make ())
@@ -14,11 +16,22 @@ let make_scheduler = function
   | "burst" | "burst-95" -> Ok (Postcard.Greedy_scheduler.make_percentile ())
   | other -> Error (Printf.sprintf "unknown scheduler %S" other)
 
+let setup_obs ~verbose ~log_level ~metrics ~trace =
+  let level =
+    match log_level with
+    | Some l -> l
+    | None -> if verbose then Some Logs.Info else Some Logs.Warning
+  in
+  match Obs.Logging.init ~level ~metrics ?trace () with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
 let run figure scale nodes capacity files_max max_deadline slots runs seed
-    size_max fixed_deadlines schedulers series verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
+    size_max fixed_deadlines schedulers series verbose log_level metrics
+    trace =
+  setup_obs ~verbose ~log_level ~metrics ~trace;
   let base_setting =
     match (figure, scale) with
     | Some n, `Paper -> Sim.Experiment.paper_figure n
@@ -83,7 +96,16 @@ let run figure scale nodes capacity files_max max_deadline slots runs seed
                   ~contender:first.Postcard.Scheduler.name results)
         | _ -> ()
       end;
-      if series then Format.printf "%a@." (Sim.Report.print_series ?every:None) results
+      if series then Format.printf "%a@." (Sim.Report.print_series ?every:None) results;
+      if metrics then
+        Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
+
+let trace_summary file =
+  match Sim.Trace_summary.summarize_file file with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
 
 open Cmdliner
 
@@ -122,12 +144,50 @@ let schedulers =
 let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per-interval time series.")
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress and scheduler logs.")
 
+let log_level_conv =
+  let parse s =
+    match Obs.Logging.parse_level s with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Logging.level_name l))
+
+let log_level =
+  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ]
+         ~docv:"LEVEL"
+         ~doc:"Log verbosity: quiet, app, error, warning, info or debug \
+               (overrides --verbose).")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable the metrics registry and dump it after the run.")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL run trace to FILE (see the trace-summary \
+               subcommand).")
+
+let run_term =
+  Term.(const run $ figure $ scale $ nodes $ capacity $ files_max
+        $ max_deadline $ slots $ runs $ seed $ size_max $ fixed_deadlines
+        $ schedulers $ series $ verbose $ log_level $ metrics $ trace)
+
+let run_cmd =
+  let doc = "run the simulation (the default subcommand)" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+let trace_summary_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"JSONL trace written by --trace.")
+  in
+  let doc = "analyze a JSONL run trace" in
+  Cmd.v (Cmd.info "trace-summary" ~doc) Term.(const trace_summary $ file)
+
 let cmd =
   let doc = "reproduce the Postcard evaluation (ICDCS 2012, Figs. 4-7)" in
-  Cmd.v
+  Cmd.group ~default:run_term
     (Cmd.info "postcard_sim" ~doc)
-    Term.(const run $ figure $ scale $ nodes $ capacity $ files_max
-          $ max_deadline $ slots $ runs $ seed $ size_max $ fixed_deadlines
-          $ schedulers $ series $ verbose)
+    [ run_cmd; trace_summary_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -65,7 +65,13 @@ let dump_mps inst target =
       Format.eprintf "cannot write %s: %s@." target msg;
       exit 1
 
-let run path scheduler_name mps_target =
+let run path scheduler_name mps_target log_level metrics trace =
+  let level = Option.value log_level ~default:(Some Logs.Warning) in
+  (match Obs.Logging.init ~level ~metrics ?trace () with
+   | Ok () -> ()
+   | Error msg ->
+       prerr_endline msg;
+       exit 1);
   match Postcard.Instance.of_file path with
   | Error msg ->
       Format.eprintf "%s: %s@." path msg;
@@ -99,7 +105,8 @@ let run path scheduler_name mps_target =
           rejected;
       Format.printf "plan (%d accepted files):@." (List.length accepted);
       print_plan base plan;
-      Format.printf "cost per interval: %.4f@." (plan_cost inst plan)
+      Format.printf "cost per interval: %.4f@." (plan_cost inst plan);
+      if metrics then Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
 
 open Cmdliner
 
@@ -116,9 +123,32 @@ let mps_target =
          ~doc:"Instead of solving, write the instance's Postcard LP to FILE \
                in MPS format (for external solvers).")
 
+let log_level_conv =
+  let parse s =
+    match Obs.Logging.parse_level s with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Logging.level_name l))
+
+let log_level =
+  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ]
+         ~docv:"LEVEL"
+         ~doc:"Log verbosity: quiet, app, error, warning, info or debug.")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable the metrics registry and dump it after the solve.")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL trace of the solve to FILE (analyze with \
+               'postcard_sim trace-summary').")
+
 let cmd =
   let doc = "solve one inter-datacenter transfer instance" in
   Cmd.v (Cmd.info "postcard_solve" ~doc)
-    Term.(const run $ path $ scheduler $ mps_target)
+    Term.(const run $ path $ scheduler $ mps_target $ log_level $ metrics
+          $ trace)
 
 let () = exit (Cmd.eval cmd)

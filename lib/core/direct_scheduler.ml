@@ -64,4 +64,4 @@ let make () =
       accepted = List.rev !accepted;
       rejected = List.rev !rejected }
   in
-  Scheduler.stateless ~name:"direct" ~fluid:false schedule
+  Scheduler.observe (Scheduler.stateless ~name:"direct" ~fluid:false schedule)

@@ -414,4 +414,4 @@ let make ?params ?(variant = `Two_stage) () =
           { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
     end
   in
-  Scheduler.stateless ~name ~fluid:true schedule
+  Scheduler.observe (Scheduler.stateless ~name ~fluid:true schedule)

@@ -38,6 +38,7 @@ type result =
 
 type solve_info = {
   iterations : int;
+  stats : Lp.Status.stats;
   basis : Basis_map.t option;
 }
 
@@ -49,14 +50,13 @@ let solve_with_info ?params ?warm_start t =
     | None -> None
     | Some carried -> Some (Basis_map.apply carried (keymap t))
   in
+  let no_info = { iterations = 0; stats = Lp.Status.no_stats; basis = None } in
   match Lp.Simplex.solve ?params ?warm_start t.model with
-  | Lp.Status.Infeasible -> (Infeasible, { iterations = 0; basis = None })
+  | Lp.Status.Infeasible -> (Infeasible, no_info)
   | Lp.Status.Unbounded ->
-      (Solver_failure "unbounded Postcard program",
-       { iterations = 0; basis = None })
+      (Solver_failure "unbounded Postcard program", no_info)
   | Lp.Status.Iteration_limit ->
-      (Solver_failure "iteration limit reached",
-       { iterations = 0; basis = None })
+      (Solver_failure "iteration limit reached", no_info)
   | Lp.Status.Optimal s ->
       let primal = s.Lp.Status.primal in
       let plan = Texp_lp.extract_plan t.program ~primal in
@@ -73,6 +73,6 @@ let solve_with_info ?params ?warm_start t =
         | Some b -> Some (Basis_map.capture (keymap t) b)
       in
       (Scheduled { plan; objective = !objective; charged },
-       { iterations = s.Lp.Status.iterations; basis })
+       { iterations = s.Lp.Status.iterations; stats = s.Lp.Status.stats; basis })
 
 let solve ?params t = fst (solve_with_info ?params t)

@@ -64,6 +64,10 @@ val keymap : t -> Basis_map.keymap
 
 type solve_info = {
   iterations : int;  (** Simplex pivots spent ([0] unless [Scheduled]). *)
+  stats : Lp.Status.stats;
+      (** Full solver statistics of the underlying simplex run (phase
+          split, refactorizations, warm-start outcome, ...);
+          {!Lp.Status.no_stats} unless [Scheduled]. *)
   basis : Basis_map.t option;
       (** The optimal basis re-keyed by stable structural keys, ready to
           warm-start the next epoch's program. *)

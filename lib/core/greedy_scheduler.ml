@@ -192,7 +192,7 @@ let make_with_mode ~name ~mode () =
         rejected = List.rev !rejected }
     end
   in
-  Scheduler.stateless ~name ~fluid:false schedule
+  Scheduler.observe (Scheduler.stateless ~name ~fluid:false schedule)
 
 let make () = make_with_mode ~name:"greedy-snf" ~mode:Peak ()
 

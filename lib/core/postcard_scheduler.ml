@@ -53,7 +53,8 @@ let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
           { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
     end
   in
-  { Scheduler.name = "postcard";
-    fluid = false;
-    schedule;
-    reset = (fun () -> carried := None) }
+  Scheduler.observe
+    { Scheduler.name = "postcard";
+      fluid = false;
+      schedule;
+      reset = (fun () -> carried := None) }

@@ -22,6 +22,45 @@ type t = {
 
 let stateless ~name ~fluid schedule = { name; fluid; schedule; reset = (fun () -> ()) }
 
+let m_decisions = Obs.Metrics.counter "sched.decisions"
+let m_offered = Obs.Metrics.counter "sched.files_offered"
+let m_accepted = Obs.Metrics.counter "sched.files_accepted"
+let m_rejected = Obs.Metrics.counter "sched.files_rejected"
+let h_sched_ms = Obs.Metrics.histogram "sched.decision_ms"
+
+let observe t =
+  let schedule ctx files =
+    let t0 = Obs.Trace.now_ms () in
+    let outcome = t.schedule ctx files in
+    let ms = Obs.Trace.now_ms () -. t0 in
+    let n_offered = List.length files in
+    let n_accepted = List.length outcome.accepted in
+    let n_rejected = List.length outcome.rejected in
+    Obs.Metrics.incr m_decisions;
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.add m_offered n_offered;
+      Obs.Metrics.add m_accepted n_accepted;
+      Obs.Metrics.add m_rejected n_rejected;
+      Obs.Metrics.observe h_sched_ms ms
+    end;
+    if Obs.Trace.enabled () then begin
+      let rejected_ids =
+        String.concat ","
+          (List.map (fun f -> string_of_int f.File.id) outcome.rejected)
+      in
+      Obs.Trace.point "sched.decision"
+        [ ("scheduler", Obs.Trace.Str t.name);
+          ("epoch", Obs.Trace.Int ctx.epoch);
+          ("offered", Obs.Trace.Int n_offered);
+          ("accepted", Obs.Trace.Int n_accepted);
+          ("rejected", Obs.Trace.Int n_rejected);
+          ("rejected_ids", Obs.Trace.Str rejected_ids);
+          ("ms", Obs.Trace.Float ms) ]
+    end;
+    outcome
+  in
+  { t with schedule }
+
 let capacity_at_epoch ctx ~link ~layer =
   ctx.residual ~link ~slot:(ctx.epoch + layer)
 

@@ -46,6 +46,15 @@ val stateless :
   name:string -> fluid:bool -> (context -> File.t list -> outcome) -> t
 (** Build a scheduler with no cross-epoch state ([reset] is a no-op). *)
 
+val observe : t -> t
+(** Wrap a scheduler so every [schedule] call feeds the {!Obs} layer: it
+    bumps the [sched.*] metrics (decisions, files offered/accepted/rejected,
+    decision wall time) and, when a trace sink is installed, emits one
+    ["sched.decision"] point per epoch carrying the scheduler name, epoch,
+    admission counts, the rejected file ids and the decision wall time.
+    Adds no overhead beyond one flag check per call while both the metrics
+    registry and tracing are off. *)
+
 val capacity_at_epoch : context -> link:int -> layer:int -> float
 (** Residual capacity in relative-layer terms:
     [residual ~link ~slot:(epoch + layer)]. *)

@@ -166,6 +166,7 @@ let solve ?params model =
               dual;
               reduced_costs;
               iterations = s.Status.iterations;
+              stats = s.Status.stats;
               (* Postsolve re-adds eliminated variables/rows, so the
                  reduced model's basis does not transfer. *)
               basis = None }

@@ -53,6 +53,15 @@ type state = {
   mutable perturbed : bool;
   mutable perturb_rounds : int;
   mutable bland : bool;
+  (* Solve-effort telemetry (never reset between phases; see
+     Status.stats). *)
+  mutable phase1_pivots : int;
+  mutable refactorizations : int;
+  mutable eta_peak : int;
+  mutable bound_flips : int;
+  mutable total_perturbations : int;
+  mutable bland_used : bool;
+  mutable warm : Status.warm_start_outcome;
   rng : Prelude.Rng.t;
       (* Seeded per solve: randomized entering choices during stalls are
          deterministic across runs. *)
@@ -89,7 +98,8 @@ let push_eta st e =
     st.etas <- grown
   end;
   st.etas.(st.n_etas) <- e;
-  st.n_etas <- st.n_etas + 1
+  st.n_etas <- st.n_etas + 1;
+  if st.n_etas > st.eta_peak then st.eta_peak <- st.n_etas
 
 exception Numerical_failure
 
@@ -101,7 +111,8 @@ let factorize st =
   with
   | Ok lu ->
       st.lu <- lu;
-      st.n_etas <- 0
+      st.n_etas <- 0;
+      st.refactorizations <- st.refactorizations + 1
   | Error (Lu.Singular _) -> raise Numerical_failure
 
 (* Recompute the values of basic variables from the nonbasic assignment:
@@ -239,6 +250,7 @@ let pivot_update st ~enter ~r ~alpha_r =
 let perturb_costs st =
   st.perturbed <- true;
   st.perturb_rounds <- st.perturb_rounds + 1;
+  st.total_perturbations <- st.total_perturbations + 1;
   let noise j =
     (* Map the index through a Weyl sequence for a stable pseudo-random
        fraction in (0.5, 1.5); the round number shifts the sequence so each
@@ -377,7 +389,8 @@ let note_degeneracy st t =
         Log.debug (fun m ->
             m "stall persists at iteration %d: switching to Bland's rule"
               st.iterations);
-        st.bland <- true
+        st.bland <- true;
+        st.bland_used <- true
       end
     end
   end
@@ -436,6 +449,7 @@ let run_phase st =
                 end
             | Bound_flip t ->
                 apply_step st ~alpha ~dir ~enter ~t;
+                st.bound_flips <- st.bound_flips + 1;
                 (match st.status.(enter) with
                  | At_lower ->
                      st.status.(enter) <- At_upper;
@@ -542,6 +556,13 @@ let initialize ?params:(p = default_params) sf =
     perturbed = false;
     perturb_rounds = 0;
     bland = false;
+    phase1_pivots = 0;
+    refactorizations = 0;
+    eta_peak = 0;
+    bound_flips = 0;
+    total_perturbations = 0;
+    bland_used = false;
+    warm = Status.No_warm_start;
     rng = Prelude.Rng.of_int (0x5ca1ab1e + m + tot) }
 
 let phase1_needed st =
@@ -593,6 +614,16 @@ let setup_phase2 st =
   done;
   reset_phase_controls st
 
+let solve_stats st =
+  { Status.phase1_pivots = st.phase1_pivots;
+    phase2_pivots = st.iterations - st.phase1_pivots;
+    refactorizations = st.refactorizations;
+    eta_peak = st.eta_peak;
+    bound_flips = st.bound_flips;
+    perturbations = st.total_perturbations;
+    bland = st.bland_used;
+    warm_start = st.warm }
+
 let export_status st j =
   match st.status.(j) with
   | Basic -> Status.Basis.Basic
@@ -620,6 +651,7 @@ let extract_solution st =
   { Status.objective = Standard_form.model_objective sf !obj_sf;
     primal; dual; reduced_costs = reduced;
     iterations = st.iterations;
+    stats = solve_stats st;
     basis = Some basis }
 
 (* ------------------------------------------------------------------ *)
@@ -669,10 +701,12 @@ let park_nonbasic st j (ws : Status.Basis.var_status) =
 
 let max_repair_rounds = 12
 
+(* Returns [Some rounds] (the number of crash/repair rounds the install
+   took) on success, [None] when the basis must be rejected. *)
 let try_warm_start st (wb : Status.Basis.t) =
   let n = st.sf.Standard_form.n_struct in
   if Status.Basis.num_cols wb <> n || Status.Basis.num_rows wb <> st.m then
-    false
+    None
   else begin
     let wanted j =
       if j < n then Status.Basis.col_status wb j
@@ -787,10 +821,12 @@ let try_warm_start st (wb : Status.Basis.t) =
             end
       end
     done;
-    if !installed then
+    if !installed then begin
       Log.debug (fun m ->
           m "warm start installed after %d repair round(s)" !rounds);
-    !installed
+      Some !rounds
+    end
+    else None
   end
 
 (* Two-phase driver over an initialized (cold or warm-started) state.
@@ -803,6 +839,7 @@ let drive st =
     end
     else Phase_optimal
   in
+  st.phase1_pivots <- st.iterations;
   Log.debug (fun m -> m "phase 1 done after %d iterations" st.iterations);
   match phase1_result with
   | Phase_iteration_limit -> Status.Iteration_limit
@@ -821,7 +858,60 @@ let drive st =
         | Phase_iteration_limit -> Status.Iteration_limit
       end
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry. Metric updates are O(1) no-ops while the registry is
+   disabled; the trace event fires once per solve (never per pivot) and
+   only when a sink is installed. *)
+
+let m_solves = Obs.Metrics.counter "simplex.solves"
+let m_pivots = Obs.Metrics.counter "simplex.pivots"
+let m_refactorizations = Obs.Metrics.counter "simplex.refactorizations"
+let m_bound_flips = Obs.Metrics.counter "simplex.bound_flips"
+let m_warm_accepted = Obs.Metrics.counter "simplex.warm_accepted"
+let m_warm_fell_back = Obs.Metrics.counter "simplex.warm_fell_back"
+let h_pivots = Obs.Metrics.histogram "simplex.pivots_per_solve"
+
+let outcome_name = function
+  | Status.Optimal _ -> "optimal"
+  | Status.Infeasible -> "infeasible"
+  | Status.Unbounded -> "unbounded"
+  | Status.Iteration_limit -> "iteration_limit"
+
+let record_solve ~ms st outcome =
+  Obs.Metrics.incr m_solves;
+  Obs.Metrics.add m_pivots st.iterations;
+  Obs.Metrics.add m_refactorizations st.refactorizations;
+  Obs.Metrics.add m_bound_flips st.bound_flips;
+  (match st.warm with
+   | Status.No_warm_start -> ()
+   | Status.Warm_accepted _ -> Obs.Metrics.incr m_warm_accepted
+   | Status.Warm_fell_back -> Obs.Metrics.incr m_warm_fell_back);
+  Obs.Metrics.observe h_pivots (float_of_int st.iterations);
+  if Obs.Trace.enabled () then begin
+    let s = solve_stats st in
+    Obs.Trace.point "lp.solve"
+      [ ("outcome", Obs.Trace.Str (outcome_name outcome));
+        ("cols", Obs.Trace.Int st.sf.Standard_form.n_struct);
+        ("rows", Obs.Trace.Int st.m);
+        ("iterations", Obs.Trace.Int st.iterations);
+        ("phase1_pivots", Obs.Trace.Int s.Status.phase1_pivots);
+        ("phase2_pivots", Obs.Trace.Int s.Status.phase2_pivots);
+        ("refactorizations", Obs.Trace.Int s.Status.refactorizations);
+        ("eta_peak", Obs.Trace.Int s.Status.eta_peak);
+        ("bound_flips", Obs.Trace.Int s.Status.bound_flips);
+        ("perturbations", Obs.Trace.Int s.Status.perturbations);
+        ("bland", Obs.Trace.Bool s.Status.bland);
+        ("warm", Obs.Trace.Str (Status.warm_start_outcome_name st.warm));
+        ("repair_rounds",
+         Obs.Trace.Int
+           (match st.warm with
+            | Status.Warm_accepted { repair_rounds } -> repair_rounds
+            | Status.No_warm_start | Status.Warm_fell_back -> 0));
+        ("ms", Obs.Trace.Float ms) ]
+  end
+
 let solve ?params ?warm_start model =
+  let t0 = Obs.Trace.now_ms () in
   let sf = Standard_form.of_model model in
   (* Trivial bound inconsistencies mean infeasible, not an exception. *)
   let inconsistent = ref false in
@@ -830,26 +920,46 @@ let solve ?params ?warm_start model =
     sf.Standard_form.lb;
   if !inconsistent then Status.Infeasible
   else begin
-    let cold () =
+    (* Every exit path remembers the state it solved with, so the
+       per-solve telemetry reflects the run that produced the reported
+       outcome (after a warm fallback: the cold rerun, flagged
+       [Warm_fell_back]). *)
+    let cold ~warm () =
       match initialize ?params sf with
-      | exception Numerical_failure -> Status.Iteration_limit
-      | st -> ( try drive st with Numerical_failure -> Status.Iteration_limit)
+      | exception Numerical_failure -> (Status.Iteration_limit, None)
+      | st ->
+          st.warm <- warm;
+          (match drive st with
+           | outcome -> (outcome, Some st)
+           | exception Numerical_failure -> (Status.Iteration_limit, Some st))
     in
-    match warm_start with
-    | None -> cold ()
-    | Some wb -> (
-        (* Any failure along the warm path — a basis that cannot be
-           repaired, or a numerical breakdown while iterating from it —
-           falls back to the cold start, so supplying a warm basis can
-           never produce a worse outcome class than not supplying one. *)
-        match initialize ?params sf with
-        | exception Numerical_failure -> Status.Iteration_limit
-        | st -> (
-            match try_warm_start st wb with
-            | false ->
-                Log.debug (fun m ->
-                    m "warm basis rejected; falling back to cold start");
-                cold ()
-            | true -> ( try drive st with Numerical_failure -> cold ())
-            | exception Numerical_failure -> cold ()))
+    let outcome, final_st =
+      match warm_start with
+      | None -> cold ~warm:Status.No_warm_start ()
+      | Some wb -> (
+          (* Any failure along the warm path — a basis that cannot be
+             repaired, or a numerical breakdown while iterating from it —
+             falls back to the cold start, so supplying a warm basis can
+             never produce a worse outcome class than not supplying one. *)
+          match initialize ?params sf with
+          | exception Numerical_failure -> (Status.Iteration_limit, None)
+          | st -> (
+              match try_warm_start st wb with
+              | None ->
+                  Log.debug (fun m ->
+                      m "warm basis rejected; falling back to cold start");
+                  cold ~warm:Status.Warm_fell_back ()
+              | Some rounds -> (
+                  st.warm <- Status.Warm_accepted { repair_rounds = rounds };
+                  match drive st with
+                  | outcome -> (outcome, Some st)
+                  | exception Numerical_failure ->
+                      cold ~warm:Status.Warm_fell_back ())
+              | exception Numerical_failure ->
+                  cold ~warm:Status.Warm_fell_back ()))
+    in
+    (match final_st with
+     | Some st -> record_solve ~ms:(Obs.Trace.now_ms () -. t0) st outcome
+     | None -> ());
+    outcome
   end

@@ -25,12 +25,40 @@ module Basis = struct
       (num_rows b) (count_basic b)
 end
 
+type warm_start_outcome =
+  | No_warm_start
+  | Warm_accepted of { repair_rounds : int }
+  | Warm_fell_back
+
+type stats = {
+  phase1_pivots : int;
+  phase2_pivots : int;
+  refactorizations : int;
+  eta_peak : int;
+  bound_flips : int;
+  perturbations : int;
+  bland : bool;
+  warm_start : warm_start_outcome;
+}
+
+let no_stats = {
+  phase1_pivots = 0;
+  phase2_pivots = 0;
+  refactorizations = 0;
+  eta_peak = 0;
+  bound_flips = 0;
+  perturbations = 0;
+  bland = false;
+  warm_start = No_warm_start;
+}
+
 type solution = {
   objective : float;
   primal : float array;
   dual : float array;
   reduced_costs : float array;
   iterations : int;
+  stats : stats;
   basis : Basis.t option;
 }
 
@@ -47,6 +75,28 @@ let get_optimal = function
   | Infeasible -> failwith "Lp.Status.get_optimal: infeasible"
   | Unbounded -> failwith "Lp.Status.get_optimal: unbounded"
   | Iteration_limit -> failwith "Lp.Status.get_optimal: iteration limit"
+
+let warm_start_outcome_name = function
+  | No_warm_start -> "none"
+  | Warm_accepted _ -> "accepted"
+  | Warm_fell_back -> "fell_back"
+
+let pp_warm_start_outcome ppf = function
+  | No_warm_start -> Format.pp_print_string ppf "cold"
+  | Warm_accepted { repair_rounds = 1 } ->
+      Format.pp_print_string ppf "warm (accepted)"
+  | Warm_accepted { repair_rounds } ->
+      Format.fprintf ppf "warm (repaired, %d rounds)" repair_rounds
+  | Warm_fell_back -> Format.pp_print_string ppf "warm rejected (cold fallback)"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d+%d pivots, %d refactorizations, eta peak %d, %d bound flips, %a"
+    s.phase1_pivots s.phase2_pivots s.refactorizations s.eta_peak
+    s.bound_flips pp_warm_start_outcome s.warm_start;
+  if s.perturbations > 0 then
+    Format.fprintf ppf ", %d perturbation round(s)" s.perturbations;
+  if s.bland then Format.fprintf ppf ", bland"
 
 let pp_outcome ppf = function
   | Optimal s ->

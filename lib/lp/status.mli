@@ -36,12 +36,45 @@ module Basis : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** How a carried warm-start basis fared (see {!Simplex.solve}). *)
+type warm_start_outcome =
+  | No_warm_start  (** No basis was supplied; the solve started cold. *)
+  | Warm_accepted of { repair_rounds : int }
+      (** The basis was installed after [repair_rounds] crash rounds
+          (1 = installed as carried, more = repaired). *)
+  | Warm_fell_back
+      (** The basis could not be installed, or iterating from it hit a
+          numerical failure; the reported solve is the cold fallback. *)
+
+(** Per-solve effort record, filled in by the revised simplex. Solvers
+    that do not track a statistic report its zero/default ({!no_stats});
+    [iterations] in {!solution} always remains the authoritative pivot
+    total. *)
+type stats = {
+  phase1_pivots : int;
+  phase2_pivots : int;
+  refactorizations : int;
+      (** Basis refactorizations after the initial one (scheduled or
+          forced by an unstable eta update). *)
+  eta_peak : int;  (** Longest eta file reached between refactorizations. *)
+  bound_flips : int;  (** Ratio-test outcomes that flipped the entering variable. *)
+  perturbations : int;
+      (** Cost-perturbation rounds triggered by degeneracy, both phases. *)
+  bland : bool;  (** Bland's rule (the terminal anti-cycling level) was reached. *)
+  warm_start : warm_start_outcome;
+}
+
+val no_stats : stats
+(** All-zero stats with [No_warm_start]; what solvers without
+    instrumentation attach. *)
+
 type solution = {
   objective : float;  (** Objective value in the model's own sense. *)
   primal : float array;  (** One value per model variable. *)
   dual : float array;  (** One value per model row (simplex multipliers). *)
   reduced_costs : float array;  (** One value per model variable. *)
   iterations : int;  (** Total simplex pivots across both phases. *)
+  stats : stats;  (** Solve-effort breakdown (see {!stats}). *)
   basis : Basis.t option;
       (** The optimal basis, when the solver maintains one (the revised
           simplex does; the dense oracle and the interior-point method
@@ -62,3 +95,11 @@ val get_optimal : outcome -> solution
     callers whose programs are feasible by construction. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_warm_start_outcome : Format.formatter -> warm_start_outcome -> unit
+
+val warm_start_outcome_name : warm_start_outcome -> string
+(** Stable machine-readable name: ["none"], ["accepted"] or
+    ["fell_back"] — the vocabulary used in traces and bench JSON. *)
+
+val pp_stats : Format.formatter -> stats -> unit

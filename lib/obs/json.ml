@@ -1,0 +1,273 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writer. *)
+
+let escape_to_buffer b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let number_to_string f =
+  if Float.is_nan f then "null"
+  else if f = infinity then "1e999"
+  else if f = neg_infinity then "-1e999"
+  else if Float.is_integer f && abs_float f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (number_to_string f)
+  | Str s -> escape_to_buffer b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_to_buffer b k;
+          Buffer.add_char b ':';
+          to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parser: strict recursive descent over the input string. *)
+
+exception Fail of string
+
+type cursor = { s : string; mutable pos : int }
+
+let error cur msg = raise (Fail (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let n = String.length cur.s in
+  while
+    cur.pos < n
+    && (match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance cur
+  done
+
+let expect cur ch =
+  match peek cur with
+  | Some c when c = ch -> advance cur
+  | _ -> error cur (Printf.sprintf "expected '%c'" ch)
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur ("invalid literal (expected " ^ word ^ ")")
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+         | None -> error cur "unterminated escape"
+         | Some c ->
+             advance cur;
+             (match c with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if cur.pos + 4 > String.length cur.s then
+                    error cur "truncated \\u escape";
+                  let hex = String.sub cur.s cur.pos 4 in
+                  cur.pos <- cur.pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with Failure _ -> error cur "invalid \\u escape"
+                  in
+                  (* UTF-8 encode the BMP code point (surrogate pairs are
+                     not needed by our own emitter). *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else if code < 0x800 then begin
+                    Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                  end
+                  else begin
+                    Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                    Buffer.add_char b
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                  end
+              | _ -> error cur "unknown escape");
+             loop ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let n = String.length cur.s in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while cur.pos < n && is_num_char cur.s.[cur.pos] do advance cur done;
+  let text = String.sub cur.s start (cur.pos - start) in
+  let has_frac =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+  in
+  if has_frac then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error cur "invalid number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> error cur "invalid number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          fields := (key, v) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              members ()
+          | Some '}' -> advance cur
+          | _ -> error cur "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value cur in
+          items := v :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              elements ()
+          | Some ']' -> advance cur
+          | _ -> error cur "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> error cur (Printf.sprintf "unexpected character '%c'" c)
+
+let parse s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+      else Ok v
+  | exception Fail msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors. *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

@@ -1,0 +1,46 @@
+(** Minimal JSON codec for the telemetry layer.
+
+    The repository deliberately carries no third-party JSON dependency;
+    this module provides just what the trace sink, the trace reader and
+    the bench emitters need: a value type, a compact writer whose float
+    rendering round-trips, and a strict recursive-descent parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing garbage is an error.
+    Numbers without [.], [e] or [E] that fit an OCaml [int] parse as
+    [Int], everything else as [Float]. *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal (including quotes) for a raw string;
+    shared by the hand-rolled emitters. *)
+
+val number_to_string : float -> string
+(** Round-trip float rendering: [nan] becomes [null] (JSON has no NaN),
+    integral values print with a trailing [.0]. *)
+
+(** {2 Accessors} — all return [None] on a kind mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_float : t -> float option
+(** Accepts [Int] and [Float]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,28 @@
+let setup ?(level = Some Logs.Warning) () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let parse_level s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "none" | "off" -> Ok None
+  | other -> (
+      match Logs.level_of_string other with
+      | Ok _ as ok -> ok
+      | Error (`Msg msg) -> Error msg)
+
+let level_name = function
+  | None -> "quiet"
+  | Some l -> Logs.level_to_string (Some l)
+
+let init ?level ?(metrics = false) ?trace () =
+  setup ?level ();
+  Metrics.set_enabled metrics;
+  match trace with
+  | None -> Ok ()
+  | Some file -> (
+      match Trace.set_file file with
+      | Ok () ->
+          at_exit Trace.close;
+          Ok ()
+      | Error _ as e -> e)

@@ -1,0 +1,28 @@
+(** One shared setup path for [Logs] reporting.
+
+    Every executable in the tree (simulator, solver CLI, bench) routes
+    its reporter installation through here, so [Logs.Src] messages from
+    the libraries reach a terminal-aware reporter regardless of the entry
+    point. *)
+
+val setup : ?level:Logs.level option -> unit -> unit
+(** Install TTY-aware formatting and the [Logs] format reporter, then set
+    the global level ([Some Warning] by default; [None] silences
+    everything). Safe to call more than once. *)
+
+val parse_level : string -> (Logs.level option, string) result
+(** Parse a verbosity name: [quiet]/[none] for no logging, otherwise any
+    of [app], [error], [warning], [info], [debug]. *)
+
+val level_name : Logs.level option -> string
+
+val init :
+  ?level:Logs.level option ->
+  ?metrics:bool ->
+  ?trace:string ->
+  unit ->
+  (unit, string) result
+(** One-stop observability setup for an executable: {!setup} the [Logs]
+    reporter at [level], enable the {!Metrics} registry when [metrics],
+    and when [trace] is given route the {!Trace} sink to that file
+    (closing it [at_exit]). The error carries the trace-file failure. *)

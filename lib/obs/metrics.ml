@@ -1,0 +1,140 @@
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* inclusive upper bounds, increasing *)
+  counts : int array;  (* length bounds + 1; last is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type item = C of counter | G of gauge | H of histogram
+
+let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+
+(* Registration order, for stable dumps. *)
+let order : string list ref = ref []
+
+let register name item =
+  Hashtbl.add registry name item;
+  order := name :: !order
+
+let kind_error name = invalid_arg ("Obs.Metrics: " ^ name ^ " already registered as a different kind")
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      register name (C c);
+      c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { g_name = name; g = nan } in
+      register name (G g);
+      g
+
+let default_buckets =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4;
+     5e4; 1e5 |]
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let n = Array.length buckets in
+      for i = 1 to n - 1 do
+        if buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Obs.Metrics.histogram: buckets must increase"
+      done;
+      let h =
+        { h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.make (n + 1) 0;
+          h_count = 0;
+          h_sum = 0. }
+      in
+      register name (H h);
+      h
+
+let incr c = if !on then c.c <- c.c + 1
+let add c n = if !on then c.c <- c.c + n
+let set g v = if !on then g.g <- v
+
+let observe h v =
+  if !on then begin
+    let n = Array.length h.bounds in
+    (* Buckets are few and fixed: a linear scan beats binary search at
+       these sizes and stays branch-predictable. *)
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do i := !i + 1 done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+let counter_value c = c.c
+let gauge_value g = g.g
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  let n = Array.length h.bounds in
+  Array.init (n + 1) (fun i ->
+      ((if i < n then h.bounds.(i) else infinity), h.counts.(i)))
+
+let reset () =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | C c -> c.c <- 0
+      | G g -> g.g <- nan
+      | H h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.)
+    registry
+
+let pp_dump ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt registry name with
+      | None -> ()
+      | Some (C c) -> Format.fprintf ppf "%-36s %d@," c.c_name c.c
+      | Some (G g) ->
+          if Float.is_nan g.g then
+            Format.fprintf ppf "%-36s (unset)@," g.g_name
+          else Format.fprintf ppf "%-36s %g@," g.g_name g.g
+      | Some (H h) ->
+          Format.fprintf ppf "%-36s count=%d sum=%g" h.h_name h.h_count
+            h.h_sum;
+          if h.h_count > 0 then begin
+            Format.fprintf ppf " [";
+            let first = ref true in
+            Array.iter
+              (fun (ub, n) ->
+                if n > 0 then begin
+                  if not !first then Format.fprintf ppf " ";
+                  first := false;
+                  if ub = infinity then Format.fprintf ppf "+inf:%d" n
+                  else Format.fprintf ppf "<=%g:%d" ub n
+                end)
+              (histogram_buckets h);
+            Format.fprintf ppf "]"
+          end;
+          Format.fprintf ppf "@,")
+    (List.rev !order);
+  Format.fprintf ppf "@]"

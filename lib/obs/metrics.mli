@@ -1,0 +1,59 @@
+(** Process-wide metrics registry: named counters, gauges and fixed-bucket
+    histograms.
+
+    Instrumentation sites hold a handle obtained once (usually at module
+    initialization) and update it on the hot path; every update is O(1),
+    allocation-free, and a plain no-op while the registry is disabled
+    (the default), so instrumented code costs nothing when nobody is
+    looking. Handles are registered by name: asking twice for the same
+    name returns the same metric, so independent modules can share a
+    series. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Globally enable or disable every update ({!incr}, {!add}, {!set},
+    {!observe}). Disabled is the default. Reading and dumping always
+    work. *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves) the counter [name]. Raises
+    [Invalid_argument] if [name] is already registered as another metric
+    kind. *)
+
+val gauge : string -> gauge
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [histogram name] registers a fixed-bucket histogram. [buckets] are the
+    inclusive upper bounds of the finite buckets, in increasing order
+    (default a 1-2-5 decade ladder from 1 to 100k); one overflow bucket is
+    implicit. On retrieval of an existing histogram [buckets] is
+    ignored. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+(** [nan] until the first {!set}. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) array
+(** [(upper_bound, count)] per finite bucket plus a final
+    [(infinity, overflow_count)] entry. Counts are per-bucket, not
+    cumulative. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val pp_dump : Format.formatter -> unit -> unit
+(** Render the whole registry, one metric per line, in registration
+    order; histograms list only their non-empty buckets. *)

@@ -1,0 +1,128 @@
+let schema_version = 1
+
+type field =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Floats of float array
+
+type out = {
+  write : string -> unit;
+  finish : unit -> unit;
+}
+
+let sink : out option ref = ref None
+let seq = ref 0
+let span_counter = ref 0
+let origin = ref 0.
+
+let enabled () = match !sink with None -> false | Some _ -> true
+
+(* Wall clock forced monotone: a backward NTP step must never produce a
+   negative timestamp or duration, so the origin only ever moves the
+   reported time forward. *)
+let last = ref 0.
+
+let now_ms () =
+  match !sink with
+  | None -> 0.
+  | Some _ ->
+      let t = (Unix.gettimeofday () -. !origin) *. 1000. in
+      if t > !last then last := t;
+      !last
+
+let reserved = [ "v"; "seq"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+
+let add_field b (name, value) =
+  if List.mem name reserved then
+    invalid_arg ("Obs.Trace: reserved field name " ^ name);
+  Buffer.add_char b ',';
+  Json.escape_to_buffer b name;
+  Buffer.add_char b ':';
+  match value with
+  | Str s -> Json.escape_to_buffer b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (Json.number_to_string f)
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Floats fs ->
+      Buffer.add_char b '[';
+      Array.iteri
+        (fun i f ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Json.number_to_string f))
+        fs;
+      Buffer.add_char b ']'
+
+let emit out ~ev ~name ?span ?dur_ms fields =
+  incr seq;
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"v\":%d,\"seq\":%d,\"ts\":%.3f,\"ev\":" schema_version
+       !seq (now_ms ()));
+  Json.escape_to_buffer b ev;
+  Buffer.add_string b ",\"name\":";
+  Json.escape_to_buffer b name;
+  (match span with
+   | None -> ()
+   | Some id -> Buffer.add_string b (Printf.sprintf ",\"span\":%d" id));
+  (match dur_ms with
+   | None -> ()
+   | Some d ->
+       Buffer.add_string b ",\"dur_ms\":";
+       Buffer.add_string b (Json.number_to_string d));
+  List.iter (add_field b) fields;
+  Buffer.add_string b "}\n";
+  out.write (Buffer.contents b)
+
+let install out =
+  (match !sink with Some old -> old.finish () | None -> ());
+  seq := 0;
+  span_counter := 0;
+  origin := Unix.gettimeofday ();
+  last := 0.;
+  sink := Some out;
+  emit out ~ev:"meta" ~name:"trace"
+    [ ("schema", Int schema_version); ("clock", Str "wall-ms") ]
+
+let set_callback f = install { write = f; finish = (fun () -> ()) }
+
+let set_file path =
+  match open_out path with
+  | oc ->
+      install { write = (fun s -> output_string oc s); finish = (fun () -> close_out oc) };
+      Ok ()
+  | exception Sys_error msg -> Error msg
+
+let close () =
+  match !sink with
+  | None -> ()
+  | Some out ->
+      sink := None;
+      out.finish ()
+
+let point name fields =
+  match !sink with
+  | None -> ()
+  | Some out -> emit out ~ev:"point" ~name fields
+
+type span = { sid : int; sname : string; t0 : float }
+
+let null_span = { sid = -1; sname = ""; t0 = 0. }
+
+let begin_span name fields =
+  match !sink with
+  | None -> null_span
+  | Some out ->
+      incr span_counter;
+      let s = { sid = !span_counter; sname = name; t0 = now_ms () } in
+      emit out ~ev:"begin" ~name ~span:s.sid fields;
+      s
+
+let end_span s fields =
+  if s.sid >= 0 then
+    match !sink with
+    | None -> ()
+    | Some out ->
+        emit out ~ev:"end" ~name:s.sname ~span:s.sid
+          ~dur_ms:(now_ms () -. s.t0) fields

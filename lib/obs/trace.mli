@@ -1,0 +1,64 @@
+(** Structured run traces: schema-versioned JSONL events.
+
+    A trace is a sequence of events, one JSON object per line, written to
+    a file or handed to a callback. Three event shapes exist: [point]
+    (one-shot measurement), and [begin]/[end] pairs delimiting a {e span}
+    (a timed region; the [end] event carries the duration). Every event
+    carries the schema version, a sequence number, a timestamp (ms since
+    the sink was installed, from a clock that never goes backwards within
+    a run) and the caller's typed payload fields.
+
+    The default sink is a no-op: {!point} and {!begin_span} return
+    immediately after one flag test, so instrumentation left in hot code
+    costs nothing when tracing is off. Call sites on genuinely hot paths
+    should additionally guard payload construction with {!enabled}, since
+    building the field list itself allocates.
+
+    Reserved top-level keys ([v], [seq], [ts], [ev], [name], [span],
+    [dur_ms]) may not be used as payload field names. *)
+
+val schema_version : int
+(** Current schema version, emitted as [v] on every event. The first
+    event of every trace is a [meta] event naming the schema. *)
+
+type field =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Floats of float array  (** Rendered as a JSON array of numbers. *)
+
+val enabled : unit -> bool
+
+val set_callback : (string -> unit) -> unit
+(** Route every event line (newline included) to a callback. Resets the
+    sequence/span counters and the clock origin, then emits the [meta]
+    event. *)
+
+val set_file : string -> (unit, string) result
+(** Open [path] for writing and route events to it (buffered; closed and
+    flushed by {!close}). *)
+
+val close : unit -> unit
+(** Flush and detach the current sink, restoring the no-op default.
+    Harmless when tracing is already off. *)
+
+val now_ms : unit -> float
+(** Milliseconds since the sink was installed (0 when tracing is off);
+    the timestamp base of every event. Exposed so instrumentation can
+    time sub-steps consistently with the trace clock. *)
+
+val point : string -> (string * field) list -> unit
+(** [point name fields] emits a one-shot event. No-op when disabled.
+    Raises [Invalid_argument] on a reserved field name. *)
+
+type span
+
+val null_span : span
+(** The span returned while tracing is off; {!end_span} on it is a
+    no-op. *)
+
+val begin_span : string -> (string * field) list -> span
+val end_span : span -> (string * field) list -> unit
+(** [end_span s fields] emits the closing event with [dur_ms] measured
+    since {!begin_span}. *)

@@ -1,0 +1,129 @@
+type kind = Meta | Point | Begin | End
+
+type event = {
+  seq : int;
+  ts : float;
+  kind : kind;
+  name : string;
+  span : int option;
+  dur_ms : float option;
+  fields : (string * Json.t) list;
+}
+
+let envelope_keys = [ "v"; "seq"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+
+let kind_of_string = function
+  | "meta" -> Some Meta
+  | "point" -> Some Point
+  | "begin" -> Some Begin
+  | "end" -> Some End
+  | _ -> None
+
+let valid_payload_value = function
+  | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _ -> true
+  | Json.List xs ->
+      List.for_all
+        (function Json.Int _ | Json.Float _ -> true | _ -> false)
+        xs
+  | Json.Obj _ -> false
+
+let of_json json =
+  match json with
+  | Json.Obj kvs -> (
+      let get k = List.assoc_opt k kvs in
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let require name conv =
+        match Option.bind (get name) conv with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "missing or ill-typed %S" name)
+      in
+      let* v = require "v" Json.to_int in
+      if v <> Trace.schema_version then
+        Error (Printf.sprintf "schema version %d (expected %d)" v Trace.schema_version)
+      else
+        let* seq = require "seq" Json.to_int in
+        let* ts = require "ts" Json.to_float in
+        let* ev = require "ev" Json.to_str in
+        let* name = require "name" Json.to_str in
+        match kind_of_string ev with
+        | None -> Error (Printf.sprintf "unknown event kind %S" ev)
+        | Some kind ->
+            let span = Option.bind (get "span") Json.to_int in
+            let dur_ms = Option.bind (get "dur_ms") Json.to_float in
+            let* () =
+              match kind with
+              | Begin | End when span = None ->
+                  Error (Printf.sprintf "%s event without span id" ev)
+              | End when dur_ms = None -> Error "end event without dur_ms"
+              | Meta | Point | Begin | End -> Ok ()
+            in
+            let fields =
+              List.filter (fun (k, _) -> not (List.mem k envelope_keys)) kvs
+            in
+            let* () =
+              List.fold_left
+                (fun acc (k, value) ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () ->
+                      if valid_payload_value value then Ok ()
+                      else Error (Printf.sprintf "field %S has a non-scalar value" k))
+                (Ok ()) fields
+            in
+            Ok { seq; ts; kind; name; span; dur_ms; fields })
+  | _ -> Error "event is not a JSON object"
+
+let of_line line =
+  match Json.parse line with
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok json -> of_json json
+
+let read_channel ic =
+  let events = ref [] in
+  let line_no = ref 0 in
+  let expected_seq = ref 1 in
+  let error = ref None in
+  (try
+     while !error = None do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         match of_line line with
+         | Error msg ->
+             error := Some (Printf.sprintf "line %d: %s" !line_no msg)
+         | Ok ev ->
+             if ev.seq <> !expected_seq then
+               error :=
+                 Some
+                   (Printf.sprintf "line %d: sequence %d (expected %d)"
+                      !line_no ev.seq !expected_seq)
+             else if !expected_seq = 1 && ev.kind <> Meta then
+               error :=
+                 Some
+                   (Printf.sprintf "line %d: trace must start with a meta event"
+                      !line_no)
+             else begin
+               incr expected_seq;
+               events := ev :: !events
+             end
+       end
+     done
+   with End_of_file -> ());
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if !events = [] then Error "empty trace"
+      else Ok (List.rev !events)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let r = read_channel ic in
+      close_in ic;
+      r
+
+let field ev name = List.assoc_opt name ev.fields
+let float_field ev name = Option.bind (field ev name) Json.to_float
+let int_field ev name = Option.bind (field ev name) Json.to_int
+let str_field ev name = Option.bind (field ev name) Json.to_str

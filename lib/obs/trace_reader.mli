@@ -1,0 +1,35 @@
+(** Read a JSONL trace back, validating every line against the event
+    schema emitted by {!Trace}.
+
+    Validation is strict: every line must be a JSON object whose [v]
+    matches {!Trace.schema_version}, with the required envelope keys of
+    its event kind ([seq], [ts], [name]; [span] on [begin]/[end];
+    [dur_ms] on [end]), sequence numbers must be consecutive from 1, and
+    payload values must be scalars or arrays of numbers. *)
+
+type kind = Meta | Point | Begin | End
+
+type event = {
+  seq : int;
+  ts : float;  (** ms since trace start. *)
+  kind : kind;
+  name : string;
+  span : int option;
+  dur_ms : float option;
+  fields : (string * Json.t) list;  (** Payload, envelope keys removed. *)
+}
+
+val of_line : string -> (event, string) result
+(** Parse and validate a single line (no sequence check at this level). *)
+
+val read_channel : in_channel -> (event list, string) result
+(** Read and validate a whole trace; blank lines are ignored, the first
+    event must be the [meta] header, and [seq] must count up from 1.
+    Errors carry the offending line number. *)
+
+val read_file : string -> (event list, string) result
+
+val field : event -> string -> Json.t option
+val float_field : event -> string -> float option
+val int_field : event -> string -> int option
+val str_field : event -> string -> string option

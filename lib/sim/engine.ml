@@ -16,16 +16,42 @@ type outcome = {
 
 exception Invalid_plan of string
 
+(* Engine-level metric series; O(1) no-ops while the registry is off. *)
+let m_runs = Obs.Metrics.counter "sim.runs"
+let m_slots = Obs.Metrics.counter "sim.slots"
+let m_arrivals = Obs.Metrics.counter "sim.arrivals"
+let m_rejected = Obs.Metrics.counter "sim.rejected"
+let h_slot_ms = Obs.Metrics.histogram "sim.slot_ms"
+
 let run ~base ~scheduler ~workload ~slots =
   if slots < 1 then invalid_arg "Engine.run: need at least one slot";
   (* Scheduler values may be reused across runs (Experiment does); drop
      any cross-epoch state such as a carried warm-start basis. *)
   scheduler.Scheduler.reset ();
+  let tracing = Obs.Trace.enabled () in
+  let run_span =
+    if tracing then
+      Obs.Trace.begin_span "sim.run"
+        [ ("scheduler", Obs.Trace.Str scheduler.Scheduler.name);
+          ("slots", Obs.Trace.Int slots) ]
+    else Obs.Trace.null_span
+  in
+  Obs.Metrics.incr m_runs;
   let ledger = Ledger.create ~base in
   let cost_series = Array.make slots 0. in
   let total_files = ref 0 and rejected_files = ref 0 in
   let delivered_volume = ref 0. in
+  (* Bytes parked on storage per slot, accumulated from the holdovers of
+     every committed plan (a holdover booked now may cover a later slot). *)
+  let stored_by_slot = Hashtbl.create 16 in
   for slot = 0 to slots - 1 do
+    let slot_span =
+      if tracing then
+        Obs.Trace.begin_span "sim.slot" [ ("slot", Obs.Trace.Int slot) ]
+      else Obs.Trace.null_span
+    in
+    let cost_before = if tracing then Ledger.cost_per_interval ledger else 0. in
+    let charged_before = if tracing then Ledger.charged_all ledger else [||] in
     let files = Workload.arrivals workload ~slot in
     total_files := !total_files + List.length files;
     let ctx =
@@ -36,9 +62,11 @@ let run ~base ~scheduler ~workload ~slots =
         residual = (fun ~link ~slot -> Ledger.residual ledger ~link ~slot);
         occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot) }
     in
+    let t0 = Obs.Trace.now_ms () in
     let { Scheduler.plan; accepted; rejected } =
       scheduler.Scheduler.schedule ctx files
     in
+    let sched_ms = Obs.Trace.now_ms () -. t0 in
     rejected_files := !rejected_files + List.length rejected;
     if rejected <> [] then
       Log.info (fun m ->
@@ -59,15 +87,64 @@ let run ~base ~scheduler ~workload ~slots =
                  scheduler.Scheduler.name msg)));
     Ledger.commit_plan ledger plan;
     List.iter (fun f -> delivered_volume := !delivered_volume +. f.Postcard.File.size) accepted;
-    cost_series.(slot) <- Ledger.cost_per_interval ledger
+    cost_series.(slot) <- Ledger.cost_per_interval ledger;
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_slots;
+      Obs.Metrics.add m_arrivals (List.length files);
+      Obs.Metrics.add m_rejected (List.length rejected);
+      Obs.Metrics.observe h_slot_ms sched_ms
+    end;
+    if tracing then begin
+      List.iter
+        (fun h ->
+          let cur =
+            Option.value ~default:0.
+              (Hashtbl.find_opt stored_by_slot h.Postcard.Plan.h_slot)
+          in
+          Hashtbl.replace stored_by_slot h.Postcard.Plan.h_slot
+            (cur +. h.Postcard.Plan.h_volume))
+        plan.Postcard.Plan.holdovers;
+      let charged_after = Ledger.charged_all ledger in
+      let charged_delta =
+        Array.init (Array.length charged_after) (fun l ->
+            charged_after.(l) -. charged_before.(l))
+      in
+      let admitted_bytes =
+        List.fold_left (fun acc f -> acc +. f.Postcard.File.size) 0. accepted
+      in
+      let stored_bytes =
+        Option.value ~default:0. (Hashtbl.find_opt stored_by_slot slot)
+      in
+      Obs.Trace.end_span slot_span
+        [ ("arrivals", Obs.Trace.Int (List.length files));
+          ("admitted", Obs.Trace.Int (List.length accepted));
+          ("rejected", Obs.Trace.Int (List.length rejected));
+          ("admitted_bytes", Obs.Trace.Float admitted_bytes);
+          ("stored_bytes", Obs.Trace.Float stored_bytes);
+          ("cost", Obs.Trace.Float cost_series.(slot));
+          ("cost_delta", Obs.Trace.Float (cost_series.(slot) -. cost_before));
+          ("charged", Obs.Trace.Floats charged_after);
+          ("charged_delta", Obs.Trace.Floats charged_delta);
+          ("sched_ms", Obs.Trace.Float sched_ms) ]
+    end
   done;
   let last_slot = max (slots - 1) (Ledger.max_booked_slot ledger) in
-  { cost_series;
-    final_charged = Ledger.charged_all ledger;
-    total_files = !total_files;
-    rejected_files = !rejected_files;
-    delivered_volume = !delivered_volume;
-    link_volumes = Ledger.volumes_through ledger ~last_slot }
+  let outcome =
+    { cost_series;
+      final_charged = Ledger.charged_all ledger;
+      total_files = !total_files;
+      rejected_files = !rejected_files;
+      delivered_volume = !delivered_volume;
+      link_volumes = Ledger.volumes_through ledger ~last_slot }
+  in
+  if tracing then
+    Obs.Trace.end_span run_span
+      [ ("total_files", Obs.Trace.Int outcome.total_files);
+        ("rejected_files", Obs.Trace.Int outcome.rejected_files);
+        ("delivered_volume", Obs.Trace.Float outcome.delivered_volume);
+        ("final_cost", Obs.Trace.Float cost_series.(slots - 1));
+        ("final_charged", Obs.Trace.Floats outcome.final_charged) ];
+  outcome
 
 let average_cost outcome = Prelude.Stats.mean outcome.cost_series
 

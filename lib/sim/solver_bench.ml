@@ -13,6 +13,8 @@ type slot_stat = {
   warm_ms : float;
   objective_gap : float;
   hit_rate : float;
+  cold_stats : Lp.Status.stats;
+  warm_stats : Lp.Status.stats;
 }
 
 type summary = {
@@ -25,6 +27,9 @@ type summary = {
   cold_ms : float;
   warm_ms : float;
   max_objective_gap : float;
+  warm_accepted : int;  (* warm-start outcome tallies over slots >= 1 *)
+  warm_repaired : int;
+  warm_fell_back : int;
 }
 
 let iteration_ratio s =
@@ -99,7 +104,9 @@ let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
           cold_ms;
           warm_ms;
           objective_gap = gap;
-          hit_rate }
+          hit_rate;
+          cold_stats = cold_info.Formulate.stats;
+          warm_stats = warm_info.Formulate.stats }
         :: !stats;
       carried := warm_info.Formulate.basis;
       match cold with
@@ -125,26 +132,60 @@ let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
     cold_ms = sum (fun s -> s.cold_ms);
     warm_ms = sum (fun s -> s.warm_ms);
     max_objective_gap =
-      List.fold_left (fun acc s -> max acc s.objective_gap) 0. per_slot }
+      List.fold_left (fun acc s -> max acc s.objective_gap) 0. per_slot;
+    warm_accepted =
+      List.length
+        (List.filter
+           (fun s ->
+             match s.warm_stats.Lp.Status.warm_start with
+             | Lp.Status.Warm_accepted { repair_rounds = 0 } -> true
+             | _ -> false)
+           warmed);
+    warm_repaired =
+      List.length
+        (List.filter
+           (fun s ->
+             match s.warm_stats.Lp.Status.warm_start with
+             | Lp.Status.Warm_accepted { repair_rounds } -> repair_rounds > 0
+             | _ -> false)
+           warmed);
+    warm_fell_back =
+      List.length
+        (List.filter
+           (fun s -> s.warm_stats.Lp.Status.warm_start = Lp.Status.Warm_fell_back)
+           warmed) }
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "  cold vs warm simplex on a %d-DC, %d-slot online run (seed %d)@."
     s.nodes s.slots s.seed;
-  Format.fprintf ppf "  %-5s %6s %6s %6s %11s %11s %9s %9s %8s@." "slot"
-    "files" "cols" "rows" "cold iters" "warm iters" "cold ms" "warm ms"
-    "hit";
+  Format.fprintf ppf "  %-5s %6s %6s %6s %11s %11s %9s %9s %8s %6s %10s@."
+    "slot" "files" "cols" "rows" "cold iters" "warm iters" "cold ms"
+    "warm ms" "hit" "refac" "warm start";
   List.iter
     (fun st ->
-      Format.fprintf ppf "  %-5d %6d %6d %6d %11d %11d %9.2f %9.2f %7.0f%%@."
+      let warm_label =
+        match st.warm_stats.Lp.Status.warm_start with
+        | Lp.Status.No_warm_start -> "-"
+        | Lp.Status.Warm_accepted { repair_rounds = 0 } -> "accepted"
+        | Lp.Status.Warm_accepted { repair_rounds } ->
+            Printf.sprintf "repair:%d" repair_rounds
+        | Lp.Status.Warm_fell_back -> "fell back"
+      in
+      Format.fprintf ppf
+        "  %-5d %6d %6d %6d %11d %11d %9.2f %9.2f %7.0f%% %6d %10s@."
         st.slot st.files st.cols st.rows st.cold_iterations
-        st.warm_iterations st.cold_ms st.warm_ms (100. *. st.hit_rate))
+        st.warm_iterations st.cold_ms st.warm_ms (100. *. st.hit_rate)
+        st.warm_stats.Lp.Status.refactorizations warm_label)
     s.per_slot;
   Format.fprintf ppf
     "  totals over warm-started slots (>= 1): %d cold vs %d warm pivots \
      (%.2fx), %.1f vs %.1f ms@."
     s.cold_iterations s.warm_iterations (iteration_ratio s) s.cold_ms
     s.warm_ms;
+  Format.fprintf ppf
+    "  warm-start outcomes: %d accepted clean, %d repaired, %d fell back@."
+    s.warm_accepted s.warm_repaired s.warm_fell_back;
   Format.fprintf ppf "  largest cold/warm objective gap: %.2e@."
     s.max_objective_gap
 
@@ -168,6 +209,22 @@ let to_json s =
   field "slots" (string_of_int s.slots);
   field "seed" (string_of_int s.seed);
   Buffer.add_string b "  \"per_slot\": [\n";
+  let json_stats (st : Lp.Status.stats) =
+    let repair_rounds =
+      match st.Lp.Status.warm_start with
+      | Lp.Status.Warm_accepted { repair_rounds } -> repair_rounds
+      | Lp.Status.No_warm_start | Lp.Status.Warm_fell_back -> 0
+    in
+    Printf.sprintf
+      "{\"phase1_pivots\": %d, \"phase2_pivots\": %d, \"refactorizations\": \
+       %d, \"eta_peak\": %d, \"bound_flips\": %d, \"warm_start\": %S, \
+       \"repair_rounds\": %d}"
+      st.Lp.Status.phase1_pivots st.Lp.Status.phase2_pivots
+      st.Lp.Status.refactorizations st.Lp.Status.eta_peak
+      st.Lp.Status.bound_flips
+      (Lp.Status.warm_start_outcome_name st.Lp.Status.warm_start)
+      repair_rounds
+  in
   let n = List.length s.per_slot in
   List.iteri
     (fun i st ->
@@ -175,10 +232,12 @@ let to_json s =
         (Printf.sprintf
            "    {\"slot\": %d, \"files\": %d, \"cols\": %d, \"rows\": %d, \
             \"cold_iterations\": %d, \"warm_iterations\": %d, \"cold_ms\": \
-            %s, \"warm_ms\": %s, \"objective_gap\": %s, \"hit_rate\": %s}%s\n"
+            %s, \"warm_ms\": %s, \"objective_gap\": %s, \"hit_rate\": %s, \
+            \"cold\": %s, \"warm\": %s}%s\n"
            st.slot st.files st.cols st.rows st.cold_iterations
            st.warm_iterations (json_float st.cold_ms) (json_float st.warm_ms)
            (json_float st.objective_gap) (json_float st.hit_rate)
+           (json_stats st.cold_stats) (json_stats st.warm_stats)
            (if i = n - 1 then "" else ",")))
     s.per_slot;
   Buffer.add_string b "  ],\n";
@@ -187,6 +246,9 @@ let to_json s =
   field "iteration_ratio" (json_float (iteration_ratio s));
   field "cold_ms" (json_float s.cold_ms);
   field "warm_ms" (json_float s.warm_ms);
+  field "warm_accepted" (string_of_int s.warm_accepted);
+  field "warm_repaired" (string_of_int s.warm_repaired);
+  field "warm_fell_back" (string_of_int s.warm_fell_back);
   field ~last:true "max_objective_gap" (json_float s.max_objective_gap);
   Buffer.add_string b "}\n";
   Buffer.contents b

@@ -20,6 +20,8 @@ type slot_stat = {
   hit_rate : float;
       (** Fraction of this epoch's columns/rows found in the carried
           basis (0 on slot 0). *)
+  cold_stats : Lp.Status.stats;  (** Full solver telemetry, cold start. *)
+  warm_stats : Lp.Status.stats;  (** Same, warm-started. *)
 }
 
 type summary = {
@@ -32,6 +34,10 @@ type summary = {
   cold_ms : float;
   warm_ms : float;
   max_objective_gap : float;
+  warm_accepted : int;
+      (** Slots (>= 1) whose warm basis installed with no repair. *)
+  warm_repaired : int;  (** Slots that needed one or more repair rounds. *)
+  warm_fell_back : int;  (** Slots whose warm start was discarded. *)
 }
 
 val run : ?nodes:int -> ?slots:int -> ?seed:int -> unit -> summary

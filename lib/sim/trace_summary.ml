@@ -1,0 +1,285 @@
+module Reader = Obs.Trace_reader
+module Json = Obs.Json
+
+type solve_tally = {
+  solves : int;
+  pivots : int;
+  phase1_pivots : int;
+  refactorizations : int;
+  solve_ms : float;
+  warm_cold : int;
+  warm_accepted : int;
+  warm_repaired : int;
+  warm_fell_back : int;
+}
+
+let empty_tally =
+  { solves = 0;
+    pivots = 0;
+    phase1_pivots = 0;
+    refactorizations = 0;
+    solve_ms = 0.;
+    warm_cold = 0;
+    warm_accepted = 0;
+    warm_repaired = 0;
+    warm_fell_back = 0 }
+
+let add_tally a b =
+  { solves = a.solves + b.solves;
+    pivots = a.pivots + b.pivots;
+    phase1_pivots = a.phase1_pivots + b.phase1_pivots;
+    refactorizations = a.refactorizations + b.refactorizations;
+    solve_ms = a.solve_ms +. b.solve_ms;
+    warm_cold = a.warm_cold + b.warm_cold;
+    warm_accepted = a.warm_accepted + b.warm_accepted;
+    warm_repaired = a.warm_repaired + b.warm_repaired;
+    warm_fell_back = a.warm_fell_back + b.warm_fell_back }
+
+type slot_row = {
+  slot : int;
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  admitted_bytes : float;
+  stored_bytes : float;
+  cost : float;
+  cost_delta : float;
+  charged : float array;
+  charged_delta : float array;
+  sched_ms : float;
+  lp : solve_tally;
+}
+
+type run = {
+  scheduler : string;
+  slots : int;
+  rows : slot_row list;
+  final_cost : float option;
+  final_charged : float array option;
+  total_files : int option;
+  rejected_files : int option;
+}
+
+let floats_field ev name =
+  match Reader.field ev name with
+  | None -> None
+  | Some j -> (
+      match Json.to_list j with
+      | None -> None
+      | Some items ->
+          let arr = Array.make (List.length items) 0. in
+          let ok = ref true in
+          List.iteri
+            (fun i item ->
+              match Json.to_float item with
+              | Some f -> arr.(i) <- f
+              | None -> ok := false)
+            items;
+          if !ok then Some arr else None)
+
+let int0 ev name = Option.value ~default:0 (Reader.int_field ev name)
+let float0 ev name = Option.value ~default:0. (Reader.float_field ev name)
+
+let tally_of_solve ev =
+  let warm = Option.value ~default:"" (Reader.str_field ev "warm") in
+  let repairs = int0 ev "repair_rounds" in
+  { solves = 1;
+    pivots = int0 ev "iterations";
+    phase1_pivots = int0 ev "phase1_pivots";
+    refactorizations = int0 ev "refactorizations";
+    solve_ms = float0 ev "ms";
+    warm_cold = (if warm = "none" || warm = "" then 1 else 0);
+    warm_accepted = (if warm = "accepted" && repairs = 0 then 1 else 0);
+    warm_repaired = (if warm = "accepted" && repairs > 0 then 1 else 0);
+    warm_fell_back = (if warm = "fell_back" then 1 else 0) }
+
+(* The engine emits strictly nested spans from a single thread, so a pair
+   of "currently open" cells replaces a full span stack. *)
+let of_events events =
+  let runs = ref [] in
+  let cur_run = ref None in
+  let cur_slot = ref None in
+  let cur_tally = ref empty_tally in
+  List.iter
+    (fun ev ->
+      match (ev.Reader.kind, ev.Reader.name) with
+      | Reader.Begin, "sim.run" ->
+          cur_run :=
+            Some
+              ( Option.value ~default:"?" (Reader.str_field ev "scheduler"),
+                int0 ev "slots",
+                ref [] )
+      | Reader.End, "sim.run" -> (
+          match !cur_run with
+          | None -> ()
+          | Some (scheduler, slots, rows) ->
+              runs :=
+                { scheduler;
+                  slots;
+                  rows = List.rev !rows;
+                  final_cost = Reader.float_field ev "final_cost";
+                  final_charged = floats_field ev "final_charged";
+                  total_files = Reader.int_field ev "total_files";
+                  rejected_files = Reader.int_field ev "rejected_files" }
+                :: !runs;
+              cur_run := None)
+      | Reader.Begin, "sim.slot" ->
+          cur_slot := Some (int0 ev "slot");
+          cur_tally := empty_tally
+      | Reader.End, "sim.slot" -> (
+          match (!cur_run, !cur_slot) with
+          | Some (_, _, rows), Some slot ->
+              rows :=
+                { slot;
+                  arrivals = int0 ev "arrivals";
+                  admitted = int0 ev "admitted";
+                  rejected = int0 ev "rejected";
+                  admitted_bytes = float0 ev "admitted_bytes";
+                  stored_bytes = float0 ev "stored_bytes";
+                  cost = float0 ev "cost";
+                  cost_delta = float0 ev "cost_delta";
+                  charged =
+                    Option.value ~default:[||] (floats_field ev "charged");
+                  charged_delta =
+                    Option.value ~default:[||] (floats_field ev "charged_delta");
+                  sched_ms = float0 ev "sched_ms";
+                  lp = !cur_tally }
+                :: !rows;
+              cur_slot := None
+          | _ -> cur_slot := None)
+      | Reader.Point, "lp.solve" ->
+          if !cur_slot <> None then
+            cur_tally := add_tally !cur_tally (tally_of_solve ev)
+      | _ -> ())
+    events;
+  List.rev !runs
+
+let reconcile run =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_deltas () =
+    (* Each slot's deltas must be exactly the difference of the adjacent
+       cumulative readings — the same subtraction the engine performed. *)
+    let rec go prev_cost prev_charged = function
+      | [] -> Ok ()
+      | row :: rest ->
+          if row.cost_delta <> row.cost -. prev_cost then
+            fail "slot %d: cost_delta %.17g <> cost %.17g - previous %.17g"
+              row.slot row.cost_delta row.cost prev_cost
+          else begin
+            let bad = ref None in
+            Array.iteri
+              (fun l d ->
+                let prev =
+                  if Array.length prev_charged > l then prev_charged.(l) else 0.
+                in
+                if !bad = None && d <> row.charged.(l) -. prev then
+                  bad := Some l)
+              row.charged_delta;
+            match !bad with
+            | Some l ->
+                fail "slot %d: charged_delta on link %d does not telescope"
+                  row.slot l
+            | None -> go row.cost row.charged rest
+          end
+    in
+    go 0. [||] run.rows
+  in
+  match check_deltas () with
+  | Error _ as e -> e
+  | Ok () -> (
+      let last = List.nth_opt run.rows (List.length run.rows - 1) in
+      match (last, run.final_cost, run.final_charged) with
+      | None, _, _ | _, None, None -> Ok ()
+      | Some row, fc, fch -> (
+          match fc with
+          | Some c when c <> row.cost ->
+              fail "final cost %.17g does not match last slot's %.17g" c
+                row.cost
+          | _ -> (
+              match fch with
+              | Some arr
+                when Array.length arr <> Array.length row.charged ->
+                  fail "final charged has %d links, last slot has %d"
+                    (Array.length arr)
+                    (Array.length row.charged)
+              | Some arr ->
+                  let bad = ref None in
+                  Array.iteri
+                    (fun l v ->
+                      if !bad = None && v <> row.charged.(l) then bad := Some l)
+                    arr;
+                  (match !bad with
+                   | Some l ->
+                       fail
+                         "final charged volume on link %d does not match the \
+                          slot series"
+                         l
+                   | None -> Ok ())
+              | None -> Ok ())))
+
+let run_tally run =
+  List.fold_left (fun acc row -> add_tally acc row.lp) empty_tally run.rows
+
+let pp_run ppf run =
+  Format.fprintf ppf "@[<v>run: scheduler %s, %d slots@," run.scheduler
+    run.slots;
+  let max_cost =
+    List.fold_left (fun acc r -> max acc r.cost) 0. run.rows
+  in
+  Format.fprintf ppf
+    "  %-5s %6s %6s %4s %11s %10s %8s %7s %7s %6s %9s %9s  %s@," "slot"
+    "arriv" "admit" "rej" "cost" "Δcost" "stored" "solves" "pivots" "p1"
+    "solve ms" "sched ms" "cost bar";
+  List.iter
+    (fun r ->
+      let bar_len =
+        if max_cost <= 0. then 0
+        else int_of_float (Float.round (20. *. r.cost /. max_cost))
+      in
+      Format.fprintf ppf
+        "  %-5d %6d %6d %4d %11.3f %10.3f %8.1f %7d %7d %6d %9.2f %9.2f  %s@,"
+        r.slot r.arrivals r.admitted r.rejected r.cost r.cost_delta
+        r.stored_bytes r.lp.solves r.lp.pivots r.lp.phase1_pivots
+        r.lp.solve_ms r.sched_ms
+        (String.concat "" (List.init bar_len (fun _ -> "#"))))
+    run.rows;
+  let t = run_tally run in
+  Format.fprintf ppf
+    "  totals: %d solves, %d pivots (%d phase 1), %d refactorizations, \
+     %.2f ms solving, %.2f ms scheduling@,"
+    t.solves t.pivots t.phase1_pivots t.refactorizations t.solve_ms
+    (List.fold_left (fun acc r -> acc +. r.sched_ms) 0. run.rows);
+  Format.fprintf ppf
+    "  warm starts: %d cold, %d accepted clean, %d repaired, %d fell back@,"
+    t.warm_cold t.warm_accepted t.warm_repaired t.warm_fell_back;
+  (match (run.total_files, run.rejected_files) with
+   | Some total, Some rej ->
+       Format.fprintf ppf "  files: %d offered, %d rejected@," total rej
+   | _ -> ());
+  (match reconcile run with
+   | Ok () ->
+       let note =
+         match run.final_cost with
+         | Some c -> Printf.sprintf " (final cost %g)" c
+         | None -> ""
+       in
+       Format.fprintf ppf
+         "  reconciliation: OK — slot series matches final totals exactly%s@,"
+         note
+   | Error msg -> Format.fprintf ppf "  reconciliation: FAILED — %s@," msg);
+  Format.fprintf ppf "@]"
+
+let pp ppf runs =
+  match runs with
+  | [] -> Format.fprintf ppf "no sim.run spans in this trace@."
+  | _ ->
+      Format.fprintf ppf "%d run%s traced@." (List.length runs)
+        (if List.length runs = 1 then "" else "s");
+      List.iter (fun r -> Format.fprintf ppf "%a@." pp_run r) runs
+
+let summarize_file path =
+  match Reader.read_file path with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok events ->
+      Format.printf "%a" pp (of_events events);
+      Ok ()

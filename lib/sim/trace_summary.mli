@@ -1,0 +1,66 @@
+(** Offline analyzer for JSONL run traces (the [--trace] output).
+
+    Reconstructs each simulation run recorded in a trace — the
+    ["sim.run"]/["sim.slot"] spans with the ["lp.solve"] and
+    ["sched.decision"] points nested inside them — and renders an ASCII
+    report: the cost-vs-slot series, the per-slot pivot and wall-time
+    breakdown, the warm-start outcome tally, and a reconciliation check
+    of the per-slot series against the run's recorded final totals. *)
+
+type solve_tally = {
+  solves : int;
+  pivots : int;  (** Phases 1+2 over all solves of the slot. *)
+  phase1_pivots : int;
+  refactorizations : int;
+  solve_ms : float;
+  warm_cold : int;  (** Solves started without a warm basis. *)
+  warm_accepted : int;  (** Warm basis installed with no repair. *)
+  warm_repaired : int;  (** Warm basis installed after repair rounds. *)
+  warm_fell_back : int;  (** Warm basis discarded, solved cold. *)
+}
+
+type slot_row = {
+  slot : int;
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  admitted_bytes : float;
+  stored_bytes : float;
+  cost : float;  (** Cumulative charged cost after this slot. *)
+  cost_delta : float;
+  charged : float array;  (** Cumulative per-link charged volume. *)
+  charged_delta : float array;  (** Per-link charged-volume increase. *)
+  sched_ms : float;
+  lp : solve_tally;
+}
+
+type run = {
+  scheduler : string;
+  slots : int;
+  rows : slot_row list;  (** In slot order. *)
+  final_cost : float option;  (** From the ["sim.run"] end event. *)
+  final_charged : float array option;
+  total_files : int option;
+  rejected_files : int option;
+}
+
+val of_events : Obs.Trace_reader.event list -> run list
+(** Group a validated event stream into runs. Events outside any
+    ["sim.run"] span (e.g. from [postcard_solve]) are ignored. *)
+
+val reconcile : run -> (unit, string) result
+(** Check the per-slot series against the run's final totals, with zero
+    tolerance: the last slot's cumulative [cost] must equal [final_cost],
+    the last slot's [charged] must equal [final_charged] per link, and
+    every slot's deltas must equal the difference of the adjacent
+    cumulative readings (the engine computes them that way, so the
+    recomputation is bit-exact). [Ok] when the run carries no final
+    totals. *)
+
+val pp_run : Format.formatter -> run -> unit
+
+val pp : Format.formatter -> run list -> unit
+
+val summarize_file : string -> (unit, string) result
+(** Read, validate, analyze and print a trace file; the [trace-summary]
+    subcommand of [postcard_sim]. *)

@@ -13,6 +13,8 @@ type t = {
   pinv : int array;
   (* q.(k) = original column eliminated at step k. *)
   q : int array;
+  (* Nonzeros of the input matrix, for fill-in accounting. *)
+  input_nnz : int;
 }
 
 type error = Singular of int
@@ -24,6 +26,10 @@ let nnz f =
     Array.fold_left (fun acc c -> acc + Array.length c) 0 cols
   in
   count f.l_cols + count f.u_cols + f.n
+
+let input_nnz f = f.input_nnz
+
+let fill_in f = max 0 (nnz f - f.input_nnz)
 
 let min_abs_diag f =
   Array.fold_left (fun acc d -> min acc (abs_float d)) infinity f.u_diag
@@ -113,6 +119,27 @@ let clear_pattern ~visited ~stack ~x ~top =
     visited.(r) <- false
   done
 
+(* Per-factorization telemetry: dimension, stored nonzeros and fill-in of
+   the factors, plus a running factorization count. Updates are O(1)
+   no-ops while the metrics registry is disabled. *)
+let m_factorizations = Obs.Metrics.counter "lu.factorizations"
+let g_dim = Obs.Metrics.gauge "lu.last_dim"
+let g_nnz = Obs.Metrics.gauge "lu.last_nnz"
+let g_fill = Obs.Metrics.gauge "lu.last_fill_in"
+let h_fill_ratio = Obs.Metrics.histogram "lu.fill_ratio"
+
+let record_factorization f =
+  Obs.Metrics.incr m_factorizations;
+  if Obs.Metrics.enabled () then begin
+    let stored = nnz f in
+    Obs.Metrics.set g_dim (float_of_int f.n);
+    Obs.Metrics.set g_nnz (float_of_int stored);
+    Obs.Metrics.set g_fill (float_of_int (fill_in f));
+    if f.input_nnz > 0 then
+      Obs.Metrics.observe h_fill_ratio
+        (float_of_int stored /. float_of_int f.input_nnz)
+  end
+
 let factorize_iter ?col_order ~dim:n iter_col =
   let q = match col_order with
     | Some order ->
@@ -130,10 +157,17 @@ let factorize_iter ?col_order ~dim:n iter_col =
   let visited = Array.make n false in
   let stack = Array.make n 0 in
   let exception Singular_at of int in
+  let input_nnz = ref 0 in
+  let counted_col j f =
+    iter_col j (fun r v ->
+        incr input_nnz;
+        f r v)
+  in
   try
     for k = 0 to n - 1 do
       let top =
-        eliminate_column ~iter_col ~pinv ~l_cols ~visited ~stack ~x q.(k)
+        eliminate_column ~iter_col:counted_col ~pinv ~l_cols ~visited ~stack
+          ~x q.(k)
       in
       let piv = select_pivot ~pinv ~stack ~x ~top ~threshold:1e-13 in
       if piv < 0 then raise (Singular_at k);
@@ -156,7 +190,12 @@ let factorize_iter ?col_order ~dim:n iter_col =
       pivot_row.(k) <- piv;
       pinv.(piv) <- k
     done;
-    Ok { n; l_cols; u_cols; u_diag; pivot_row; pinv; q }
+    let f =
+      { n; l_cols; u_cols; u_diag; pivot_row; pinv; q;
+        input_nnz = !input_nnz }
+    in
+    record_factorization f;
+    Ok f
   with Singular_at k ->
     (* Reset scratch state is unnecessary: arrays are local. *)
     Error (Singular k)

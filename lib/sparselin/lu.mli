@@ -54,6 +54,14 @@ val dim : t -> int
 val nnz : t -> int
 (** Total stored entries of [L] and [U], a measure of fill-in. *)
 
+val input_nnz : t -> int
+(** Nonzeros of the matrix that was factorized. *)
+
+val fill_in : t -> int
+(** [nnz t - input_nnz t] clamped at zero: entries created by the
+    elimination. Every factorization also records its dimension, nnz and
+    fill-in in the {!Obs.Metrics} registry (series [lu.*]). *)
+
 val solve : t -> float array -> unit
 (** [solve f b] overwrites [b] with the solution [x] of [B x = b]
     (the simplex FTRAN). *)

@@ -31,4 +31,5 @@ let () =
       ("report", Test_report.suite);
       ("engine-faults", Test_engine_faults.suite);
       ("warm-start", Test_warm_start.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite) ]
