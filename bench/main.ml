@@ -12,6 +12,15 @@ module File = Postcard.File
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
+(* Every macro-benchmark draws its schedulers from the registry; the
+   names here are canonical, so a lookup failure is a build bug. *)
+let factory_exn name =
+  match Postcard.Scheduler.factory name with
+  | Some f -> f
+  | None -> invalid_arg ("bench: no registered scheduler " ^ name)
+
+let factories names = List.map factory_exn names
+
 (* ------------------------------------------------------------------ *)
 (* Worked examples (Fig. 1 and Fig. 3): exact optima. *)
 
@@ -83,15 +92,11 @@ let fig3 () =
 (* ------------------------------------------------------------------ *)
 (* Figs. 4-7: the randomized evaluation at bench scale. *)
 
-let figure n =
+let figure ~pool n =
   let setting = Sim.Experiment.scaled_figure n in
   section (Printf.sprintf "Fig. %d — %s" n setting.Sim.Experiment.label);
-  let schedulers =
-    [ Postcard.Postcard_scheduler.make ();
-      Postcard.Flow_baseline.make ();
-      Postcard.Direct_scheduler.make () ]
-  in
-  let results = Sim.Experiment.run_setting setting ~schedulers in
+  let schedulers = factories [ "postcard"; "flow-based"; "direct" ] in
+  let results = Sim.Experiment.run_setting ~pool setting ~schedulers in
   Format.printf "%a@." Sim.Report.print_summary results;
   Format.printf "%t"
     (fun ppf ->
@@ -102,7 +107,7 @@ let figure n =
 let check_figure_shapes results4 results5 results6 results7 =
   section "Shape checks (paper claims vs measured)";
   let cost results name =
-    (Sim.Experiment.find_summary results name).Sim.Experiment.mean_cost
+    (Sim.Experiment.find_summary_exn results name).Sim.Experiment.mean_cost
   in
   let verdict ok = if ok then "OK " else "MISS" in
   let p4 = cost results4 "postcard" and f4 = cost results4 "flow-based" in
@@ -129,32 +134,26 @@ let check_figure_shapes results4 results5 results6 results7 =
 (* ------------------------------------------------------------------ *)
 (* Ablations. *)
 
-let ablation_flow_variants () =
+let ablation_flow_variants ~pool () =
   section "Ablation — flow-baseline variants (literal vs excess vs joint)";
   let setting =
     { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
   in
-  let schedulers =
-    [ Postcard.Flow_baseline.make ();
-      Postcard.Flow_baseline.make ~variant:`Two_stage_excess ();
-      Postcard.Flow_baseline.make ~variant:`Joint () ]
-  in
-  let results = Sim.Experiment.run_setting setting ~schedulers in
+  let schedulers = factories [ "flow-based"; "flow-excess"; "flow-joint" ] in
+  let results = Sim.Experiment.run_setting ~pool setting ~schedulers in
   Format.printf "%a@." Sim.Report.print_summary results;
   Format.printf
     "  The literal Sec. II-B decomposition cannot beat the joint LP; the gap@.";
   Format.printf "  measures what the paper's decomposition gives away.@."
 
-let ablation_greedy_vs_lp () =
+let ablation_greedy_vs_lp ~pool () =
   section "Ablation — exact LP vs combinatorial greedy (speed/quality)";
   let setting =
     { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
   in
-  let schedulers =
-    [ Postcard.Postcard_scheduler.make (); Postcard.Greedy_scheduler.make () ]
-  in
+  let schedulers = factories [ "postcard"; "greedy-snf" ] in
   let t0 = Unix.gettimeofday () in
-  let results = Sim.Experiment.run_setting setting ~schedulers in
+  let results = Sim.Experiment.run_setting ~pool setting ~schedulers in
   let elapsed = Unix.gettimeofday () -. t0 in
   Format.printf "%a@." Sim.Report.print_summary results;
   Format.printf "%t"
@@ -246,14 +245,12 @@ let extension_percentile_billing () =
   Format.printf
     "  the burst-aware scheduler concentrates overflow into those slots.@."
 
-let ablation_deadline_heterogeneity () =
+let ablation_deadline_heterogeneity ~pool () =
   section "Ablation — deadline heterogeneity (the Figs. 6/7 mechanism)";
   let base_setting =
     { (Sim.Experiment.scaled_figure 6) with Sim.Experiment.runs = 3 }
   in
-  let schedulers =
-    [ Postcard.Postcard_scheduler.make (); Postcard.Flow_baseline.make () ]
-  in
+  let schedulers = factories [ "postcard"; "flow-based" ] in
   List.iter
     (fun (label, uniform) ->
       let setting =
@@ -261,7 +258,7 @@ let ablation_deadline_heterogeneity () =
           Sim.Experiment.label;
           uniform_deadlines = uniform }
       in
-      let results = Sim.Experiment.run_setting setting ~schedulers in
+      let results = Sim.Experiment.run_setting ~pool setting ~schedulers in
       Format.printf "%a@." Sim.Report.print_summary results)
     [ ("deadlines uniform in [1, T] (urgent + tolerant mix)", true);
       ("all deadlines = T (no heterogeneity)", false) ];
@@ -279,9 +276,9 @@ let ablation_deadline_heterogeneity () =
 (* Warm-start macro-benchmark: cold vs basis-crashed simplex across an
    online run (see DESIGN.md, "Warm-started LP pipeline"). *)
 
-let solver_warm_bench ~json =
+let solver_warm_bench ~pool ~json =
   section "Solver warm start — cold vs carried-basis simplex";
-  let summary = Sim.Solver_bench.run ~nodes:6 ~slots:12 ~seed:1 () in
+  let summary = Sim.Solver_bench.run ~nodes:6 ~slots:12 ~seed:1 ~pool () in
   Format.printf "%a" Sim.Solver_bench.pp_summary summary;
   (match json with
    | None -> ()
@@ -295,6 +292,74 @@ let solver_warm_bench ~json =
            Format.eprintf "  cannot write JSON summary: %s@." msg;
            exit 1));
   summary
+
+(* ------------------------------------------------------------------ *)
+(* Runner scale-out: the (run, scheduler) sweep spread over a domain
+   pool vs the serial runner, on the scaled figure 4 setting. Besides
+   the wall-clock ratio this checks the headline determinism contract:
+   summaries must be identical for every pool size. *)
+
+let summaries_identical a b =
+  let open Sim.Experiment in
+  List.length a.summaries = List.length b.summaries
+  && List.for_all2
+       (fun (x : scheduler_summary) (y : scheduler_summary) ->
+         x.scheduler = y.scheduler
+         && x.mean_cost = y.mean_cost
+         && x.ci95 = y.ci95
+         && x.run_costs = y.run_costs
+         && x.mean_series = y.mean_series
+         && x.rejected = y.rejected)
+       a.summaries b.summaries
+
+let runner_scaleout_bench ~pool ~json =
+  section "Runner scale-out — serial vs domain-parallel experiment sweep";
+  let setting = Sim.Experiment.scaled_figure 4 in
+  let schedulers = factories [ "postcard"; "flow-based"; "direct" ] in
+  let cells = Sim.Experiment.cells setting ~schedulers in
+  let domains = Exec.Pool.size pool in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_s =
+    time (fun () -> Sim.Experiment.run_setting setting ~schedulers)
+  in
+  let par, parallel_s =
+    time (fun () -> Sim.Experiment.run_setting ~pool setting ~schedulers)
+  in
+  let identical = summaries_identical serial par in
+  let speedup = if parallel_s > 0. then serial_s /. parallel_s else nan in
+  let host_cores = Domain.recommended_domain_count () in
+  Format.printf
+    "  %d cells over %d domain(s) (host reports %d core(s))@." cells domains
+    host_cores;
+  Format.printf "  serial %.2f s, parallel %.2f s — speedup %.2fx@." serial_s
+    parallel_s speedup;
+  Format.printf "  summaries bit-identical: %s@."
+    (if identical then "yes" else "NO — determinism contract broken");
+  (match json with
+   | None -> ()
+   | Some path ->
+       let oc = open_out path in
+       Printf.fprintf oc
+         "{\n\
+         \  \"bench\": \"runner_scaleout\",\n\
+         \  \"setting\": %S,\n\
+         \  \"cells\": %d,\n\
+         \  \"domains\": %d,\n\
+         \  \"host_cores\": %d,\n\
+         \  \"serial_s\": %.6f,\n\
+         \  \"parallel_s\": %.6f,\n\
+         \  \"speedup\": %.4f,\n\
+         \  \"identical\": %b\n\
+          }\n"
+         setting.Sim.Experiment.label cells domains host_cores serial_s
+         parallel_s speedup identical;
+       close_out oc;
+       Format.printf "  wrote %s@." path);
+  if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the solver kernels. *)
@@ -445,15 +510,26 @@ let obs_noop_bench () =
       | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
     results
 
-let usage = "main.exe [--solver-only] [--json PATH] [--log-level LEVEL]"
+let usage =
+  "main.exe [--solver-only] [-j N] [--json PATH] [--json-runner PATH] \
+   [--log-level LEVEL]"
 
 let () =
   let json = ref None and solver_only = ref false in
+  let json_runner = ref None in
+  let jobs = ref None in
   let log_level = ref (Some Logs.Warning) in
   let spec =
     [ ("--json",
        Arg.String (fun p -> json := Some p),
        "PATH  write the warm-start benchmark summary as JSON");
+      ("--json-runner",
+       Arg.String (fun p -> json_runner := Some p),
+       "PATH  write the runner scale-out summary as JSON");
+      ("-j",
+       Arg.Int (fun n -> jobs := Some n),
+       "N  worker domains for the experiment sweeps (default: the host's \
+        recommended domain count)");
       ("--solver-only",
        Arg.Set solver_only,
        "  run only the solver warm-start benchmark (skip the figures)");
@@ -467,22 +543,33 @@ let () =
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   Obs.Logging.setup ~level:!log_level ();
+  let domains =
+    match !jobs with
+    | Some n when n < 1 ->
+        prerr_endline "bench: -j must be >= 1";
+        exit 2
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool = Exec.Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) @@ fun () ->
   Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
   if not !solver_only then begin
     fig1 ();
     fig3 ();
-    let r4 = figure 4 in
-    let r5 = figure 5 in
-    let r6 = figure 6 in
-    let r7 = figure 7 in
+    let r4 = figure ~pool 4 in
+    let r5 = figure ~pool 5 in
+    let r6 = figure ~pool 6 in
+    let r7 = figure ~pool 7 in
     check_figure_shapes r4 r5 r6 r7;
-    ablation_flow_variants ();
-    ablation_greedy_vs_lp ();
-    ablation_deadline_heterogeneity ();
+    ablation_flow_variants ~pool ();
+    ablation_greedy_vs_lp ~pool ();
+    ablation_deadline_heterogeneity ~pool ();
     ablation_price_of_myopia ();
     extension_percentile_billing ()
   end;
-  ignore (solver_warm_bench ~json:!json);
+  ignore (solver_warm_bench ~pool ~json:!json);
+  runner_scaleout_bench ~pool ~json:!json_runner;
   obs_noop_bench ();
   if not !solver_only then bechamel_benches ();
   Format.printf "@.done.@."

@@ -1,20 +1,26 @@
 (* Command-line driver for the Postcard evaluation: reproduce any of the
    paper's figure settings (4-7), at paper scale or bench scale, or run a
-   fully custom setting, with any subset of the implemented schedulers.
-   The [trace-summary] subcommand analyzes a JSONL trace produced with
+   fully custom setting, with any subset of the registered schedulers.
+   The (run, scheduler) sweep is spread over [-j] worker domains. The
+   [trace-summary] subcommand analyzes a JSONL trace produced with
    [--trace]. *)
 
-let make_scheduler = function
-  | "postcard" -> Ok (Postcard.Postcard_scheduler.make ())
-  | "flow" | "flow-based" -> Ok (Postcard.Flow_baseline.make ())
-  | "flow-excess" ->
-      Ok (Postcard.Flow_baseline.make ~variant:`Two_stage_excess ())
-  | "flow-joint" ->
-      Ok (Postcard.Flow_baseline.make ~variant:`Joint ())
-  | "direct" -> Ok (Postcard.Direct_scheduler.make ())
-  | "greedy" | "greedy-snf" -> Ok (Postcard.Greedy_scheduler.make ())
-  | "burst" | "burst-95" -> Ok (Postcard.Greedy_scheduler.make_percentile ())
-  | other -> Error (Printf.sprintf "unknown scheduler %S" other)
+let resolve_schedulers spec =
+  let names = List.map String.trim (String.split_on_char ',' spec) in
+  let rec build = function
+    | [] -> Ok []
+    | name :: rest -> (
+        match Postcard.Scheduler.factory name with
+        | None ->
+            Error
+              (Printf.sprintf "unknown scheduler %S (available: %s)" name
+                 (String.concat ", " (Postcard.Scheduler.registered ())))
+        | Some mk -> (
+            match build rest with
+            | Error _ as e -> e
+            | Ok tail -> Ok (mk :: tail)))
+  in
+  build names
 
 let setup_obs ~verbose ~log_level ~metrics ~trace =
   let level =
@@ -28,77 +34,51 @@ let setup_obs ~verbose ~log_level ~metrics ~trace =
       prerr_endline msg;
       exit 1
 
-let run figure scale nodes capacity files_max max_deadline slots runs seed
-    size_max fixed_deadlines schedulers series verbose log_level metrics
-    trace =
+let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
+    ~metrics ~trace =
   setup_obs ~verbose ~log_level ~metrics ~trace;
-  let base_setting =
-    match (figure, scale) with
-    | Some n, `Paper -> Sim.Experiment.paper_figure n
-    | Some n, `Scaled -> Sim.Experiment.scaled_figure n
-    | None, _ ->
-        { Sim.Experiment.label = "custom";
-          nodes = 8;
-          capacity = 35.;
-          cost_lo = 1.;
-          cost_hi = 10.;
-          files_max = 6;
-          size_max = 100.;
-          max_deadline = 3;
-          uniform_deadlines = true;
-          slots = 40;
-          runs = 5;
-          seed = 42 }
-  in
-  let setting =
-    { base_setting with
-      Sim.Experiment.nodes = Option.value nodes ~default:base_setting.Sim.Experiment.nodes;
-      capacity = Option.value capacity ~default:base_setting.Sim.Experiment.capacity;
-      files_max = Option.value files_max ~default:base_setting.Sim.Experiment.files_max;
-      max_deadline =
-        Option.value max_deadline ~default:base_setting.Sim.Experiment.max_deadline;
-      slots = Option.value slots ~default:base_setting.Sim.Experiment.slots;
-      runs = Option.value runs ~default:base_setting.Sim.Experiment.runs;
-      seed = Option.value seed ~default:base_setting.Sim.Experiment.seed;
-      size_max =
-        Option.value size_max ~default:base_setting.Sim.Experiment.size_max;
-      uniform_deadlines = not fixed_deadlines }
-  in
-  let scheduler_names = String.split_on_char ',' schedulers in
-  let rec build = function
-    | [] -> Ok []
-    | name :: rest -> (
-        match make_scheduler (String.trim name) with
-        | Error _ as e -> e
-        | Ok s -> (
-            match build rest with
-            | Error _ as e -> e
-            | Ok tail -> Ok (s :: tail)))
-  in
-  match build scheduler_names with
+  match resolve_schedulers spec with
   | Error msg ->
       prerr_endline msg;
       exit 2
   | Ok schedulers ->
-      let progress ~run ~scheduler =
-        if verbose then
-          Format.eprintf "run %d/%d: %s...@." (run + 1)
-            setting.Sim.Experiment.runs scheduler
+      let cells = Sim.Experiment.cells setting ~schedulers in
+      let domains =
+        match jobs with
+        | Some j when j < 1 ->
+            prerr_endline "postcard_sim: -j must be >= 1";
+            exit 2
+        | Some j -> min j cells
+        | None -> max 1 (min (Domain.recommended_domain_count ()) cells)
       in
-      let results = Sim.Experiment.run_setting ~progress setting ~schedulers in
+      (* [progress] runs on whichever domain executes the cell. *)
+      let progress_mu = Mutex.create () in
+      let progress ~run ~scheduler =
+        if verbose then begin
+          Mutex.lock progress_mu;
+          Format.eprintf "run %d/%d: %s...@." (run + 1)
+            setting.Sim.Experiment.runs scheduler;
+          Mutex.unlock progress_mu
+        end
+      in
+      let pool = Exec.Pool.create ~domains () in
+      let results =
+        Fun.protect
+          ~finally:(fun () -> Exec.Pool.shutdown pool)
+          (fun () ->
+            Sim.Experiment.run_setting ~progress ~pool setting ~schedulers)
+      in
       Format.printf "%a@." Sim.Report.print_summary results;
-      if List.length schedulers >= 2 then begin
-        match schedulers with
-        | first :: second :: _ ->
-            Format.printf "%t@." (fun ppf ->
-                Sim.Report.print_comparison ppf
-                  ~baseline:second.Postcard.Scheduler.name
-                  ~contender:first.Postcard.Scheduler.name results)
-        | _ -> ()
-      end;
-      if series then Format.printf "%a@." (Sim.Report.print_series ?every:None) results;
-      if metrics then
-        Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
+      (match results.Sim.Experiment.summaries with
+       | contender :: baseline :: _ ->
+           Format.printf "%t@." (fun ppf ->
+               Sim.Report.print_comparison ppf
+                 ~baseline:baseline.Sim.Experiment.scheduler
+                 ~contender:contender.Sim.Experiment.scheduler results)
+       | _ -> ());
+      if series then
+        Format.printf "%a@." (Sim.Report.print_series ?every:None) results;
+      if metrics then Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
 
 let trace_summary file =
   match Sim.Trace_summary.summarize_file file with
@@ -109,15 +89,7 @@ let trace_summary file =
 
 open Cmdliner
 
-let figure =
-  Arg.(value & opt (some int) None & info [ "figure"; "f" ] ~docv:"N"
-         ~doc:"Reproduce the paper's figure N (4-7).")
-
-let scale =
-  Arg.(value & opt (enum [ ("paper", `Paper); ("scaled", `Scaled) ]) `Scaled
-       & info [ "scale" ] ~docv:"SCALE"
-           ~doc:"With --figure: 'paper' for the paper's exact 20-DC setting, \
-                 'scaled' (default) for the bench-friendly 8-DC setting.")
+(* Setting overrides shared by every simulation subcommand. *)
 
 let nodes = Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc:"Number of datacenters.")
 let capacity = Arg.(value & opt (some float) None & info [ "capacity" ] ~docv:"GB" ~doc:"Per-link capacity (GB per interval).")
@@ -136,10 +108,30 @@ let fixed_deadlines =
          ~doc:"Give every file exactly the deadline bound T instead of the \
                default uniform draw in [1, T].")
 
+let overrides =
+  let apply nodes capacity files_max max_deadline slots runs seed size_max
+      fixed_deadlines base =
+    Sim.Experiment.with_overrides ?nodes ?capacity ?files_max ?max_deadline
+      ?slots ?runs ?seed ?size_max
+      ~uniform_deadlines:(not fixed_deadlines) base
+  in
+  Term.(const apply $ nodes $ capacity $ files_max $ max_deadline $ slots
+        $ runs $ seed $ size_max $ fixed_deadlines)
+
+(* Observability and execution flags shared by every simulation
+   subcommand. *)
+
 let schedulers =
   Arg.(value & opt string "postcard,flow" & info [ "schedulers" ] ~docv:"LIST"
-         ~doc:"Comma-separated schedulers: postcard, flow, flow-excess, \
-               flow-joint, direct, greedy.")
+         ~doc:"Comma-separated schedulers from the registry (see \
+               postcard_solve --list-schedulers); aliases like 'flow' and \
+               'greedy' are accepted.")
+
+let jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the (run, scheduler) sweep. Default: the \
+               host's recommended domain count, capped at the number of \
+               cells. Results are bit-identical for every N.")
 
 let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per-interval time series.")
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress and scheduler logs.")
@@ -167,14 +159,92 @@ let trace =
          ~doc:"Write a JSONL run trace to FILE (see the trace-summary \
                subcommand).")
 
+let simulate base_setting apply spec jobs series verbose log_level metrics
+    trace =
+  execute (apply base_setting) ~schedulers:spec ~jobs ~series ~verbose
+    ~log_level ~metrics ~trace
+
+(* The legacy [run] subcommand (and default): --figure N --scale
+   paper|scaled, or the custom baseline when no figure is given. *)
+
+let figure_opt =
+  Arg.(value & opt (some int) None & info [ "figure"; "f" ] ~docv:"N"
+         ~doc:"Reproduce the paper's figure N (4-7).")
+
+let scale =
+  Arg.(value & opt (enum [ ("paper", `Paper); ("scaled", `Scaled) ]) `Scaled
+       & info [ "scale" ] ~docv:"SCALE"
+           ~doc:"With --figure: 'paper' for the paper's exact 20-DC setting, \
+                 'scaled' (default) for the bench-friendly 8-DC setting.")
+
+let base_of_figure ~scaled ~paper =
+  try
+    match (scaled, paper) with
+    | Some n, None -> Ok (Sim.Experiment.scaled_figure n)
+    | None, Some n -> Ok (Sim.Experiment.paper_figure n)
+    | None, None -> Error "pass --scaled N or --paper N (4-7)"
+    | Some _, Some _ -> Error "--scaled and --paper are mutually exclusive"
+  with Invalid_argument msg -> Error msg
+
+let run figure scale apply spec jobs series verbose log_level metrics trace =
+  let base =
+    match (figure, scale) with
+    | Some n, `Paper -> (
+        match base_of_figure ~scaled:None ~paper:(Some n) with
+        | Ok b -> b
+        | Error msg -> prerr_endline msg; exit 2)
+    | Some n, `Scaled -> (
+        match base_of_figure ~scaled:(Some n) ~paper:None with
+        | Ok b -> b
+        | Error msg -> prerr_endline msg; exit 2)
+    | None, _ -> Sim.Experiment.custom_default
+  in
+  simulate base apply spec jobs series verbose log_level metrics trace
+
 let run_term =
-  Term.(const run $ figure $ scale $ nodes $ capacity $ files_max
-        $ max_deadline $ slots $ runs $ seed $ size_max $ fixed_deadlines
-        $ schedulers $ series $ verbose $ log_level $ metrics $ trace)
+  Term.(const run $ figure_opt $ scale $ overrides $ schedulers $ jobs
+        $ series $ verbose $ log_level $ metrics $ trace)
 
 let run_cmd =
   let doc = "run the simulation (the default subcommand)" in
   Cmd.v (Cmd.info "run" ~doc) run_term
+
+(* The [figure] subcommand: the named-figure front door. *)
+
+let scaled_fig =
+  Arg.(value & opt (some int) None & info [ "scaled" ] ~docv:"N"
+         ~doc:"Figure N (4-7) at bench-friendly 8-DC scale.")
+
+let paper_fig =
+  Arg.(value & opt (some int) None & info [ "paper" ] ~docv:"N"
+         ~doc:"Figure N (4-7) at the paper's exact 20-DC scale.")
+
+let figure_run scaled paper apply spec jobs series verbose log_level metrics
+    trace =
+  match base_of_figure ~scaled ~paper with
+  | Error msg ->
+      prerr_endline ("postcard_sim figure: " ^ msg);
+      exit 2
+  | Ok base ->
+      simulate base apply spec jobs series verbose log_level metrics trace
+
+let figure_cmd =
+  let doc = "reproduce one of the paper's figures (4-7)" in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const figure_run $ scaled_fig $ paper_fig $ overrides $ schedulers
+          $ jobs $ series $ verbose $ log_level $ metrics $ trace)
+
+(* The [custom] subcommand: the neutral baseline, refined by overrides. *)
+
+let custom_run apply spec jobs series verbose log_level metrics trace =
+  simulate Sim.Experiment.custom_default apply spec jobs series verbose
+    log_level metrics trace
+
+let custom_cmd =
+  let doc = "run a custom setting (8 DCs, 35 GB links, 40 slots, 5 runs)" in
+  Cmd.v (Cmd.info "custom" ~doc)
+    Term.(const custom_run $ overrides $ schedulers $ jobs $ series $ verbose
+          $ log_level $ metrics $ trace)
 
 let trace_summary_cmd =
   let file =
@@ -188,6 +258,6 @@ let cmd =
   let doc = "reproduce the Postcard evaluation (ICDCS 2012, Figs. 4-7)" in
   Cmd.group ~default:run_term
     (Cmd.info "postcard_sim" ~doc)
-    [ run_cmd; trace_summary_cmd ]
+    [ run_cmd; figure_cmd; custom_cmd; trace_summary_cmd ]
 
 let () = exit (Cmd.eval cmd)

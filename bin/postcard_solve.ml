@@ -65,7 +65,19 @@ let dump_mps inst target =
       Format.eprintf "cannot write %s: %s@." target msg;
       exit 1
 
-let run path scheduler_name mps_target log_level metrics trace =
+let run path scheduler_name list_schedulers mps_target log_level metrics trace
+    =
+  if list_schedulers then begin
+    List.iter print_endline (Scheduler.registered ());
+    exit 0
+  end;
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+        prerr_endline "postcard_solve: an INSTANCE file is required";
+        exit 2
+  in
   let level = Option.value log_level ~default:(Some Logs.Warning) in
   (match Obs.Logging.init ~level ~metrics ?trace () with
    | Ok () -> ()
@@ -80,14 +92,12 @@ let run path scheduler_name mps_target log_level metrics trace =
       dump_mps inst (Option.get mps_target)
   | Ok inst ->
       let scheduler =
-        match scheduler_name with
-        | "postcard" -> Postcard.Postcard_scheduler.make ()
-        | "flow" | "flow-based" -> Postcard.Flow_baseline.make ()
-        | "flow-joint" -> Postcard.Flow_baseline.make ~variant:`Joint ()
-        | "direct" -> Postcard.Direct_scheduler.make ()
-        | "greedy" | "greedy-snf" -> Postcard.Greedy_scheduler.make ()
-        | other ->
-            Format.eprintf "unknown scheduler %S@." other;
+        match Scheduler.make scheduler_name with
+        | Some s -> s
+        | None ->
+            Format.eprintf "unknown scheduler %S (available: %s)@."
+              scheduler_name
+              (String.concat ", " (Scheduler.registered ()));
             exit 2
       in
       let base = inst.Postcard.Instance.base in
@@ -111,12 +121,19 @@ let run path scheduler_name mps_target log_level metrics trace =
 open Cmdliner
 
 let path =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE"
-         ~doc:"Instance file (see the Postcard.Instance format).")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"INSTANCE"
+         ~doc:"Instance file (see the Postcard.Instance format); required \
+               unless --list-schedulers is given.")
 
 let scheduler =
   Arg.(value & opt string "postcard" & info [ "scheduler"; "s" ] ~docv:"NAME"
-         ~doc:"postcard (default), flow, flow-joint, direct or greedy.")
+         ~doc:"Any scheduler from the registry (default: postcard); see \
+               --list-schedulers. Aliases like 'flow' and 'greedy' are \
+               accepted.")
+
+let list_schedulers =
+  Arg.(value & flag & info [ "list-schedulers" ]
+         ~doc:"Print the registered scheduler names and exit.")
 
 let mps_target =
   Arg.(value & opt (some string) None & info [ "dump-mps" ] ~docv:"FILE"
@@ -148,7 +165,7 @@ let trace =
 let cmd =
   let doc = "solve one inter-datacenter transfer instance" in
   Cmd.v (Cmd.info "postcard_solve" ~doc)
-    Term.(const run $ path $ scheduler $ mps_target $ log_level $ metrics
-          $ trace)
+    Term.(const run $ path $ scheduler $ list_schedulers $ mps_target
+          $ log_level $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -65,3 +65,5 @@ let make () =
       rejected = List.rev !rejected }
   in
   Scheduler.observe (Scheduler.stateless ~name:"direct" ~fluid:false schedule)
+
+let () = Scheduler.register ~name:"direct" (fun () -> make ())

@@ -415,3 +415,9 @@ let make ?params ?(variant = `Two_stage) () =
     end
   in
   Scheduler.observe (Scheduler.stateless ~name ~fluid:true schedule)
+
+let () =
+  Scheduler.register ~name:"flow-based" ~aliases:[ "flow" ] (fun () -> make ());
+  Scheduler.register ~name:"flow-excess"
+    (fun () -> make ~variant:`Two_stage_excess ());
+  Scheduler.register ~name:"flow-joint" (fun () -> make ~variant:`Joint ())

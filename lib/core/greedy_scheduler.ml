@@ -201,3 +201,8 @@ let make_percentile ?(percentile = 95.) () =
     ~name:(Printf.sprintf "burst-%g" percentile)
     ~mode:(Percentile (Charging.scheme percentile))
     ()
+
+let () =
+  Scheduler.register ~name:"greedy-snf" ~aliases:[ "greedy" ] (fun () -> make ());
+  Scheduler.register ~name:"burst-95" ~aliases:[ "burst" ]
+    (fun () -> make_percentile ())

@@ -58,3 +58,5 @@ let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
       fluid = false;
       schedule;
       reset = (fun () -> carried := None) }
+
+let () = Scheduler.register ~name:"postcard" (fun () -> make ())

@@ -22,6 +22,59 @@ type t = {
 
 let stateless ~name ~fluid schedule = { name; fluid; schedule; reset = (fun () -> ()) }
 
+(* ------------------------------------------------------------------ *)
+(* Registry: name -> factory. Strategies self-register at module
+   initialization (the library is linked with -linkall so every built-in
+   is present in every executable); schedulers are handed out as fresh
+   values, never shared ones, which is what lets a parallel runner give
+   each (run, scheduler) cell its own instance without cross-domain
+   aliasing of scheduler state. *)
+
+let registry_mu = Mutex.create ()
+
+(* alias (or canonical name) -> canonical name * factory *)
+let registry : (string, string * (unit -> t)) Hashtbl.t = Hashtbl.create 16
+let canonical_names : string list ref = ref []
+
+let register ~name ?(aliases = []) factory =
+  Mutex.lock registry_mu;
+  let clash =
+    List.find_opt (Hashtbl.mem registry) (name :: aliases)
+  in
+  (match clash with
+   | Some n ->
+       Mutex.unlock registry_mu;
+       invalid_arg ("Postcard.Scheduler.register: " ^ n ^ " already registered")
+   | None ->
+       List.iter (fun n -> Hashtbl.add registry n (name, factory)) (name :: aliases);
+       canonical_names := name :: !canonical_names;
+       Mutex.unlock registry_mu)
+
+let registered () =
+  Mutex.lock registry_mu;
+  let names = !canonical_names in
+  Mutex.unlock registry_mu;
+  List.sort String.compare names
+
+let factory name =
+  Mutex.lock registry_mu;
+  let f = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mu;
+  Option.map snd f
+
+let make name = Option.map (fun f -> f ()) (factory name)
+
+let make_exn name =
+  match make name with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Postcard.Scheduler.make_exn: unknown scheduler %S (available: %s)"
+           name
+           (String.concat ", " (registered ())))
+
+let make_all () = List.filter_map make (registered ())
+
 let m_decisions = Obs.Metrics.counter "sched.decisions"
 let m_offered = Obs.Metrics.counter "sched.files_offered"
 let m_accepted = Obs.Metrics.counter "sched.files_accepted"

@@ -46,6 +46,40 @@ val stateless :
   name:string -> fluid:bool -> (context -> File.t list -> outcome) -> t
 (** Build a scheduler with no cross-epoch state ([reset] is a no-op). *)
 
+(** {1 Registry}
+
+    Every strategy registers a {e factory}, not a value: [make] returns a
+    fresh scheduler on every call, so callers that run many simulations
+    concurrently (the domain-parallel experiment runner) can give each
+    cell its own instance — scheduler values carry mutable cross-epoch
+    state (e.g. a warm-start basis) and must never be shared between
+    domains. The built-ins (postcard, flow-based and its two ablation
+    variants, direct, greedy-snf, burst-95) self-register when the
+    library is linked. *)
+
+val register : name:string -> ?aliases:string list -> (unit -> t) -> unit
+(** [register ~name factory] adds a strategy under [name] (plus optional
+    lookup [aliases], e.g. "flow" for "flow-based"). Raises
+    [Invalid_argument] when any of the names is already taken. *)
+
+val registered : unit -> string list
+(** Canonical (alias-free) names of every registered strategy, sorted. *)
+
+val factory : string -> (unit -> t) option
+(** Look up a factory by canonical name or alias. *)
+
+val make : string -> t option
+(** [make name] instantiates a {e fresh} scheduler, or [None] for an
+    unknown name. *)
+
+val make_exn : string -> t
+(** Like {!make} but raises [Invalid_argument] naming the unknown
+    scheduler and listing the available ones. *)
+
+val make_all : unit -> t list
+(** One fresh instance of every registered strategy, in {!registered}
+    order. *)
+
 val observe : t -> t
 (** Wrap a scheduler so every [schedule] call feeds the {!Obs} layer: it
     bumps the [sched.*] metrics (decisions, files offered/accepted/rejected,

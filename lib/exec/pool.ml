@@ -1,0 +1,149 @@
+(* A classic mutex/condition work pool over stdlib Domains. Two levels of
+   synchronization: the pool's own queue (long-lived, workers park on it
+   between batches) and a per-batch record tracking the shared item
+   cursor, the completion count and the first error by index. The
+   submitting domain is itself a worker for the duration of a batch, so
+   [create ~domains:1] never spawns anything and [map] degenerates to a
+   plain serial loop. *)
+
+type state = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+type t = {
+  size : int;
+  st : state;
+  workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let rec worker_loop st =
+  Mutex.lock st.mutex;
+  let next =
+    let rec await () =
+      if st.stop then None
+      else
+        match Queue.take_opt st.queue with
+        | Some job -> Some job
+        | None ->
+            Condition.wait st.nonempty st.mutex;
+            await ()
+    in
+    await ()
+  in
+  Mutex.unlock st.mutex;
+  match next with
+  | None -> ()
+  | Some job ->
+      (* Jobs are wrapped by [map] and cannot raise. *)
+      job ();
+      worker_loop st
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let st =
+    { mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false }
+  in
+  { size = requested;
+    st;
+    workers = Array.init (requested - 1) (fun _ -> Domain.spawn (fun () -> worker_loop st));
+    alive = true }
+
+let size t = t.size
+
+(* Per-batch bookkeeping, all under one mutex: [next] is the shared item
+   cursor, [remaining] counts items not yet finished, [err] keeps the
+   failure with the smallest item index so the surfaced exception does not
+   depend on which domain lost the race. *)
+type batch = {
+  bm : Mutex.t;
+  all_done : Condition.t;
+  mutable next : int;
+  mutable remaining : int;
+  mutable err : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let map t ~f items =
+  if not t.alive then invalid_arg "Exec.Pool.map: pool is shut down";
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then Array.mapi f items
+  else begin
+    let results = Array.make n None in
+    let batch =
+      { bm = Mutex.create ();
+        all_done = Condition.create ();
+        next = 0;
+        remaining = n;
+        err = None }
+    in
+    let take () =
+      Mutex.lock batch.bm;
+      let i = batch.next in
+      if i < n then batch.next <- i + 1;
+      Mutex.unlock batch.bm;
+      if i < n then Some i else None
+    in
+    let run_one i =
+      (match f i items.(i) with
+       | r -> results.(i) <- Some r
+       | exception e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock batch.bm;
+           (match batch.err with
+            | Some (j, _, _) when j <= i -> ()
+            | _ -> batch.err <- Some (i, e, bt));
+           Mutex.unlock batch.bm);
+      Mutex.lock batch.bm;
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.broadcast batch.all_done;
+      Mutex.unlock batch.bm
+    in
+    let rec drain () =
+      match take () with
+      | Some i ->
+          run_one i;
+          drain ()
+      | None -> ()
+    in
+    (* Park one helper per spare worker, then join the batch ourselves. *)
+    let helpers = min (t.size - 1) n in
+    Mutex.lock t.st.mutex;
+    for _ = 1 to helpers do
+      Queue.add drain t.st.queue
+    done;
+    Condition.broadcast t.st.nonempty;
+    Mutex.unlock t.st.mutex;
+    drain ();
+    Mutex.lock batch.bm;
+    while batch.remaining > 0 do
+      Condition.wait batch.all_done batch.bm
+    done;
+    Mutex.unlock batch.bm;
+    match batch.err with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map Option.get results
+  end
+
+let map_reduce t ~f ~init ~reduce items =
+  Array.fold_left reduce init (map t ~f items)
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.st.mutex;
+    t.st.stop <- true;
+    Condition.broadcast t.st.nonempty;
+    Mutex.unlock t.st.mutex;
+    Array.iter Domain.join t.workers
+  end

@@ -1,0 +1,47 @@
+(** Fixed-size domain pool for embarrassingly parallel work.
+
+    A pool owns [domains - 1] worker domains (the submitting domain is the
+    remaining worker: it executes queued items itself while it waits, so a
+    pool of size [n] really computes with [n] domains and a pool of size 1
+    degenerates to a plain in-caller loop with no domain spawned at all).
+    Work is submitted as an indexed batch; results always come back in
+    submission order, whatever order items actually finish in, which is
+    what keeps parallel reductions deterministic.
+
+    Exceptions raised by a work item are caught on the worker, and the one
+    with the {e smallest item index} is re-raised (with its backtrace) on
+    the submitting domain once the batch has drained — a failing item
+    never deadlocks the caller, and the choice of which failure surfaces
+    does not depend on scheduling.
+
+    Pools are small and cheap but not free (each worker is an OS thread);
+    create one per phase, reuse it across batches, and {!shutdown} it when
+    done. [map] may only be called from one domain at a time (the driver
+    pattern); work items must not themselves call into the same pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] total workers
+    (default {!Domain.recommended_domain_count}, i.e. the hardware).
+    [domains] is clamped to at least 1. *)
+
+val size : t -> int
+(** Total parallelism of the pool, counting the submitting domain. *)
+
+val map : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map pool ~f items] computes [f i items.(i)] for every [i], spreading
+    items over the pool's domains, and returns the results indexed exactly
+    like the input. Re-raises the smallest-index exception, if any. *)
+
+val map_reduce :
+  t -> f:(int -> 'a -> 'b) -> init:'c -> reduce:('c -> 'b -> 'c) -> 'a array -> 'c
+(** [map_reduce pool ~f ~init ~reduce items] folds the mapped results in
+    submission order: [reduce (... (reduce init r0) ...) r_last]. The
+    reduction itself runs on the submitting domain, so [reduce] needs no
+    synchronization and the result is deterministic even when [reduce] is
+    not commutative. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker. Idempotent. Calling {!map} afterwards
+    raises [Invalid_argument]. *)

@@ -1,5 +1,14 @@
+(* Reporter callbacks are not reentrant; with worker domains logging
+   concurrently (e.g. rejection warnings from a parallel experiment
+   sweep), serialize every report on one mutex so lines never interleave
+   mid-record. *)
+let reporter_mu = Mutex.create ()
+
 let setup ?(level = Some Logs.Warning) () =
   Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter_mutex
+    ~lock:(fun () -> Mutex.lock reporter_mu)
+    ~unlock:(fun () -> Mutex.unlock reporter_mu);
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 

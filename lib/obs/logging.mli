@@ -8,7 +8,8 @@
 val setup : ?level:Logs.level option -> unit -> unit
 (** Install TTY-aware formatting and the [Logs] format reporter, then set
     the global level ([Some Warning] by default; [None] silences
-    everything). Safe to call more than once. *)
+    everything). Reports are serialized on a mutex so messages from
+    worker domains never interleave. Safe to call more than once. *)
 
 val parse_level : string -> (Logs.level option, string) result
 (** Parse a verbosity name: [quiet]/[none] for no logging, otherwise any

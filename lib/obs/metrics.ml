@@ -1,13 +1,22 @@
-let on = ref false
+(* Domain-safety: counters and the enable flag are Atomic (one
+   fetch-and-add per update, still allocation-free), gauges publish a
+   boxed float through an Atomic (a gauge set is rare), and histograms
+   take a per-histogram mutex since their buckets/count/sum must move
+   together. The registry table itself is guarded by [registry_mu];
+   registration normally happens at module-initialization time on the
+   main domain, but nothing breaks if a worker domain registers late. *)
 
-let set_enabled b = on := b
-let enabled () = !on
+let on = Atomic.make false
 
-type counter = { c_name : string; mutable c : int }
-type gauge = { g_name : string; mutable g : float }
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   bounds : float array;  (* inclusive upper bounds, increasing *)
   counts : int array;  (* length bounds + 1; last is overflow *)
   mutable h_count : int;
@@ -16,65 +25,75 @@ type histogram = {
 
 type item = C of counter | G of gauge | H of histogram
 
+let registry_mu = Mutex.create ()
 let registry : (string, item) Hashtbl.t = Hashtbl.create 64
 
 (* Registration order, for stable dumps. *)
 let order : string list ref = ref []
 
-let register name item =
-  Hashtbl.add registry name item;
-  order := name :: !order
-
 let kind_error name = invalid_arg ("Obs.Metrics: " ^ name ^ " already registered as a different kind")
 
+(* Find-or-create under the registry lock so two domains racing on the
+   same name get the same handle. *)
+let find_or_register name ~make ~cast =
+  Mutex.lock registry_mu;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some item -> (
+        match cast item with Some v -> Ok v | None -> Error ())
+    | None ->
+        let v, item = make () in
+        Hashtbl.add registry name item;
+        order := name :: !order;
+        Ok v
+  in
+  Mutex.unlock registry_mu;
+  match r with Ok v -> v | Error () -> kind_error name
+
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (C c) -> c
-  | Some _ -> kind_error name
-  | None ->
-      let c = { c_name = name; c = 0 } in
-      register name (C c);
-      c
+  find_or_register name
+    ~make:(fun () ->
+      let c = { c_name = name; c = Atomic.make 0 } in
+      (c, C c))
+    ~cast:(function C c -> Some c | _ -> None)
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (G g) -> g
-  | Some _ -> kind_error name
-  | None ->
-      let g = { g_name = name; g = nan } in
-      register name (G g);
-      g
+  find_or_register name
+    ~make:(fun () ->
+      let g = { g_name = name; g = Atomic.make nan } in
+      (g, G g))
+    ~cast:(function G g -> Some g | _ -> None)
 
 let default_buckets =
   [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4;
      5e4; 1e5 |]
 
 let histogram ?(buckets = default_buckets) name =
-  match Hashtbl.find_opt registry name with
-  | Some (H h) -> h
-  | Some _ -> kind_error name
-  | None ->
-      let n = Array.length buckets in
-      for i = 1 to n - 1 do
-        if buckets.(i) <= buckets.(i - 1) then
-          invalid_arg "Obs.Metrics.histogram: buckets must increase"
-      done;
+  let n = Array.length buckets in
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Obs.Metrics.histogram: buckets must increase"
+  done;
+  find_or_register name
+    ~make:(fun () ->
       let h =
         { h_name = name;
+          h_mu = Mutex.create ();
           bounds = Array.copy buckets;
           counts = Array.make (n + 1) 0;
           h_count = 0;
           h_sum = 0. }
       in
-      register name (H h);
-      h
+      (h, H h))
+    ~cast:(function H h -> Some h | _ -> None)
 
-let incr c = if !on then c.c <- c.c + 1
-let add c n = if !on then c.c <- c.c + n
-let set g v = if !on then g.g <- v
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.c 1)
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c n)
+let set g v = if Atomic.get on then Atomic.set g.g v
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then begin
+    Mutex.lock h.h_mu;
     let n = Array.length h.bounds in
     (* Buckets are few and fixed: a linear scan beats binary search at
        these sizes and stays branch-predictable. *)
@@ -82,46 +101,71 @@ let observe h v =
     while !i < n && v > h.bounds.(!i) do i := !i + 1 done;
     h.counts.(!i) <- h.counts.(!i) + 1;
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v
+    h.h_sum <- h.h_sum +. v;
+    Mutex.unlock h.h_mu
   end
 
-let counter_value c = c.c
-let gauge_value g = g.g
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let counter_value c = Atomic.get c.c
+let gauge_value g = Atomic.get g.g
+
+let histogram_count h =
+  Mutex.lock h.h_mu;
+  let v = h.h_count in
+  Mutex.unlock h.h_mu;
+  v
+
+let histogram_sum h =
+  Mutex.lock h.h_mu;
+  let v = h.h_sum in
+  Mutex.unlock h.h_mu;
+  v
 
 let histogram_buckets h =
   let n = Array.length h.bounds in
+  Mutex.lock h.h_mu;
+  let counts = Array.copy h.counts in
+  Mutex.unlock h.h_mu;
   Array.init (n + 1) (fun i ->
-      ((if i < n then h.bounds.(i) else infinity), h.counts.(i)))
+      ((if i < n then h.bounds.(i) else infinity), counts.(i)))
 
 let reset () =
+  Mutex.lock registry_mu;
   Hashtbl.iter
     (fun _ item ->
       match item with
-      | C c -> c.c <- 0
-      | G g -> g.g <- nan
+      | C c -> Atomic.set c.c 0
+      | G g -> Atomic.set g.g nan
       | H h ->
+          Mutex.lock h.h_mu;
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.h_count <- 0;
-          h.h_sum <- 0.)
-    registry
+          h.h_sum <- 0.;
+          Mutex.unlock h.h_mu)
+    registry;
+  Mutex.unlock registry_mu
 
 let pp_dump ppf () =
+  Mutex.lock registry_mu;
+  let ordered =
+    List.filter_map
+      (fun name -> Hashtbl.find_opt registry name)
+      (List.rev !order)
+  in
+  Mutex.unlock registry_mu;
   Format.fprintf ppf "@[<v>";
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt registry name with
-      | None -> ()
-      | Some (C c) -> Format.fprintf ppf "%-36s %d@," c.c_name c.c
-      | Some (G g) ->
-          if Float.is_nan g.g then
+    (fun item ->
+      match item with
+      | C c -> Format.fprintf ppf "%-36s %d@," c.c_name (counter_value c)
+      | G g ->
+          let v = gauge_value g in
+          if Float.is_nan v then
             Format.fprintf ppf "%-36s (unset)@," g.g_name
-          else Format.fprintf ppf "%-36s %g@," g.g_name g.g
-      | Some (H h) ->
-          Format.fprintf ppf "%-36s count=%d sum=%g" h.h_name h.h_count
-            h.h_sum;
-          if h.h_count > 0 then begin
+          else Format.fprintf ppf "%-36s %g@," g.g_name v
+      | H h ->
+          Format.fprintf ppf "%-36s count=%d sum=%g" h.h_name
+            (histogram_count h) (histogram_sum h);
+          if histogram_count h > 0 then begin
             Format.fprintf ppf " [";
             let first = ref true in
             Array.iter
@@ -136,5 +180,5 @@ let pp_dump ppf () =
             Format.fprintf ppf "]"
           end;
           Format.fprintf ppf "@,")
-    (List.rev !order);
+    ordered;
   Format.fprintf ppf "@]"

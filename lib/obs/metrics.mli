@@ -7,7 +7,12 @@
     (the default), so instrumented code costs nothing when nobody is
     looking. Handles are registered by name: asking twice for the same
     name returns the same metric, so independent modules can share a
-    series. *)
+    series.
+
+    Every operation is domain-safe: counters and gauges are atomic,
+    histogram updates take a per-histogram lock (buckets, count and sum
+    move together), and registration/reset/dump serialize on the registry,
+    so totals recorded from a {!Exec.Pool} worker fleet are exact. *)
 
 type counter
 type gauge

@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type field =
   | Str of string
@@ -12,6 +12,11 @@ type out = {
   finish : unit -> unit;
 }
 
+(* [mu] guards the sink, the global sequence number, the global span
+   counter and the monotone clock watermark. Everything the mutex guards
+   is off the instrumentation fast path when tracing is disabled: the
+   one-flag [enabled] test stays a plain load. *)
+let mu = Mutex.create ()
 let sink : out option ref = ref None
 let seq = ref 0
 let span_counter = ref 0
@@ -19,20 +24,47 @@ let origin = ref 0.
 
 let enabled () = match !sink with None -> false | Some _ -> true
 
+(* A lane buffers one domain's events during a parallel section. Lines
+   are stored without their [seq] prefix; the flush assigns consecutive
+   global sequence numbers under [mu], so a merged trace is
+   indistinguishable from a serial one to the strict reader. Lanes have
+   their own span counter (ids are only required to pair begin/end within
+   the lane) and their own monotone-clock watermark. *)
+type lane = {
+  l_dom : int;
+  mutable l_lines : string list;  (* reversed suffixes *)
+  mutable l_span : int;
+  mutable l_last : float;
+}
+
+type buffer = lane option
+
+let lane_key : lane option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
 (* Wall clock forced monotone: a backward NTP step must never produce a
-   negative timestamp or duration, so the origin only ever moves the
-   reported time forward. *)
+   negative timestamp or duration, so the watermark only ever moves the
+   reported time forward. Each lane clamps independently; the merged
+   stream is therefore monotone per lane, not globally — the reader only
+   requires sequence numbers to be consecutive. *)
 let last = ref 0.
 
 let now_ms () =
   match !sink with
   | None -> 0.
-  | Some _ ->
+  | Some _ -> (
       let t = (Unix.gettimeofday () -. !origin) *. 1000. in
-      if t > !last then last := t;
-      !last
+      match Domain.DLS.get lane_key with
+      | Some lane ->
+          if t > lane.l_last then lane.l_last <- t;
+          lane.l_last
+      | None ->
+          Mutex.lock mu;
+          if t > !last then last := t;
+          let v = !last in
+          Mutex.unlock mu;
+          v)
 
-let reserved = [ "v"; "seq"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+let reserved = [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
 
 let add_field b (name, value) =
   if List.mem name reserved then
@@ -54,12 +86,11 @@ let add_field b (name, value) =
         fs;
       Buffer.add_char b ']'
 
-let emit out ~ev ~name ?span ?dur_ms fields =
-  incr seq;
+(* Everything after the [seq] value; the writer prepends
+   [{"v":V,"seq":N] when the sequence number is known. *)
+let build_suffix ~dom ~ts ~ev ~name ?span ?dur_ms fields =
   let b = Buffer.create 160 in
-  Buffer.add_string b
-    (Printf.sprintf "{\"v\":%d,\"seq\":%d,\"ts\":%.3f,\"ev\":" schema_version
-       !seq (now_ms ()));
+  Buffer.add_string b (Printf.sprintf ",\"dom\":%d,\"ts\":%.3f,\"ev\":" dom ts);
   Json.escape_to_buffer b ev;
   Buffer.add_string b ",\"name\":";
   Json.escape_to_buffer b name;
@@ -73,16 +104,38 @@ let emit out ~ev ~name ?span ?dur_ms fields =
        Buffer.add_string b (Json.number_to_string d));
   List.iter (add_field b) fields;
   Buffer.add_string b "}\n";
-  out.write (Buffer.contents b)
+  Buffer.contents b
+
+let write_locked out suffix =
+  incr seq;
+  out.write (Printf.sprintf "{\"v\":%d,\"seq\":%d%s" schema_version !seq suffix)
+
+let emit ~ev ~name ?span ?dur_ms fields =
+  match !sink with
+  | None -> ()
+  | Some _ -> (
+      let ts = now_ms () in
+      let dom = (Domain.self () :> int) in
+      let suffix = build_suffix ~dom ~ts ~ev ~name ?span ?dur_ms fields in
+      match Domain.DLS.get lane_key with
+      | Some lane -> lane.l_lines <- suffix :: lane.l_lines
+      | None ->
+          Mutex.lock mu;
+          (match !sink with
+           | Some out -> write_locked out suffix
+           | None -> ());
+          Mutex.unlock mu)
 
 let install out =
+  Mutex.lock mu;
   (match !sink with Some old -> old.finish () | None -> ());
   seq := 0;
   span_counter := 0;
   origin := Unix.gettimeofday ();
   last := 0.;
   sink := Some out;
-  emit out ~ev:"meta" ~name:"trace"
+  Mutex.unlock mu;
+  emit ~ev:"meta" ~name:"trace"
     [ ("schema", Int schema_version); ("clock", Str "wall-ms") ]
 
 let set_callback f = install { write = f; finish = (fun () -> ()) }
@@ -95,16 +148,16 @@ let set_file path =
   | exception Sys_error msg -> Error msg
 
 let close () =
-  match !sink with
-  | None -> ()
-  | Some out ->
-      sink := None;
-      out.finish ()
+  Mutex.lock mu;
+  let old = !sink in
+  sink := None;
+  Mutex.unlock mu;
+  match old with None -> () | Some out -> out.finish ()
 
 let point name fields =
   match !sink with
   | None -> ()
-  | Some out -> emit out ~ev:"point" ~name fields
+  | Some _ -> emit ~ev:"point" ~name fields
 
 type span = { sid : int; sname : string; t0 : float }
 
@@ -113,16 +166,63 @@ let null_span = { sid = -1; sname = ""; t0 = 0. }
 let begin_span name fields =
   match !sink with
   | None -> null_span
-  | Some out ->
-      incr span_counter;
-      let s = { sid = !span_counter; sname = name; t0 = now_ms () } in
-      emit out ~ev:"begin" ~name ~span:s.sid fields;
+  | Some _ ->
+      let sid =
+        match Domain.DLS.get lane_key with
+        | Some lane ->
+            lane.l_span <- lane.l_span + 1;
+            lane.l_span
+        | None ->
+            Mutex.lock mu;
+            incr span_counter;
+            let v = !span_counter in
+            Mutex.unlock mu;
+            v
+      in
+      let s = { sid; sname = name; t0 = now_ms () } in
+      emit ~ev:"begin" ~name ~span:s.sid fields;
       s
 
 let end_span s fields =
   if s.sid >= 0 then
     match !sink with
     | None -> ()
-    | Some out ->
-        emit out ~ev:"end" ~name:s.sname ~span:s.sid
+    | Some _ ->
+        emit ~ev:"end" ~name:s.sname ~span:s.sid
           ~dur_ms:(now_ms () -. s.t0) fields
+
+let with_buffer f =
+  match !sink with
+  | None -> (f (), None)
+  | Some _ ->
+      let lane =
+        { l_dom = (Domain.self () :> int);
+          l_lines = [];
+          l_span = 0;
+          l_last = 0. }
+      in
+      let saved = Domain.DLS.get lane_key in
+      Domain.DLS.set lane_key (Some lane);
+      let v =
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set lane_key saved)
+          f
+      in
+      (v, Some lane)
+
+let flush_buffer buffer =
+  match buffer with
+  | None -> ()
+  | Some lane -> (
+      let lines = List.rev lane.l_lines in
+      lane.l_lines <- [];
+      match !sink with
+      | None -> ()
+      | Some _ ->
+          Mutex.lock mu;
+          (match !sink with
+           | Some out -> List.iter (write_locked out) lines
+           | None -> ());
+          Mutex.unlock mu)
+
+let buffer_dom = function None -> None | Some lane -> Some lane.l_dom

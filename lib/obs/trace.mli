@@ -4,9 +4,10 @@
     a file or handed to a callback. Three event shapes exist: [point]
     (one-shot measurement), and [begin]/[end] pairs delimiting a {e span}
     (a timed region; the [end] event carries the duration). Every event
-    carries the schema version, a sequence number, a timestamp (ms since
-    the sink was installed, from a clock that never goes backwards within
-    a run) and the caller's typed payload fields.
+    carries the schema version, a sequence number, the id of the domain
+    that emitted it ([dom]), a timestamp (ms since the sink was installed,
+    from a clock that never goes backwards within its emission context)
+    and the caller's typed payload fields.
 
     The default sink is a no-op: {!point} and {!begin_span} return
     immediately after one flag test, so instrumentation left in hot code
@@ -14,12 +15,25 @@
     should additionally guard payload construction with {!enabled}, since
     building the field list itself allocates.
 
-    Reserved top-level keys ([v], [seq], [ts], [ev], [name], [span],
-    [dur_ms]) may not be used as payload field names. *)
+    {b Domain safety.} Direct emission serializes on an internal mutex,
+    so concurrent emitters can never interleave bytes or duplicate
+    sequence numbers. For parallel sections that need {e deterministic}
+    event order, wrap each unit of work in {!with_buffer}: events emitted
+    by the wrapped computation are buffered in a per-domain lane instead
+    of going to the sink, and {!flush_buffer} later appends each lane's
+    events contiguously, assigning consecutive global sequence numbers at
+    that point. Flushing buffers in submission order therefore produces a
+    stream that is independent of worker scheduling (timestamps aside) and
+    that span-nesting consumers read exactly like a serial trace. Spans
+    must begin and end within the same buffering context.
+
+    Reserved top-level keys ([v], [seq], [dom], [ts], [ev], [name],
+    [span], [dur_ms]) may not be used as payload field names. *)
 
 val schema_version : int
 (** Current schema version, emitted as [v] on every event. The first
-    event of every trace is a [meta] event naming the schema. *)
+    event of every trace is a [meta] event naming the schema. Version 2
+    added the [dom] envelope key. *)
 
 type field =
   | Str of string
@@ -41,7 +55,8 @@ val set_file : string -> (unit, string) result
 
 val close : unit -> unit
 (** Flush and detach the current sink, restoring the no-op default.
-    Harmless when tracing is already off. *)
+    Harmless when tracing is already off. Pending {!with_buffer} lanes
+    that were never flushed are dropped. *)
 
 val now_ms : unit -> float
 (** Milliseconds since the sink was installed (0 when tracing is off);
@@ -62,3 +77,27 @@ val begin_span : string -> (string * field) list -> span
 val end_span : span -> (string * field) list -> unit
 (** [end_span s fields] emits the closing event with [dur_ms] measured
     since {!begin_span}. *)
+
+(** {1 Per-domain buffering for parallel sections} *)
+
+type buffer
+(** The events captured by one {!with_buffer} call, tagged with the
+    emitting domain's id and not yet part of the output stream. *)
+
+val with_buffer : (unit -> 'a) -> 'a * buffer
+(** [with_buffer f] runs [f] with the calling domain's trace emission
+    redirected into a fresh buffer and returns [f]'s result together with
+    the buffer. Nested calls stack (the inner buffer wins for its
+    duration). When tracing is off, [f] simply runs and the returned
+    buffer is empty. The buffer holds no events until flushed and is lost
+    if dropped. *)
+
+val flush_buffer : buffer -> unit
+(** Append the buffer's events to the trace, assigning the next
+    consecutive sequence numbers; the buffer is emptied (a second flush
+    is a no-op). Call this from the coordinating domain, in submission
+    order, once the parallel section is done. *)
+
+val buffer_dom : buffer -> int option
+(** Id of the domain that filled the buffer ([None] when tracing was off
+    at capture time). *)

@@ -2,6 +2,7 @@ type kind = Meta | Point | Begin | End
 
 type event = {
   seq : int;
+  dom : int;
   ts : float;
   kind : kind;
   name : string;
@@ -10,7 +11,7 @@ type event = {
   fields : (string * Json.t) list;
 }
 
-let envelope_keys = [ "v"; "seq"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+let envelope_keys = [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
 
 let kind_of_string = function
   | "meta" -> Some Meta
@@ -42,6 +43,7 @@ let of_json json =
         Error (Printf.sprintf "schema version %d (expected %d)" v Trace.schema_version)
       else
         let* seq = require "seq" Json.to_int in
+        let* dom = require "dom" Json.to_int in
         let* ts = require "ts" Json.to_float in
         let* ev = require "ev" Json.to_str in
         let* name = require "name" Json.to_str in
@@ -70,7 +72,7 @@ let of_json json =
                       else Error (Printf.sprintf "field %S has a non-scalar value" k))
                 (Ok ()) fields
             in
-            Ok { seq; ts; kind; name; span; dur_ms; fields })
+            Ok { seq; dom; ts; kind; name; span; dur_ms; fields })
   | _ -> Error "event is not a JSON object"
 
 let of_line line =

@@ -3,7 +3,7 @@
 
     Validation is strict: every line must be a JSON object whose [v]
     matches {!Trace.schema_version}, with the required envelope keys of
-    its event kind ([seq], [ts], [name]; [span] on [begin]/[end];
+    its event kind ([seq], [dom], [ts], [name]; [span] on [begin]/[end];
     [dur_ms] on [end]), sequence numbers must be consecutive from 1, and
     payload values must be scalars or arrays of numbers. *)
 
@@ -11,6 +11,7 @@ type kind = Meta | Point | Begin | End
 
 type event = {
   seq : int;
+  dom : int;  (** Id of the domain that emitted the event. *)
   ts : float;  (** ms since trace start. *)
   kind : kind;
   name : string;

@@ -52,6 +52,36 @@ let scaled_figure n =
     slots = 40;
     runs = 5 }
 
+let custom_default =
+  { label = "custom";
+    nodes = 8;
+    capacity = 35.;
+    cost_lo = 1.;
+    cost_hi = 10.;
+    files_max = 6;
+    size_max = 100.;
+    max_deadline = 3;
+    uniform_deadlines = true;
+    slots = 40;
+    runs = 5;
+    seed = 42 }
+
+let with_overrides ?label ?nodes ?capacity ?cost_lo ?cost_hi ?files_max
+    ?size_max ?max_deadline ?uniform_deadlines ?slots ?runs ?seed setting =
+  let ov cur = function None -> cur | Some v -> v in
+  { label = ov setting.label label;
+    nodes = ov setting.nodes nodes;
+    capacity = ov setting.capacity capacity;
+    cost_lo = ov setting.cost_lo cost_lo;
+    cost_hi = ov setting.cost_hi cost_hi;
+    files_max = ov setting.files_max files_max;
+    size_max = ov setting.size_max size_max;
+    max_deadline = ov setting.max_deadline max_deadline;
+    uniform_deadlines = ov setting.uniform_deadlines uniform_deadlines;
+    slots = ov setting.slots slots;
+    runs = ov setting.runs runs;
+    seed = ov setting.seed seed }
+
 type scheduler_summary = {
   scheduler : string;
   mean_cost : float;
@@ -66,51 +96,97 @@ type results = {
   summaries : scheduler_summary list;
 }
 
-let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) setting ~schedulers =
+type scheduler_factory = unit -> Postcard.Scheduler.t
+
+let cells setting ~schedulers = setting.runs * List.length schedulers
+
+(* The (run, scheduler) grid is embarrassingly parallel: every cell draws
+   its topology and workload from RNGs seeded only by (setting, run), and
+   instantiates its own scheduler value from the factory, so no mutable
+   state crosses cell boundaries. The topology is re-derived per cell
+   (identical within a run by construction — paired comparison) rather
+   than shared, to keep cells free of cross-domain aliasing. The reduce
+   is a plain ordered fold on the submitting domain, replaying the exact
+   float-operation order of the serial runner, which is why a parallel
+   sweep is bit-identical to a serial one. *)
+let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
+    ~schedulers =
   if setting.runs < 1 then invalid_arg "Experiment.run_setting: runs < 1";
-  let per_scheduler =
-    List.map (fun s -> (s, Array.make setting.runs 0., ref [], ref 0)) schedulers
+  if schedulers = [] then invalid_arg "Experiment.run_setting: no schedulers";
+  let factories = Array.of_list schedulers in
+  let n_sched = Array.length factories in
+  let names =
+    Array.map (fun mk -> (mk ()).Postcard.Scheduler.name) factories
   in
-  for run = 0 to setting.runs - 1 do
+  let spec =
+    let base_spec =
+      { (Workload.paper_spec ~nodes:setting.nodes
+           ~files_max:setting.files_max ~max_deadline:setting.max_deadline)
+        with
+        Workload.size_max = setting.size_max }
+    in
+    if setting.uniform_deadlines then
+      { base_spec with Workload.urgent_size_cap = Some setting.capacity }
+    else
+      { base_spec with
+        Workload.deadlines = Workload.Fixed_deadline setting.max_deadline }
+  in
+  (* Run-major cell order: cell (run, s) sits at index run * n_sched + s,
+     matching the serial runner's loop nest. *)
+  let grid =
+    Array.init (setting.runs * n_sched) (fun i -> (i / n_sched, i mod n_sched))
+  in
+  let run_cell (run, s) =
+    progress ~run ~scheduler:names.(s);
     (* One topology and one workload stream per run, shared by all
-       schedulers (paired comparison). *)
+       schedulers (paired comparison): both RNGs are seeded by run only. *)
     let topo_rng = Prelude.Rng.of_int ((setting.seed * 7919) + run) in
     let base =
       Netgraph.Topology.complete ~n:setting.nodes ~rng:topo_rng
         ~cost_lo:setting.cost_lo ~cost_hi:setting.cost_hi
         ~capacity:setting.capacity
     in
-    let spec =
-      let base_spec =
-        { (Workload.paper_spec ~nodes:setting.nodes
-             ~files_max:setting.files_max ~max_deadline:setting.max_deadline)
-          with
-          Workload.size_max = setting.size_max }
-      in
-      if setting.uniform_deadlines then
-        { base_spec with Workload.urgent_size_cap = Some setting.capacity }
-      else
-        { base_spec with
-          Workload.deadlines = Workload.Fixed_deadline setting.max_deadline }
+    let scheduler = factories.(s) () in
+    let workload =
+      Workload.create spec (Prelude.Rng.of_int ((setting.seed * 104729) + run))
     in
-    List.iter
-      (fun (scheduler, costs, series_acc, rejected) ->
-        progress ~run ~scheduler:scheduler.Postcard.Scheduler.name;
-        let workload =
-          Workload.create spec
-            (Prelude.Rng.of_int ((setting.seed * 104729) + run))
-        in
-        let outcome =
-          Engine.run ~base ~scheduler ~workload ~slots:setting.slots
-        in
-        costs.(run) <- Engine.average_cost outcome;
-        series_acc := outcome.Engine.cost_series :: !series_acc;
-        rejected := !rejected + outcome.Engine.rejected_files)
-      per_scheduler
-  done;
+    let outcome = Engine.run ~base ~scheduler ~workload ~slots:setting.slots in
+    ( Engine.average_cost outcome,
+      outcome.Engine.cost_series,
+      outcome.Engine.rejected_files )
+  in
+  let cell_results =
+    match pool with
+    | Some pool when Exec.Pool.size pool > 1 && Array.length grid > 1 ->
+        if Obs.Trace.enabled () then begin
+          (* Buffer each cell's trace events in its worker domain and
+             merge them in cell order, so the stream is deterministic and
+             every run's spans stay contiguous for the analyzer. *)
+          let buffered =
+            Exec.Pool.map pool
+              ~f:(fun _ cell -> Obs.Trace.with_buffer (fun () -> run_cell cell))
+              grid
+          in
+          Array.map
+            (fun (r, buf) ->
+              Obs.Trace.flush_buffer buf;
+              r)
+            buffered
+        end
+        else Exec.Pool.map pool ~f:(fun _ cell -> run_cell cell) grid
+    | _ -> Array.map run_cell grid
+  in
   let summaries =
-    List.map
-      (fun (scheduler, costs, series_acc, rejected) ->
+    List.init n_sched (fun s ->
+        let costs = Array.make setting.runs 0. in
+        let series_acc = ref [] in
+        let rejected = ref 0 in
+        for run = 0 to setting.runs - 1 do
+          let cost, series, rej = cell_results.((run * n_sched) + s) in
+          costs.(run) <- cost;
+          series_acc := series :: !series_acc;
+          rejected := !rejected + rej
+        done;
         let mean_cost, ci95 = Prelude.Stats.confidence_95 costs in
         let mean_series =
           Array.init setting.slots (fun t ->
@@ -118,15 +194,25 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) setting ~schedulers 
               List.iter (fun s -> acc := !acc +. s.(t)) !series_acc;
               !acc /. float_of_int setting.runs)
         in
-        { scheduler = scheduler.Postcard.Scheduler.name;
+        { scheduler = names.(s);
           mean_cost;
           ci95;
           run_costs = costs;
           mean_series;
           rejected = !rejected })
-      per_scheduler
   in
   { setting; summaries }
 
 let find_summary results name =
-  List.find (fun s -> s.scheduler = name) results.summaries
+  List.find_opt (fun s -> s.scheduler = name) results.summaries
+
+let find_summary_exn results name =
+  match find_summary results name with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Experiment.find_summary_exn: no summary for %S (available: %s)"
+           name
+           (String.concat ", "
+              (List.map (fun s -> s.scheduler) results.summaries)))

@@ -3,7 +3,14 @@
     workload from a seeded RNG and drive {e every} scheduler through the
     identical instance (paired comparison); report mean cost per interval
     and its Student-t 95% confidence interval across runs, as plotted in
-    Figs. 4-7. *)
+    Figs. 4-7.
+
+    The (run, scheduler) grid is embarrassingly parallel and can be
+    spread over an {!Exec.Pool}: each cell owns its seeded RNGs and a
+    scheduler instantiated from its factory, trace events are buffered
+    per cell and merged in cell order, and the reduction replays the
+    serial float-operation order — results are bit-identical for any pool
+    size. *)
 
 type setting = {
   label : string;
@@ -39,6 +46,30 @@ val scaled_figure : int -> setting
     files per slot in [1, 6], 40 slots, 5 runs, capacities scaled (35 GB
     ample / 10 GB throttled) to preserve the load-to-capacity ratio. *)
 
+val custom_default : setting
+(** The neutral baseline behind [postcard_sim custom]: 8 datacenters,
+    capacity 35 GB, files per slot in [1, 6], 40 slots, 5 runs, seed 42.
+    Refine it with {!with_overrides}. *)
+
+val with_overrides :
+  ?label:string ->
+  ?nodes:int ->
+  ?capacity:float ->
+  ?cost_lo:float ->
+  ?cost_hi:float ->
+  ?files_max:int ->
+  ?size_max:float ->
+  ?max_deadline:int ->
+  ?uniform_deadlines:bool ->
+  ?slots:int ->
+  ?runs:int ->
+  ?seed:int ->
+  setting ->
+  setting
+(** Functional update from optional values: every argument left [None]
+    keeps the base setting's field. This is the single place CLI-style
+    "override if given" defaulting lives. *)
+
 type scheduler_summary = {
   scheduler : string;
   mean_cost : float;  (** Mean over runs of the run-average cost/interval. *)
@@ -53,11 +84,34 @@ type results = {
   summaries : scheduler_summary list;
 }
 
+type scheduler_factory = unit -> Postcard.Scheduler.t
+(** Schedulers enter the runner as factories (see
+    {!Postcard.Scheduler.factory}): each (run, scheduler) cell gets a
+    fresh instance, which is what makes the parallel sweep safe —
+    scheduler values carry mutable cross-epoch state. *)
+
+val cells : setting -> schedulers:scheduler_factory list -> int
+(** Number of (run, scheduler) cells the sweep will execute — the natural
+    cap for a pool's domain count. *)
+
 val run_setting :
   ?progress:(run:int -> scheduler:string -> unit) ->
+  ?pool:Exec.Pool.t ->
   setting ->
-  schedulers:Postcard.Scheduler.t list ->
+  schedulers:scheduler_factory list ->
   results
+(** Run the sweep. Without [pool] (or with a pool of size 1) cells run
+    serially in run-major order, exactly as the pre-parallel runner did.
+    With a larger pool, cells are spread over its domains; summaries are
+    bit-identical to the serial ones, and when tracing is enabled each
+    cell's events are buffered and flushed in cell order so the JSONL
+    stream still reconciles. [progress] is invoked from the domain
+    executing the cell — keep it reentrant (the CLI serializes its
+    progress printing on a mutex). *)
 
-val find_summary : results -> string -> scheduler_summary
-(** Lookup by scheduler name; raises [Not_found]. *)
+val find_summary : results -> string -> scheduler_summary option
+(** Lookup by scheduler name. *)
+
+val find_summary_exn : results -> string -> scheduler_summary
+(** Like {!find_summary} but raises [Invalid_argument] naming the missing
+    scheduler and the ones the results actually contain. *)

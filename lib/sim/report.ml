@@ -77,9 +77,9 @@ let print_comparison ppf ~baseline ~contender (results : Experiment.results) =
     ( Experiment.find_summary results baseline,
       Experiment.find_summary results contender )
   with
-  | exception Not_found ->
+  | None, _ | _, None ->
       Format.fprintf ppf "   (missing scheduler for comparison)@,"
-  | b, c ->
+  | Some b, Some c ->
       let ratio = c.Experiment.mean_cost /. b.Experiment.mean_cost in
       let verdict =
         if ratio < 0.98 then "wins"

@@ -39,8 +39,12 @@ let iteration_ratio s =
 (* One Sec. VII-style online run. Each slot's program is solved twice from
    scratch — once cold, once crashed from the previous slot's basis — and
    the cold plan is the one committed, so both solvers always face the
-   identical sequence of programs. *)
-let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
+   identical sequence of programs. With a pool of size >= 2 the two
+   trials of a slot run on separate domains (each on its own program
+   built from identical inputs, so nothing is shared but the read-only
+   ledger); slots stay sequential because the carried basis and the
+   committed plan chain them. *)
+let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) ?pool () =
   let rng = Prelude.Rng.of_int (seed * 7919) in
   let base =
     Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
@@ -62,21 +66,35 @@ let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
       let capacity ~link ~layer =
         Ledger.residual ledger ~link ~slot:(slot + layer)
       in
-      let program =
+      let make_program () =
         Formulate.create ~base ~charged:(Ledger.charged_all ledger) ~capacity
           ~files ~epoch:slot ()
       in
-      let model = Formulate.model program in
+      let cold_program = make_program () in
+      let warm_program = make_program () in
+      let model = Formulate.model cold_program in
       let timed f =
         let t0 = Unix.gettimeofday () in
         let r = f () in
         (r, 1000. *. (Unix.gettimeofday () -. t0))
       in
-      let (cold, cold_info), cold_ms =
-        timed (fun () -> Formulate.solve_with_info program)
+      let solve_cold () = timed (fun () -> Formulate.solve_with_info cold_program) in
+      let solve_warm () =
+        timed (fun () -> Formulate.solve_with_info ?warm_start:!carried warm_program)
       in
-      let (warm, warm_info), warm_ms =
-        timed (fun () -> Formulate.solve_with_info ?warm_start:!carried program)
+      let ((cold, cold_info), cold_ms), ((warm, warm_info), warm_ms) =
+        match pool with
+        | Some pool when Exec.Pool.size pool > 1 -> (
+            match
+              Exec.Pool.map pool ~f:(fun _ trial -> trial ())
+                [| solve_cold; solve_warm |]
+            with
+            | [| c; w |] -> (c, w)
+            | _ -> assert false)
+        | _ ->
+            let c = solve_cold () in
+            let w = solve_warm () in
+            (c, w)
       in
       let objective = function
         | Formulate.Scheduled { objective; _ } -> objective
@@ -92,7 +110,7 @@ let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) () =
       let hit_rate =
         match !carried with
         | None -> 0.
-        | Some b -> Basis_map.hit_rate b (Formulate.keymap program)
+        | Some b -> Basis_map.hit_rate b (Formulate.keymap warm_program)
       in
       stats :=
         { slot;

@@ -40,10 +40,14 @@ type summary = {
   warm_fell_back : int;  (** Slots whose warm start was discarded. *)
 }
 
-val run : ?nodes:int -> ?slots:int -> ?seed:int -> unit -> summary
+val run :
+  ?nodes:int -> ?slots:int -> ?seed:int -> ?pool:Exec.Pool.t -> unit -> summary
 (** Defaults: 6 datacenters (complete topology, capacity 50), 12 slots,
     seed 1 — a workload whose epochs overlap enough for warm starts to
-    matter, matching the scaled Sec. VII settings. *)
+    matter, matching the scaled Sec. VII settings. With a [pool] of size
+    >= 2 each slot's cold and warm trials run on separate domains (each
+    trial owns its program); slots stay sequential because the carried
+    basis chains them. Results are identical for any pool size. *)
 
 val iteration_ratio : summary -> float
 (** [cold_iterations / warm_iterations] over the warm-started slots;

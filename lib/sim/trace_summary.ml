@@ -281,5 +281,21 @@ let summarize_file path =
   match Reader.read_file path with
   | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Ok events ->
-      Format.printf "%a" pp (of_events events);
-      Ok ()
+      let runs = of_events events in
+      Format.printf "%a" pp runs;
+      (* Reconciliation failures are printed per run above; surface them
+         in the exit status too, so CI smoke runs actually gate on them. *)
+      let failed =
+        List.filter_map
+          (fun r ->
+            match reconcile r with
+            | Ok () -> None
+            | Error msg -> Some (Printf.sprintf "%s: %s" r.scheduler msg))
+          runs
+      in
+      if failed = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: reconciliation failed for %d run(s): %s" path
+             (List.length failed)
+             (String.concat "; " failed))

@@ -27,6 +27,7 @@ let () =
       ("instance", Test_instance.suite);
       ("greedy", Test_greedy.suite);
       ("percentile-scheduler", Test_percentile_scheduler.suite);
+      ("exec", Test_exec.suite);
       ("sim", Test_sim.suite);
       ("report", Test_report.suite);
       ("engine-faults", Test_engine_faults.suite);

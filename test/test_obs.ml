@@ -146,7 +146,10 @@ let test_trace_reserved_field () =
     (collect_lines (fun () ->
          Alcotest.check_raises "reserved key"
            (Invalid_argument "Obs.Trace: reserved field name seq")
-           (fun () -> Trace.point "x" [ ("seq", Trace.Int 1) ])))
+           (fun () -> Trace.point "x" [ ("seq", Trace.Int 1) ]);
+         Alcotest.check_raises "reserved key dom"
+           (Invalid_argument "Obs.Trace: reserved field name dom")
+           (fun () -> Trace.point "x" [ ("dom", Trace.Int 1) ])))
 
 let test_trace_disabled_noop () =
   Alcotest.(check bool) "off by default" false (Trace.enabled ());
@@ -163,12 +166,14 @@ let test_reader_rejects_bad_lines () =
   in
   bad "not json";
   bad "[1]";
-  bad {|{"seq":1,"ts":0,"ev":"point","name":"x"}|};  (* no version *)
-  bad {|{"v":999,"seq":1,"ts":0,"ev":"point","name":"x"}|};
-  bad {|{"v":1,"seq":1,"ts":0,"ev":"point"}|};  (* no name *)
-  bad {|{"v":1,"seq":1,"ts":0,"ev":"wat","name":"x"}|};
-  bad {|{"v":1,"seq":1,"ts":0,"ev":"begin","name":"x"}|};  (* no span *)
-  bad {|{"v":1,"seq":1,"ts":0,"ev":"end","name":"x","span":1}|}  (* no dur *)
+  bad {|{"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};  (* no version *)
+  bad {|{"v":999,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};
+  bad {|{"v":1,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};  (* old schema *)
+  bad {|{"v":2,"seq":1,"ts":0,"ev":"point","name":"x"}|};  (* no dom *)
+  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"point"}|};  (* no name *)
+  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"wat","name":"x"}|};
+  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"begin","name":"x"}|};  (* no span *)
+  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"end","name":"x","span":1}|}  (* no dur *)
 
 (* ------------------------------------------------------------------ *)
 (* Engine traces: determinism and reconciliation. *)

@@ -31,7 +31,9 @@ let small_results () =
       seed = 11 }
   in
   Sim.Experiment.run_setting setting
-    ~schedulers:[ Postcard.Direct_scheduler.make (); Postcard.Greedy_scheduler.make () ]
+    ~schedulers:
+      [ (fun () -> Postcard.Direct_scheduler.make ());
+        (fun () -> Postcard.Greedy_scheduler.make ()) ]
 
 let test_summary_renders () =
   let results = small_results () in

@@ -187,7 +187,8 @@ let test_engine_evaluate_percentile () =
 
 let test_experiment_paired_runs () =
   let schedulers =
-    [ Postcard.Direct_scheduler.make (); Postcard.Flow_baseline.make () ]
+    [ (fun () -> Postcard.Direct_scheduler.make ());
+      (fun () -> Postcard.Flow_baseline.make ()) ]
   in
   let results = Sim.Experiment.run_setting mini_setting ~schedulers in
   Alcotest.(check int) "two summaries" 2
@@ -202,8 +203,8 @@ let test_experiment_paired_runs () =
     results.Sim.Experiment.summaries;
   (* Routing through cheap relays can only help: the flow baseline must
      not lose to direct send on identical instances. *)
-  let direct = Sim.Experiment.find_summary results "direct" in
-  let flow = Sim.Experiment.find_summary results "flow-based" in
+  let direct = Sim.Experiment.find_summary_exn results "direct" in
+  let flow = Sim.Experiment.find_summary_exn results "flow-based" in
   Alcotest.(check bool) "flow <= direct" true
     (flow.Sim.Experiment.mean_cost <= direct.Sim.Experiment.mean_cost +. 1e-6)
 
