@@ -191,10 +191,12 @@ let ablation_price_of_myopia () =
         all_files := !all_files @ Sim.Workload.arrivals collector ~slot
       done;
       let outcome =
-        Sim.Engine.run ~base
-          ~scheduler:(Postcard.Postcard_scheduler.make ())
-          ~workload:(Sim.Workload.create spec (Prelude.Rng.of_int seed))
-          ~slots
+        Sim.Engine.(
+          run
+            (make ~base
+               ~scheduler:(Postcard.Postcard_scheduler.make ())
+               ~workload:(Sim.Workload.create spec (Prelude.Rng.of_int seed))
+               ~slots ()))
       in
       let online = outcome.Sim.Engine.cost_series.(slots - 1) in
       match Postcard.Offline.solve ~base ~files:!all_files () with
@@ -231,7 +233,9 @@ let extension_percentile_billing () =
   List.iter
     (fun scheduler ->
       let workload = Sim.Workload.create spec (Prelude.Rng.of_int 8888) in
-      let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+      let outcome =
+        Sim.Engine.(run (make ~base ~scheduler ~workload ~slots ()))
+      in
       let bill q =
         Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme q)
           ~base

@@ -108,15 +108,33 @@ let fixed_deadlines =
          ~doc:"Give every file exactly the deadline bound T instead of the \
                default uniform draw in [1, T].")
 
+let faults_conv =
+  let parse s =
+    match Sim.Faults.parse s with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf sc -> Format.pp_print_string ppf (Sim.Faults.to_string sc))
+
+let faults =
+  Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Inject a deterministic fault scenario into every run: \
+               comma-separated events, each link:SRC-DST\\@SLOTS (link \
+               outage), dc:N\\@SLOTS (datacenter outage) or \
+               degrade:SRC-DST\\@SLOTS:FACTOR (capacity degradation), with \
+               SLOTS a slot (4) or inclusive range (2..6). Example: \
+               'link:0-1\\@3..5,dc:2\\@4,degrade:1-3\\@2..6:0.5'.")
+
 let overrides =
   let apply nodes capacity files_max max_deadline slots runs seed size_max
-      fixed_deadlines base =
+      fixed_deadlines faults base =
     Sim.Experiment.with_overrides ?nodes ?capacity ?files_max ?max_deadline
-      ?slots ?runs ?seed ?size_max
+      ?slots ?runs ?seed ?size_max ?faults
       ~uniform_deadlines:(not fixed_deadlines) base
   in
   Term.(const apply $ nodes $ capacity $ files_max $ max_deadline $ slots
-        $ runs $ seed $ size_max $ fixed_deadlines)
+        $ runs $ seed $ size_max $ fixed_deadlines $ faults)
 
 (* Observability and execution flags shared by every simulation
    subcommand. *)
@@ -186,7 +204,17 @@ let base_of_figure ~scaled ~paper =
     | Some _, Some _ -> Error "--scaled and --paper are mutually exclusive"
   with Invalid_argument msg -> Error msg
 
-let run figure scale apply spec jobs series verbose log_level metrics trace =
+let list_schedulers =
+  Arg.(value & flag & info [ "list-schedulers" ]
+         ~doc:"Print the registered schedulers (name, aliases, description) \
+               and exit.")
+
+let run list_scheds figure scale apply spec jobs series verbose log_level
+    metrics trace =
+  if list_scheds then begin
+    Format.printf "%a@." Postcard.Scheduler.pp_registry ();
+    exit 0
+  end;
   let base =
     match (figure, scale) with
     | Some n, `Paper -> (
@@ -202,8 +230,8 @@ let run figure scale apply spec jobs series verbose log_level metrics trace =
   simulate base apply spec jobs series verbose log_level metrics trace
 
 let run_term =
-  Term.(const run $ figure_opt $ scale $ overrides $ schedulers $ jobs
-        $ series $ verbose $ log_level $ metrics $ trace)
+  Term.(const run $ list_schedulers $ figure_opt $ scale $ overrides
+        $ schedulers $ jobs $ series $ verbose $ log_level $ metrics $ trace)
 
 let run_cmd =
   let doc = "run the simulation (the default subcommand)" in

@@ -16,7 +16,8 @@ let context_of_instance (inst : Postcard.Instance.t) =
       (fun ~link ~slot ->
         ignore slot;
         (Graph.arc inst.Postcard.Instance.base link).Graph.capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+    occupied = (fun ~link:_ ~slot:_ -> 0.);
+    down = (fun ~link:_ ~slot:_ -> false) }
 
 let print_plan base plan =
   let txs =
@@ -68,7 +69,7 @@ let dump_mps inst target =
 let run path scheduler_name list_schedulers mps_target log_level metrics trace
     =
   if list_schedulers then begin
-    List.iter print_endline (Scheduler.registered ());
+    Format.printf "%a@." Scheduler.pp_registry ();
     exit 0
   end;
   let path =
@@ -133,7 +134,8 @@ let scheduler =
 
 let list_schedulers =
   Arg.(value & flag & info [ "list-schedulers" ]
-         ~doc:"Print the registered scheduler names and exit.")
+         ~doc:"Print the registered schedulers (name, aliases, description) \
+               and exit.")
 
 let mps_target =
   Arg.(value & opt (some string) None & info [ "dump-mps" ] ~docv:"FILE"

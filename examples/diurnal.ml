@@ -35,7 +35,9 @@ let run_regime ~label ~capacity =
   List.iter
     (fun scheduler ->
       let workload = Sim.Workload.create (spec ~nodes) (Prelude.Rng.of_int 123) in
-      let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+      let outcome =
+        Sim.Engine.(run (make ~base ~scheduler ~workload ~slots ()))
+      in
       let avg = Sim.Engine.average_cost outcome in
       let p95 =
         Sim.Engine.evaluate_cost outcome ~scheme:(Charging.scheme 95.) ~base

@@ -57,7 +57,8 @@ let () =
       period = 100;
       charged = Array.make m 0.;
       residual = (fun ~link:_ ~slot:_ -> 5.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.) }
+      occupied = (fun ~link:_ ~slot:_ -> 0.);
+      down = (fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan = direct_plan; _ } =
     direct.Scheduler.schedule ctx (files ())

@@ -66,4 +66,9 @@ let make () =
   in
   Scheduler.observe (Scheduler.stateless ~name:"direct" ~fluid:false schedule)
 
-let () = Scheduler.register ~name:"direct" (fun () -> make ())
+let () =
+  Scheduler.register ~name:"direct"
+    ~doc:
+      "Naive baseline: each file moves only on its direct link, spread \
+       evenly at the desired rate."
+    (fun () -> make ())

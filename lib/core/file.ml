@@ -1,5 +1,7 @@
+type id = int
+
 type t = {
-  id : int;
+  id : id;
   src : int;
   dst : int;
   size : float;

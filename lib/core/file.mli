@@ -5,8 +5,12 @@
     results, a customer-data migration — described by the four-tuple
     [(s_k, d_k, F_k, T_k)] plus its release slot. *)
 
+type id = int
+(** File identifier — unique within a simulation run's {e initial} offers;
+    a re-offered (re-planned) file keeps the id of the original. *)
+
 type t = private {
-  id : int;  (** Unique within a simulation run. *)
+  id : id;  (** Unique within a simulation run. *)
   src : int;  (** Source datacenter [s_k]. *)
   dst : int;  (** Destination datacenter [d_k]. *)
   size : float;  (** [F_k], volume in GB. *)

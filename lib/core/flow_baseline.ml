@@ -417,7 +417,18 @@ let make ?params ?(variant = `Two_stage) () =
   Scheduler.observe (Scheduler.stateless ~name ~fluid:true schedule)
 
 let () =
-  Scheduler.register ~name:"flow-based" ~aliases:[ "flow" ] (fun () -> make ());
+  Scheduler.register ~name:"flow-based" ~aliases:[ "flow" ]
+    ~doc:
+      "The paper's Sec. II-B fluid baseline: per-epoch two-stage LP \
+       (min-rate then min-cost) over the static graph."
+    (fun () -> make ());
   Scheduler.register ~name:"flow-excess"
+    ~doc:
+      "flow-based ablation: stage two minimizes only the charge excess \
+       over the running peak."
     (fun () -> make ~variant:`Two_stage_excess ());
-  Scheduler.register ~name:"flow-joint" (fun () -> make ~variant:`Joint ())
+  Scheduler.register ~name:"flow-joint"
+    ~doc:
+      "flow-based ablation: a single joint LP instead of the paper's \
+       two-stage decomposition."
+    (fun () -> make ~variant:`Joint ())

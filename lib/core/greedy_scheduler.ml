@@ -203,6 +203,13 @@ let make_percentile ?(percentile = 95.) () =
     ()
 
 let () =
-  Scheduler.register ~name:"greedy-snf" ~aliases:[ "greedy" ] (fun () -> make ());
+  Scheduler.register ~name:"greedy-snf" ~aliases:[ "greedy" ]
+    ~doc:
+      "Combinatorial store-and-forward: one min-cost flow per file over \
+       the time-expanded residual network, charged-peak volume free."
+    (fun () -> make ());
   Scheduler.register ~name:"burst-95" ~aliases:[ "burst" ]
+    ~doc:
+      "greedy-snf variant aware of 95th-percentile billing: overflow is \
+       packed into each link's free burst slots."
     (fun () -> make_percentile ())

@@ -59,4 +59,9 @@ let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
       schedule;
       reset = (fun () -> carried := None) }
 
-let () = Scheduler.register ~name:"postcard" (fun () -> make ())
+let () =
+  Scheduler.register ~name:"postcard"
+    ~doc:
+      "The paper's online algorithm: per-epoch LP over the time-expanded \
+       store-and-forward graph, warm-started from the previous basis."
+    (fun () -> make ())

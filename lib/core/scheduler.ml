@@ -5,6 +5,7 @@ type context = {
   charged : float array;
   residual : link:int -> slot:int -> float;
   occupied : link:int -> slot:int -> float;
+  down : link:int -> slot:int -> bool;
 }
 
 type outcome = {
@@ -32,11 +33,17 @@ let stateless ~name ~fluid schedule = { name; fluid; schedule; reset = (fun () -
 
 let registry_mu = Mutex.create ()
 
+type info = {
+  info_name : string;
+  aliases : string list;
+  doc : string option;
+}
+
 (* alias (or canonical name) -> canonical name * factory *)
 let registry : (string, string * (unit -> t)) Hashtbl.t = Hashtbl.create 16
-let canonical_names : string list ref = ref []
+let infos_acc : info list ref = ref []
 
-let register ~name ?(aliases = []) factory =
+let register ~name ?(aliases = []) ?doc factory =
   Mutex.lock registry_mu;
   let clash =
     List.find_opt (Hashtbl.mem registry) (name :: aliases)
@@ -47,14 +54,30 @@ let register ~name ?(aliases = []) factory =
        invalid_arg ("Postcard.Scheduler.register: " ^ n ^ " already registered")
    | None ->
        List.iter (fun n -> Hashtbl.add registry n (name, factory)) (name :: aliases);
-       canonical_names := name :: !canonical_names;
+       infos_acc := { info_name = name; aliases; doc } :: !infos_acc;
        Mutex.unlock registry_mu)
 
-let registered () =
+let infos () =
   Mutex.lock registry_mu;
-  let names = !canonical_names in
+  let infos = !infos_acc in
   Mutex.unlock registry_mu;
-  List.sort String.compare names
+  List.sort (fun a b -> String.compare a.info_name b.info_name) infos
+
+let registered () = List.map (fun i -> i.info_name) (infos ())
+
+let pp_registry ppf () =
+  List.iter
+    (fun { info_name; aliases; doc } ->
+      let aliases =
+        match aliases with
+        | [] -> ""
+        | l -> Printf.sprintf " (aliases: %s)" (String.concat ", " l)
+      in
+      Format.fprintf ppf "%-12s%s@\n" info_name aliases;
+      match doc with
+      | Some d -> Format.fprintf ppf "    %s@\n" d
+      | None -> ())
+    (infos ())
 
 let factory name =
   Mutex.lock registry_mu;

@@ -22,6 +22,14 @@ type context = {
   occupied : link:int -> slot:int -> float;
       (** Volume already committed on [link] during absolute [slot] by
           previous epochs. *)
+  down : link:int -> slot:int -> bool;
+      (** Fault view: [true] when [link] is known (as of this epoch) to be
+          dead during absolute [slot]. [residual] already reflects fault
+          capacity caps — a dead (link, slot) has residual 0 — so
+          strategies work unmodified; [down] additionally lets
+          percentile-aware strategies distinguish "saturated" from
+          "failed" (e.g. to avoid spending burst slots on a dying link).
+          Always [false] in fault-free runs. *)
 }
 
 type outcome = {
@@ -57,13 +65,29 @@ val stateless :
     variants, direct, greedy-snf, burst-95) self-register when the
     library is linked. *)
 
-val register : name:string -> ?aliases:string list -> (unit -> t) -> unit
+val register :
+  name:string -> ?aliases:string list -> ?doc:string -> (unit -> t) -> unit
 (** [register ~name factory] adds a strategy under [name] (plus optional
-    lookup [aliases], e.g. "flow" for "flow-based"). Raises
-    [Invalid_argument] when any of the names is already taken. *)
+    lookup [aliases], e.g. "flow" for "flow-based", and a one-line [doc]
+    shown by [--list-schedulers]). Raises [Invalid_argument] when any of
+    the names is already taken. *)
 
 val registered : unit -> string list
 (** Canonical (alias-free) names of every registered strategy, sorted. *)
+
+type info = {
+  info_name : string;  (** Canonical name. *)
+  aliases : string list;
+  doc : string option;
+}
+
+val infos : unit -> info list
+(** Every registered strategy with its aliases and doc line, sorted by
+    canonical name. *)
+
+val pp_registry : Format.formatter -> unit -> unit
+(** Human-readable listing of {!infos} — one strategy per line with its
+    aliases and doc; what both binaries print for [--list-schedulers]. *)
 
 val factory : string -> (unit -> t) option
 (** Look up a factory by canonical name or alias. *)

@@ -1,16 +1,38 @@
 module Graph = Netgraph.Graph
 module Scheduler = Postcard.Scheduler
+module File = Postcard.File
 
 let log_src = Logs.Src.create "sim.engine" ~doc:"Simulation engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let eps = 1e-9
+
+type config = {
+  base : Graph.t;
+  scheduler : Scheduler.t;
+  workload : Workload.t;
+  slots : int;
+  faults : Faults.scenario;
+}
+
+let make ~base ~scheduler ~workload ~slots ?(faults = Faults.empty) () =
+  { base; scheduler; workload; slots; faults }
 
 type outcome = {
   cost_series : float array;
   final_charged : float array;
   total_files : int;
   rejected_files : int;
+  rejected_ids : File.id list;
   delivered_volume : float;
+  offered_volume : float;
+  rejected_volume : float;
+  stranded_volume : float;
+  recovered_volume : float;
+  lost_volume : float;
+  lost_files : int;
+  replanned_files : int;
   link_volumes : float array array;
 }
 
@@ -21,10 +43,29 @@ let m_runs = Obs.Metrics.counter "sim.runs"
 let m_slots = Obs.Metrics.counter "sim.slots"
 let m_arrivals = Obs.Metrics.counter "sim.arrivals"
 let m_rejected = Obs.Metrics.counter "sim.rejected"
+let m_replans = Obs.Metrics.counter "sched.replan"
+let m_stranded = Obs.Metrics.counter "fault.stranded_files"
+let m_lost = Obs.Metrics.counter "fault.lost_files"
 let h_slot_ms = Obs.Metrics.histogram "sim.slot_ms"
 
-let run ~base ~scheduler ~workload ~slots =
+(* One admission of a file: the file as offered (a re-offer carries the
+   remaining size and shortened deadline) plus the transmissions its plan
+   booked. Tracked only under an active fault scenario, newest first, so
+   stranding can void the remaining plan and evict youngest-first. *)
+type flight = {
+  ffile : File.t;
+  ftxs : (int * int * float) list;  (* (link, slot, volume) *)
+}
+
+let run cfg =
+  let { base; scheduler; workload; slots; faults } = cfg in
   if slots < 1 then invalid_arg "Engine.run: need at least one slot";
+  let fstate =
+    match Faults.compile faults ~base with
+    | Ok t -> t
+    | Error msg -> invalid_arg (Printf.sprintf "Engine.run: %s" msg)
+  in
+  let faulty = Faults.active fstate in
   (* Scheduler values may be reused across runs (Experiment does); drop
      any cross-epoch state such as a carried warm-start basis. *)
   scheduler.Scheduler.reset ();
@@ -33,14 +74,22 @@ let run ~base ~scheduler ~workload ~slots =
     if tracing then
       Obs.Trace.begin_span "sim.run"
         [ ("scheduler", Obs.Trace.Str scheduler.Scheduler.name);
-          ("slots", Obs.Trace.Int slots) ]
+          ("slots", Obs.Trace.Int slots);
+          ("faults", Obs.Trace.Str (Faults.to_string faults)) ]
     else Obs.Trace.null_span
   in
   Obs.Metrics.incr m_runs;
   let ledger = Ledger.create ~base in
   let cost_series = Array.make slots 0. in
   let total_files = ref 0 and rejected_files = ref 0 in
-  let delivered_volume = ref 0. in
+  let rejected_ids = ref [] in
+  let delivered_volume = ref 0. and offered_volume = ref 0. in
+  let rejected_volume = ref 0. in
+  let stranded_volume = ref 0. and recovered_volume = ref 0. in
+  let lost_volume = ref 0. in
+  let lost_files = ref 0 and replanned_files = ref 0 in
+  (* In-flight admissions, newest first; only maintained when faulty. *)
+  let flights = ref [] in
   (* Bytes parked on storage per slot, accumulated from the holdovers of
      every committed plan (a holdover booked now may cover a later slot). *)
   let stored_by_slot = Hashtbl.create 16 in
@@ -52,31 +101,168 @@ let run ~base ~scheduler ~workload ~slots =
     in
     let cost_before = if tracing then Ledger.cost_per_interval ledger else 0. in
     let charged_before = if tracing then Ledger.charged_all ledger else [||] in
-    let files = Workload.arrivals workload ~slot in
-    total_files := !total_files + List.length files;
+    (* --- Fault reveal: strand committed volume on newly dead cells. --- *)
+    let reoffers = ref [] in
+    let slot_stranded = ref 0. and slot_lost = ref 0. in
+    if faulty then begin
+      List.iter
+        (fun ev ->
+          Log.info (fun m ->
+              m "slot %d: fault revealed: %a" slot Faults.pp_event ev);
+          if tracing then
+            Obs.Trace.point "fault.reveal"
+              (("slot", Obs.Trace.Int slot) :: Faults.event_fields ev))
+        (Faults.revealed_at fstate ~slot);
+      let strand fl =
+        flights := List.filter (fun x -> x != fl) !flights;
+        let voided = ref 0. in
+        List.iter
+          (fun (l, s, v) ->
+            if s >= slot && v > 0. then begin
+              Ledger.void ledger ~link:l ~slot:s v;
+              voided := !voided +. v
+            end)
+          fl.ftxs;
+        (* Bytes that already reached the destination stay delivered; bytes
+           in flight (at the source or parked at an intermediate hop) are
+           retransmitted from the source. *)
+        let delivered_past =
+          List.fold_left
+            (fun acc (l, s, v) ->
+              if s >= slot then acc
+              else
+                let a = Graph.arc base l in
+                if a.Graph.dst = fl.ffile.File.dst then acc +. v
+                else if a.Graph.src = fl.ffile.File.dst then acc -. v
+                else acc)
+            0. fl.ftxs
+        in
+        let remaining =
+          Float.max 0.
+            (fl.ffile.File.size -. Float.max 0. delivered_past)
+        in
+        if remaining > eps then begin
+          delivered_volume := !delivered_volume -. remaining;
+          stranded_volume := !stranded_volume +. remaining;
+          slot_stranded := !slot_stranded +. remaining;
+          Obs.Metrics.incr m_stranded;
+          if tracing then
+            Obs.Trace.point "fault.strand"
+              [ ("slot", Obs.Trace.Int slot);
+                ("file", Obs.Trace.Int fl.ffile.File.id);
+                ("stranded_bytes", Obs.Trace.Float remaining);
+                ("voided_bytes", Obs.Trace.Float !voided) ];
+          let deadline_left =
+            fl.ffile.File.release + fl.ffile.File.deadline - slot
+          in
+          if deadline_left >= 1 then
+            reoffers :=
+              File.make ~id:fl.ffile.File.id ~src:fl.ffile.File.src
+                ~dst:fl.ffile.File.dst ~size:remaining ~deadline:deadline_left
+                ~release:slot
+              :: !reoffers
+          else begin
+            (* Defensive: committed transmissions always lie inside the
+               file's window, so a stranded file retains at least the
+               current slot. *)
+            lost_volume := !lost_volume +. remaining;
+            slot_lost := !slot_lost +. remaining;
+            incr lost_files;
+            Obs.Metrics.incr m_lost;
+            if tracing then
+              Obs.Trace.point "fault.lost"
+                [ ("slot", Obs.Trace.Int slot);
+                  ("file", Obs.Trace.Int fl.ffile.File.id);
+                  ("lost_bytes", Obs.Trace.Float remaining);
+                  ("reason", Obs.Trace.Str "deadline") ]
+          end
+        end
+      in
+      List.iter
+        (fun (link, s, f) ->
+          let cap = (Graph.arc base link).Graph.capacity *. f in
+          let overfull () =
+            Ledger.occupied ledger ~link ~slot:s > cap +. eps
+          in
+          let victim () =
+            List.find_opt
+              (fun fl ->
+                List.exists (fun (l, s', v) -> l = link && s' = s && v > eps)
+                  fl.ftxs)
+              !flights
+          in
+          let continue_ = ref (overfull ()) in
+          while !continue_ do
+            match victim () with
+            | Some fl ->
+                strand fl;
+                continue_ := overfull ()
+            | None ->
+                Log.warn (fun m ->
+                    m
+                      "slot %d: link %d slot %d: %g booked above the fault \
+                       cap %g is not attributable to any flight"
+                      slot link s
+                      (Ledger.occupied ledger ~link ~slot:s)
+                      cap);
+                continue_ := false
+          done)
+        (Faults.cells_revealed_at fstate ~slot)
+    end;
+    let reoffers = List.rev !reoffers in
+    let replan_count = List.length reoffers in
+    if replan_count > 0 then Obs.Metrics.add m_replans replan_count;
+    let arrivals = Workload.arrivals workload ~slot in
+    total_files := !total_files + List.length arrivals;
+    List.iter
+      (fun f -> offered_volume := !offered_volume +. f.File.size)
+      arrivals;
+    let files = reoffers @ arrivals in
+    let is_replan =
+      if replan_count = 0 then fun _ -> false
+      else begin
+        let ids = Hashtbl.create replan_count in
+        List.iter (fun f -> Hashtbl.replace ids f.File.id ()) reoffers;
+        fun (f : File.t) -> Hashtbl.mem ids f.File.id
+      end
+    in
+    let eff_residual =
+      if not faulty then fun ~link ~slot ->
+        Ledger.residual ledger ~link ~slot
+      else fun ~link ~slot:s ->
+        let f = Faults.factor fstate ~asof:slot ~link ~slot:s in
+        if f >= 1. then Ledger.residual ledger ~link ~slot:s
+        else
+          Float.max 0.
+            (((Graph.arc base link).Graph.capacity *. f)
+            -. Ledger.occupied ledger ~link ~slot:s)
+    in
+    let down =
+      if not faulty then fun ~link:_ ~slot:_ -> false
+      else fun ~link ~slot:s -> Faults.down fstate ~asof:slot ~link ~slot:s
+    in
     let ctx =
       { Scheduler.base;
         epoch = slot;
         period = slots;
         charged = Ledger.charged_all ledger;
-        residual = (fun ~link ~slot -> Ledger.residual ledger ~link ~slot);
-        occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot) }
+        residual = eff_residual;
+        occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot);
+        down }
     in
     let t0 = Obs.Trace.now_ms () in
     let { Scheduler.plan; accepted; rejected } =
       scheduler.Scheduler.schedule ctx files
     in
     let sched_ms = Obs.Trace.now_ms () -. t0 in
-    rejected_files := !rejected_files + List.length rejected;
     if rejected <> [] then
       Log.info (fun m ->
           m "slot %d: %s rejected %d of %d files" slot
             scheduler.Scheduler.name (List.length rejected) (List.length files));
-    let capacity ~link ~slot = Ledger.residual ledger ~link ~slot in
     let check =
       if scheduler.Scheduler.fluid then
-        Postcard.Plan.validate_capacity ~base ~capacity plan
-      else Postcard.Plan.validate ~base ~files:accepted ~capacity plan
+        Postcard.Plan.validate_capacity ~base ~capacity:eff_residual plan
+      else Postcard.Plan.validate ~base ~files:accepted ~capacity:eff_residual plan
     in
     (match check with
      | Ok () -> ()
@@ -86,12 +272,59 @@ let run ~base ~scheduler ~workload ~slots =
               (Printf.sprintf "slot %d, scheduler %s: %s" slot
                  scheduler.Scheduler.name msg)));
     Ledger.commit_plan ledger plan;
-    List.iter (fun f -> delivered_volume := !delivered_volume +. f.Postcard.File.size) accepted;
+    (* Admission accounting: an accepted re-offer is recovered volume; a
+       rejected re-offer is lost (its original admission was already
+       charged and partially flowed), while a rejected fresh arrival is an
+       ordinary rejection. *)
+    List.iter
+      (fun (f : File.t) ->
+        delivered_volume := !delivered_volume +. f.File.size;
+        if is_replan f then begin
+          recovered_volume := !recovered_volume +. f.File.size;
+          incr replanned_files
+        end)
+      accepted;
+    List.iter
+      (fun (f : File.t) ->
+        if is_replan f then begin
+          lost_volume := !lost_volume +. f.File.size;
+          slot_lost := !slot_lost +. f.File.size;
+          incr lost_files;
+          Obs.Metrics.incr m_lost;
+          if tracing then
+            Obs.Trace.point "fault.lost"
+              [ ("slot", Obs.Trace.Int slot);
+                ("file", Obs.Trace.Int f.File.id);
+                ("lost_bytes", Obs.Trace.Float f.File.size);
+                ("reason", Obs.Trace.Str "rejected") ]
+        end
+        else begin
+          incr rejected_files;
+          rejected_ids := f.File.id :: !rejected_ids;
+          rejected_volume := !rejected_volume +. f.File.size
+        end)
+      rejected;
+    if faulty && accepted <> [] then begin
+      let by_file = Hashtbl.create 16 in
+      List.iter
+        (fun tx ->
+          Hashtbl.add by_file tx.Postcard.Plan.file
+            (tx.Postcard.Plan.link, tx.Postcard.Plan.slot,
+             tx.Postcard.Plan.volume))
+        plan.Postcard.Plan.transmissions;
+      List.iter
+        (fun (f : File.t) ->
+          flights :=
+            { ffile = f; ftxs = Hashtbl.find_all by_file f.File.id }
+            :: !flights)
+        accepted
+    end;
     cost_series.(slot) <- Ledger.cost_per_interval ledger;
     if Obs.Metrics.enabled () then begin
       Obs.Metrics.incr m_slots;
-      Obs.Metrics.add m_arrivals (List.length files);
-      Obs.Metrics.add m_rejected (List.length rejected);
+      Obs.Metrics.add m_arrivals (List.length arrivals);
+      Obs.Metrics.add m_rejected
+        (List.length (List.filter (fun f -> not (is_replan f)) rejected));
       Obs.Metrics.observe h_slot_ms sched_ms
     end;
     if tracing then begin
@@ -110,17 +343,20 @@ let run ~base ~scheduler ~workload ~slots =
             charged_after.(l) -. charged_before.(l))
       in
       let admitted_bytes =
-        List.fold_left (fun acc f -> acc +. f.Postcard.File.size) 0. accepted
+        List.fold_left (fun acc f -> acc +. f.File.size) 0. accepted
       in
       let stored_bytes =
         Option.value ~default:0. (Hashtbl.find_opt stored_by_slot slot)
       in
       Obs.Trace.end_span slot_span
-        [ ("arrivals", Obs.Trace.Int (List.length files));
+        [ ("arrivals", Obs.Trace.Int (List.length arrivals));
           ("admitted", Obs.Trace.Int (List.length accepted));
           ("rejected", Obs.Trace.Int (List.length rejected));
           ("admitted_bytes", Obs.Trace.Float admitted_bytes);
           ("stored_bytes", Obs.Trace.Float stored_bytes);
+          ("replans", Obs.Trace.Int replan_count);
+          ("stranded_bytes", Obs.Trace.Float !slot_stranded);
+          ("lost_bytes", Obs.Trace.Float !slot_lost);
           ("cost", Obs.Trace.Float cost_series.(slot));
           ("cost_delta", Obs.Trace.Float (cost_series.(slot) -. cost_before));
           ("charged", Obs.Trace.Floats charged_after);
@@ -134,7 +370,15 @@ let run ~base ~scheduler ~workload ~slots =
       final_charged = Ledger.charged_all ledger;
       total_files = !total_files;
       rejected_files = !rejected_files;
+      rejected_ids = List.rev !rejected_ids;
       delivered_volume = !delivered_volume;
+      offered_volume = !offered_volume;
+      rejected_volume = !rejected_volume;
+      stranded_volume = !stranded_volume;
+      recovered_volume = !recovered_volume;
+      lost_volume = !lost_volume;
+      lost_files = !lost_files;
+      replanned_files = !replanned_files;
       link_volumes = Ledger.volumes_through ledger ~last_slot }
   in
   if tracing then
@@ -142,6 +386,13 @@ let run ~base ~scheduler ~workload ~slots =
       [ ("total_files", Obs.Trace.Int outcome.total_files);
         ("rejected_files", Obs.Trace.Int outcome.rejected_files);
         ("delivered_volume", Obs.Trace.Float outcome.delivered_volume);
+        ("offered_volume", Obs.Trace.Float outcome.offered_volume);
+        ("rejected_volume", Obs.Trace.Float outcome.rejected_volume);
+        ("stranded_volume", Obs.Trace.Float outcome.stranded_volume);
+        ("recovered_volume", Obs.Trace.Float outcome.recovered_volume);
+        ("lost_volume", Obs.Trace.Float outcome.lost_volume);
+        ("lost_files", Obs.Trace.Int outcome.lost_files);
+        ("replanned_files", Obs.Trace.Int outcome.replanned_files);
         ("final_cost", Obs.Trace.Float cost_series.(slots - 1));
         ("final_charged", Obs.Trace.Floats outcome.final_charged) ];
   outcome

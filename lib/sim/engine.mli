@@ -1,19 +1,75 @@
 (** The time-slotted simulation engine.
 
-    Per slot: draw the workload's arrivals, hand them to the scheduler with
-    the current network state (charged volumes, residual capacities), check
-    the returned plan (slot-accurate validation for store-and-forward
+    Per slot: reveal any fault events starting now (stranding the
+    committed volume they kill, see below), draw the workload's arrivals,
+    hand re-offers and arrivals to the scheduler with the current network
+    state (charged volumes, fault-capped residual capacities), check the
+    returned plan (slot-accurate validation for store-and-forward
     schedulers, capacity-only for fluid ones), book it in the {!Ledger}
-    and record the cost point [sum a_ij X_ij(t)]. *)
+    and record the cost point [sum a_ij X_ij(t)].
+
+    {b Fault semantics.} A {!Faults.scenario} event is unknown to the
+    engine and the schedulers until its first slot. At that point its
+    whole window becomes visible: residual capacities are capped for the
+    remainder of the run, and bookings already committed on now-dead (or
+    over-cap degraded) cells are withdrawn youngest-admission-first until
+    each cell fits its new cap. A file whose plan is withdrawn is
+    {e stranded}: bytes that already reached its destination stay
+    delivered, the rest is re-offered to the scheduler in the same slot
+    (same id, remaining size, original completion deadline). An accepted
+    re-offer counts as {e recovered}; a rejected one — or a strand with no
+    slots left — counts as {e lost}. Per-file byte accounting therefore
+    decomposes exactly: [delivered + lost + rejected = offered]. *)
+
+type config = {
+  base : Netgraph.Graph.t;
+  scheduler : Postcard.Scheduler.t;
+  workload : Workload.t;
+  slots : int;
+  faults : Faults.scenario;
+}
+
+val make :
+  base:Netgraph.Graph.t ->
+  scheduler:Postcard.Scheduler.t ->
+  workload:Workload.t ->
+  slots:int ->
+  ?faults:Faults.scenario ->
+  unit ->
+  config
+(** Build a run configuration; [faults] defaults to {!Faults.empty}. An
+    empty scenario takes the exact fault-free code path, so results are
+    bit-identical to a run that never mentions faults. *)
 
 type outcome = {
   cost_series : float array;
       (** Cost per interval after each slot's scheduling decisions, i.e.
           [sum over links of price * X(t)] for [t = 0 .. slots-1]. *)
   final_charged : float array;  (** [X_ij] per link at the end of the run. *)
-  total_files : int;
+  total_files : int;  (** Initial offers; re-offers are not counted. *)
   rejected_files : int;
-  delivered_volume : float;  (** Total size of accepted files. *)
+      (** Initial offers the scheduler declined (a declined {e re-offer}
+          counts as lost instead, since its original admission already
+          flowed). *)
+  rejected_ids : Postcard.File.id list;
+      (** Ids of the rejected initial offers, in rejection order. *)
+  delivered_volume : float;
+      (** Bytes the run actually carries to their destinations: accepted
+          sizes, minus what stranding takes back, plus accepted
+          re-offers. *)
+  offered_volume : float;  (** Total size of all initial offers. *)
+  rejected_volume : float;  (** Total size of rejected initial offers. *)
+  stranded_volume : float;
+      (** Bytes withdrawn from admitted plans by fault reveals (before
+          any recovery). *)
+  recovered_volume : float;
+      (** Stranded bytes the scheduler re-planned successfully. *)
+  lost_volume : float;
+      (** Stranded bytes that could not be re-planned before their
+          deadlines. [delivered + lost + rejected = offered] holds up to
+          float rounding. *)
+  lost_files : int;
+  replanned_files : int;  (** Re-offers the scheduler accepted. *)
   link_volumes : float array array;
       (** Per-link, per-slot committed volumes over the whole run
           (including slots past the arrival window where tails of accepted
@@ -24,12 +80,9 @@ exception Invalid_plan of string
 (** Raised when a scheduler produces a plan that fails validation — always
     a bug in the scheduler, never expected in a healthy run. *)
 
-val run :
-  base:Netgraph.Graph.t ->
-  scheduler:Postcard.Scheduler.t ->
-  workload:Workload.t ->
-  slots:int ->
-  outcome
+val run : config -> outcome
+(** Raises [Invalid_argument] when [slots < 1] or the fault scenario does
+    not compile against [base] (unknown link or datacenter). *)
 
 val average_cost : outcome -> float
 (** Mean of the cost series — the quantity plotted in Figs. 4-7. *)

@@ -11,6 +11,7 @@ type setting = {
   slots : int;
   runs : int;
   seed : int;
+  faults : Faults.scenario;
 }
 
 let paper_figure n =
@@ -26,7 +27,8 @@ let paper_figure n =
       uniform_deadlines = true;
       slots = 100;
       runs = 10;
-      seed = 42 }
+      seed = 42;
+      faults = Faults.empty }
   in
   match n with
   | 4 -> { base with label = "fig4: c=100 GB, max T=3" }
@@ -64,10 +66,12 @@ let custom_default =
     uniform_deadlines = true;
     slots = 40;
     runs = 5;
-    seed = 42 }
+    seed = 42;
+    faults = Faults.empty }
 
 let with_overrides ?label ?nodes ?capacity ?cost_lo ?cost_hi ?files_max
-    ?size_max ?max_deadline ?uniform_deadlines ?slots ?runs ?seed setting =
+    ?size_max ?max_deadline ?uniform_deadlines ?slots ?runs ?seed ?faults
+    setting =
   let ov cur = function None -> cur | Some v -> v in
   { label = ov setting.label label;
     nodes = ov setting.nodes nodes;
@@ -80,7 +84,8 @@ let with_overrides ?label ?nodes ?capacity ?cost_lo ?cost_hi ?files_max
     uniform_deadlines = ov setting.uniform_deadlines uniform_deadlines;
     slots = ov setting.slots slots;
     runs = ov setting.runs runs;
-    seed = ov setting.seed seed }
+    seed = ov setting.seed seed;
+    faults = ov setting.faults faults }
 
 type scheduler_summary = {
   scheduler : string;
@@ -89,6 +94,9 @@ type scheduler_summary = {
   run_costs : float array;
   mean_series : float array;
   rejected : int;
+  delivered_volume : float;
+  recovered_volume : float;
+  lost_volume : float;
 }
 
 type results = {
@@ -150,10 +158,12 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
     let workload =
       Workload.create spec (Prelude.Rng.of_int ((setting.seed * 104729) + run))
     in
-    let outcome = Engine.run ~base ~scheduler ~workload ~slots:setting.slots in
-    ( Engine.average_cost outcome,
-      outcome.Engine.cost_series,
-      outcome.Engine.rejected_files )
+    let outcome =
+      Engine.run
+        (Engine.make ~base ~scheduler ~workload ~slots:setting.slots
+           ~faults:setting.faults ())
+    in
+    (Engine.average_cost outcome, outcome)
   in
   let cell_results =
     match pool with
@@ -181,11 +191,15 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
         let costs = Array.make setting.runs 0. in
         let series_acc = ref [] in
         let rejected = ref 0 in
+        let delivered = ref 0. and recovered = ref 0. and lost = ref 0. in
         for run = 0 to setting.runs - 1 do
-          let cost, series, rej = cell_results.((run * n_sched) + s) in
+          let cost, outcome = cell_results.((run * n_sched) + s) in
           costs.(run) <- cost;
-          series_acc := series :: !series_acc;
-          rejected := !rejected + rej
+          series_acc := outcome.Engine.cost_series :: !series_acc;
+          rejected := !rejected + outcome.Engine.rejected_files;
+          delivered := !delivered +. outcome.Engine.delivered_volume;
+          recovered := !recovered +. outcome.Engine.recovered_volume;
+          lost := !lost +. outcome.Engine.lost_volume
         done;
         let mean_cost, ci95 = Prelude.Stats.confidence_95 costs in
         let mean_series =
@@ -199,7 +213,10 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
           ci95;
           run_costs = costs;
           mean_series;
-          rejected = !rejected })
+          rejected = !rejected;
+          delivered_volume = !delivered;
+          recovered_volume = !recovered;
+          lost_volume = !lost })
   in
   { setting; summaries }
 

@@ -33,6 +33,10 @@ type setting = {
   slots : int;
   runs : int;
   seed : int;
+  faults : Faults.scenario;
+      (** Fault events injected into {e every} cell (the paired-comparison
+          design extends to faults: all schedulers face the identical
+          outage sequence). {!Faults.empty} in all predefined settings. *)
 }
 
 val paper_figure : int -> setting
@@ -64,6 +68,7 @@ val with_overrides :
   ?slots:int ->
   ?runs:int ->
   ?seed:int ->
+  ?faults:Faults.scenario ->
   setting ->
   setting
 (** Functional update from optional values: every argument left [None]
@@ -77,6 +82,12 @@ type scheduler_summary = {
   run_costs : float array;
   mean_series : float array;  (** Cost series averaged across runs. *)
   rejected : int;  (** Total rejections across runs (expected 0). *)
+  delivered_volume : float;  (** Total bytes delivered across runs. *)
+  recovered_volume : float;
+      (** Bytes stranded by faults and successfully re-planned, summed
+          across runs (0 without a fault scenario). *)
+  lost_volume : float;
+      (** Bytes stranded and not recoverable, summed across runs. *)
 }
 
 type results = {

@@ -1,0 +1,254 @@
+module Graph = Netgraph.Graph
+
+type event =
+  | Link_outage of { src : int; dst : int; first : int; last : int }
+  | Dc_outage of { dc : int; first : int; last : int }
+  | Degrade of { src : int; dst : int; first : int; last : int; factor : float }
+
+type scenario = event list
+
+let empty = []
+
+let is_empty s = s = []
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: comma-separated events, "kind:args" each. *)
+
+let parse_nat what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> Ok n
+  | Some n -> Error (Printf.sprintf "%s: %d is negative" what n)
+  | None -> Error (Printf.sprintf "%s: %S is not an integer" what s)
+
+(* "3..5" or "4" -> (first, last), inclusive. *)
+let parse_slots s =
+  let split =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.' ->
+        Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+    | Some _ -> None (* a single dot is malformed *)
+    | None -> None
+  in
+  match split with
+  | Some (a, b) -> (
+      match (parse_nat "slot" a, parse_nat "slot" b) with
+      | Ok first, Ok last ->
+          if last < first then
+            Error (Printf.sprintf "slot range %d..%d is reversed" first last)
+          else Ok (first, last)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | None ->
+      if String.contains s '.' then
+        Error (Printf.sprintf "bad slot range %S (use A..B or a single slot)" s)
+      else
+        Result.map (fun n -> (n, n)) (parse_nat "slot" s)
+
+(* "0-1" -> (src, dst). *)
+let parse_endpoints s =
+  match String.index_opt s '-' with
+  | None -> Error (Printf.sprintf "bad link %S (use SRC-DST)" s)
+  | Some i -> (
+      let a = String.sub s 0 i
+      and b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (parse_nat "datacenter" a, parse_nat "datacenter" b) with
+      | Ok src, Ok dst ->
+          if src = dst then
+            Error (Printf.sprintf "link %d-%d is a self-loop" src dst)
+          else Ok (src, dst)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+
+let parse_factor s =
+  match float_of_string_opt (String.trim s) with
+  | Some f when f >= 0. && f <= 1. && not (Float.is_nan f) -> Ok f
+  | Some f -> Error (Printf.sprintf "factor %g is outside [0, 1]" f)
+  | None -> Error (Printf.sprintf "factor %S is not a number" s)
+
+let parse_event s =
+  let fail msg = Error (Printf.sprintf "event %S: %s" s msg) in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "link"; rest ] -> (
+      match String.index_opt rest '@' with
+      | None -> fail "missing @SLOTS"
+      | Some i -> (
+          let eps = String.sub rest 0 i
+          and slots = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match (parse_endpoints eps, parse_slots slots) with
+          | Ok (src, dst), Ok (first, last) ->
+              Ok (Link_outage { src; dst; first; last })
+          | Error e, _ | _, Error e -> fail e))
+  | [ "dc"; rest ] -> (
+      match String.index_opt rest '@' with
+      | None -> fail "missing @SLOTS"
+      | Some i -> (
+          let dc = String.sub rest 0 i
+          and slots = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match (parse_nat "datacenter" dc, parse_slots slots) with
+          | Ok dc, Ok (first, last) -> Ok (Dc_outage { dc; first; last })
+          | Error e, _ | _, Error e -> fail e))
+  | [ "degrade"; middle; factor ] -> (
+      match String.index_opt middle '@' with
+      | None -> fail "missing @SLOTS"
+      | Some i -> (
+          let eps = String.sub middle 0 i
+          and slots = String.sub middle (i + 1) (String.length middle - i - 1) in
+          match (parse_endpoints eps, parse_slots slots, parse_factor factor)
+          with
+          | Ok (src, dst), Ok (first, last), Ok factor ->
+              Ok (Degrade { src; dst; first; last; factor })
+          | Error e, _, _ | _, Error e, _ | _, _, Error e -> fail e))
+  | [ "degrade"; _ ] -> fail "degrade needs a trailing :FACTOR"
+  | kind :: _ -> fail (Printf.sprintf "unknown event kind %S" kind)
+  | [] -> fail "empty event"
+
+let parse s =
+  let chunks =
+    List.filter
+      (fun c -> String.trim c <> "")
+      (String.split_on_char ',' s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+        match parse_event c with
+        | Ok ev -> go (ev :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] chunks
+
+let slots_to_string first last =
+  if first = last then string_of_int first
+  else Printf.sprintf "%d..%d" first last
+
+let event_to_string = function
+  | Link_outage { src; dst; first; last } ->
+      Printf.sprintf "link:%d-%d@%s" src dst (slots_to_string first last)
+  | Dc_outage { dc; first; last } ->
+      Printf.sprintf "dc:%d@%s" dc (slots_to_string first last)
+  | Degrade { src; dst; first; last; factor } ->
+      Printf.sprintf "degrade:%d-%d@%s:%g" src dst (slots_to_string first last)
+        factor
+
+let to_string scenario = String.concat "," (List.map event_to_string scenario)
+
+let pp_event ppf ev = Format.pp_print_string ppf (event_to_string ev)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation against a base graph. *)
+
+type cevent = {
+  ev : event;
+  links : int list;  (** Arc ids the event silences or degrades. *)
+  first : int;
+  last : int;
+  cfactor : float;
+}
+
+type t = { events : cevent array }
+
+let window = function
+  | Link_outage { first; last; _ }
+  | Dc_outage { first; last; _ }
+  | Degrade { first; last; _ } -> (first, last)
+
+let compile scenario ~base =
+  let n = Graph.num_nodes base in
+  let resolve_link src dst =
+    if src >= n || dst >= n then
+      Error
+        (Printf.sprintf "datacenter %d is outside the %d-node base graph"
+           (max src dst) n)
+    else
+      match Graph.find_arc base ~src ~dst with
+      | Some link -> Ok [ link ]
+      | None -> Error (Printf.sprintf "no link %d-%d in the base graph" src dst)
+  in
+  let resolve ev =
+    let links =
+      match ev with
+      | Link_outage { src; dst; _ } -> resolve_link src dst
+      | Degrade { src; dst; _ } -> resolve_link src dst
+      | Dc_outage { dc; _ } ->
+          if dc >= n then
+            Error
+              (Printf.sprintf "datacenter %d is outside the %d-node base graph"
+                 dc n)
+          else
+            Ok
+              (Graph.fold_arcs base ~init:[] ~f:(fun acc a ->
+                   if a.Graph.src = dc || a.Graph.dst = dc then
+                     a.Graph.id :: acc
+                   else acc))
+    in
+    let cfactor = match ev with Degrade { factor; _ } -> factor | _ -> 0. in
+    Result.map
+      (fun links ->
+        let first, last = window ev in
+        { ev; links; first; last; cfactor })
+      links
+  in
+  let rec go acc = function
+    | [] -> Ok { events = Array.of_list (List.rev acc) }
+    | ev :: rest -> (
+        match resolve ev with
+        | Ok ce -> go (ce :: acc) rest
+        | Error msg ->
+            Error
+              (Printf.sprintf "fault scenario: %s: %s" (event_to_string ev) msg))
+  in
+  go [] scenario
+
+let active t = Array.length t.events > 0
+
+let factor t ~asof ~link ~slot =
+  let f = ref 1. in
+  Array.iter
+    (fun ce ->
+      if
+        ce.first <= asof && ce.first <= slot && slot <= ce.last
+        && List.mem link ce.links
+      then f := Float.min !f ce.cfactor)
+    t.events;
+  !f
+
+let down t ~asof ~link ~slot = factor t ~asof ~link ~slot = 0.
+
+let revealed_at t ~slot =
+  Array.fold_left
+    (fun acc ce -> if ce.first = slot then ce.ev :: acc else acc)
+    [] t.events
+  |> List.rev
+
+let cells_revealed_at t ~slot =
+  let cells = Hashtbl.create 16 in
+  Array.iter
+    (fun ce ->
+      if ce.first = slot then
+        List.iter
+          (fun link ->
+            for s = ce.first to ce.last do
+              Hashtbl.replace cells (link, s) ()
+            done)
+          ce.links)
+    t.events;
+  Hashtbl.fold (fun (link, s) () acc -> (link, s) :: acc) cells []
+  |> List.sort compare
+  |> List.map (fun (link, s) -> (link, s, factor t ~asof:slot ~link ~slot:s))
+
+let event_fields ev =
+  let open Obs.Trace in
+  let kind, link_or_dc, factor =
+    match ev with
+    | Link_outage { src; dst; _ } ->
+        ("link", Printf.sprintf "%d-%d" src dst, 0.)
+    | Dc_outage { dc; _ } -> ("dc", string_of_int dc, 0.)
+    | Degrade { src; dst; factor; _ } ->
+        ("degrade", Printf.sprintf "%d-%d" src dst, factor)
+  in
+  let first, last = window ev in
+  [ ("kind", Str kind);
+    ("where", Str link_or_dc);
+    ("first", Int first);
+    ("last", Int last);
+    ("factor", Float factor) ]

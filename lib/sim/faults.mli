@@ -1,0 +1,84 @@
+(** Deterministic fault scenarios: link outages, whole-datacenter outages
+    and link-capacity degradations over absolute slots.
+
+    A {!scenario} is a graph-independent description parsed from a compact
+    spec (see {!parse}); {!compile} resolves it against a concrete base
+    graph into a queryable fault state. Faults are {e revealed} at their
+    first slot — before that the engine and the schedulers are oblivious,
+    which is what makes mid-transfer stranding and re-planning happen: a
+    plan committed at slot 2 onto a link that dies at slot 4 loses its
+    bookings from slot 4 on, and the affected files are re-offered to the
+    scheduler. Once revealed, an event's whole window is visible, so
+    re-planning can route around the remainder of the outage. *)
+
+type event =
+  | Link_outage of { src : int; dst : int; first : int; last : int }
+      (** The directed link [src -> dst] carries nothing during slots
+          [first .. last] (inclusive). *)
+  | Dc_outage of { dc : int; first : int; last : int }
+      (** Every link into or out of [dc] carries nothing during
+          [first .. last]. *)
+  | Degrade of { src : int; dst : int; first : int; last : int; factor : float }
+      (** The link [src -> dst] retains [factor] (in [0, 1]) of its
+          capacity during [first .. last]. *)
+
+type scenario = event list
+
+val empty : scenario
+
+val is_empty : scenario -> bool
+
+val parse : string -> (scenario, string) result
+(** Parse the compact CLI spec: comma-separated events, each one of
+    - [link:SRC-DST\@SLOTS] — link outage,
+    - [dc:N\@SLOTS] — datacenter outage,
+    - [degrade:SRC-DST\@SLOTS:FACTOR] — capacity degradation,
+    where [SLOTS] is a single absolute slot [4] or an inclusive range
+    [2..6]. Example: ["link:0-1\@3..5,dc:2\@4,degrade:1-3\@2..6:0.5"].
+    Whitespace around events is ignored; the empty string is the empty
+    scenario. Errors name the offending event. *)
+
+val to_string : scenario -> string
+(** Render a scenario back into the {!parse} syntax (round-trips). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Compiled scenarios} *)
+
+type t
+(** A scenario resolved against a base graph: events carry the arc ids
+    they silence. *)
+
+val compile : scenario -> base:Netgraph.Graph.t -> (t, string) result
+(** Resolve endpoints against [base]. Fails when an event names a
+    datacenter outside the node range or a link the graph does not have. *)
+
+val active : t -> bool
+(** [false] iff the compiled scenario has no events (the engine uses this
+    to keep the fault-free path untouched). *)
+
+val factor : t -> asof:int -> link:int -> slot:int -> float
+(** Effective capacity factor of [link] during [slot], considering only
+    events already revealed at epoch [asof] (i.e. with [first <= asof]).
+    [1.0] when unaffected; [0.0] when dead; the minimum wins when events
+    overlap. *)
+
+val down : t -> asof:int -> link:int -> slot:int -> bool
+(** [factor t ~asof ~link ~slot = 0.] — the fault view handed to
+    schedulers through {!Postcard.Scheduler.context}. *)
+
+val revealed_at : t -> slot:int -> event list
+(** Events whose window starts exactly at [slot] — the moment the engine
+    learns about them. *)
+
+val cells_revealed_at : t -> slot:int -> (int * int * float) list
+(** The [(link, slot', factor)] cells whose effective capacity drops when
+    the events revealed at [slot] become visible: every cell covered by a
+    newly revealed event, with the {e overall} visible factor at
+    [asof = slot]. Cells are deduplicated and sorted by [(link, slot')];
+    [slot' >= slot] always holds. The engine strands committed volume on
+    exactly these cells. *)
+
+val event_fields : event -> (string * Obs.Trace.field) list
+(** Trace payload for a ["fault.reveal"] point: the event's kind,
+    endpoints, window and factor. *)

@@ -6,13 +6,15 @@ type t = {
   mutable volumes : float array array;
   mutable charged : float array;
   mutable max_slot : int;
+  mutable voided : float;
 }
 
 let create ~base =
   { base;
     volumes = Array.make (Graph.num_arcs base) [||];
     charged = Array.make (Graph.num_arcs base) 0.;
-    max_slot = -1 }
+    max_slot = -1;
+    voided = 0. }
 
 let base t = t.base
 
@@ -64,6 +66,30 @@ let commit_plan t plan =
       commit t ~link:tx.Postcard.Plan.link ~slot:tx.Postcard.Plan.slot
         tx.Postcard.Plan.volume)
     plan.Postcard.Plan.transmissions
+
+let void t ~link ~slot volume =
+  check_link t link;
+  if slot < 0 then invalid_arg "Ledger.void: negative slot";
+  if volume < 0. || Float.is_nan volume then
+    invalid_arg "Ledger.void: negative volume";
+  if volume > 0. then begin
+    let vols = t.volumes.(link) in
+    if slot >= Array.length vols || vols.(slot) < volume -. 1e-6 then
+      failwith
+        (Printf.sprintf
+           "Ledger.void: link %d slot %d: removing %g exceeds booked %g" link
+           slot volume
+           (if slot < Array.length vols then vols.(slot) else 0.));
+    vols.(slot) <- Float.max 0. (vols.(slot) -. volume);
+    t.voided <- t.voided +. volume;
+    (* The charge is the peak of what is (still) booked; un-booking a
+       future transmission can lower it. *)
+    let peak = ref 0. in
+    Array.iter (fun v -> if v > !peak then peak := v) vols;
+    t.charged.(link) <- !peak
+  end
+
+let voided_volume t = t.voided
 
 let charged t ~link =
   check_link t link;

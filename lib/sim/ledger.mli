@@ -20,6 +20,20 @@ val commit : t -> link:int -> slot:int -> float -> unit
 
 val commit_plan : t -> Postcard.Plan.t -> unit
 
+val void : t -> link:int -> slot:int -> float -> unit
+(** Remove previously committed volume (fault stranding: a booking on a
+    now-dead or degraded (link, slot) cell is withdrawn before it flows).
+    The link's charged peak is recomputed — un-booking a future
+    transmission that drove the peak lowers the charge, since volume that
+    never flowed is never billed. Raises [Invalid_argument] on a negative
+    volume/slot or unknown link, and [Failure] when removing more than is
+    booked (beyond tolerance). *)
+
+val voided_volume : t -> float
+(** Cumulative volume withdrawn through {!void} — the ledger-level
+    stranding total, which the engine reconciles against its per-file
+    accounting. *)
+
 val occupied : t -> link:int -> slot:int -> float
 
 val residual : t -> link:int -> slot:int -> float

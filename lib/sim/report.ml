@@ -5,13 +5,25 @@ let print_summary ppf (results : Experiment.results) =
     "   %d datacenters, capacity %g GB/interval, files/slot <= %d, deadlines <= %d, %d slots x %d runs@,"
     s.Experiment.nodes s.Experiment.capacity s.Experiment.files_max
     s.Experiment.max_deadline s.Experiment.slots s.Experiment.runs;
-  Format.fprintf ppf "   %-12s %14s %14s %9s@," "scheduler" "avg cost/t"
-    "95%% CI (+/-)" "rejected";
+  let with_faults = not (Faults.is_empty s.Experiment.faults) in
+  if with_faults then
+    Format.fprintf ppf "   faults: %s@,"
+      (Faults.to_string s.Experiment.faults);
+  Format.fprintf ppf "   %-12s %14s %14s %9s" "scheduler" "avg cost/t"
+    "95% CI (+/-)" "rejected";
+  if with_faults then
+    Format.fprintf ppf " %12s %12s %12s" "delivered" "recovered" "lost";
+  Format.fprintf ppf "@,";
   List.iter
     (fun (sum : Experiment.scheduler_summary) ->
-      Format.fprintf ppf "   %-12s %14.1f %14.1f %9d@,"
+      Format.fprintf ppf "   %-12s %14.1f %14.1f %9d"
         sum.Experiment.scheduler sum.Experiment.mean_cost sum.Experiment.ci95
-        sum.Experiment.rejected)
+        sum.Experiment.rejected;
+      if with_faults then
+        Format.fprintf ppf " %12.1f %12.1f %12.1f"
+          sum.Experiment.delivered_volume sum.Experiment.recovered_volume
+          sum.Experiment.lost_volume;
+      Format.fprintf ppf "@,")
     results.Experiment.summaries;
   Format.fprintf ppf "@]"
 

@@ -3,6 +3,9 @@
     its 95% confidence interval, plus optional time series. *)
 
 val print_summary : Format.formatter -> Experiment.results -> unit
+(** When the setting carries a fault scenario, the header names it and the
+    table grows delivered/recovered/lost volume columns; fault-free output
+    is unchanged. *)
 
 val print_series :
   ?every:int -> Format.formatter -> Experiment.results -> unit

@@ -42,6 +42,9 @@ type slot_row = {
   rejected : int;
   admitted_bytes : float;
   stored_bytes : float;
+  replans : int;
+  stranded_bytes : float;
+  lost_bytes : float;
   cost : float;
   cost_delta : float;
   charged : float array;
@@ -58,6 +61,17 @@ type run = {
   final_charged : float array option;
   total_files : int option;
   rejected_files : int option;
+  offered_volume : float option;
+  delivered_volume : float option;
+  rejected_volume : float option;
+  stranded_volume : float option;
+  recovered_volume : float option;
+  lost_volume : float option;
+  lost_files : int option;
+  replanned_files : int option;
+  fault_reveals : int;
+  fault_strands : int;
+  fault_losses : int;
 }
 
 let floats_field ev name =
@@ -100,10 +114,14 @@ let of_events events =
   let cur_run = ref None in
   let cur_slot = ref None in
   let cur_tally = ref empty_tally in
+  let reveals = ref 0 and strands = ref 0 and losses = ref 0 in
   List.iter
     (fun ev ->
       match (ev.Reader.kind, ev.Reader.name) with
       | Reader.Begin, "sim.run" ->
+          reveals := 0;
+          strands := 0;
+          losses := 0;
           cur_run :=
             Some
               ( Option.value ~default:"?" (Reader.str_field ev "scheduler"),
@@ -120,7 +138,18 @@ let of_events events =
                   final_cost = Reader.float_field ev "final_cost";
                   final_charged = floats_field ev "final_charged";
                   total_files = Reader.int_field ev "total_files";
-                  rejected_files = Reader.int_field ev "rejected_files" }
+                  rejected_files = Reader.int_field ev "rejected_files";
+                  offered_volume = Reader.float_field ev "offered_volume";
+                  delivered_volume = Reader.float_field ev "delivered_volume";
+                  rejected_volume = Reader.float_field ev "rejected_volume";
+                  stranded_volume = Reader.float_field ev "stranded_volume";
+                  recovered_volume = Reader.float_field ev "recovered_volume";
+                  lost_volume = Reader.float_field ev "lost_volume";
+                  lost_files = Reader.int_field ev "lost_files";
+                  replanned_files = Reader.int_field ev "replanned_files";
+                  fault_reveals = !reveals;
+                  fault_strands = !strands;
+                  fault_losses = !losses }
                 :: !runs;
               cur_run := None)
       | Reader.Begin, "sim.slot" ->
@@ -136,6 +165,9 @@ let of_events events =
                   rejected = int0 ev "rejected";
                   admitted_bytes = float0 ev "admitted_bytes";
                   stored_bytes = float0 ev "stored_bytes";
+                  replans = int0 ev "replans";
+                  stranded_bytes = float0 ev "stranded_bytes";
+                  lost_bytes = float0 ev "lost_bytes";
                   cost = float0 ev "cost";
                   cost_delta = float0 ev "cost_delta";
                   charged =
@@ -150,6 +182,9 @@ let of_events events =
       | Reader.Point, "lp.solve" ->
           if !cur_slot <> None then
             cur_tally := add_tally !cur_tally (tally_of_solve ev)
+      | Reader.Point, "fault.reveal" -> if !cur_run <> None then incr reveals
+      | Reader.Point, "fault.strand" -> if !cur_run <> None then incr strands
+      | Reader.Point, "fault.lost" -> if !cur_run <> None then incr losses
       | _ -> ())
     events;
   List.rev !runs
@@ -184,38 +219,71 @@ let reconcile run =
     in
     go 0. [||] run.rows
   in
+  let check_finals () =
+    let last = List.nth_opt run.rows (List.length run.rows - 1) in
+    match (last, run.final_cost, run.final_charged) with
+    | None, _, _ | _, None, None -> Ok ()
+    | Some row, fc, fch -> (
+        match fc with
+        | Some c when c <> row.cost ->
+            fail "final cost %.17g does not match last slot's %.17g" c
+              row.cost
+        | _ -> (
+            match fch with
+            | Some arr
+              when Array.length arr <> Array.length row.charged ->
+                fail "final charged has %d links, last slot has %d"
+                  (Array.length arr)
+                  (Array.length row.charged)
+            | Some arr ->
+                let bad = ref None in
+                Array.iteri
+                  (fun l v ->
+                    if !bad = None && v <> row.charged.(l) then bad := Some l)
+                  arr;
+                (match !bad with
+                 | Some l ->
+                     fail
+                       "final charged volume on link %d does not match the \
+                        slot series"
+                       l
+                 | None -> Ok ())
+            | None -> Ok ()))
+  in
+  (* Byte accounting: the engine's per-file decomposition must close
+     (delivered + lost + rejected = offered), and the per-slot fault
+     series must sum to the run totals. Accumulation order differs
+     between the engine's running totals and the analyzer's fold, so this
+     check uses a relative tolerance instead of bit equality. *)
+  let check_bytes () =
+    match (run.offered_volume, run.delivered_volume) with
+    | Some offered, Some delivered ->
+        let rejected = Option.value ~default:0. run.rejected_volume in
+        let lost = Option.value ~default:0. run.lost_volume in
+        let stranded = Option.value ~default:0. run.stranded_volume in
+        let tol = 1e-6 *. Float.max 1. offered in
+        let slot_sum f = List.fold_left (fun acc r -> acc +. f r) 0. run.rows in
+        if Float.abs (offered -. (delivered +. lost +. rejected)) > tol then
+          fail
+            "byte accounting: offered %.17g <> delivered %.17g + lost %.17g \
+             + rejected %.17g"
+            offered delivered lost rejected
+        else if Float.abs (slot_sum (fun r -> r.stranded_bytes) -. stranded)
+                > tol
+        then
+          fail "per-slot stranded bytes do not sum to the run total %.17g"
+            stranded
+        else if Float.abs (slot_sum (fun r -> r.lost_bytes) -. lost) > tol then
+          fail "per-slot lost bytes do not sum to the run total %.17g" lost
+        else Ok ()
+    | _ -> Ok ()
+  in
   match check_deltas () with
   | Error _ as e -> e
   | Ok () -> (
-      let last = List.nth_opt run.rows (List.length run.rows - 1) in
-      match (last, run.final_cost, run.final_charged) with
-      | None, _, _ | _, None, None -> Ok ()
-      | Some row, fc, fch -> (
-          match fc with
-          | Some c when c <> row.cost ->
-              fail "final cost %.17g does not match last slot's %.17g" c
-                row.cost
-          | _ -> (
-              match fch with
-              | Some arr
-                when Array.length arr <> Array.length row.charged ->
-                  fail "final charged has %d links, last slot has %d"
-                    (Array.length arr)
-                    (Array.length row.charged)
-              | Some arr ->
-                  let bad = ref None in
-                  Array.iteri
-                    (fun l v ->
-                      if !bad = None && v <> row.charged.(l) then bad := Some l)
-                    arr;
-                  (match !bad with
-                   | Some l ->
-                       fail
-                         "final charged volume on link %d does not match the \
-                          slot series"
-                         l
-                   | None -> Ok ())
-              | None -> Ok ())))
+      match check_finals () with
+      | Error _ as e -> e
+      | Ok () -> check_bytes ())
 
 let run_tally run =
   List.fold_left (fun acc row -> add_tally acc row.lp) empty_tally run.rows
@@ -255,6 +323,29 @@ let pp_run ppf run =
   (match (run.total_files, run.rejected_files) with
    | Some total, Some rej ->
        Format.fprintf ppf "  files: %d offered, %d rejected@," total rej
+   | _ -> ());
+  if run.fault_reveals > 0 || run.fault_strands > 0 || run.fault_losses > 0
+  then
+    Format.fprintf ppf
+      "  faults: %d event%s revealed, %d stranding%s (%d replanned), %d \
+       loss%s@,"
+      run.fault_reveals
+      (if run.fault_reveals = 1 then "" else "s")
+      run.fault_strands
+      (if run.fault_strands = 1 then "" else "s")
+      (Option.value ~default:0 run.replanned_files)
+      run.fault_losses
+      (if run.fault_losses = 1 then "" else "es");
+  (match (run.offered_volume, run.delivered_volume) with
+   | Some offered, Some delivered ->
+       Format.fprintf ppf
+         "  bytes: %.1f offered = %.1f delivered + %.1f rejected + %.1f \
+          lost (%.1f stranded, %.1f recovered)@,"
+         offered delivered
+         (Option.value ~default:0. run.rejected_volume)
+         (Option.value ~default:0. run.lost_volume)
+         (Option.value ~default:0. run.stranded_volume)
+         (Option.value ~default:0. run.recovered_volume)
    | _ -> ());
   (match reconcile run with
    | Ok () ->

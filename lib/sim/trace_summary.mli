@@ -26,6 +26,9 @@ type slot_row = {
   rejected : int;
   admitted_bytes : float;
   stored_bytes : float;
+  replans : int;  (** Stranded files re-offered this slot (0 pre-fault traces). *)
+  stranded_bytes : float;  (** Bytes stranded by reveals this slot. *)
+  lost_bytes : float;  (** Bytes lost (deadline or re-offer rejection). *)
   cost : float;  (** Cumulative charged cost after this slot. *)
   cost_delta : float;
   charged : float array;  (** Cumulative per-link charged volume. *)
@@ -42,6 +45,17 @@ type run = {
   final_charged : float array option;
   total_files : int option;
   rejected_files : int option;
+  offered_volume : float option;
+  delivered_volume : float option;
+  rejected_volume : float option;
+  stranded_volume : float option;
+  recovered_volume : float option;
+  lost_volume : float option;
+  lost_files : int option;
+  replanned_files : int option;
+  fault_reveals : int;  (** ["fault.reveal"] points inside the run. *)
+  fault_strands : int;  (** ["fault.strand"] points inside the run. *)
+  fault_losses : int;  (** ["fault.lost"] points inside the run. *)
 }
 
 val of_events : Obs.Trace_reader.event list -> run list
@@ -54,8 +68,12 @@ val reconcile : run -> (unit, string) result
     the last slot's [charged] must equal [final_charged] per link, and
     every slot's deltas must equal the difference of the adjacent
     cumulative readings (the engine computes them that way, so the
-    recomputation is bit-exact). [Ok] when the run carries no final
-    totals. *)
+    recomputation is bit-exact). When the run carries byte totals
+    (schema >= the fault-aware engine), additionally checks the byte
+    decomposition [offered = delivered + lost + rejected] and the per-slot
+    stranded/lost sums against the run totals, at relative tolerance
+    [1e-6] (accumulation order differs between engine and analyzer). [Ok]
+    when the run carries no final totals. *)
 
 val pp_run : Format.formatter -> run -> unit
 

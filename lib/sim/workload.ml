@@ -33,9 +33,12 @@ let paper_spec ~nodes ~files_max ~max_deadline =
     endpoints = Uniform_endpoints;
     urgent_size_cap = None }
 
+type source =
+  | Random of { spec : spec; rng : Prelude.Rng.t }
+  | Scripted of Postcard.File.t list
+
 type t = {
-  spec : spec;
-  rng : Prelude.Rng.t;
+  source : source;
   mutable next_id : int;
 }
 
@@ -66,11 +69,23 @@ let validate spec =
 
 let create spec rng =
   validate spec;
-  { spec; rng; next_id = 0 }
+  { source = Random { spec; rng }; next_id = 0 }
 
-let count_at t ~slot =
-  let base = Prelude.Rng.int_incl t.rng t.spec.files_min t.spec.files_max in
-  match t.spec.arrivals with
+let scripted files =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.Postcard.File.id then
+        invalid_arg
+          (Printf.sprintf "Workload.scripted: duplicate file id %d"
+             f.Postcard.File.id);
+      Hashtbl.add seen f.Postcard.File.id ())
+    files;
+  { source = Scripted files; next_id = 0 }
+
+let count_at ~spec ~rng ~slot =
+  let base = Prelude.Rng.int_incl rng spec.files_min spec.files_max in
+  match spec.arrivals with
   | Steady -> base
   | Diurnal { period; trough_scale } ->
       (* Raised cosine: 1.0 at the peak, trough_scale at the trough. *)
@@ -80,38 +95,42 @@ let count_at t ~slot =
       in
       int_of_float (Float.round (scale *. float_of_int base))
 
-let pick_src t =
-  match t.spec.endpoints with
-  | Uniform_endpoints -> Prelude.Rng.int t.rng t.spec.nodes
+let pick_src ~spec ~rng =
+  match spec.endpoints with
+  | Uniform_endpoints -> Prelude.Rng.int rng spec.nodes
   | Hotspot { node; weight } ->
-      if Prelude.Rng.float t.rng 1. < weight then node
-      else Prelude.Rng.int t.rng t.spec.nodes
+      if Prelude.Rng.float rng 1. < weight then node
+      else Prelude.Rng.int rng spec.nodes
 
 let arrivals t ~slot =
   if slot < 0 then invalid_arg "Workload.arrivals: negative slot";
-  let n = count_at t ~slot in
-  List.init n (fun _ ->
-      let src = pick_src t in
-      let rec pick_dst () =
-        let d = Prelude.Rng.int t.rng t.spec.nodes in
-        if d = src then pick_dst () else d
-      in
-      let dst = pick_dst () in
-      let size =
-        Prelude.Rng.float_range t.rng t.spec.size_min t.spec.size_max
-      in
-      let deadline =
-        match t.spec.deadlines with
-        | Fixed_deadline d -> d
-        | Uniform_deadline (lo, hi) -> Prelude.Rng.int_incl t.rng lo hi
-      in
-      let size =
-        match t.spec.urgent_size_cap with
-        | Some cap when deadline = 1 -> min size (max t.spec.size_min cap)
-        | Some _ | None -> size
-      in
-      let id = t.next_id in
-      t.next_id <- id + 1;
-      Postcard.File.make ~id ~src ~dst ~size ~deadline ~release:slot)
+  match t.source with
+  | Scripted files ->
+      let due = List.filter (fun f -> f.Postcard.File.release = slot) files in
+      t.next_id <- t.next_id + List.length due;
+      due
+  | Random { spec; rng } ->
+      let n = count_at ~spec ~rng ~slot in
+      List.init n (fun _ ->
+          let src = pick_src ~spec ~rng in
+          let rec pick_dst () =
+            let d = Prelude.Rng.int rng spec.nodes in
+            if d = src then pick_dst () else d
+          in
+          let dst = pick_dst () in
+          let size = Prelude.Rng.float_range rng spec.size_min spec.size_max in
+          let deadline =
+            match spec.deadlines with
+            | Fixed_deadline d -> d
+            | Uniform_deadline (lo, hi) -> Prelude.Rng.int_incl rng lo hi
+          in
+          let size =
+            match spec.urgent_size_cap with
+            | Some cap when deadline = 1 -> min size (max spec.size_min cap)
+            | Some _ | None -> size
+          in
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          Postcard.File.make ~id ~src ~dst ~size ~deadline ~release:slot)
 
 let generated t = t.next_id

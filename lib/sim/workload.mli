@@ -49,6 +49,12 @@ type t
 val create : spec -> Prelude.Rng.t -> t
 (** The generator owns the RNG and a file-id counter. *)
 
+val scripted : Postcard.File.t list -> t
+(** A deterministic workload that releases exactly the given files, each
+    at its [release] slot (order within a slot preserved). File ids must
+    be distinct — raises [Invalid_argument] on duplicates. Used by tests
+    and fault-injection scenarios that need byte-exact arrivals. *)
+
 val arrivals : t -> slot:int -> Postcard.File.t list
 (** Files released at [slot]. Deterministic given the creation RNG state
     and the sequence of calls. *)

@@ -30,6 +30,7 @@ let () =
       ("exec", Test_exec.suite);
       ("sim", Test_sim.suite);
       ("report", Test_report.suite);
+      ("faults", Test_faults.suite);
       ("engine-faults", Test_engine_faults.suite);
       ("warm-start", Test_warm_start.suite);
       ("obs", Test_obs.suite);

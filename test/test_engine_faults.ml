@@ -25,7 +25,8 @@ let lying_scheduler ~fluid mangle =
 
 let expect_invalid name scheduler =
   match
-    Sim.Engine.run ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2
+    Sim.Engine.(
+      run (make ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2 ()))
   with
   | exception Sim.Engine.Invalid_plan _ -> ()
   | _ -> Alcotest.failf "%s: expected Invalid_plan" name
@@ -78,7 +79,8 @@ let test_fluid_skips_conservation () =
         | [] -> Plan.empty)
   in
   let outcome =
-    Sim.Engine.run ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2
+    Sim.Engine.(
+      run (make ~base:(base ()) ~scheduler ~workload:(workload ()) ~slots:2 ()))
   in
   Alcotest.(check bool) "ran to completion" true
     (Array.length outcome.Sim.Engine.cost_series = 2)
@@ -86,9 +88,11 @@ let test_fluid_skips_conservation () =
 let test_engine_rejects_zero_slots () =
   Alcotest.(check bool) "slots >= 1" true
     (match
-       Sim.Engine.run ~base:(base ())
-         ~scheduler:(Postcard.Direct_scheduler.make ())
-         ~workload:(workload ()) ~slots:0
+       Sim.Engine.(
+         run
+           (make ~base:(base ())
+              ~scheduler:(Postcard.Direct_scheduler.make ())
+              ~workload:(workload ()) ~slots:0 ()))
      with
      | exception Invalid_argument _ -> true
      | _ -> false)
@@ -105,10 +109,241 @@ let test_tail_slots_accounted () =
       deadlines = Sim.Workload.Fixed_deadline 4 }
   in
   let workload = Sim.Workload.create spec (Prelude.Rng.of_int 3) in
-  let outcome = Sim.Engine.run ~base:g ~scheduler ~workload ~slots:2 in
+  let outcome =
+    Sim.Engine.(run (make ~base:g ~scheduler ~workload ~slots:2 ()))
+  in
   (* The slot-1 file of deadline 4 books up to slot 4. *)
   Alcotest.(check bool) "tail recorded" true
     (Array.length outcome.Sim.Engine.link_volumes.(0) >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: stranding, re-planning, loss and byte accounting. *)
+
+let parse_faults spec =
+  match Sim.Faults.parse spec with
+  | Ok sc -> sc
+  | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec msg
+
+(* One file 0 -> 1 of size 12 with deadline 4 on a capacity-10 link: the
+   direct scheduler spreads it at 3 GB per slot over slots 0..3, so an
+   outage revealed mid-transfer strands exactly the not-yet-flowed half. *)
+let scripted_run ~faults ~deadline ~size =
+  let g = base () in
+  let workload =
+    Sim.Workload.scripted
+      [ File.make ~id:0 ~src:0 ~dst:1 ~size ~deadline ~release:0 ]
+  in
+  Sim.Engine.(
+    run
+      (make ~base:g
+         ~scheduler:(Postcard.Direct_scheduler.make ())
+         ~workload ~slots:deadline ~faults ()))
+
+let test_strand_and_recover () =
+  (* Outage at slot 2 only: slots 2 and 3 (3 + 3 GB) are stranded; the
+     re-offer fits entirely into slot 3 (6 <= capacity 10). *)
+  let o =
+    scripted_run ~faults:(parse_faults "link:0-1@2..2") ~deadline:4 ~size:12.
+  in
+  Alcotest.(check (float 1e-9)) "offered" 12. o.Sim.Engine.offered_volume;
+  Alcotest.(check (float 1e-9)) "stranded" 6. o.Sim.Engine.stranded_volume;
+  Alcotest.(check (float 1e-9)) "recovered" 6. o.Sim.Engine.recovered_volume;
+  Alcotest.(check (float 1e-9)) "nothing lost" 0. o.Sim.Engine.lost_volume;
+  Alcotest.(check (float 1e-9)) "delivered in full" 12.
+    o.Sim.Engine.delivered_volume;
+  Alcotest.(check int) "one replan" 1 o.Sim.Engine.replanned_files;
+  Alcotest.(check int) "no losses" 0 o.Sim.Engine.lost_files;
+  Alcotest.(check int) "no rejections" 0 o.Sim.Engine.rejected_files;
+  (* The re-planned bytes moved into slot 3; the dead slot carries 0. *)
+  Alcotest.(check (float 1e-9)) "slot 2 empty" 0.
+    o.Sim.Engine.link_volumes.(0).(2);
+  Alcotest.(check (float 1e-9)) "slot 3 doubled" 6.
+    o.Sim.Engine.link_volumes.(0).(3)
+
+let test_strand_and_lose () =
+  (* Outage over slots 2..3 kills the whole remaining window: the
+     re-offer cannot be placed and its 6 GB are lost. *)
+  let o =
+    scripted_run ~faults:(parse_faults "link:0-1@2..3") ~deadline:4 ~size:12.
+  in
+  Alcotest.(check (float 1e-9)) "stranded" 6. o.Sim.Engine.stranded_volume;
+  Alcotest.(check (float 1e-9)) "nothing recovered" 0.
+    o.Sim.Engine.recovered_volume;
+  Alcotest.(check (float 1e-9)) "lost" 6. o.Sim.Engine.lost_volume;
+  Alcotest.(check (float 1e-9)) "half delivered" 6.
+    o.Sim.Engine.delivered_volume;
+  Alcotest.(check int) "one loss" 1 o.Sim.Engine.lost_files;
+  Alcotest.(check int) "a lost re-offer is not a rejection" 0
+    o.Sim.Engine.rejected_files;
+  (* Accounting closes: offered = delivered + lost + rejected. *)
+  Alcotest.(check (float 1e-9)) "byte decomposition" 12.
+    (o.Sim.Engine.delivered_volume +. o.Sim.Engine.lost_volume
+    +. o.Sim.Engine.rejected_volume)
+
+let test_degrade_evicts_over_cap () =
+  (* 36 GB over 4 slots runs at 9 GB/slot; halving the link to 5 GB/slot
+     from slot 2 strands the remaining 18 GB, and the 10 GB of degraded
+     window left cannot absorb them. *)
+  let o =
+    scripted_run
+      ~faults:(parse_faults "degrade:0-1@2..3:0.5")
+      ~deadline:4 ~size:36.
+  in
+  Alcotest.(check (float 1e-9)) "stranded" 18. o.Sim.Engine.stranded_volume;
+  Alcotest.(check (float 1e-9)) "lost" 18. o.Sim.Engine.lost_volume;
+  Alcotest.(check (float 1e-9)) "delivered" 18. o.Sim.Engine.delivered_volume
+
+let test_charge_drops_with_voided_bookings () =
+  (* Stranding un-books future volume; when that volume drove the peak,
+     the charge falls with it (never-flowed bytes are never billed). *)
+  let o_faulty =
+    scripted_run ~faults:(parse_faults "link:0-1@2..3") ~deadline:4 ~size:12.
+  in
+  let o_clean = scripted_run ~faults:Sim.Faults.empty ~deadline:4 ~size:12. in
+  Alcotest.(check bool) "charge never exceeds the clean run" true
+    (o_faulty.Sim.Engine.final_charged.(0)
+    <= o_clean.Sim.Engine.final_charged.(0) +. 1e-9)
+
+let test_empty_scenario_bit_identical () =
+  (* An empty scenario must take the exact fault-free code path: outcomes
+     and trace streams are bit-identical, not merely close. *)
+  let collect f =
+    let lines = ref [] in
+    Obs.Trace.set_callback (fun line -> lines := line :: !lines);
+    let r = Fun.protect ~finally:Obs.Trace.close f in
+    (r, List.rev !lines)
+  in
+  let strip_ts line =
+    (* Timestamps and wall-clock durations are the only nondeterminism. *)
+    match Obs.Json.parse line with
+    | Error msg -> Alcotest.failf "bad trace line (%s): %s" msg line
+    | Ok (Obs.Json.Obj fields) ->
+        Obs.Json.to_string
+          (Obs.Json.Obj
+             (List.filter
+                (fun (k, _) ->
+                  k <> "ts" && k <> "dur_ms" && k <> "ms" && k <> "sched_ms")
+                fields))
+    | Ok _ -> Alcotest.failf "trace line is not an object: %s" line
+  in
+  let traced faults =
+    collect (fun () ->
+        let g = base () in
+        let workload =
+          Sim.Workload.create
+            { (Sim.Workload.paper_spec ~nodes:2 ~files_max:2 ~max_deadline:3)
+              with
+              Sim.Workload.size_min = 2.;
+              size_max = 8. }
+            (Prelude.Rng.of_int 5)
+        in
+        Sim.Engine.(
+          run
+            (make ~base:g
+               ~scheduler:(Postcard.Direct_scheduler.make ())
+               ~workload ~slots:5 ?faults ())))
+  in
+  let o1, t1 = traced None in
+  let o2, t2 = traced (Some Sim.Faults.empty) in
+  Alcotest.(check bool) "trace captured" true (List.length t1 > 0);
+  Alcotest.(check (array (float 0.))) "identical cost series"
+    o1.Sim.Engine.cost_series o2.Sim.Engine.cost_series;
+  Alcotest.(check (array (float 0.))) "identical charges"
+    o1.Sim.Engine.final_charged o2.Sim.Engine.final_charged;
+  Alcotest.(check (float 0.)) "identical delivered"
+    o1.Sim.Engine.delivered_volume o2.Sim.Engine.delivered_volume;
+  Alcotest.(check (list string)) "identical trace stream"
+    (List.map strip_ts t1) (List.map strip_ts t2)
+
+let test_faulted_sweep_pool_invariant () =
+  (* The paired-comparison sweep stays bit-identical across pool sizes
+     with a fault scenario injected into every cell. *)
+  let setting =
+    Sim.Experiment.with_overrides ~label:"fault-sweep" ~nodes:5 ~capacity:20.
+      ~files_max:2 ~slots:6 ~runs:2 ~seed:7
+      ~faults:(parse_faults "link:0-1@2..3")
+      Sim.Experiment.custom_default
+  in
+  let schedulers =
+    [ (fun () -> Postcard.Postcard_scheduler.make ());
+      (fun () -> Postcard.Direct_scheduler.make ()) ]
+  in
+  let serial = Sim.Experiment.run_setting setting ~schedulers in
+  let pool = Exec.Pool.create ~domains:2 () in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () -> Sim.Experiment.run_setting ~pool setting ~schedulers)
+  in
+  Alcotest.(check bool) "bit-identical summaries" true
+    (serial.Sim.Experiment.summaries = par.Sim.Experiment.summaries)
+
+let test_trace_reconciles_under_faults () =
+  (* The fault trace points and the extended run totals must satisfy the
+     analyzer's byte-accounting reconciliation. *)
+  let lines = ref [] in
+  Obs.Trace.set_callback (fun line -> lines := line :: !lines);
+  let o =
+    Fun.protect ~finally:Obs.Trace.close (fun () ->
+        scripted_run
+          ~faults:(parse_faults "link:0-1@2..2")
+          ~deadline:4 ~size:12.)
+  in
+  let events =
+    (* [lines] accumulated newest-first; rev_map restores stream order. *)
+    List.rev_map
+      (fun line ->
+        match Obs.Trace_reader.of_line line with
+        | Ok ev -> ev
+        | Error msg -> Alcotest.failf "invalid trace line: %s" msg)
+      !lines
+  in
+  match Sim.Trace_summary.of_events events with
+  | [ run ] ->
+      (match Sim.Trace_summary.reconcile run with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "reconciliation failed: %s" msg);
+      Alcotest.(check int) "one reveal" 1 run.Sim.Trace_summary.fault_reveals;
+      Alcotest.(check int) "one strand" 1 run.Sim.Trace_summary.fault_strands;
+      Alcotest.(check int) "no losses" 0 run.Sim.Trace_summary.fault_losses;
+      Alcotest.(check (option int)) "replans carried" (Some 1)
+        run.Sim.Trace_summary.replanned_files;
+      Alcotest.(check (option (float 1e-9))) "offered carried" (Some 12.)
+        run.Sim.Trace_summary.offered_volume;
+      Alcotest.(check (option (float 1e-9))) "delivered carried"
+        (Some o.Sim.Engine.delivered_volume)
+        run.Sim.Trace_summary.delivered_volume;
+      let stranded_by_slot =
+        List.fold_left
+          (fun acc (r : Sim.Trace_summary.slot_row) ->
+            acc +. r.Sim.Trace_summary.stranded_bytes)
+          0. run.Sim.Trace_summary.rows
+      in
+      Alcotest.(check (float 1e-9)) "per-slot stranding sums" 6.
+        stranded_by_slot
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+let test_postcard_replans_at_least_greedy () =
+  (* The acceptance scenario: a mid-run outage on a 6-DC network. The
+     postcard scheduler's store-and-forward re-planning must deliver at
+     least as much as the greedy baseline facing the same faults. *)
+  let setting =
+    Sim.Experiment.with_overrides ~label:"outage-comparison" ~nodes:6
+      ~capacity:30. ~files_max:4 ~slots:8 ~runs:2 ~seed:42
+      ~faults:(parse_faults "link:0-1@3..5")
+      Sim.Experiment.custom_default
+  in
+  let results =
+    Sim.Experiment.run_setting setting
+      ~schedulers:
+        [ (fun () -> Postcard.Postcard_scheduler.make ());
+          (fun () -> Postcard.Greedy_scheduler.make ()) ]
+  in
+  let postcard = Sim.Experiment.find_summary_exn results "postcard" in
+  let greedy = Sim.Experiment.find_summary_exn results "greedy-snf" in
+  Alcotest.(check bool) "postcard delivers at least as much" true
+    (postcard.Sim.Experiment.delivered_volume
+    >= greedy.Sim.Experiment.delivered_volume -. 1e-6)
 
 let suite =
   [ Alcotest.test_case "overbooked caught" `Quick test_overbooked_plan_caught;
@@ -116,4 +351,18 @@ let suite =
     Alcotest.test_case "deadline violation caught" `Quick test_deadline_violation_caught;
     Alcotest.test_case "fluid skips conservation" `Quick test_fluid_skips_conservation;
     Alcotest.test_case "zero slots rejected" `Quick test_engine_rejects_zero_slots;
-    Alcotest.test_case "tail slots accounted" `Quick test_tail_slots_accounted ]
+    Alcotest.test_case "tail slots accounted" `Quick test_tail_slots_accounted;
+    Alcotest.test_case "strand and recover" `Quick test_strand_and_recover;
+    Alcotest.test_case "strand and lose" `Quick test_strand_and_lose;
+    Alcotest.test_case "degrade evicts over cap" `Quick
+      test_degrade_evicts_over_cap;
+    Alcotest.test_case "voided bookings uncharge" `Quick
+      test_charge_drops_with_voided_bookings;
+    Alcotest.test_case "empty scenario bit-identical" `Quick
+      test_empty_scenario_bit_identical;
+    Alcotest.test_case "faulted sweep pool-invariant" `Quick
+      test_faulted_sweep_pool_invariant;
+    Alcotest.test_case "trace reconciles under faults" `Quick
+      test_trace_reconciles_under_faults;
+    Alcotest.test_case "postcard replans at least greedy" `Quick
+      test_postcard_replans_at_least_greedy ]

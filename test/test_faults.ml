@@ -1,0 +1,165 @@
+(* The fault-scenario DSL: parsing, round-tripping, compilation against a
+   base graph, and the reveal/factor query semantics the engine builds
+   on. *)
+
+module Graph = Netgraph.Graph
+module Faults = Sim.Faults
+
+let parse_ok spec =
+  match Faults.parse spec with
+  | Ok sc -> sc
+  | Error msg -> Alcotest.failf "parse %S failed: %s" spec msg
+
+let parse_err spec =
+  match Faults.parse spec with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" spec
+  | Error msg -> msg
+
+let test_parse_basics () =
+  Alcotest.(check bool) "empty string" true (Faults.is_empty (parse_ok ""));
+  Alcotest.(check bool) "blank chunks" true (Faults.is_empty (parse_ok " , "));
+  (match parse_ok "link:0-1@3..5" with
+   | [ Faults.Link_outage { src = 0; dst = 1; first = 3; last = 5 } ] -> ()
+   | _ -> Alcotest.fail "link event mis-parsed");
+  (match parse_ok "dc:2@4" with
+   | [ Faults.Dc_outage { dc = 2; first = 4; last = 4 } ] -> ()
+   | _ -> Alcotest.fail "dc event mis-parsed");
+  (match parse_ok "degrade:1-3@2..6:0.5" with
+   | [ Faults.Degrade { src = 1; dst = 3; first = 2; last = 6; factor } ] ->
+       Alcotest.(check (float 0.)) "factor" 0.5 factor
+   | _ -> Alcotest.fail "degrade event mis-parsed");
+  (* The documented example, with whitespace tolerated. *)
+  Alcotest.(check int) "three events" 3
+    (List.length (parse_ok " link:0-1@3..5, dc:2@4 ,degrade:1-3@2..6:0.5"))
+
+let test_parse_round_trip () =
+  let spec = "link:0-1@3..5,dc:2@4,degrade:1-3@2..6:0.5" in
+  Alcotest.(check string) "round-trips" spec
+    (Faults.to_string (parse_ok spec));
+  Alcotest.(check string) "single slot renders bare" "link:0-1@4"
+    (Faults.to_string (parse_ok "link:0-1@4..4"))
+
+let test_parse_errors () =
+  let cases =
+    [ "wat:0-1@3";  (* unknown kind *)
+      "link:0-1";  (* missing @SLOTS *)
+      "link:01@3";  (* bad endpoints *)
+      "link:0-0@3";  (* self-loop *)
+      "link:0-1@5..3";  (* reversed range *)
+      "link:0-1@3.5";  (* malformed range *)
+      "link:0--1@3";  (* negative dst *)
+      "link:a-b@3";  (* not integers *)
+      "dc:x@3";  (* bad dc *)
+      "degrade:0-1@3";  (* missing factor *)
+      "degrade:0-1@3:1.5";  (* factor outside [0, 1] *)
+      "degrade:0-1@3:nope";  (* factor not a number *)
+      "link:0-1@3,wat" ]  (* error in a later chunk *)
+  in
+  List.iter
+    (fun spec ->
+      let msg = parse_err spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error is non-empty" spec)
+        true (String.length msg > 0))
+    cases
+
+let line_base () =
+  (* 0 -> 1 -> 2, plus 0 -> 2 direct. *)
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:10. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:10. ~cost:5. ());
+  g
+
+let compile_ok spec ~base =
+  match Faults.compile (parse_ok spec) ~base with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "compile %S failed: %s" spec msg
+
+let test_compile_errors () =
+  let base = line_base () in
+  let err spec =
+    match Faults.compile (parse_ok spec) ~base with
+    | Ok _ -> Alcotest.failf "compile %S unexpectedly succeeded" spec
+    | Error msg ->
+        Alcotest.(check bool) "names the event" true
+          (String.length msg > 0)
+  in
+  err "link:2-0@1";  (* arc absent from the graph *)
+  err "link:0-9@1";  (* node out of range *)
+  err "dc:7@1";
+  Alcotest.(check bool) "empty scenario compiles inactive" true
+    (match Faults.compile Faults.empty ~base with
+     | Ok t -> not (Faults.active t)
+     | Error _ -> false)
+
+let test_factor_reveal_semantics () =
+  let base = line_base () in
+  let t = compile_ok "link:0-1@3..5,degrade:1-2@2..6:0.5" ~base in
+  Alcotest.(check bool) "active" true (Faults.active t);
+  (* Before its first slot an event is invisible at any asof. *)
+  Alcotest.(check (float 0.)) "outage hidden at asof 2" 1.
+    (Faults.factor t ~asof:2 ~link:0 ~slot:4);
+  (* From its first slot the whole window is visible. *)
+  Alcotest.(check (float 0.)) "outage visible at asof 3" 0.
+    (Faults.factor t ~asof:3 ~link:0 ~slot:5);
+  Alcotest.(check bool) "down mirrors factor 0" true
+    (Faults.down t ~asof:3 ~link:0 ~slot:4);
+  Alcotest.(check bool) "not down outside the window" false
+    (Faults.down t ~asof:3 ~link:0 ~slot:6);
+  (* Degradation scales, never kills. *)
+  Alcotest.(check (float 0.)) "degrade factor" 0.5
+    (Faults.factor t ~asof:2 ~link:1 ~slot:4);
+  Alcotest.(check bool) "degraded is not down" false
+    (Faults.down t ~asof:2 ~link:1 ~slot:4);
+  (* An unaffected link never changes. *)
+  Alcotest.(check (float 0.)) "other link untouched" 1.
+    (Faults.factor t ~asof:9 ~link:2 ~slot:4)
+
+let test_overlap_minimum_wins () =
+  let base = line_base () in
+  let t = compile_ok "degrade:0-1@2..6:0.5,link:0-1@4" ~base in
+  Alcotest.(check (float 0.)) "degrade alone" 0.5
+    (Faults.factor t ~asof:4 ~link:0 ~slot:3);
+  Alcotest.(check (float 0.)) "overlap takes the minimum" 0.
+    (Faults.factor t ~asof:4 ~link:0 ~slot:4)
+
+let test_dc_outage_silences_incident_links () =
+  let base = line_base () in
+  let t = compile_ok "dc:1@2..3" ~base in
+  (* Links 0 (0->1) and 1 (1->2) touch DC 1; link 2 (0->2) does not. *)
+  Alcotest.(check bool) "0->1 down" true (Faults.down t ~asof:2 ~link:0 ~slot:2);
+  Alcotest.(check bool) "1->2 down" true (Faults.down t ~asof:2 ~link:1 ~slot:3);
+  Alcotest.(check bool) "0->2 up" false (Faults.down t ~asof:2 ~link:2 ~slot:2)
+
+let test_reveal_enumeration () =
+  let base = line_base () in
+  let t = compile_ok "link:0-1@3..5,dc:1@3,degrade:0-2@4..4:0.25" ~base in
+  Alcotest.(check int) "two events reveal at 3" 2
+    (List.length (Faults.revealed_at t ~slot:3));
+  Alcotest.(check int) "one at 4" 1 (List.length (Faults.revealed_at t ~slot:4));
+  Alcotest.(check int) "none at 5" 0 (List.length (Faults.revealed_at t ~slot:5));
+  (* Cells at slot 3: link 0 slots 3..5 (outage + dc overlap deduped) and
+     link 1 slot 3 (dc). *)
+  let cells = Faults.cells_revealed_at t ~slot:3 in
+  Alcotest.(check int) "deduped cells" 4 (List.length cells);
+  Alcotest.(check bool) "sorted by (link, slot)" true
+    (let keys = List.map (fun (l, s, _) -> (l, s)) cells in
+     keys = List.sort compare keys);
+  List.iter
+    (fun (_, s, f) ->
+      Alcotest.(check bool) "cells never precede the reveal" true (s >= 3);
+      Alcotest.(check (float 0.)) "all dead" 0. f)
+    cells
+
+let suite =
+  [ Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "parse round-trip" `Quick test_parse_round_trip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "factor/reveal semantics" `Quick
+      test_factor_reveal_semantics;
+    Alcotest.test_case "overlap minimum wins" `Quick test_overlap_minimum_wins;
+    Alcotest.test_case "dc outage incident links" `Quick
+      test_dc_outage_silences_incident_links;
+    Alcotest.test_case "reveal enumeration" `Quick test_reveal_enumeration ]

@@ -12,7 +12,8 @@ let ctx ?(charged_value = 0.) base capacity =
     period = 100;
     charged = Array.make (Graph.num_arcs base) charged_value;
     residual = (fun ~link:_ ~slot:_ -> capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+    occupied = (fun ~link:_ ~slot:_ -> 0.);
+    down = (fun ~link:_ ~slot:_ -> false) }
 
 let plan_cost base charged plan =
   let horizon =
@@ -126,7 +127,8 @@ let test_gap_against_lp () =
         period = 100;
         charged;
         residual = (fun ~link:_ ~slot:_ -> 60.);
-        occupied = (fun ~link:_ ~slot:_ -> 0.) }
+        occupied = (fun ~link:_ ~slot:_ -> 0.);
+        down = (fun ~link:_ ~slot:_ -> false) }
     in
     let run scheduler =
       let { Scheduler.plan; rejected; _ } =

@@ -196,7 +196,8 @@ let traced_run ~seed =
   let outcome = ref None in
   let lines =
     collect_lines (fun () ->
-        outcome := Some (Sim.Engine.run ~base ~scheduler ~workload ~slots:6))
+        outcome :=
+          Some (Sim.Engine.(run (make ~base ~scheduler ~workload ~slots:6 ()))))
   in
   (Option.get !outcome, lines)
 

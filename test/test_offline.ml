@@ -107,7 +107,7 @@ let test_clairvoyance_helps () =
     (fun epoch files ->
       let ctx =
         { Postcard.Scheduler.base; epoch; period = 4; charged = Array.copy charged;
-          residual; occupied }
+          residual; occupied; down = (fun ~link:_ ~slot:_ -> false) }
       in
       let { Postcard.Scheduler.plan; rejected; _ } =
         scheduler.Postcard.Scheduler.schedule ctx files
@@ -160,9 +160,11 @@ let test_offline_lower_bounds_online_random () =
       Sim.Workload.create spec (Prelude.Rng.of_int (trial * 17))
     in
     let outcome =
-      Sim.Engine.run ~base
-        ~scheduler:(Postcard.Postcard_scheduler.make ())
-        ~workload:replay_workload ~slots
+      Sim.Engine.(
+        run
+          (make ~base
+             ~scheduler:(Postcard.Postcard_scheduler.make ())
+             ~workload:replay_workload ~slots ()))
     in
     if outcome.Sim.Engine.rejected_files = 0 then begin
       let offline = Postcard.Offline.solve ~base ~files:!all_files () in

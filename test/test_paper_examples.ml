@@ -63,7 +63,8 @@ let test_fig1_direct () =
       period = 100;
       charged = Array.make (Graph.num_arcs base) 0.;
       residual = (fun ~link:_ ~slot:_ -> 1000.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.) }
+      occupied = (fun ~link:_ ~slot:_ -> 0.);
+      down = (fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan; accepted; rejected } =
     scheduler.Scheduler.schedule ctx [ fig1_file () ]
@@ -180,7 +181,8 @@ let test_fig3_direct () =
       period = 100;
       charged = Array.make (Graph.num_arcs base) 0.;
       residual = (fun ~link:_ ~slot:_ -> 5.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.) }
+      occupied = (fun ~link:_ ~slot:_ -> 0.);
+      down = (fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan; accepted; _ } =
     scheduler.Scheduler.schedule ctx (fig3_files ())

@@ -12,7 +12,8 @@ let ctx ?(period = 20) ?(occupied = fun ~link:_ ~slot:_ -> 0.) base capacity =
     period;
     charged = Array.make (Graph.num_arcs base) 0.;
     residual = (fun ~link ~slot -> capacity -. occupied ~link ~slot);
-    occupied }
+    occupied;
+    down = (fun ~link:_ ~slot:_ -> false) }
 
 let line () =
   let g = Graph.create ~n:2 in
@@ -114,7 +115,9 @@ let test_end_to_end_beats_peak_under_95 () =
   let slots = 40 in
   let run scheduler =
     let workload = Sim.Workload.create spec (Prelude.Rng.of_int 31415) in
-    let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots in
+    let outcome =
+      Sim.Engine.(run (make ~base ~scheduler ~workload ~slots ()))
+    in
     Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme 95.)
       ~base
   in

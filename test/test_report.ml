@@ -28,7 +28,8 @@ let small_results () =
       uniform_deadlines = false;
       slots = 4;
       runs = 2;
-      seed = 11 }
+      seed = 11;
+      faults = Sim.Faults.empty }
   in
   Sim.Experiment.run_setting setting
     ~schedulers:
@@ -74,8 +75,10 @@ let test_utilization_renders () =
   in
   let workload = Sim.Workload.create spec (Prelude.Rng.of_int 5) in
   let outcome =
-    Sim.Engine.run ~base ~scheduler:(Postcard.Greedy_scheduler.make ())
-      ~workload ~slots:5
+    Sim.Engine.(
+      run
+        (make ~base ~scheduler:(Postcard.Greedy_scheduler.make ())
+           ~workload ~slots:5 ()))
   in
   let text =
     render (fun ppf -> Sim.Report.print_utilization ~top:1 ppf ~base ~outcome)
@@ -93,8 +96,10 @@ let test_evaluate_bill_piecewise () =
   in
   let workload = Sim.Workload.create spec (Prelude.Rng.of_int 5) in
   let outcome =
-    Sim.Engine.run ~base ~scheduler:(Postcard.Direct_scheduler.make ())
-      ~workload ~slots:6
+    Sim.Engine.(
+      run
+        (make ~base ~scheduler:(Postcard.Direct_scheduler.make ())
+           ~workload ~slots:6 ()))
   in
   (* A linear cost function must agree with evaluate_cost. *)
   let linear =

@@ -13,7 +13,8 @@ let simple_ctx ?(charged_value = 0.) base capacity =
     period = 100;
     charged = Array.make (Graph.num_arcs base) charged_value;
     residual = (fun ~link:_ ~slot:_ -> capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.) }
+    occupied = (fun ~link:_ ~slot:_ -> 0.);
+    down = (fun ~link:_ ~slot:_ -> false) }
 
 let line_graph () =
   let g = Graph.create ~n:2 in
@@ -126,7 +127,8 @@ let test_flow_instance_of_context () =
       charged = [| 4. |];
       residual =
         (fun ~link:_ ~slot -> if slot = 6 then 3. else 10.);
-      occupied = (fun ~link:_ ~slot -> if slot = 6 then 7. else 0.) }
+      occupied = (fun ~link:_ ~slot -> if slot = 6 then 7. else 0.);
+      down = (fun ~link:_ ~slot:_ -> false) }
   in
   let inst = Flow.instance_of_context ctx ~horizon:3 in
   (* Worst residual over slots 5..7 is 3; peak occupancy is 7. *)

@@ -133,7 +133,8 @@ let mini_setting =
     uniform_deadlines = false;
     slots = 6;
     runs = 2;
-    seed = 7 }
+    seed = 7;
+    faults = Sim.Faults.empty }
 
 (* Sizes well below the per-slot capacity so every instance is feasible. *)
 let feasible_spec ~nodes =
@@ -149,7 +150,9 @@ let test_engine_postcard_run () =
   in
   let workload = Sim.Workload.create (feasible_spec ~nodes:4) (Prelude.Rng.of_int 11) in
   let scheduler = Postcard.Postcard_scheduler.make () in
-  let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots:6 in
+  let outcome =
+    Sim.Engine.(run (make ~base ~scheduler ~workload ~slots:6 ()))
+  in
   Alcotest.(check int) "no rejections at this load" 0
     outcome.Sim.Engine.rejected_files;
   Alcotest.(check bool) "files generated" true (outcome.Sim.Engine.total_files > 0);
@@ -174,7 +177,9 @@ let test_engine_evaluate_percentile () =
   let spec = Sim.Workload.paper_spec ~nodes:4 ~files_max:2 ~max_deadline:3 in
   let workload = Sim.Workload.create spec (Prelude.Rng.of_int 11) in
   let scheduler = Postcard.Direct_scheduler.make () in
-  let outcome = Sim.Engine.run ~base ~scheduler ~workload ~slots:6 in
+  let outcome =
+    Sim.Engine.(run (make ~base ~scheduler ~workload ~slots:6 ()))
+  in
   let full =
     Sim.Engine.evaluate_cost outcome ~scheme:Postcard.Charging.max_percentile
       ~base
