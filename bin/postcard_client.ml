@@ -1,0 +1,244 @@
+(* Line-protocol client for postcard_serve: submit transfers, query
+   status/metrics, and the [smoke] driver CI uses to exercise a whole
+   serve session (submit a fleet of requests over several slots, wait for
+   every terminal event, stop the daemon, check the byte accounting). *)
+
+module Protocol = Serve.Protocol
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("postcard_client: " ^ msg); exit 1) fmt
+
+type conn = { ic : in_channel; oc : out_channel }
+
+let connect ~port ~timeout =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      fail "socket: %s" (Unix.error_message e)
+  | fd -> (
+      (* A receive timeout keeps a wedged daemon from hanging CI. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+       with Unix.Unix_error _ -> ());
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      match Unix.connect fd addr with
+      | exception Unix.Unix_error (e, _, _) ->
+          fail "cannot connect to 127.0.0.1:%d: %s" port (Unix.error_message e)
+      | () -> { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd })
+
+let send conn req =
+  output_string conn.oc (Protocol.request_to_line req);
+  output_char conn.oc '\n';
+  flush conn.oc
+
+let recv conn =
+  match input_line conn.ic with
+  | exception End_of_file -> fail "connection closed by the daemon"
+  | exception Sys_error msg -> fail "read: %s" msg
+  | line -> (
+      match Protocol.event_of_line line with
+      | Ok ev -> ev
+      | Error msg -> fail "bad event line %S: %s" line msg)
+
+(* Returns the daemon's node count. *)
+let expect_hello conn =
+  match recv conn with
+  | Protocol.Hello { nodes; _ } -> nodes
+  | _ -> fail "expected a hello line"
+
+let print_event ev = print_endline (Protocol.event_to_line ev)
+
+(* --- status / scrape --- *)
+
+let query ~port req =
+  let conn = connect ~port ~timeout:10. in
+  let _hello = expect_hello conn in
+  send conn req;
+  let rec wait () =
+    match recv conn with
+    | (Protocol.Status_report _ | Protocol.Scrape_report _) as ev ->
+        print_event ev
+    | Protocol.Error msg -> fail "daemon: %s" msg
+    | _ -> wait ()  (* slot broadcasts may interleave *)
+  in
+  wait ();
+  send conn Protocol.Quit
+
+let status port = query ~port Protocol.Status
+let scrape port = query ~port Protocol.Scrape
+
+(* --- submit --- *)
+
+let submit port src dst size deadline wait =
+  let conn = connect ~port ~timeout:60. in
+  let _hello = expect_hello conn in
+  send conn (Protocol.Submit { src; dst; size; deadline });
+  let rec await_queued () =
+    match recv conn with
+    | Protocol.Queued { id; slot } ->
+        Printf.printf "queued id %d for slot %d\n%!" id slot;
+        id
+    | Protocol.Error msg -> fail "daemon: %s" msg
+    | _ -> await_queued ()
+  in
+  let id = await_queued () in
+  if wait then begin
+    let rec await_terminal () =
+      match recv conn with
+      | Protocol.Completed { id = i; slot } when i = id ->
+          Printf.printf "completed at slot %d\n%!" slot
+      | Protocol.Rejected { id = i; _ } when i = id ->
+          Printf.printf "rejected\n%!";
+          exit 3
+      | Protocol.Lost { id = i; _ } when i = id ->
+          Printf.printf "lost\n%!";
+          exit 3
+      | Protocol.Session_end _ -> fail "session ended before a terminal event"
+      | _ -> await_terminal ()
+    in
+    await_terminal ()
+  end;
+  send conn Protocol.Quit
+
+(* --- smoke ---
+
+   Deterministically submit [requests] transfers in batches, letting at
+   least one slot elapse between batches (continuous admission across
+   slots), then wait until every submitted id has reached a terminal
+   state, stop the daemon and reconcile the byte totals it reports. *)
+
+type terminal = Done | Refused | Dropped
+
+let smoke port requests batch seed =
+  let conn = connect ~port ~timeout:120. in
+  let nodes = expect_hello conn in
+  if nodes < 2 then fail "daemon serves %d nodes; need at least 2" nodes;
+  let rng = Prelude.Rng.of_int seed in
+  let submitted = Hashtbl.create requests in
+  let terminal : (int, terminal) Hashtbl.t = Hashtbl.create requests in
+  let offered = ref 0. in
+  let sent = ref 0 in
+  let submit_one () =
+    let src = Prelude.Rng.int rng nodes in
+    let dst = (src + 1 + Prelude.Rng.int rng (nodes - 1)) mod nodes in
+    let size = Prelude.Rng.float_range rng 1. 5. in
+    let deadline = Prelude.Rng.int_incl rng 3 6 in
+    send conn (Protocol.Submit { src; dst; size; deadline });
+    offered := !offered +. size;
+    incr sent
+  in
+  let last_slot = ref (-1) in
+  let queued_count = ref 0 in
+  let last_queued_slot = ref 0 in
+  let record_terminal id t =
+    if Hashtbl.mem submitted id && not (Hashtbl.mem terminal id) then
+      Hashtbl.replace terminal id t
+  in
+  let on_event = function
+    | Protocol.Queued { id; slot } ->
+        Hashtbl.replace submitted id ();
+        incr queued_count;
+        last_queued_slot := slot
+    | Protocol.Completed { id; _ } -> record_terminal id Done
+    | Protocol.Rejected { id; _ } -> record_terminal id Refused
+    | Protocol.Lost { id; _ } -> record_terminal id Dropped
+    | Protocol.Slot { slot; _ } -> last_slot := slot
+    | Protocol.Error msg -> fail "daemon: %s" msg
+    | Protocol.Session_end _ -> fail "session ended under the smoke driver"
+    | _ -> ()
+  in
+  (* Submission phase: a batch per slot. The turbo clock may tick any
+     number of slots while a batch is in flight, so pace on the batch's
+     own admission slot: once its queued acks name slot S and the slot-S
+     broadcast has arrived, the next batch is guaranteed a later arrival
+     batch. *)
+  while !sent < requests do
+    let n = min batch (requests - !sent) in
+    for _ = 1 to n do submit_one () done;
+    while !queued_count < !sent do on_event (recv conn) done;
+    let target = !last_queued_slot in
+    while !last_slot < target do on_event (recv conn) done
+  done;
+  (* Settle phase: every submitted request must reach a terminal state.
+     The queued ack for an id always precedes its terminal event on the
+     wire, so counting terminals against [requests] is safe. *)
+  while Hashtbl.length terminal < requests do on_event (recv conn) done;
+  if Hashtbl.length submitted <> requests then
+    fail "submitted %d requests but saw %d queued acks" requests
+      (Hashtbl.length submitted);
+  (* Stop the daemon and reconcile its byte accounting. *)
+  send conn Protocol.Stop;
+  let rec await_end () =
+    match recv conn with
+    | Protocol.Session_end
+        { offered_bytes; delivered_bytes; rejected_bytes; lost_bytes; _ } ->
+        (offered_bytes, delivered_bytes, rejected_bytes, lost_bytes)
+    | ev ->
+        on_event ev;
+        await_end ()
+  in
+  let offered_bytes, delivered_bytes, rejected_bytes, lost_bytes =
+    await_end ()
+  in
+  let count t =
+    Hashtbl.fold (fun _ v acc -> if v = t then acc + 1 else acc) terminal 0
+  in
+  let done_n = count Done and refused_n = count Refused
+  and dropped_n = count Dropped in
+  Printf.printf
+    "smoke: %d submitted, %d completed, %d rejected, %d lost\n%!" requests
+    done_n refused_n dropped_n;
+  Printf.printf
+    "bytes: offered %.3f = delivered %.3f + rejected %.3f + lost %.3f\n%!"
+    offered_bytes delivered_bytes rejected_bytes lost_bytes;
+  let recon =
+    Float.abs
+      (offered_bytes -. (delivered_bytes +. rejected_bytes +. lost_bytes))
+  in
+  if recon > 1e-6 *. Float.max 1. offered_bytes then
+    fail "byte accounting does not reconcile (off by %g)" recon;
+  if Float.abs (offered_bytes -. !offered) > 1e-6 *. Float.max 1. !offered then
+    fail "daemon offered %.6f GB but the driver submitted %.6f GB"
+      offered_bytes !offered;
+  print_endline "smoke: OK"
+
+open Cmdliner
+
+let port =
+  Arg.(required & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"Daemon port (announced on postcard_serve's stdout).")
+
+let status_cmd =
+  Cmd.v (Cmd.info "status" ~doc:"print the daemon's status line")
+    Term.(const status $ port)
+
+let scrape_cmd =
+  Cmd.v (Cmd.info "scrape" ~doc:"print the daemon's metrics registry")
+    Term.(const scrape $ port)
+
+let submit_cmd =
+  let src = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"DC" ~doc:"Source datacenter.") in
+  let dst = Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"DC" ~doc:"Destination datacenter.") in
+  let size = Arg.(required & opt (some float) None & info [ "size" ] ~docv:"GB" ~doc:"Transfer volume in GB.") in
+  let deadline = Arg.(required & opt (some int) None & info [ "deadline" ] ~docv:"T" ~doc:"Deadline in slots.") in
+  let wait = Arg.(value & flag & info [ "wait" ] ~doc:"Block until the transfer completes (exit 3 if it is rejected or lost).") in
+  Cmd.v (Cmd.info "submit" ~doc:"submit one transfer request")
+    Term.(const submit $ port $ src $ dst $ size $ deadline $ wait)
+
+let smoke_cmd =
+  let requests = Arg.(value & opt int 120 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total transfer requests to submit.") in
+  let batch = Arg.(value & opt int 12 & info [ "batch" ] ~docv:"B" ~doc:"Requests submitted per slot.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Driver RNG seed.") in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:"drive a full serve session and reconcile its accounting")
+    Term.(const smoke $ port $ requests $ batch $ seed)
+
+let cmd =
+  let doc = "talk to a postcard_serve daemon" in
+  Cmd.group (Cmd.info "postcard_client" ~doc)
+    [ status_cmd; scrape_cmd; submit_cmd; smoke_cmd ]
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Cli.exit_on_signals ();
+  exit (Cmd.eval cmd)

@@ -1,0 +1,311 @@
+(* The serving daemon: one live engine session behind a loopback TCP
+   socket, line-delimited JSON both ways (see Serve.Protocol). The slot
+   clock advances in real time (--clock real), as fast as the socket goes
+   quiet (--clock turbo, the CI mode) or only on explicit tick requests
+   (--clock manual); requests that arrive while a slot is open are
+   admitted as the next slot's arrival batch.
+
+   Single-threaded by design: one Unix.select loop owns the listen
+   socket, every client and the clock, so the Serve.Session state machine
+   needs no locking. *)
+
+let src = Logs.Src.create "postcard.served" ~doc:"Serving daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type clock = Real of float | Turbo | Manual
+
+let clock_name = function Real _ -> "real" | Turbo -> "turbo" | Manual -> "manual"
+
+type client = { fd : Unix.file_descr; inbuf : Buffer.t }
+
+type loop = {
+  session : Serve.Session.t;
+  lsock : Unix.file_descr;
+  clock : clock;
+  clients : (int, client) Hashtbl.t;  (* Session.client token -> state *)
+  mutable running : bool;
+  mutable started : bool;  (* a client has connected; the clock may run *)
+  mutable deadline : float;  (* next real-clock tick, when started *)
+  mutable next_token : int;
+}
+
+let stop_requested = ref false
+
+let close_client loop token =
+  match Hashtbl.find_opt loop.clients token with
+  | None -> ()
+  | Some c ->
+      Hashtbl.remove loop.clients token;
+      Serve.Session.disconnect loop.session token;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let write_line loop token line =
+  match Hashtbl.find_opt loop.clients token with
+  | None -> ()
+  | Some c -> (
+      let payload = Bytes.of_string (line ^ "\n") in
+      let len = Bytes.length payload in
+      match
+        let off = ref 0 in
+        while !off < len do
+          off := !off + Unix.write c.fd payload !off (len - !off)
+        done
+      with
+      | () -> ()
+      | exception Unix.Unix_error _ ->
+          Log.info (fun m -> m "client %d dropped mid-write" token);
+          close_client loop token)
+
+let rec perform loop effects =
+  List.iter
+    (function
+      | Serve.Session.Send (token, ev) ->
+          write_line loop token (Serve.Protocol.event_to_line ev)
+      | Serve.Session.Broadcast ev ->
+          let line = Serve.Protocol.event_to_line ev in
+          let tokens = Hashtbl.fold (fun t _ acc -> t :: acc) loop.clients [] in
+          List.iter (fun t -> write_line loop t line) tokens
+      | Serve.Session.Disconnect token -> close_client loop token
+      | Serve.Session.End_session -> loop.running <- false)
+    effects
+
+and tick loop = perform loop (Serve.Session.tick loop.session)
+
+let accept_client loop =
+  match Unix.accept loop.lsock with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      (* Events are many small lines; don't let Nagle batch slots
+         together on the wire. *)
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let token = loop.next_token in
+      loop.next_token <- token + 1;
+      Hashtbl.replace loop.clients token { fd; inbuf = Buffer.create 256 };
+      if not loop.started then begin
+        loop.started <- true;
+        (match loop.clock with
+         | Real period -> loop.deadline <- Unix.gettimeofday () +. period
+         | Turbo | Manual -> ())
+      end;
+      Log.info (fun m -> m "client %d connected" token);
+      perform loop (Serve.Session.connect loop.session token)
+
+(* Drain complete lines out of the client's input buffer. *)
+let process_input loop token =
+  match Hashtbl.find_opt loop.clients token with
+  | None -> ()
+  | Some c ->
+      let data = Buffer.contents c.inbuf in
+      let lines = String.split_on_char '\n' data in
+      let rec go = function
+        | [] | [ _ ] -> ()
+        | line :: rest ->
+            if loop.running && String.trim line <> "" then
+              perform loop (Serve.Session.on_line loop.session token line);
+            go rest
+      in
+      (* The final fragment has no newline yet; keep it buffered. *)
+      let rec last = function [] -> "" | [ x ] -> x | _ :: tl -> last tl in
+      let tail = last lines in
+      Buffer.clear c.inbuf;
+      Buffer.add_string c.inbuf tail;
+      go lines
+
+let read_client loop token =
+  match Hashtbl.find_opt loop.clients token with
+  | None -> ()
+  | Some c -> (
+      let chunk = Bytes.create 4096 in
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          Log.info (fun m -> m "client %d disconnected" token);
+          close_client loop token
+      | n ->
+          Buffer.add_subbytes c.inbuf chunk 0 n;
+          process_input loop token
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> close_client loop token)
+
+let event_loop loop =
+  while loop.running do
+    if !stop_requested then begin
+      Log.app (fun m -> m "shutdown requested; draining the session");
+      perform loop (Serve.Session.stop loop.session);
+      loop.running <- false
+    end
+    else begin
+      let timeout =
+        match loop.clock with
+        | Manual -> -1.
+        | Turbo -> if loop.started then 0.002 else -1.
+        | Real _ ->
+            if loop.started then
+              Float.max 0. (loop.deadline -. Unix.gettimeofday ())
+            else -1.
+      in
+      let fds =
+        loop.lsock
+        :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) loop.clients []
+      in
+      match Unix.select fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          let ready_clients =
+            Hashtbl.fold
+              (fun token c acc ->
+                if List.memq c.fd ready then token :: acc else acc)
+              loop.clients []
+          in
+          if List.memq loop.lsock ready then accept_client loop;
+          List.iter
+            (fun token -> if loop.running then read_client loop token)
+            ready_clients;
+          if loop.running then begin
+            match loop.clock with
+            | Turbo ->
+                (* Quiescence drives the clock: nothing readable means the
+                   clients have said all they have for this slot. *)
+                if loop.started && ready = [] then tick loop
+            | Real period ->
+                if loop.started && Unix.gettimeofday () >= loop.deadline
+                then begin
+                  loop.deadline <- loop.deadline +. period;
+                  tick loop
+                end
+            | Manual -> ()
+          end
+    end
+  done
+
+let listen_socket port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound_port)
+
+let serve nodes capacity cost_lo cost_hi seed slots scheduler_name faults
+    clock_mode slot_seconds port capture verbose log_level metrics trace =
+  Cli.setup_obs ~verbose ~log_level ~metrics ~trace;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Cli.handle_signals (fun _ -> stop_requested := true);
+  let scheduler =
+    match Cli.resolve_scheduler scheduler_name with
+    | Ok s -> s
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  let clock =
+    match clock_mode with
+    | `Real -> Real slot_seconds
+    | `Turbo -> Turbo
+    | `Manual -> Manual
+  in
+  (* Same topology derivation as the experiment runner's run 0, so a
+     captured session replays on the identical network via
+     [postcard_sim custom --seed SEED --workload FILE]. *)
+  let topo_rng = Prelude.Rng.of_int (seed * 7919) in
+  let base =
+    Netgraph.Topology.complete ~n:nodes ~rng:topo_rng ~cost_lo ~cost_hi
+      ~capacity
+  in
+  let session =
+    try
+      Serve.Session.create ~base ~scheduler ~slots ?faults
+        ~clock:(clock_name clock) ()
+    with Invalid_argument msg ->
+      prerr_endline ("postcard_serve: " ^ msg);
+      exit 2
+  in
+  let lsock, bound_port = listen_socket port in
+  (* The one line a driving script needs; printed unbuffered so a pipe
+     reader sees it before the first connection. *)
+  Printf.printf "listening on 127.0.0.1:%d\n%!" bound_port;
+  Log.app (fun m ->
+      m "serving %d datacenters, %d slots, scheduler %s, %s clock" nodes slots
+        scheduler.Postcard.Scheduler.name (clock_name clock));
+  let loop =
+    { session;
+      lsock;
+      clock;
+      clients = Hashtbl.create 16;
+      running = true;
+      started = false;
+      deadline = 0.;
+      next_token = 0 }
+  in
+  event_loop loop;
+  (* Horizon reached, Stop requested or signal: the session is drained
+     (End_session) unless the loop died some other way. *)
+  if not (Serve.Session.ended session) then
+    perform loop (Serve.Session.stop session);
+  let tokens = Hashtbl.fold (fun t _ acc -> t :: acc) loop.clients [] in
+  List.iter (fun t -> close_client loop t) tokens;
+  (try Unix.close lsock with Unix.Unix_error _ -> ());
+  (match capture with
+   | None -> ()
+   | Some file -> (
+       match Sim.Workload.save_script file (Serve.Session.capture session) with
+       | Ok () -> Printf.printf "captured workload written to %s\n%!" file
+       | Error msg -> Printf.eprintf "cannot write %s: %s\n%!" file msg));
+  match Serve.Session.outcome session with
+  | None -> ()
+  | Some o ->
+      Printf.printf
+        "session: offered %.1f GB, delivered %.1f GB, rejected %.1f GB, lost \
+         %.1f GB, avg cost %.2f\n\
+         %!"
+        o.Sim.Engine.offered_volume o.Sim.Engine.delivered_volume
+        o.Sim.Engine.rejected_volume o.Sim.Engine.lost_volume
+        (if Array.length o.Sim.Engine.cost_series = 0 then 0.
+         else Sim.Engine.average_cost o)
+
+open Cmdliner
+
+let nodes = Arg.(value & opt int 6 & info [ "nodes" ] ~docv:"N" ~doc:"Number of datacenters.")
+let capacity = Arg.(value & opt float 35. & info [ "capacity" ] ~docv:"GB" ~doc:"Per-link capacity (GB per interval).")
+let cost_lo = Arg.(value & opt float 1. & info [ "cost-lo" ] ~docv:"C" ~doc:"Lower end of the uniform per-unit link cost draw.")
+let cost_hi = Arg.(value & opt float 10. & info [ "cost-hi" ] ~docv:"C" ~doc:"Upper end of the uniform per-unit link cost draw.")
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Topology RNG seed (matches the experiment runner's run 0).")
+let slots = Arg.(value & opt int 64 & info [ "slots" ] ~docv:"S" ~doc:"Slot horizon; the session drains when it is reached.")
+
+let clock_mode =
+  Arg.(value
+       & opt (enum [ ("real", `Real); ("turbo", `Turbo); ("manual", `Manual) ])
+           `Real
+       & info [ "clock" ] ~docv:"MODE"
+           ~doc:"Slot clock: 'real' advances every --slot-seconds, 'turbo' \
+                 advances whenever the socket goes quiet (CI mode), 'manual' \
+                 only on client tick requests.")
+
+let slot_seconds =
+  Arg.(value & opt float 1.0 & info [ "slot-seconds" ] ~docv:"SEC"
+         ~doc:"Wall-clock seconds per slot under --clock real.")
+
+let port =
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+         ~doc:"Loopback TCP port; 0 (default) picks an ephemeral port, \
+               announced on stdout as 'listening on 127.0.0.1:PORT'.")
+
+let capture =
+  Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"FILE"
+         ~doc:"On session end, write every submitted file as a workload \
+               script replayable with 'postcard_sim custom --workload FILE'.")
+
+let cmd =
+  let doc = "serve continuous transfer admission over a loopback socket" in
+  Cmd.v
+    (Cmd.info "postcard_serve" ~doc)
+    Term.(const serve $ nodes $ capacity $ cost_lo $ cost_hi $ seed $ slots
+          $ Cli.scheduler () $ Cli.faults $ clock_mode $ slot_seconds $ port
+          $ capture $ Cli.verbose $ Cli.log_level $ Cli.metrics $ Cli.trace)
+
+let () = exit (Cmd.eval cmd)

@@ -5,39 +5,10 @@
    [trace-summary] subcommand analyzes a JSONL trace produced with
    [--trace]. *)
 
-let resolve_schedulers spec =
-  let names = List.map String.trim (String.split_on_char ',' spec) in
-  let rec build = function
-    | [] -> Ok []
-    | name :: rest -> (
-        match Postcard.Scheduler.factory name with
-        | None ->
-            Error
-              (Printf.sprintf "unknown scheduler %S (available: %s)" name
-                 (String.concat ", " (Postcard.Scheduler.registered ())))
-        | Some mk -> (
-            match build rest with
-            | Error _ as e -> e
-            | Ok tail -> Ok (mk :: tail)))
-  in
-  build names
-
-let setup_obs ~verbose ~log_level ~metrics ~trace =
-  let level =
-    match log_level with
-    | Some l -> l
-    | None -> if verbose then Some Logs.Info else Some Logs.Warning
-  in
-  match Obs.Logging.init ~level ~metrics ?trace () with
-  | Ok () -> ()
-  | Error msg ->
-      prerr_endline msg;
-      exit 1
-
 let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
     ~metrics ~trace =
-  setup_obs ~verbose ~log_level ~metrics ~trace;
-  match resolve_schedulers spec with
+  Cli.setup_obs ~verbose ~log_level ~metrics ~trace;
+  match Cli.resolve_schedulers spec with
   | Error msg ->
       prerr_endline msg;
       exit 2
@@ -108,42 +79,41 @@ let fixed_deadlines =
          ~doc:"Give every file exactly the deadline bound T instead of the \
                default uniform draw in [1, T].")
 
-let faults_conv =
-  let parse s =
-    match Sim.Faults.parse s with
-    | Ok _ as ok -> ok
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv
-    (parse, fun ppf sc -> Format.pp_print_string ppf (Sim.Faults.to_string sc))
+let faults = Cli.faults
 
-let faults =
-  Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~docv:"SPEC"
-         ~doc:"Inject a deterministic fault scenario into every run: \
-               comma-separated events, each link:SRC-DST\\@SLOTS (link \
-               outage), dc:N\\@SLOTS (datacenter outage) or \
-               degrade:SRC-DST\\@SLOTS:FACTOR (capacity degradation), with \
-               SLOTS a slot (4) or inclusive range (2..6). Example: \
-               'link:0-1\\@3..5,dc:2\\@4,degrade:1-3\\@2..6:0.5'.")
+let workload_file =
+  Arg.(value & opt (some file) None & info [ "workload" ] ~docv:"FILE"
+         ~doc:"Replay a captured workload script (written by 'postcard_serve \
+               --capture' or Workload.save_script) instead of drawing files \
+               from the RNG; implies --runs 1 unless --runs is given.")
 
 let overrides =
   let apply nodes capacity files_max max_deadline slots runs seed size_max
-      fixed_deadlines faults base =
+      fixed_deadlines faults workload base =
+    let script, runs =
+      match workload with
+      | None -> (None, runs)
+      | Some path -> (
+          match Sim.Workload.load_script path with
+          | Error msg ->
+              prerr_endline ("postcard_sim: " ^ msg);
+              exit 2
+          | Ok files ->
+              (* Replaying the same files N times is pure repetition, so a
+                 script defaults to a single run. *)
+              (Some (Some files), Some (Option.value runs ~default:1)))
+    in
     Sim.Experiment.with_overrides ?nodes ?capacity ?files_max ?max_deadline
-      ?slots ?runs ?seed ?size_max ?faults
+      ?slots ?runs ?seed ?size_max ?faults ?script
       ~uniform_deadlines:(not fixed_deadlines) base
   in
   Term.(const apply $ nodes $ capacity $ files_max $ max_deadline $ slots
-        $ runs $ seed $ size_max $ fixed_deadlines $ faults)
+        $ runs $ seed $ size_max $ fixed_deadlines $ faults $ workload_file)
 
 (* Observability and execution flags shared by every simulation
    subcommand. *)
 
-let schedulers =
-  Arg.(value & opt string "postcard,flow" & info [ "schedulers" ] ~docv:"LIST"
-         ~doc:"Comma-separated schedulers from the registry (see \
-               postcard_solve --list-schedulers); aliases like 'flow' and \
-               'greedy' are accepted.")
+let schedulers = Cli.schedulers ()
 
 let jobs =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -152,30 +122,10 @@ let jobs =
                cells. Results are bit-identical for every N.")
 
 let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per-interval time series.")
-let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress and scheduler logs.")
-
-let log_level_conv =
-  let parse s =
-    match Obs.Logging.parse_level s with
-    | Ok _ as ok -> ok
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Logging.level_name l))
-
-let log_level =
-  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ]
-         ~docv:"LEVEL"
-         ~doc:"Log verbosity: quiet, app, error, warning, info or debug \
-               (overrides --verbose).")
-
-let metrics =
-  Arg.(value & flag & info [ "metrics" ]
-         ~doc:"Enable the metrics registry and dump it after the run.")
-
-let trace =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write a JSONL run trace to FILE (see the trace-summary \
-               subcommand).")
+let verbose = Cli.verbose
+let log_level = Cli.log_level
+let metrics = Cli.metrics
+let trace = Cli.trace
 
 let simulate base_setting apply spec jobs series verbose log_level metrics
     trace =
@@ -204,10 +154,7 @@ let base_of_figure ~scaled ~paper =
     | Some _, Some _ -> Error "--scaled and --paper are mutually exclusive"
   with Invalid_argument msg -> Error msg
 
-let list_schedulers =
-  Arg.(value & flag & info [ "list-schedulers" ]
-         ~doc:"Print the registered schedulers (name, aliases, description) \
-               and exit.")
+let list_schedulers = Cli.list_schedulers
 
 let run list_scheds figure scale apply spec jobs series verbose log_level
     metrics trace =
@@ -288,4 +235,6 @@ let cmd =
     (Cmd.info "postcard_sim" ~doc)
     [ run_cmd; figure_cmd; custom_cmd; trace_summary_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Cli.exit_on_signals ();
+  exit (Cmd.eval cmd)

@@ -79,12 +79,7 @@ let run path scheduler_name list_schedulers mps_target log_level metrics trace
         prerr_endline "postcard_solve: an INSTANCE file is required";
         exit 2
   in
-  let level = Option.value log_level ~default:(Some Logs.Warning) in
-  (match Obs.Logging.init ~level ~metrics ?trace () with
-   | Ok () -> ()
-   | Error msg ->
-       prerr_endline msg;
-       exit 1);
+  Cli.setup_obs ~verbose:false ~log_level ~metrics ~trace;
   match Postcard.Instance.of_file path with
   | Error msg ->
       Format.eprintf "%s: %s@." path msg;
@@ -93,12 +88,10 @@ let run path scheduler_name list_schedulers mps_target log_level metrics trace
       dump_mps inst (Option.get mps_target)
   | Ok inst ->
       let scheduler =
-        match Scheduler.make scheduler_name with
-        | Some s -> s
-        | None ->
-            Format.eprintf "unknown scheduler %S (available: %s)@."
-              scheduler_name
-              (String.concat ", " (Scheduler.registered ()));
+        match Cli.resolve_scheduler scheduler_name with
+        | Ok s -> s
+        | Error msg ->
+            Format.eprintf "%s@." msg;
             exit 2
       in
       let base = inst.Postcard.Instance.base in
@@ -126,43 +119,17 @@ let path =
          ~doc:"Instance file (see the Postcard.Instance format); required \
                unless --list-schedulers is given.")
 
-let scheduler =
-  Arg.(value & opt string "postcard" & info [ "scheduler"; "s" ] ~docv:"NAME"
-         ~doc:"Any scheduler from the registry (default: postcard); see \
-               --list-schedulers. Aliases like 'flow' and 'greedy' are \
-               accepted.")
-
-let list_schedulers =
-  Arg.(value & flag & info [ "list-schedulers" ]
-         ~doc:"Print the registered schedulers (name, aliases, description) \
-               and exit.")
+let scheduler = Cli.scheduler ()
+let list_schedulers = Cli.list_schedulers
 
 let mps_target =
   Arg.(value & opt (some string) None & info [ "dump-mps" ] ~docv:"FILE"
          ~doc:"Instead of solving, write the instance's Postcard LP to FILE \
                in MPS format (for external solvers).")
 
-let log_level_conv =
-  let parse s =
-    match Obs.Logging.parse_level s with
-    | Ok _ as ok -> ok
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Logging.level_name l))
-
-let log_level =
-  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ]
-         ~docv:"LEVEL"
-         ~doc:"Log verbosity: quiet, app, error, warning, info or debug.")
-
-let metrics =
-  Arg.(value & flag & info [ "metrics" ]
-         ~doc:"Enable the metrics registry and dump it after the solve.")
-
-let trace =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write a JSONL trace of the solve to FILE (analyze with \
-               'postcard_sim trace-summary').")
+let log_level = Cli.log_level
+let metrics = Cli.metrics
+let trace = Cli.trace
 
 let cmd =
   let doc = "solve one inter-datacenter transfer instance" in
@@ -170,4 +137,6 @@ let cmd =
     Term.(const run $ path $ scheduler $ list_schedulers $ mps_target
           $ log_level $ metrics $ trace)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Cli.exit_on_signals ();
+  exit (Cmd.eval cmd)

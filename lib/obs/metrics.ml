@@ -144,6 +144,72 @@ let reset () =
     registry;
   Mutex.unlock registry_mu
 
+type entry =
+  | Counter_entry of { name : string; value : int }
+  | Gauge_entry of { name : string; value : float option }
+  | Histogram_entry of {
+      name : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) array;
+    }
+
+let dump () =
+  Mutex.lock registry_mu;
+  let ordered =
+    List.filter_map
+      (fun name -> Hashtbl.find_opt registry name)
+      (List.rev !order)
+  in
+  Mutex.unlock registry_mu;
+  List.map
+    (fun item ->
+      match item with
+      | C c -> Counter_entry { name = c.c_name; value = counter_value c }
+      | G g ->
+          let v = gauge_value g in
+          Gauge_entry
+            { name = g.g_name;
+              value = (if Float.is_nan v then None else Some v) }
+      | H h ->
+          Histogram_entry
+            { name = h.h_name;
+              count = histogram_count h;
+              sum = histogram_sum h;
+              buckets = histogram_buckets h })
+    ordered
+
+(* Scrape formatting: the whole registry as one JSON document, the shape
+   a serving daemon returns from its scrape endpoint. *)
+let dump_json () =
+  let metric kind name fields =
+    Json.Obj (("name", Json.Str name) :: ("kind", Json.Str kind) :: fields)
+  in
+  Json.List
+    (List.map
+       (function
+         | Counter_entry { name; value } ->
+             metric "counter" name [ ("value", Json.Int value) ]
+         | Gauge_entry { name; value } ->
+             metric "gauge" name
+               [ ("value",
+                  match value with Some v -> Json.Float v | None -> Json.Null)
+               ]
+         | Histogram_entry { name; count; sum; buckets } ->
+             metric "histogram" name
+               [ ("count", Json.Int count);
+                 ("sum", Json.Float sum);
+                 ("buckets",
+                  Json.List
+                    (Array.to_list buckets
+                    |> List.map (fun (ub, n) ->
+                           Json.Obj
+                             [ ("le",
+                                if ub = infinity then Json.Str "+inf"
+                                else Json.Float ub);
+                               ("count", Json.Int n) ]))) ])
+       (dump ()))
+
 let pp_dump ppf () =
   Mutex.lock registry_mu;
   let ordered =

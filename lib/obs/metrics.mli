@@ -59,6 +59,34 @@ val histogram_buckets : histogram -> (float * int) array
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
 
+(** {1 Scrape formatting}
+
+    Structured read-out of the whole registry, for scrape endpoints and
+    machine consumers; {!pp_dump} remains the human rendering. *)
+
+type entry =
+  | Counter_entry of { name : string; value : int }
+  | Gauge_entry of { name : string; value : float option }
+      (** [None] until the first {!set}. *)
+  | Histogram_entry of {
+      name : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) array;
+          (** As {!histogram_buckets}: per-bucket counts, [infinity] bound
+              for the overflow bucket. *)
+    }
+
+val dump : unit -> entry list
+(** Every registered metric with its current value, in registration
+    order. Works whether or not the registry is enabled. *)
+
+val dump_json : unit -> Json.t
+(** The registry as one JSON array of
+    [{"name","kind","value"|...}] objects — what a serving daemon's
+    scrape endpoint returns. Histogram overflow bounds render as the
+    string ["+inf"]. *)
+
 val pp_dump : Format.formatter -> unit -> unit
 (** Render the whole registry, one metric per line, in registration
     order; histograms list only their non-empty buckets. *)

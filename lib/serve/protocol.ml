@@ -1,0 +1,260 @@
+module Json = Obs.Json
+
+let version = 1
+
+type submit = { src : int; dst : int; size : float; deadline : int }
+
+type request =
+  | Submit of submit
+  | Tick
+  | Status
+  | Scrape
+  | Stop
+  | Quit
+
+type event =
+  | Hello of { version : int; nodes : int; slots : int; clock : string }
+  | Queued of { id : int; slot : int }
+  | Accepted of { id : int; slot : int }
+  | Rejected of { id : int; slot : int }
+  | Completed of { id : int; slot : int }
+  | Stranded of { id : int; slot : int }
+  | Recovered of { id : int; slot : int }
+  | Lost of { id : int; slot : int }
+  | Slot of {
+      slot : int;
+      arrivals : int;
+      admitted : int;
+      rejected : int;
+      cost : float;
+    }
+  | Status_report of {
+      slot : int;
+      slots : int;
+      pending : int;
+      in_flight : int;
+      offered_files : int;
+      rejected_files : int;
+      lost_files : int;
+      offered_bytes : float;
+      delivered_bytes : float;
+      cost : float;
+    }
+  | Scrape_report of Json.t
+  | Session_end of {
+      slot : int;
+      offered_bytes : float;
+      delivered_bytes : float;
+      rejected_bytes : float;
+      lost_bytes : float;
+      cost : float;
+    }
+  | Error of string
+  | Bye
+
+(* --- encoding --- *)
+
+let request_to_json = function
+  | Submit { src; dst; size; deadline } ->
+      Json.Obj
+        [ ("op", Json.Str "submit");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("size", Json.Float size);
+          ("deadline", Json.Int deadline) ]
+  | Tick -> Json.Obj [ ("op", Json.Str "tick") ]
+  | Status -> Json.Obj [ ("op", Json.Str "status") ]
+  | Scrape -> Json.Obj [ ("op", Json.Str "scrape") ]
+  | Stop -> Json.Obj [ ("op", Json.Str "stop") ]
+  | Quit -> Json.Obj [ ("op", Json.Str "quit") ]
+
+let id_slot ev id slot =
+  Json.Obj [ ("ev", Json.Str ev); ("id", Json.Int id); ("slot", Json.Int slot) ]
+
+let event_to_json = function
+  | Hello { version; nodes; slots; clock } ->
+      Json.Obj
+        [ ("ev", Json.Str "hello");
+          ("v", Json.Int version);
+          ("nodes", Json.Int nodes);
+          ("slots", Json.Int slots);
+          ("clock", Json.Str clock) ]
+  | Queued { id; slot } -> id_slot "queued" id slot
+  | Accepted { id; slot } -> id_slot "accepted" id slot
+  | Rejected { id; slot } -> id_slot "rejected" id slot
+  | Completed { id; slot } -> id_slot "completed" id slot
+  | Stranded { id; slot } -> id_slot "stranded" id slot
+  | Recovered { id; slot } -> id_slot "recovered" id slot
+  | Lost { id; slot } -> id_slot "lost" id slot
+  | Slot { slot; arrivals; admitted; rejected; cost } ->
+      Json.Obj
+        [ ("ev", Json.Str "slot");
+          ("slot", Json.Int slot);
+          ("arrivals", Json.Int arrivals);
+          ("admitted", Json.Int admitted);
+          ("rejected", Json.Int rejected);
+          ("cost", Json.Float cost) ]
+  | Status_report
+      { slot;
+        slots;
+        pending;
+        in_flight;
+        offered_files;
+        rejected_files;
+        lost_files;
+        offered_bytes;
+        delivered_bytes;
+        cost } ->
+      Json.Obj
+        [ ("ev", Json.Str "status");
+          ("slot", Json.Int slot);
+          ("slots", Json.Int slots);
+          ("pending", Json.Int pending);
+          ("in_flight", Json.Int in_flight);
+          ("offered_files", Json.Int offered_files);
+          ("rejected_files", Json.Int rejected_files);
+          ("lost_files", Json.Int lost_files);
+          ("offered_bytes", Json.Float offered_bytes);
+          ("delivered_bytes", Json.Float delivered_bytes);
+          ("cost", Json.Float cost) ]
+  | Scrape_report metrics ->
+      Json.Obj [ ("ev", Json.Str "scrape"); ("metrics", metrics) ]
+  | Session_end
+      { slot; offered_bytes; delivered_bytes; rejected_bytes; lost_bytes; cost }
+    ->
+      Json.Obj
+        [ ("ev", Json.Str "session_end");
+          ("slot", Json.Int slot);
+          ("offered_bytes", Json.Float offered_bytes);
+          ("delivered_bytes", Json.Float delivered_bytes);
+          ("rejected_bytes", Json.Float rejected_bytes);
+          ("lost_bytes", Json.Float lost_bytes);
+          ("cost", Json.Float cost) ]
+  | Error msg -> Json.Obj [ ("ev", Json.Str "error"); ("msg", Json.Str msg) ]
+  | Bye -> Json.Obj [ ("ev", Json.Str "bye") ]
+
+(* --- decoding --- *)
+
+let int_field j name =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" name)
+
+let float_field j name =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-numeric field %S" name)
+
+let str_field j name =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  let* op = str_field j "op" in
+  match op with
+  | "submit" ->
+      let* src = int_field j "src" in
+      let* dst = int_field j "dst" in
+      let* size = float_field j "size" in
+      let* deadline = int_field j "deadline" in
+      Ok (Submit { src; dst; size; deadline })
+  | "tick" -> Ok Tick
+  | "status" -> Ok Status
+  | "scrape" -> Ok Scrape
+  | "stop" -> Ok Stop
+  | "quit" -> Ok Quit
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let event_of_json j =
+  let* ev = str_field j "ev" in
+  let with_id_slot mk =
+    let* id = int_field j "id" in
+    let* slot = int_field j "slot" in
+    Ok (mk id slot)
+  in
+  match ev with
+  | "hello" ->
+      let* version = int_field j "v" in
+      let* nodes = int_field j "nodes" in
+      let* slots = int_field j "slots" in
+      let* clock = str_field j "clock" in
+      Ok (Hello { version; nodes; slots; clock })
+  | "queued" -> with_id_slot (fun id slot -> Queued { id; slot })
+  | "accepted" -> with_id_slot (fun id slot -> Accepted { id; slot })
+  | "rejected" -> with_id_slot (fun id slot -> Rejected { id; slot })
+  | "completed" -> with_id_slot (fun id slot -> Completed { id; slot })
+  | "stranded" -> with_id_slot (fun id slot -> Stranded { id; slot })
+  | "recovered" -> with_id_slot (fun id slot -> Recovered { id; slot })
+  | "lost" -> with_id_slot (fun id slot -> Lost { id; slot })
+  | "slot" ->
+      let* slot = int_field j "slot" in
+      let* arrivals = int_field j "arrivals" in
+      let* admitted = int_field j "admitted" in
+      let* rejected = int_field j "rejected" in
+      let* cost = float_field j "cost" in
+      Ok (Slot { slot; arrivals; admitted; rejected; cost })
+  | "status" ->
+      let* slot = int_field j "slot" in
+      let* slots = int_field j "slots" in
+      let* pending = int_field j "pending" in
+      let* in_flight = int_field j "in_flight" in
+      let* offered_files = int_field j "offered_files" in
+      let* rejected_files = int_field j "rejected_files" in
+      let* lost_files = int_field j "lost_files" in
+      let* offered_bytes = float_field j "offered_bytes" in
+      let* delivered_bytes = float_field j "delivered_bytes" in
+      let* cost = float_field j "cost" in
+      Ok
+        (Status_report
+           { slot;
+             slots;
+             pending;
+             in_flight;
+             offered_files;
+             rejected_files;
+             lost_files;
+             offered_bytes;
+             delivered_bytes;
+             cost })
+  | "scrape" -> (
+      match Json.member "metrics" j with
+      | Some m -> Ok (Scrape_report m)
+      | None -> Error "missing field \"metrics\"")
+  | "session_end" ->
+      let* slot = int_field j "slot" in
+      let* offered_bytes = float_field j "offered_bytes" in
+      let* delivered_bytes = float_field j "delivered_bytes" in
+      let* rejected_bytes = float_field j "rejected_bytes" in
+      let* lost_bytes = float_field j "lost_bytes" in
+      let* cost = float_field j "cost" in
+      Ok
+        (Session_end
+           { slot;
+             offered_bytes;
+             delivered_bytes;
+             rejected_bytes;
+             lost_bytes;
+             cost })
+  | "error" ->
+      let* msg = str_field j "msg" in
+      Ok (Error msg)
+  | "bye" -> Ok Bye
+  | other -> Error (Printf.sprintf "unknown event %S" other)
+
+(* --- lines --- *)
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let event_to_line e = Json.to_string (event_to_json e)
+
+let parse_line of_json line =
+  match Json.parse (String.trim line) with
+  | Error msg -> Stdlib.Error (Printf.sprintf "bad JSON: %s" msg)
+  | Ok j -> of_json j
+
+let request_of_line line = parse_line request_of_json line
+
+let event_of_line line = parse_line event_of_json line

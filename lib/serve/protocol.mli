@@ -1,0 +1,90 @@
+(** Wire protocol of the serving daemon: line-delimited JSON over a
+    loopback TCP socket.
+
+    Each line carries exactly one JSON object. Clients send {!request}s
+    (discriminated by the ["op"] field); the daemon streams {!event}s
+    (discriminated by ["ev"]). Per-request lifecycle events carry the
+    server-assigned file [id] returned in the [queued] acknowledgement,
+    so one connection can multiplex any number of transfers.
+
+    Decoding is [Result]-based so malformed input from a client turns
+    into an [error] event, never an exception. *)
+
+val version : int
+(** Protocol version, announced in the [hello] event. *)
+
+type submit = { src : int; dst : int; size : float; deadline : int }
+(** A transfer request: [size] GB from datacenter [src] to [dst], to be
+    delivered within [deadline] slots of admission. *)
+
+type request =
+  | Submit of submit  (** Queue a transfer for the next slot. *)
+  | Tick  (** Advance one slot now (manual clock only). *)
+  | Status  (** Ask for a {!Status_report}. *)
+  | Scrape  (** Ask for a {!Scrape_report} of the metrics registry. *)
+  | Stop  (** Finish the session: drain the engine and shut down. *)
+  | Quit  (** Close this connection only; the session continues. *)
+
+type event =
+  | Hello of { version : int; nodes : int; slots : int; clock : string }
+      (** First line on every new connection. *)
+  | Queued of { id : int; slot : int }
+      (** Submit acknowledged; the file will be offered at [slot]. *)
+  | Accepted of { id : int; slot : int }
+  | Rejected of { id : int; slot : int }
+  | Completed of { id : int; slot : int }
+      (** The file's committed plan carried its last byte during [slot]. *)
+  | Stranded of { id : int; slot : int }
+      (** A fault reveal withdrew the file's plan; [Recovered] or [Lost]
+          follows (possibly in the same slot). *)
+  | Recovered of { id : int; slot : int }
+  | Lost of { id : int; slot : int }
+  | Slot of {
+      slot : int;
+      arrivals : int;
+      admitted : int;
+      rejected : int;
+      cost : float;
+    }  (** Broadcast after every executed slot. *)
+  | Status_report of {
+      slot : int;
+      slots : int;
+      pending : int;
+      in_flight : int;
+      offered_files : int;
+      rejected_files : int;
+      lost_files : int;
+      offered_bytes : float;
+      delivered_bytes : float;
+      cost : float;
+    }
+  | Scrape_report of Obs.Json.t
+      (** The metrics registry, as {!Obs.Metrics.dump_json}. *)
+  | Session_end of {
+      slot : int;
+      offered_bytes : float;
+      delivered_bytes : float;
+      rejected_bytes : float;
+      lost_bytes : float;
+      cost : float;
+    }  (** Broadcast when the engine drains; the byte totals satisfy
+          [offered = delivered + rejected + lost]. *)
+  | Error of string  (** The offending request was ignored. *)
+  | Bye  (** Acknowledges [Quit]; the daemon closes the connection. *)
+
+(** {1 JSON} *)
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+val event_to_json : event -> Obs.Json.t
+val event_of_json : Obs.Json.t -> (event, string) result
+
+(** {1 Lines}
+
+    One JSON object per line; the [to_line] functions do {e not} append
+    the newline, the [of_line] functions tolerate trailing whitespace. *)
+
+val request_to_line : request -> string
+val request_of_line : string -> (request, string) result
+val event_to_line : event -> string
+val event_of_line : string -> (event, string) result

@@ -1,0 +1,191 @@
+module Engine = Sim.Engine
+module Workload = Sim.Workload
+module File = Postcard.File
+
+let src = Logs.Src.create "postcard.serve" ~doc:"Serving session"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type client = int
+
+type effect =
+  | Send of client * Protocol.event
+  | Broadcast of Protocol.event
+  | Disconnect of client
+  | End_session
+
+type t = {
+  engine : Engine.t;
+  workload : Workload.t;
+  nodes : int;
+  clock : string;
+  owners : (File.id, client) Hashtbl.t;
+  mutable next_id : File.id;
+  mutable clients : client list;
+  mutable ended : bool;
+  mutable outcome : Engine.outcome option;
+}
+
+let create ~base ~scheduler ~slots ?(faults = Sim.Faults.empty) ~clock () =
+  let workload = Workload.pushable () in
+  let cfg = Engine.make ~base ~scheduler ~workload ~slots ~faults () in
+  let engine = Engine.init cfg in
+  { engine;
+    workload;
+    nodes = Netgraph.Graph.num_nodes base;
+    clock;
+    owners = Hashtbl.create 64;
+    next_id = 0;
+    clients = [];
+    ended = false;
+    outcome = None }
+
+let ended t = t.ended
+let outcome t = t.outcome
+let clients t = t.clients
+let capture t = Workload.captured t.workload
+
+let hello t =
+  Protocol.Hello
+    { version = Protocol.version;
+      nodes = t.nodes;
+      slots = Engine.horizon t.engine;
+      clock = t.clock }
+
+let connect t client =
+  if not (List.mem client t.clients) then t.clients <- client :: t.clients;
+  [ Send (client, hello t) ]
+
+let disconnect t client =
+  t.clients <- List.filter (fun c -> c <> client) t.clients
+
+(* Per-file lifecycle events go to the submitting client; a file whose
+   owner is unknown (shouldn't happen — every file enters via Submit)
+   degrades to a broadcast rather than vanishing. *)
+let to_owner t id ev =
+  match Hashtbl.find_opt t.owners id with
+  | Some client -> Send (client, ev)
+  | None -> Broadcast ev
+
+let status_report t =
+  let s = Engine.status t.engine in
+  Protocol.Status_report
+    { slot = s.Engine.next_slot;
+      slots = s.Engine.slots_total;
+      pending = Workload.pending t.workload;
+      in_flight = s.Engine.files_in_flight;
+      offered_files = s.Engine.files_offered;
+      rejected_files = s.Engine.files_rejected;
+      lost_files = s.Engine.files_lost;
+      offered_bytes = s.Engine.bytes_offered;
+      delivered_bytes = s.Engine.bytes_delivered;
+      cost = s.Engine.cost_per_interval }
+
+(* Close the run: whatever is still in flight is guaranteed to complete
+   at its finish slot (no more fault reveals can strand it once the
+   engine stops stepping), so surface those completions before the
+   session-end totals. *)
+let finish t =
+  t.ended <- true;
+  let completions =
+    List.map
+      (fun (id, fslot) ->
+        to_owner t id (Protocol.Completed { id; slot = fslot }))
+      (Engine.in_flight t.engine)
+  in
+  let o = Engine.drain t.engine in
+  t.outcome <- Some o;
+  let avg_cost =
+    if Array.length o.Engine.cost_series = 0 then 0. else Engine.average_cost o
+  in
+  Log.info (fun m ->
+      m "session end: offered %.1f GB, delivered %.1f GB, lost %.1f GB"
+        o.Engine.offered_volume o.Engine.delivered_volume
+        o.Engine.lost_volume);
+  completions
+  @ [ Broadcast
+        (Protocol.Session_end
+           { slot = Engine.next_slot t.engine;
+             offered_bytes = o.Engine.offered_volume;
+             delivered_bytes = o.Engine.delivered_volume;
+             rejected_bytes = o.Engine.rejected_volume;
+             lost_bytes = o.Engine.lost_volume;
+             cost = avg_cost });
+      End_session ]
+
+let slot_events t (r : Engine.slot_result) =
+  let slot = r.Engine.slot in
+  let per_file mk files =
+    List.map (fun f -> to_owner t f.File.id (mk f.File.id slot)) files
+  in
+  per_file (fun id slot -> Protocol.Stranded { id; slot }) r.Engine.stranded
+  @ per_file (fun id slot -> Protocol.Recovered { id; slot }) r.Engine.recovered
+  @ per_file (fun id slot -> Protocol.Lost { id; slot }) r.Engine.lost
+  @ per_file (fun id slot -> Protocol.Accepted { id; slot }) r.Engine.accepted
+  @ per_file (fun id slot -> Protocol.Rejected { id; slot }) r.Engine.rejected
+  @ List.map
+      (fun id -> to_owner t id (Protocol.Completed { id; slot }))
+      r.Engine.completed
+  @ [ Broadcast
+        (Protocol.Slot
+           { slot;
+             arrivals =
+               List.length r.Engine.accepted + List.length r.Engine.rejected;
+             admitted = List.length r.Engine.accepted;
+             rejected = List.length r.Engine.rejected;
+             cost = r.Engine.cost }) ]
+
+let tick t =
+  if t.ended then []
+  else begin
+    let slot = Engine.next_slot t.engine in
+    let arrivals = Workload.arrivals t.workload ~slot in
+    let r = Engine.step t.engine ~arrivals in
+    let evs = slot_events t r in
+    if Engine.finished t.engine then evs @ finish t else evs
+  end
+
+let stop t = if t.ended then [] else finish t
+
+let submit t client (s : Protocol.submit) =
+  let err msg = [ Send (client, Protocol.Error msg) ] in
+  if t.ended || Engine.finished t.engine then err "session finished"
+  else if s.Protocol.src < 0 || s.Protocol.src >= t.nodes then
+    err (Printf.sprintf "src %d outside [0, %d)" s.Protocol.src t.nodes)
+  else if s.Protocol.dst < 0 || s.Protocol.dst >= t.nodes then
+    err (Printf.sprintf "dst %d outside [0, %d)" s.Protocol.dst t.nodes)
+  else
+    match
+      File.make ~id:t.next_id ~src:s.Protocol.src ~dst:s.Protocol.dst
+        ~size:s.Protocol.size ~deadline:s.Protocol.deadline
+        ~release:(Engine.next_slot t.engine)
+    with
+    | exception Invalid_argument msg -> err msg
+    | file ->
+        t.next_id <- t.next_id + 1;
+        Hashtbl.replace t.owners (File.(file.id)) client;
+        Workload.push t.workload file;
+        [ Send
+            (client,
+             Protocol.Queued
+               { id = File.(file.id); slot = File.(file.release) }) ]
+
+let on_request t client = function
+  | Protocol.Submit s -> submit t client s
+  | Protocol.Tick ->
+      if t.clock <> "manual" then
+        [ Send
+            (client, Protocol.Error "tick is only valid under --clock manual")
+        ]
+      else if t.ended then [ Send (client, Protocol.Error "session finished") ]
+      else tick t
+  | Protocol.Status -> [ Send (client, status_report t) ]
+  | Protocol.Scrape ->
+      [ Send (client, Protocol.Scrape_report (Obs.Metrics.dump_json ())) ]
+  | Protocol.Stop -> stop t
+  | Protocol.Quit -> [ Send (client, Protocol.Bye); Disconnect client ]
+
+let on_line t client line =
+  match Protocol.request_of_line line with
+  | Error msg -> [ Send (client, Protocol.Error msg) ]
+  | Ok req -> on_request t client req

@@ -1,0 +1,75 @@
+(** A serving session: one live {!Sim.Engine.t} behind a {!Protocol}
+    surface, with no sockets in sight.
+
+    The daemon owns the event loop — accepting connections, reading
+    lines, deciding when the slot clock ticks — and calls into the
+    session; every call returns a list of {!effect}s (lines to write,
+    connections to close) the daemon performs. Keeping the state machine
+    transport-free makes the request lifecycle testable without a single
+    [Unix] call.
+
+    Submitted files are stamped with the {e next} slot's release (the
+    continuous-batching rule: requests accumulate while a slot is open
+    and are offered to the scheduler as the next slot's arrival batch),
+    with server-assigned ids in submission order. *)
+
+type client = int
+(** An opaque connection token chosen by the daemon (e.g. a file
+    descriptor number). *)
+
+type effect =
+  | Send of client * Protocol.event
+  | Broadcast of Protocol.event  (** Send to every connected client. *)
+  | Disconnect of client
+      (** Close this client's connection (after any preceding [Send]s
+          to it). *)
+  | End_session
+      (** The engine has drained; the daemon should stop its loop. *)
+
+type t
+
+val create :
+  base:Netgraph.Graph.t ->
+  scheduler:Postcard.Scheduler.t ->
+  slots:int ->
+  ?faults:Sim.Faults.scenario ->
+  clock:string ->
+  unit ->
+  t
+(** Initialize the engine over a pushable workload. [clock] is only
+    announced in [hello] and gates the [tick] request ("manual" allows
+    it). Raises like {!Sim.Engine.init}. *)
+
+val connect : t -> client -> effect list
+(** Register a connection; effects carry the [hello] line. *)
+
+val disconnect : t -> client -> unit
+(** Forget a connection that dropped (its in-flight transfers keep
+    running; their events degrade to broadcasts). *)
+
+val on_line : t -> client -> string -> effect list
+(** Handle one request line from a client. Malformed lines produce an
+    [error] event for that client only. *)
+
+val tick : t -> effect list
+(** Advance the slot clock: drain pushed files into the next slot's
+    arrival batch and {!Sim.Engine.step}. Produces the per-file
+    lifecycle events and the slot broadcast; when the configured horizon
+    is reached the session finishes (see {!stop}). No-op after the
+    session has ended. *)
+
+val stop : t -> effect list
+(** Finish the session early: emit [completed] for everything still in
+    flight (guaranteed to finish once stepping stops), drain the engine,
+    broadcast [session_end] and signal [End_session]. Idempotent. *)
+
+val ended : t -> bool
+
+val outcome : t -> Sim.Engine.outcome option
+(** The drained outcome, once {!ended}. *)
+
+val clients : t -> client list
+
+val capture : t -> Postcard.File.t list
+(** Every file ever submitted, in submission order — feed to
+    {!Sim.Workload.save_script} to make the session replayable. *)

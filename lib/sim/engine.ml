@@ -36,6 +36,29 @@ type outcome = {
   link_volumes : float array array;
 }
 
+type slot_result = {
+  slot : int;
+  accepted : File.t list;
+  rejected : File.t list;
+  recovered : File.t list;
+  lost : File.t list;
+  stranded : File.t list;
+  completed : File.id list;
+  cost : float;
+}
+
+type status = {
+  next_slot : int;
+  slots_total : int;
+  files_offered : int;
+  files_rejected : int;
+  files_lost : int;
+  files_in_flight : int;
+  bytes_offered : float;
+  bytes_delivered : float;
+  cost_per_interval : float;
+}
+
 exception Invalid_plan of string
 
 (* Engine-level metric series; O(1) no-ops while the registry is off. *)
@@ -57,13 +80,51 @@ type flight = {
   ftxs : (int * int * float) list;  (* (link, slot, volume) *)
 }
 
-let run cfg =
-  let { base; scheduler; workload; slots; faults } = cfg in
-  if slots < 1 then invalid_arg "Engine.run: need at least one slot";
+(* Incremental engine state. [run] folds [step] over the workload and is
+   bit-identical (outcome, traces, metrics) to the historical monolithic
+   loop; a serving daemon instead feeds [step] arrivals as they are pushed
+   by clients, one call per slot of the wall-clock. *)
+type t = {
+  cfg : config;
+  fstate : Faults.t;
+  faulty : bool;
+  tracing : bool;
+  run_span : Obs.Trace.span;
+  ledger : Ledger.t;
+  cost_series : float array;
+  mutable next : int;  (* next slot to execute *)
+  mutable drained : bool;
+  mutable total_files : int;
+  mutable rejected_files : int;
+  mutable rejected_ids : File.id list;  (* newest first *)
+  mutable delivered_volume : float;
+  mutable offered_volume : float;
+  mutable rejected_volume : float;
+  mutable stranded_volume : float;
+  mutable recovered_volume : float;
+  mutable lost_volume : float;
+  mutable lost_files : int;
+  mutable replanned_files : int;
+  (* In-flight admissions, newest first; only maintained when faulty. *)
+  mutable flights : flight list;
+  (* Bytes parked on storage per slot, accumulated from the holdovers of
+     every committed plan (a holdover booked now may cover a later slot). *)
+  stored_by_slot : (int, float) Hashtbl.t;
+  (* Completion tracking for the serving path: last booked transmission
+     slot per admitted file (removed on stranding and on completion), plus
+     a slot-keyed index of candidates. Entries in [due_by_slot] may be
+     stale after a strand; [finish_by_id] is authoritative. *)
+  finish_by_id : (File.id, int) Hashtbl.t;
+  due_by_slot : (int, File.id list) Hashtbl.t;
+}
+
+let init cfg =
+  let { base; scheduler; workload = _; slots; faults } = cfg in
+  if slots < 1 then invalid_arg "Engine.init: need at least one slot";
   let fstate =
     match Faults.compile faults ~base with
     | Ok t -> t
-    | Error msg -> invalid_arg (Printf.sprintf "Engine.run: %s" msg)
+    | Error msg -> invalid_arg (Printf.sprintf "Engine.init: %s" msg)
   in
   let faulty = Faults.active fstate in
   (* Scheduler values may be reused across runs (Experiment does); drop
@@ -79,325 +140,449 @@ let run cfg =
     else Obs.Trace.null_span
   in
   Obs.Metrics.incr m_runs;
-  let ledger = Ledger.create ~base in
-  let cost_series = Array.make slots 0. in
-  let total_files = ref 0 and rejected_files = ref 0 in
-  let rejected_ids = ref [] in
-  let delivered_volume = ref 0. and offered_volume = ref 0. in
-  let rejected_volume = ref 0. in
-  let stranded_volume = ref 0. and recovered_volume = ref 0. in
-  let lost_volume = ref 0. in
-  let lost_files = ref 0 and replanned_files = ref 0 in
-  (* In-flight admissions, newest first; only maintained when faulty. *)
-  let flights = ref [] in
-  (* Bytes parked on storage per slot, accumulated from the holdovers of
-     every committed plan (a holdover booked now may cover a later slot). *)
-  let stored_by_slot = Hashtbl.create 16 in
-  for slot = 0 to slots - 1 do
-    let slot_span =
-      if tracing then
-        Obs.Trace.begin_span "sim.slot" [ ("slot", Obs.Trace.Int slot) ]
-      else Obs.Trace.null_span
-    in
-    let cost_before = if tracing then Ledger.cost_per_interval ledger else 0. in
-    let charged_before = if tracing then Ledger.charged_all ledger else [||] in
-    (* --- Fault reveal: strand committed volume on newly dead cells. --- *)
-    let reoffers = ref [] in
-    let slot_stranded = ref 0. and slot_lost = ref 0. in
-    if faulty then begin
+  { cfg;
+    fstate;
+    faulty;
+    tracing;
+    run_span;
+    ledger = Ledger.create ~base;
+    cost_series = Array.make slots 0.;
+    next = 0;
+    drained = false;
+    total_files = 0;
+    rejected_files = 0;
+    rejected_ids = [];
+    delivered_volume = 0.;
+    offered_volume = 0.;
+    rejected_volume = 0.;
+    stranded_volume = 0.;
+    recovered_volume = 0.;
+    lost_volume = 0.;
+    lost_files = 0;
+    replanned_files = 0;
+    flights = [];
+    stored_by_slot = Hashtbl.create 16;
+    finish_by_id = Hashtbl.create 64;
+    due_by_slot = Hashtbl.create 16 }
+
+let next_slot t = t.next
+
+let horizon t = t.cfg.slots
+
+let finished t = t.next >= t.cfg.slots
+
+(* Record the completion slot of a freshly admitted file: the last slot of
+   its committed transmissions (files always carry volume, so an accepted
+   file has at least one transmission; an empty plan completes in place). *)
+let track_completion t ~slot ~(plan : Postcard.Plan.t) accepted =
+  if accepted <> [] then begin
+    let finish = Hashtbl.create 16 in
+    List.iter
+      (fun tx ->
+        let cur =
+          Option.value ~default:min_int
+            (Hashtbl.find_opt finish tx.Postcard.Plan.file)
+        in
+        if tx.Postcard.Plan.slot > cur then
+          Hashtbl.replace finish tx.Postcard.Plan.file tx.Postcard.Plan.slot)
+      plan.Postcard.Plan.transmissions;
+    List.iter
+      (fun (f : File.t) ->
+        let fs =
+          match Hashtbl.find_opt finish f.File.id with
+          | Some s -> s
+          | None -> slot
+        in
+        Hashtbl.replace t.finish_by_id f.File.id fs;
+        let cur =
+          Option.value ~default:[] (Hashtbl.find_opt t.due_by_slot fs)
+        in
+        Hashtbl.replace t.due_by_slot fs (f.File.id :: cur))
+      accepted
+  end
+
+let step t ~arrivals =
+  if t.drained then invalid_arg "Engine.step: engine already drained";
+  if t.next >= t.cfg.slots then
+    invalid_arg "Engine.step: all slots already executed";
+  let { base; scheduler; workload = _; slots; faults = _ } = t.cfg in
+  let fstate = t.fstate and faulty = t.faulty and tracing = t.tracing in
+  let ledger = t.ledger in
+  let slot = t.next in
+  let slot_span =
+    if tracing then
+      Obs.Trace.begin_span "sim.slot" [ ("slot", Obs.Trace.Int slot) ]
+    else Obs.Trace.null_span
+  in
+  let cost_before = if tracing then Ledger.cost_per_interval ledger else 0. in
+  let charged_before = if tracing then Ledger.charged_all ledger else [||] in
+  (* --- Fault reveal: strand committed volume on newly dead cells. --- *)
+  let reoffers = ref [] in
+  let slot_stranded = ref 0. and slot_lost = ref 0. in
+  let stranded_now = ref [] and lost_now = ref [] in
+  if faulty then begin
+    List.iter
+      (fun ev ->
+        Log.info (fun m ->
+            m "slot %d: fault revealed: %a" slot Faults.pp_event ev);
+        if tracing then
+          Obs.Trace.point "fault.reveal"
+            (("slot", Obs.Trace.Int slot) :: Faults.event_fields ev))
+      (Faults.revealed_at fstate ~slot);
+    let strand fl =
+      t.flights <- List.filter (fun x -> x != fl) t.flights;
+      let voided = ref 0. in
       List.iter
-        (fun ev ->
-          Log.info (fun m ->
-              m "slot %d: fault revealed: %a" slot Faults.pp_event ev);
-          if tracing then
-            Obs.Trace.point "fault.reveal"
-              (("slot", Obs.Trace.Int slot) :: Faults.event_fields ev))
-        (Faults.revealed_at fstate ~slot);
-      let strand fl =
-        flights := List.filter (fun x -> x != fl) !flights;
-        let voided = ref 0. in
-        List.iter
-          (fun (l, s, v) ->
-            if s >= slot && v > 0. then begin
-              Ledger.void ledger ~link:l ~slot:s v;
-              voided := !voided +. v
-            end)
-          fl.ftxs;
-        (* Bytes that already reached the destination stay delivered; bytes
-           in flight (at the source or parked at an intermediate hop) are
-           retransmitted from the source. *)
-        let delivered_past =
-          List.fold_left
-            (fun acc (l, s, v) ->
-              if s >= slot then acc
-              else
-                let a = Graph.arc base l in
-                if a.Graph.dst = fl.ffile.File.dst then acc +. v
-                else if a.Graph.src = fl.ffile.File.dst then acc -. v
-                else acc)
-            0. fl.ftxs
-        in
-        let remaining =
-          Float.max 0.
-            (fl.ffile.File.size -. Float.max 0. delivered_past)
-        in
-        if remaining > eps then begin
-          delivered_volume := !delivered_volume -. remaining;
-          stranded_volume := !stranded_volume +. remaining;
-          slot_stranded := !slot_stranded +. remaining;
-          Obs.Metrics.incr m_stranded;
-          if tracing then
-            Obs.Trace.point "fault.strand"
-              [ ("slot", Obs.Trace.Int slot);
-                ("file", Obs.Trace.Int fl.ffile.File.id);
-                ("stranded_bytes", Obs.Trace.Float remaining);
-                ("voided_bytes", Obs.Trace.Float !voided) ];
-          let deadline_left =
-            fl.ffile.File.release + fl.ffile.File.deadline - slot
-          in
-          if deadline_left >= 1 then
-            reoffers :=
-              File.make ~id:fl.ffile.File.id ~src:fl.ffile.File.src
-                ~dst:fl.ffile.File.dst ~size:remaining ~deadline:deadline_left
-                ~release:slot
-              :: !reoffers
-          else begin
-            (* Defensive: committed transmissions always lie inside the
-               file's window, so a stranded file retains at least the
-               current slot. *)
-            lost_volume := !lost_volume +. remaining;
-            slot_lost := !slot_lost +. remaining;
-            incr lost_files;
-            Obs.Metrics.incr m_lost;
-            if tracing then
-              Obs.Trace.point "fault.lost"
-                [ ("slot", Obs.Trace.Int slot);
-                  ("file", Obs.Trace.Int fl.ffile.File.id);
-                  ("lost_bytes", Obs.Trace.Float remaining);
-                  ("reason", Obs.Trace.Str "deadline") ]
-          end
-        end
+        (fun (l, s, v) ->
+          if s >= slot && v > 0. then begin
+            Ledger.void ledger ~link:l ~slot:s v;
+            voided := !voided +. v
+          end)
+        fl.ftxs;
+      (* Bytes that already reached the destination stay delivered; bytes
+         in flight (at the source or parked at an intermediate hop) are
+         retransmitted from the source. *)
+      let delivered_past =
+        List.fold_left
+          (fun acc (l, s, v) ->
+            if s >= slot then acc
+            else
+              let a = Graph.arc base l in
+              if a.Graph.dst = fl.ffile.File.dst then acc +. v
+              else if a.Graph.src = fl.ffile.File.dst then acc -. v
+              else acc)
+          0. fl.ftxs
       in
-      List.iter
-        (fun (link, s, f) ->
-          let cap = (Graph.arc base link).Graph.capacity *. f in
-          let overfull () =
-            Ledger.occupied ledger ~link ~slot:s > cap +. eps
-          in
-          let victim () =
-            List.find_opt
-              (fun fl ->
-                List.exists (fun (l, s', v) -> l = link && s' = s && v > eps)
-                  fl.ftxs)
-              !flights
-          in
-          let continue_ = ref (overfull ()) in
-          while !continue_ do
-            match victim () with
-            | Some fl ->
-                strand fl;
-                continue_ := overfull ()
-            | None ->
-                Log.warn (fun m ->
-                    m
-                      "slot %d: link %d slot %d: %g booked above the fault \
-                       cap %g is not attributable to any flight"
-                      slot link s
-                      (Ledger.occupied ledger ~link ~slot:s)
-                      cap);
-                continue_ := false
-          done)
-        (Faults.cells_revealed_at fstate ~slot)
-    end;
-    let reoffers = List.rev !reoffers in
-    let replan_count = List.length reoffers in
-    if replan_count > 0 then Obs.Metrics.add m_replans replan_count;
-    let arrivals = Workload.arrivals workload ~slot in
-    total_files := !total_files + List.length arrivals;
-    List.iter
-      (fun f -> offered_volume := !offered_volume +. f.File.size)
-      arrivals;
-    let files = reoffers @ arrivals in
-    let is_replan =
-      if replan_count = 0 then fun _ -> false
-      else begin
-        let ids = Hashtbl.create replan_count in
-        List.iter (fun f -> Hashtbl.replace ids f.File.id ()) reoffers;
-        fun (f : File.t) -> Hashtbl.mem ids f.File.id
-      end
-    in
-    let eff_residual =
-      if not faulty then fun ~link ~slot ->
-        Ledger.residual ledger ~link ~slot
-      else fun ~link ~slot:s ->
-        let f = Faults.factor fstate ~asof:slot ~link ~slot:s in
-        if f >= 1. then Ledger.residual ledger ~link ~slot:s
-        else
-          Float.max 0.
-            (((Graph.arc base link).Graph.capacity *. f)
-            -. Ledger.occupied ledger ~link ~slot:s)
-    in
-    let down =
-      if not faulty then fun ~link:_ ~slot:_ -> false
-      else fun ~link ~slot:s -> Faults.down fstate ~asof:slot ~link ~slot:s
-    in
-    let ctx =
-      { Scheduler.base;
-        epoch = slot;
-        period = slots;
-        charged = Ledger.charged_all ledger;
-        residual = eff_residual;
-        occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot);
-        down }
-    in
-    let t0 = Obs.Trace.now_ms () in
-    let { Scheduler.plan; accepted; rejected } =
-      scheduler.Scheduler.schedule ctx files
-    in
-    let sched_ms = Obs.Trace.now_ms () -. t0 in
-    if rejected <> [] then
-      Log.info (fun m ->
-          m "slot %d: %s rejected %d of %d files" slot
-            scheduler.Scheduler.name (List.length rejected) (List.length files));
-    let check =
-      if scheduler.Scheduler.fluid then
-        Postcard.Plan.validate_capacity ~base ~capacity:eff_residual plan
-      else Postcard.Plan.validate ~base ~files:accepted ~capacity:eff_residual plan
-    in
-    (match check with
-     | Ok () -> ()
-     | Error msg ->
-         raise
-           (Invalid_plan
-              (Printf.sprintf "slot %d, scheduler %s: %s" slot
-                 scheduler.Scheduler.name msg)));
-    Ledger.commit_plan ledger plan;
-    (* Admission accounting: an accepted re-offer is recovered volume; a
-       rejected re-offer is lost (its original admission was already
-       charged and partially flowed), while a rejected fresh arrival is an
-       ordinary rejection. *)
-    List.iter
-      (fun (f : File.t) ->
-        delivered_volume := !delivered_volume +. f.File.size;
-        if is_replan f then begin
-          recovered_volume := !recovered_volume +. f.File.size;
-          incr replanned_files
-        end)
-      accepted;
-    List.iter
-      (fun (f : File.t) ->
-        if is_replan f then begin
-          lost_volume := !lost_volume +. f.File.size;
-          slot_lost := !slot_lost +. f.File.size;
-          incr lost_files;
+      let remaining =
+        Float.max 0. (fl.ffile.File.size -. Float.max 0. delivered_past)
+      in
+      if remaining > eps then begin
+        t.delivered_volume <- t.delivered_volume -. remaining;
+        t.stranded_volume <- t.stranded_volume +. remaining;
+        slot_stranded := !slot_stranded +. remaining;
+        stranded_now := fl.ffile :: !stranded_now;
+        Hashtbl.remove t.finish_by_id fl.ffile.File.id;
+        Obs.Metrics.incr m_stranded;
+        if tracing then
+          Obs.Trace.point "fault.strand"
+            [ ("slot", Obs.Trace.Int slot);
+              ("file", Obs.Trace.Int fl.ffile.File.id);
+              ("stranded_bytes", Obs.Trace.Float remaining);
+              ("voided_bytes", Obs.Trace.Float !voided) ];
+        let deadline_left =
+          fl.ffile.File.release + fl.ffile.File.deadline - slot
+        in
+        if deadline_left >= 1 then
+          reoffers :=
+            File.make ~id:fl.ffile.File.id ~src:fl.ffile.File.src
+              ~dst:fl.ffile.File.dst ~size:remaining ~deadline:deadline_left
+              ~release:slot
+            :: !reoffers
+        else begin
+          (* Defensive: committed transmissions always lie inside the
+             file's window, so a stranded file retains at least the
+             current slot. *)
+          t.lost_volume <- t.lost_volume +. remaining;
+          slot_lost := !slot_lost +. remaining;
+          t.lost_files <- t.lost_files + 1;
+          lost_now := fl.ffile :: !lost_now;
           Obs.Metrics.incr m_lost;
           if tracing then
             Obs.Trace.point "fault.lost"
               [ ("slot", Obs.Trace.Int slot);
-                ("file", Obs.Trace.Int f.File.id);
-                ("lost_bytes", Obs.Trace.Float f.File.size);
-                ("reason", Obs.Trace.Str "rejected") ]
+                ("file", Obs.Trace.Int fl.ffile.File.id);
+                ("lost_bytes", Obs.Trace.Float remaining);
+                ("reason", Obs.Trace.Str "deadline") ]
         end
-        else begin
-          incr rejected_files;
-          rejected_ids := f.File.id :: !rejected_ids;
-          rejected_volume := !rejected_volume +. f.File.size
-        end)
-      rejected;
-    if faulty && accepted <> [] then begin
-      let by_file = Hashtbl.create 16 in
-      List.iter
-        (fun tx ->
-          Hashtbl.add by_file tx.Postcard.Plan.file
-            (tx.Postcard.Plan.link, tx.Postcard.Plan.slot,
-             tx.Postcard.Plan.volume))
-        plan.Postcard.Plan.transmissions;
-      List.iter
-        (fun (f : File.t) ->
-          flights :=
-            { ffile = f; ftxs = Hashtbl.find_all by_file f.File.id }
-            :: !flights)
-        accepted
-    end;
-    cost_series.(slot) <- Ledger.cost_per_interval ledger;
-    if Obs.Metrics.enabled () then begin
-      Obs.Metrics.incr m_slots;
-      Obs.Metrics.add m_arrivals (List.length arrivals);
-      Obs.Metrics.add m_rejected
-        (List.length (List.filter (fun f -> not (is_replan f)) rejected));
-      Obs.Metrics.observe h_slot_ms sched_ms
-    end;
-    if tracing then begin
-      List.iter
-        (fun h ->
-          let cur =
-            Option.value ~default:0.
-              (Hashtbl.find_opt stored_by_slot h.Postcard.Plan.h_slot)
-          in
-          Hashtbl.replace stored_by_slot h.Postcard.Plan.h_slot
-            (cur +. h.Postcard.Plan.h_volume))
-        plan.Postcard.Plan.holdovers;
-      let charged_after = Ledger.charged_all ledger in
-      let charged_delta =
-        Array.init (Array.length charged_after) (fun l ->
-            charged_after.(l) -. charged_before.(l))
-      in
-      let admitted_bytes =
-        List.fold_left (fun acc f -> acc +. f.File.size) 0. accepted
-      in
-      let stored_bytes =
-        Option.value ~default:0. (Hashtbl.find_opt stored_by_slot slot)
-      in
-      Obs.Trace.end_span slot_span
-        [ ("arrivals", Obs.Trace.Int (List.length arrivals));
-          ("admitted", Obs.Trace.Int (List.length accepted));
-          ("rejected", Obs.Trace.Int (List.length rejected));
-          ("admitted_bytes", Obs.Trace.Float admitted_bytes);
-          ("stored_bytes", Obs.Trace.Float stored_bytes);
-          ("replans", Obs.Trace.Int replan_count);
-          ("stranded_bytes", Obs.Trace.Float !slot_stranded);
-          ("lost_bytes", Obs.Trace.Float !slot_lost);
-          ("cost", Obs.Trace.Float cost_series.(slot));
-          ("cost_delta", Obs.Trace.Float (cost_series.(slot) -. cost_before));
-          ("charged", Obs.Trace.Floats charged_after);
-          ("charged_delta", Obs.Trace.Floats charged_delta);
-          ("sched_ms", Obs.Trace.Float sched_ms) ]
+      end
+    in
+    List.iter
+      (fun (link, s, f) ->
+        let cap = (Graph.arc base link).Graph.capacity *. f in
+        let overfull () = Ledger.occupied ledger ~link ~slot:s > cap +. eps in
+        let victim () =
+          List.find_opt
+            (fun fl ->
+              List.exists
+                (fun (l, s', v) -> l = link && s' = s && v > eps)
+                fl.ftxs)
+            t.flights
+        in
+        let continue_ = ref (overfull ()) in
+        while !continue_ do
+          match victim () with
+          | Some fl ->
+              strand fl;
+              continue_ := overfull ()
+          | None ->
+              Log.warn (fun m ->
+                  m
+                    "slot %d: link %d slot %d: %g booked above the fault \
+                     cap %g is not attributable to any flight"
+                    slot link s
+                    (Ledger.occupied ledger ~link ~slot:s)
+                    cap);
+              continue_ := false
+        done)
+      (Faults.cells_revealed_at fstate ~slot)
+  end;
+  let reoffers = List.rev !reoffers in
+  let replan_count = List.length reoffers in
+  if replan_count > 0 then Obs.Metrics.add m_replans replan_count;
+  t.total_files <- t.total_files + List.length arrivals;
+  List.iter
+    (fun (f : File.t) -> t.offered_volume <- t.offered_volume +. f.File.size)
+    arrivals;
+  let files = reoffers @ arrivals in
+  let is_replan =
+    if replan_count = 0 then fun _ -> false
+    else begin
+      let ids = Hashtbl.create replan_count in
+      List.iter (fun (f : File.t) -> Hashtbl.replace ids f.File.id ()) reoffers;
+      fun (f : File.t) -> Hashtbl.mem ids f.File.id
     end
-  done;
-  let last_slot = max (slots - 1) (Ledger.max_booked_slot ledger) in
+  in
+  let eff_residual =
+    if not faulty then fun ~link ~slot -> Ledger.residual ledger ~link ~slot
+    else fun ~link ~slot:s ->
+      let f = Faults.factor fstate ~asof:slot ~link ~slot:s in
+      if f >= 1. then Ledger.residual ledger ~link ~slot:s
+      else
+        Float.max 0.
+          (((Graph.arc base link).Graph.capacity *. f)
+          -. Ledger.occupied ledger ~link ~slot:s)
+  in
+  let down =
+    if not faulty then fun ~link:_ ~slot:_ -> false
+    else fun ~link ~slot:s -> Faults.down fstate ~asof:slot ~link ~slot:s
+  in
+  let ctx =
+    { Scheduler.base;
+      epoch = slot;
+      period = slots;
+      charged = Ledger.charged_all ledger;
+      residual = eff_residual;
+      occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot);
+      down }
+  in
+  let t0 = Obs.Trace.now_ms () in
+  let { Scheduler.plan; accepted; rejected } =
+    scheduler.Scheduler.schedule ctx files
+  in
+  let sched_ms = Obs.Trace.now_ms () -. t0 in
+  if rejected <> [] then
+    Log.info (fun m ->
+        m "slot %d: %s rejected %d of %d files" slot scheduler.Scheduler.name
+          (List.length rejected) (List.length files));
+  let check =
+    if scheduler.Scheduler.fluid then
+      Postcard.Plan.validate_capacity ~base ~capacity:eff_residual plan
+    else Postcard.Plan.validate ~base ~files:accepted ~capacity:eff_residual plan
+  in
+  (match check with
+   | Ok () -> ()
+   | Error msg ->
+       raise
+         (Invalid_plan
+            (Printf.sprintf "slot %d, scheduler %s: %s" slot
+               scheduler.Scheduler.name msg)));
+  Ledger.commit_plan ledger plan;
+  (* Admission accounting: an accepted re-offer is recovered volume; a
+     rejected re-offer is lost (its original admission was already
+     charged and partially flowed), while a rejected fresh arrival is an
+     ordinary rejection. *)
+  let fresh_accepted = ref [] and recovered_now = ref [] in
+  List.iter
+    (fun (f : File.t) ->
+      t.delivered_volume <- t.delivered_volume +. f.File.size;
+      if is_replan f then begin
+        t.recovered_volume <- t.recovered_volume +. f.File.size;
+        t.replanned_files <- t.replanned_files + 1;
+        recovered_now := f :: !recovered_now
+      end
+      else fresh_accepted := f :: !fresh_accepted)
+    accepted;
+  let fresh_rejected = ref [] in
+  List.iter
+    (fun (f : File.t) ->
+      if is_replan f then begin
+        t.lost_volume <- t.lost_volume +. f.File.size;
+        slot_lost := !slot_lost +. f.File.size;
+        t.lost_files <- t.lost_files + 1;
+        lost_now := f :: !lost_now;
+        Obs.Metrics.incr m_lost;
+        if tracing then
+          Obs.Trace.point "fault.lost"
+            [ ("slot", Obs.Trace.Int slot);
+              ("file", Obs.Trace.Int f.File.id);
+              ("lost_bytes", Obs.Trace.Float f.File.size);
+              ("reason", Obs.Trace.Str "rejected") ]
+      end
+      else begin
+        t.rejected_files <- t.rejected_files + 1;
+        t.rejected_ids <- f.File.id :: t.rejected_ids;
+        t.rejected_volume <- t.rejected_volume +. f.File.size;
+        fresh_rejected := f :: !fresh_rejected
+      end)
+    rejected;
+  if faulty && accepted <> [] then begin
+    let by_file = Hashtbl.create 16 in
+    List.iter
+      (fun tx ->
+        Hashtbl.add by_file tx.Postcard.Plan.file
+          (tx.Postcard.Plan.link, tx.Postcard.Plan.slot, tx.Postcard.Plan.volume))
+      plan.Postcard.Plan.transmissions;
+    List.iter
+      (fun (f : File.t) ->
+        t.flights <-
+          { ffile = f; ftxs = Hashtbl.find_all by_file f.File.id } :: t.flights)
+      accepted
+  end;
+  track_completion t ~slot ~plan accepted;
+  t.cost_series.(slot) <- Ledger.cost_per_interval ledger;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_slots;
+    Obs.Metrics.add m_arrivals (List.length arrivals);
+    Obs.Metrics.add m_rejected
+      (List.length (List.filter (fun f -> not (is_replan f)) rejected));
+    Obs.Metrics.observe h_slot_ms sched_ms
+  end;
+  if tracing then begin
+    List.iter
+      (fun h ->
+        let cur =
+          Option.value ~default:0.
+            (Hashtbl.find_opt t.stored_by_slot h.Postcard.Plan.h_slot)
+        in
+        Hashtbl.replace t.stored_by_slot h.Postcard.Plan.h_slot
+          (cur +. h.Postcard.Plan.h_volume))
+      plan.Postcard.Plan.holdovers;
+    let charged_after = Ledger.charged_all ledger in
+    let charged_delta =
+      Array.init (Array.length charged_after) (fun l ->
+          charged_after.(l) -. charged_before.(l))
+    in
+    let admitted_bytes =
+      List.fold_left (fun acc (f : File.t) -> acc +. f.File.size) 0. accepted
+    in
+    let stored_bytes =
+      Option.value ~default:0. (Hashtbl.find_opt t.stored_by_slot slot)
+    in
+    Obs.Trace.end_span slot_span
+      [ ("arrivals", Obs.Trace.Int (List.length arrivals));
+        ("admitted", Obs.Trace.Int (List.length accepted));
+        ("rejected", Obs.Trace.Int (List.length rejected));
+        ("admitted_bytes", Obs.Trace.Float admitted_bytes);
+        ("stored_bytes", Obs.Trace.Float stored_bytes);
+        ("replans", Obs.Trace.Int replan_count);
+        ("stranded_bytes", Obs.Trace.Float !slot_stranded);
+        ("lost_bytes", Obs.Trace.Float !slot_lost);
+        ("cost", Obs.Trace.Float t.cost_series.(slot));
+        ("cost_delta", Obs.Trace.Float (t.cost_series.(slot) -. cost_before));
+        ("charged", Obs.Trace.Floats charged_after);
+        ("charged_delta", Obs.Trace.Floats charged_delta);
+        ("sched_ms", Obs.Trace.Float sched_ms) ]
+  end;
+  (* Completions: admitted files whose committed plan carried its last
+     transmission during this slot. [due_by_slot] may hold ids stranded
+     since admission (or re-planned to finish elsewhere); the authoritative
+     [finish_by_id] filter drops them. *)
+  let completed =
+    match Hashtbl.find_opt t.due_by_slot slot with
+    | None -> []
+    | Some ids ->
+        Hashtbl.remove t.due_by_slot slot;
+        List.rev
+          (List.filter
+             (fun id ->
+               match Hashtbl.find_opt t.finish_by_id id with
+               | Some s when s = slot ->
+                   Hashtbl.remove t.finish_by_id id;
+                   true
+               | _ -> false)
+             ids)
+  in
+  t.next <- slot + 1;
+  { slot;
+    accepted = List.rev !fresh_accepted;
+    rejected = List.rev !fresh_rejected;
+    recovered = List.rev !recovered_now;
+    lost = List.rev !lost_now;
+    stranded = List.rev !stranded_now;
+    completed;
+    cost = t.cost_series.(slot) }
+
+let in_flight t =
+  let all =
+    Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.finish_by_id []
+  in
+  List.sort compare all
+
+let status t =
+  { next_slot = t.next;
+    slots_total = t.cfg.slots;
+    files_offered = t.total_files;
+    files_rejected = t.rejected_files;
+    files_lost = t.lost_files;
+    files_in_flight = Hashtbl.length t.finish_by_id;
+    bytes_offered = t.offered_volume;
+    bytes_delivered = t.delivered_volume;
+    cost_per_interval = Ledger.cost_per_interval t.ledger }
+
+let drain t =
+  if t.drained then invalid_arg "Engine.drain: engine already drained";
+  t.drained <- true;
+  let executed = t.next in
+  let cost_series =
+    if executed = Array.length t.cost_series then t.cost_series
+    else Array.sub t.cost_series 0 executed
+  in
+  (* Clamp to slot 0 so draining before any step (a serving session shut
+     down with no traffic) still yields a well-formed, all-zero series. *)
+  let last_slot = max 0 (max (executed - 1) (Ledger.max_booked_slot t.ledger)) in
   let outcome =
     { cost_series;
-      final_charged = Ledger.charged_all ledger;
-      total_files = !total_files;
-      rejected_files = !rejected_files;
-      rejected_ids = List.rev !rejected_ids;
-      delivered_volume = !delivered_volume;
-      offered_volume = !offered_volume;
-      rejected_volume = !rejected_volume;
-      stranded_volume = !stranded_volume;
-      recovered_volume = !recovered_volume;
-      lost_volume = !lost_volume;
-      lost_files = !lost_files;
-      replanned_files = !replanned_files;
-      link_volumes = Ledger.volumes_through ledger ~last_slot }
+      final_charged = Ledger.charged_all t.ledger;
+      total_files = t.total_files;
+      rejected_files = t.rejected_files;
+      rejected_ids = List.rev t.rejected_ids;
+      delivered_volume = t.delivered_volume;
+      offered_volume = t.offered_volume;
+      rejected_volume = t.rejected_volume;
+      stranded_volume = t.stranded_volume;
+      recovered_volume = t.recovered_volume;
+      lost_volume = t.lost_volume;
+      lost_files = t.lost_files;
+      replanned_files = t.replanned_files;
+      link_volumes = Ledger.volumes_through t.ledger ~last_slot }
   in
-  if tracing then
-    Obs.Trace.end_span run_span
-      [ ("total_files", Obs.Trace.Int outcome.total_files);
-        ("rejected_files", Obs.Trace.Int outcome.rejected_files);
-        ("delivered_volume", Obs.Trace.Float outcome.delivered_volume);
-        ("offered_volume", Obs.Trace.Float outcome.offered_volume);
-        ("rejected_volume", Obs.Trace.Float outcome.rejected_volume);
-        ("stranded_volume", Obs.Trace.Float outcome.stranded_volume);
-        ("recovered_volume", Obs.Trace.Float outcome.recovered_volume);
-        ("lost_volume", Obs.Trace.Float outcome.lost_volume);
-        ("lost_files", Obs.Trace.Int outcome.lost_files);
-        ("replanned_files", Obs.Trace.Int outcome.replanned_files);
-        ("final_cost", Obs.Trace.Float cost_series.(slots - 1));
-        ("final_charged", Obs.Trace.Floats outcome.final_charged) ];
+  if t.tracing then
+    Obs.Trace.end_span t.run_span
+      (List.concat
+         [ [ ("total_files", Obs.Trace.Int outcome.total_files);
+             ("rejected_files", Obs.Trace.Int outcome.rejected_files);
+             ("delivered_volume", Obs.Trace.Float outcome.delivered_volume);
+             ("offered_volume", Obs.Trace.Float outcome.offered_volume);
+             ("rejected_volume", Obs.Trace.Float outcome.rejected_volume);
+             ("stranded_volume", Obs.Trace.Float outcome.stranded_volume);
+             ("recovered_volume", Obs.Trace.Float outcome.recovered_volume);
+             ("lost_volume", Obs.Trace.Float outcome.lost_volume);
+             ("lost_files", Obs.Trace.Int outcome.lost_files);
+             ("replanned_files", Obs.Trace.Int outcome.replanned_files) ];
+           (if executed > 0 then
+              [ ("final_cost", Obs.Trace.Float cost_series.(executed - 1)) ]
+            else []);
+           [ ("final_charged", Obs.Trace.Floats outcome.final_charged) ] ]);
   outcome
 
-let average_cost outcome = Prelude.Stats.mean outcome.cost_series
+let run cfg =
+  let t = init cfg in
+  for slot = 0 to cfg.slots - 1 do
+    ignore (step t ~arrivals:(Workload.arrivals cfg.workload ~slot))
+  done;
+  drain t
+
+let average_cost (outcome : outcome) = Prelude.Stats.mean outcome.cost_series
 
 let evaluate_cost outcome ~scheme ~base =
   let acc = ref 0. in

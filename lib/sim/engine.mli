@@ -1,12 +1,24 @@
-(** The time-slotted simulation engine.
+(** The time-slotted simulation engine, step-wise.
 
-    Per slot: reveal any fault events starting now (stranding the
-    committed volume they kill, see below), draw the workload's arrivals,
-    hand re-offers and arrivals to the scheduler with the current network
-    state (charged volumes, fault-capped residual capacities), check the
-    returned plan (slot-accurate validation for store-and-forward
-    schedulers, capacity-only for fluid ones), book it in the {!Ledger}
-    and record the cost point [sum a_ij X_ij(t)].
+    The engine executes one {e slot} at a time: reveal any fault events
+    starting now (stranding the committed volume they kill, see below),
+    hand re-offers and the slot's arrivals to the scheduler with the
+    current network state (charged volumes, fault-capped residual
+    capacities), check the returned plan (slot-accurate validation for
+    store-and-forward schedulers, capacity-only for fluid ones), book it
+    in the {!Ledger} and record the cost point [sum a_ij X_ij(t)].
+
+    Two drivers share this core:
+    - {!run} — the batch path: fold {!step} over a {!Workload} for the
+      configured number of slots and {!drain} the outcome. This is the
+      historical [Engine.run] and produces bit-identical results (outcome,
+      trace stream, metrics) to the pre-step-API monolithic loop.
+    - {!init}/{!step}/{!drain} — the incremental path: a serving daemon
+      advances the slot clock in real time and feeds each {!step} the
+      requests that arrived since the previous tick (continuous
+      admission). {!slot_result} reports the per-file admission events of
+      the slot, and the completion tracker surfaces when an admitted
+      file's committed plan finishes flowing.
 
     {b Fault semantics.} A {!Faults.scenario} event is unknown to the
     engine and the schedulers until its first slot. At that point its
@@ -43,8 +55,9 @@ val make :
 
 type outcome = {
   cost_series : float array;
-      (** Cost per interval after each slot's scheduling decisions, i.e.
-          [sum over links of price * X(t)] for [t = 0 .. slots-1]. *)
+      (** Cost per interval after each executed slot's scheduling
+          decisions, i.e. [sum over links of price * X(t)]; length is the
+          number of slots actually executed ([slots] under {!run}). *)
   final_charged : float array;  (** [X_ij] per link at the end of the run. *)
   total_files : int;  (** Initial offers; re-offers are not counted. *)
   rejected_files : int;
@@ -80,9 +93,92 @@ exception Invalid_plan of string
 (** Raised when a scheduler produces a plan that fails validation — always
     a bug in the scheduler, never expected in a healthy run. *)
 
+(** {1 The step-wise API} *)
+
+type t
+(** A live engine: the slot clock, the ledger, fault state and the
+    per-file accounting of a run in progress. Not domain-safe — drive it
+    from one domain (the experiment runner gives each cell its own). *)
+
+val init : config -> t
+(** Start a run: compile the fault scenario, reset the scheduler, open the
+    [sim.run] trace span. Raises [Invalid_argument] when [slots < 1] or
+    the fault scenario does not compile against [base] (unknown link or
+    datacenter). *)
+
+type slot_result = {
+  slot : int;
+  accepted : Postcard.File.t list;
+      (** Fresh arrivals admitted this slot, in scheduler order. *)
+  rejected : Postcard.File.t list;  (** Fresh arrivals declined. *)
+  recovered : Postcard.File.t list;
+      (** Stranded re-offers the scheduler re-admitted. *)
+  lost : Postcard.File.t list;
+      (** Re-offers declined or strands past their deadline — their bytes
+          are lost. *)
+  stranded : Postcard.File.t list;
+      (** Files whose committed plan was withdrawn by a fault reveal this
+          slot (each then re-appears under [recovered] or [lost], possibly
+          in this same result). *)
+  completed : Postcard.File.id list;
+      (** Admitted files whose committed plan carried its last
+          transmission during this slot — the serving layer's
+          "transfer done" signal. *)
+  cost : float;  (** Cost per interval after this slot. *)
+}
+
+val step : t -> arrivals:Postcard.File.t list -> slot_result
+(** Execute the next slot with the given fresh arrivals (their [release]
+    should equal {!next_slot}). Raises [Invalid_argument] once all
+    configured slots have executed or after {!drain};
+    {!exception:Invalid_plan} when the scheduler misbehaves. *)
+
+val drain : t -> outcome
+(** Close the run: build the {!outcome} from the slots executed so far and
+    end the [sim.run] trace span. May be called before all configured
+    slots have executed (the serving daemon's early-stop path) — the cost
+    series then covers only the executed prefix. Raises
+    [Invalid_argument] on a second call. *)
+
 val run : config -> outcome
-(** Raises [Invalid_argument] when [slots < 1] or the fault scenario does
-    not compile against [base] (unknown link or datacenter). *)
+(** [init], then fold {!step} over [config.workload]'s arrivals for
+    [config.slots] slots, then {!drain}. Raises like {!init}. *)
+
+val next_slot : t -> int
+(** The slot the next {!step} will execute (0-based); also the release
+    slot a serving layer should stamp on newly pushed requests. *)
+
+val horizon : t -> int
+(** The configured horizon ([config.slots]). Named to stay clear of the
+    ubiquitous [~slots] label under [Sim.Engine.(...)] opens. *)
+
+val finished : t -> bool
+(** [next_slot t >= slots t] — no further {!step} is allowed. *)
+
+val in_flight : t -> (Postcard.File.id * int) list
+(** Admitted files whose plans are still flowing: [(id, finish_slot)]
+    sorted by id, where [finish_slot] is the slot of the file's last
+    committed transmission. Once the arrival window is over (or before
+    {!drain}), every listed file is guaranteed to complete at its
+    [finish_slot] unless a later fault strands it. *)
+
+type status = {
+  next_slot : int;
+  slots_total : int;
+  files_offered : int;
+  files_rejected : int;
+  files_lost : int;
+  files_in_flight : int;
+  bytes_offered : float;
+  bytes_delivered : float;
+  cost_per_interval : float;
+}
+
+val status : t -> status
+(** A cheap snapshot of the run so far — what a serving daemon reports on
+    its status endpoint. *)
+
+(** {1 Outcome evaluation} *)
 
 val average_cost : outcome -> float
 (** Mean of the cost series — the quantity plotted in Figs. 4-7. *)

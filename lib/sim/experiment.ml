@@ -12,6 +12,7 @@ type setting = {
   runs : int;
   seed : int;
   faults : Faults.scenario;
+  script : Postcard.File.t list option;
 }
 
 let paper_figure n =
@@ -28,7 +29,8 @@ let paper_figure n =
       slots = 100;
       runs = 10;
       seed = 42;
-      faults = Faults.empty }
+      faults = Faults.empty;
+      script = None }
   in
   match n with
   | 4 -> { base with label = "fig4: c=100 GB, max T=3" }
@@ -67,11 +69,12 @@ let custom_default =
     slots = 40;
     runs = 5;
     seed = 42;
-    faults = Faults.empty }
+    faults = Faults.empty;
+    script = None }
 
 let with_overrides ?label ?nodes ?capacity ?cost_lo ?cost_hi ?files_max
     ?size_max ?max_deadline ?uniform_deadlines ?slots ?runs ?seed ?faults
-    setting =
+    ?script setting =
   let ov cur = function None -> cur | Some v -> v in
   { label = ov setting.label label;
     nodes = ov setting.nodes nodes;
@@ -85,7 +88,8 @@ let with_overrides ?label ?nodes ?capacity ?cost_lo ?cost_hi ?files_max
     slots = ov setting.slots slots;
     runs = ov setting.runs runs;
     seed = ov setting.seed seed;
-    faults = ov setting.faults faults }
+    faults = ov setting.faults faults;
+    script = ov setting.script script }
 
 type scheduler_summary = {
   scheduler : string;
@@ -156,7 +160,15 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
     in
     let scheduler = factories.(s) () in
     let workload =
-      Workload.create spec (Prelude.Rng.of_int ((setting.seed * 104729) + run))
+      (* A script replaces the random stream in every run (paired
+         comparison degenerates to replaying the same instance); the
+         topology still derives from (seed, run) as usual, so run 0
+         reproduces the network a capturing serve session used. *)
+      match setting.script with
+      | Some files -> Workload.scripted files
+      | None ->
+          Workload.create spec
+            (Prelude.Rng.of_int ((setting.seed * 104729) + run))
     in
     let outcome =
       Engine.run

@@ -37,6 +37,13 @@ type setting = {
       (** Fault events injected into {e every} cell (the paired-comparison
           design extends to faults: all schedulers face the identical
           outage sequence). {!Faults.empty} in all predefined settings. *)
+  script : Postcard.File.t list option;
+      (** When set, every run replays exactly these files (a
+          {!Workload.scripted} source — e.g. a serve session captured with
+          [postcard_serve --capture]) instead of drawing from the
+          workload RNG. The topology still derives from [(seed, run)], so
+          run 0 reproduces the network of a capturing daemon started with
+          the same [seed]. [None] in all predefined settings. *)
 }
 
 val paper_figure : int -> setting
@@ -69,6 +76,7 @@ val with_overrides :
   ?runs:int ->
   ?seed:int ->
   ?faults:Faults.scenario ->
+  ?script:Postcard.File.t list option ->
   setting ->
   setting
 (** Functional update from optional values: every argument left [None]

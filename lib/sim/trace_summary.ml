@@ -220,7 +220,14 @@ let reconcile run =
     go 0. [||] run.rows
   in
   let check_finals () =
-    let last = List.nth_opt run.rows (List.length run.rows - 1) in
+    (* [nth_opt _ (-1)] raises, so a zero-slot run (a serving session shut
+       down before any traffic) needs an explicit last-element walk. *)
+    let rec last_row = function
+      | [] -> None
+      | [ row ] -> Some row
+      | _ :: rest -> last_row rest
+    in
+    let last = last_row run.rows in
     match (last, run.final_cost, run.final_charged) with
     | None, _, _ | _, None, None -> Ok ()
     | Some row, fc, fch -> (

@@ -33,9 +33,15 @@ let paper_spec ~nodes ~files_max ~max_deadline =
     endpoints = Uniform_endpoints;
     urgent_size_cap = None }
 
+type pushed = {
+  mutable pending : Postcard.File.t list;  (* newest first *)
+  mutable history : Postcard.File.t list;  (* newest first *)
+}
+
 type source =
   | Random of { spec : spec; rng : Prelude.Rng.t }
   | Scripted of Postcard.File.t list
+  | Pushed of pushed
 
 type t = {
   source : source;
@@ -83,6 +89,26 @@ let scripted files =
     files;
   { source = Scripted files; next_id = 0 }
 
+let pushable () = { source = Pushed { pending = []; history = [] }; next_id = 0 }
+
+let push t file =
+  match t.source with
+  | Pushed p ->
+      p.pending <- file :: p.pending;
+      p.history <- file :: p.history;
+      t.next_id <- t.next_id + 1
+  | Random _ | Scripted _ ->
+      invalid_arg "Workload.push: not a pushable workload"
+
+let pending t =
+  match t.source with Pushed p -> List.length p.pending | _ -> 0
+
+let captured t =
+  match t.source with
+  | Pushed p -> List.rev p.history
+  | Scripted files -> files
+  | Random _ -> invalid_arg "Workload.captured: random workloads are not captured"
+
 let count_at ~spec ~rng ~slot =
   let base = Prelude.Rng.int_incl rng spec.files_min spec.files_max in
   match spec.arrivals with
@@ -109,6 +135,19 @@ let arrivals t ~slot =
       let due = List.filter (fun f -> f.Postcard.File.release = slot) files in
       t.next_id <- t.next_id + List.length due;
       due
+  | Pushed p ->
+      let due = List.rev p.pending in
+      p.pending <- [];
+      List.iter
+        (fun f ->
+          if f.Postcard.File.release <> slot then
+            invalid_arg
+              (Printf.sprintf
+                 "Workload.arrivals: pushed file %d has release %d, drained \
+                  at slot %d"
+                 f.Postcard.File.id f.Postcard.File.release slot))
+        due;
+      due
   | Random { spec; rng } ->
       let n = count_at ~spec ~rng ~slot in
       List.init n (fun _ ->
@@ -134,3 +173,108 @@ let arrivals t ~slot =
           Postcard.File.make ~id ~src ~dst ~size ~deadline ~release:slot)
 
 let generated t = t.next_id
+
+(* JSON round-trip for deterministic (scripted or captured) workloads, so
+   a serve session can be written out and replayed through the batch
+   simulator. Schema: {"v":1,"files":[{file}...]} with every File.t field
+   explicit. *)
+
+module Json = Obs.Json
+
+let schema_version = 1
+
+let file_to_json (f : Postcard.File.t) =
+  Json.Obj
+    [ ("id", Json.Int f.Postcard.File.id);
+      ("src", Json.Int f.Postcard.File.src);
+      ("dst", Json.Int f.Postcard.File.dst);
+      ("size", Json.Float f.Postcard.File.size);
+      ("deadline", Json.Int f.Postcard.File.deadline);
+      ("release", Json.Int f.Postcard.File.release) ]
+
+let file_of_json j =
+  let int_field name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "file: missing or non-integer %S" name)
+  in
+  let float_field name =
+    match Option.bind (Json.member name j) Json.to_float with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "file: missing or non-numeric %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* id = int_field "id" in
+  let* src = int_field "src" in
+  let* dst = int_field "dst" in
+  let* size = float_field "size" in
+  let* deadline = int_field "deadline" in
+  let* release = int_field "release" in
+  match Postcard.File.make ~id ~src ~dst ~size ~deadline ~release with
+  | f -> Ok f
+  | exception Invalid_argument msg ->
+      Error (Printf.sprintf "file %d: %s" id msg)
+
+let files_to_json files =
+  Json.Obj
+    [ ("v", Json.Int schema_version);
+      ("files", Json.List (List.map file_to_json files)) ]
+
+let files_of_json j =
+  match Option.bind (Json.member "v" j) Json.to_int with
+  | Some v when v <> schema_version ->
+      Error (Printf.sprintf "workload: unsupported schema version %d" v)
+  | None -> Error "workload: missing schema version \"v\""
+  | Some _ -> (
+      match Option.bind (Json.member "files" j) Json.to_list with
+      | None -> Error "workload: missing \"files\" array"
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+                match file_of_json item with
+                | Ok f -> go (f :: acc) rest
+                | Error _ as e -> e)
+          in
+          go [] items)
+
+let to_json t =
+  match t.source with
+  | Random _ -> Error "workload: random workloads have no JSON form"
+  | Scripted _ | Pushed _ -> Ok (files_to_json (captured t))
+
+let of_json j =
+  match files_of_json j with
+  | Error _ as e -> e
+  | Ok files -> (
+      match scripted files with
+      | w -> Ok w
+      | exception Invalid_argument msg -> Error msg)
+
+let save_script path files =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string (files_to_json files));
+        output_char oc '\n')
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let load_script path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.parse (String.trim contents) with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok j -> (
+          match files_of_json j with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok _ as ok -> ok))

@@ -55,9 +55,54 @@ val scripted : Postcard.File.t list -> t
     be distinct — raises [Invalid_argument] on duplicates. Used by tests
     and fault-injection scenarios that need byte-exact arrivals. *)
 
+val pushable : unit -> t
+(** A pushable source: files arrive from outside (a serving daemon's
+    clients) rather than from a script or an RNG. {!push} queues a file;
+    the next {!arrivals} call drains the queue in push order. *)
+
+val push : t -> Postcard.File.t -> unit
+(** Queue a file on a {!pushable} workload for the next {!arrivals} drain.
+    The file's [release] must be the slot that drain will serve —
+    {!arrivals} raises [Invalid_argument] on a mismatch, which catches a
+    serving layer stamping stale release slots. Raises [Invalid_argument]
+    on non-pushable workloads. *)
+
+val pending : t -> int
+(** Files pushed but not yet drained (0 for non-pushable sources). *)
+
+val captured : t -> Postcard.File.t list
+(** Every file this deterministic workload has carried, in order: the
+    full script for {!scripted}, everything ever {!push}ed for
+    {!pushable} (drained or not). Raises [Invalid_argument] for random
+    workloads — capture them by recording {!arrivals}. *)
+
 val arrivals : t -> slot:int -> Postcard.File.t list
 (** Files released at [slot]. Deterministic given the creation RNG state
     and the sequence of calls. *)
 
 val generated : t -> int
 (** Files generated so far. *)
+
+(** {1 JSON round-trip}
+
+    Deterministic workloads serialize to a single JSON document
+    [{"v":1,"files":[...]}], so a captured serve session can be replayed
+    byte-exactly through [postcard_sim custom --workload FILE]. *)
+
+val files_to_json : Postcard.File.t list -> Obs.Json.t
+
+val files_of_json : Obs.Json.t -> (Postcard.File.t list, string) result
+
+val to_json : t -> (Obs.Json.t, string) result
+(** The {!captured} files of a scripted or pushable workload;
+    [Error] for random sources. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Rebuild a {!scripted} workload (duplicate ids and malformed files are
+    [Error]s, not exceptions). *)
+
+val save_script : string -> Postcard.File.t list -> (unit, string) result
+(** Write [files_to_json] to a file (one line + newline). *)
+
+val load_script : string -> (Postcard.File.t list, string) result
+(** Parse a {!save_script} file. *)

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tier-1 serve smoke: boot the serving daemon on an accelerated (turbo)
+# clock, drive it with the smoke client over loopback (120 requests in
+# batches of 12), and check the clean shutdown end to end — the client's
+# byte reconciliation (offered = delivered + lost + rejected), the
+# daemon's JSONL trace via trace-summary, and that the captured workload
+# replays through the batch pipeline.
+set -euo pipefail
+
+serve=$1 client=$2 sim=$3
+dir=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$serve" --clock turbo --scheduler direct --nodes 6 --capacity 35 --seed 0 \
+  --slots 64 --port 0 --capture "$dir/capture.json" \
+  --trace "$dir/serve.jsonl" >"$dir/serve.out" 2>"$dir/serve.err" &
+daemon_pid=$!
+
+# The daemon picks an ephemeral port and announces it on stdout.
+port=
+for _ in $(seq 1 200); do
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$dir/serve.out")
+  if [ -n "$port" ]; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "serve smoke: daemon died before announcing a port" >&2
+    cat "$dir/serve.out" "$dir/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ -z "$port" ]; then
+  echo "serve smoke: daemon never announced a port" >&2
+  cat "$dir/serve.out" "$dir/serve.err" >&2
+  exit 1
+fi
+
+"$client" smoke --port "$port" -n 120 --batch 12 --seed 42
+
+if ! wait "$daemon_pid"; then
+  echo "serve smoke: daemon exited non-zero" >&2
+  cat "$dir/serve.out" "$dir/serve.err" >&2
+  exit 1
+fi
+daemon_pid=
+
+"$sim" trace-summary "$dir/serve.jsonl"
+"$sim" custom --workload "$dir/capture.json" --nodes 6 --capacity 35 \
+  --seed 0 --slots 64 --schedulers direct >/dev/null
+echo "serve smoke: OK"

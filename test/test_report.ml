@@ -29,7 +29,8 @@ let small_results () =
       slots = 4;
       runs = 2;
       seed = 11;
-      faults = Sim.Faults.empty }
+      faults = Sim.Faults.empty;
+      script = None }
   in
   Sim.Experiment.run_setting setting
     ~schedulers:

@@ -1,0 +1,233 @@
+(* The serving layer, tested without a socket in sight: protocol codec
+   round-trips (requests and events, floats bit-exact) and the request
+   lifecycle through the transport-free session state machine. *)
+
+module Protocol = Serve.Protocol
+module Session = Serve.Session
+
+let scheduler name =
+  match Postcard.Scheduler.make name with
+  | Some s -> s
+  | None -> Alcotest.failf "scheduler %s not registered" name
+
+(* {1 Codec round-trips} *)
+
+let requests : Protocol.request list =
+  [ Protocol.Submit { src = 0; dst = 4; size = 12.5; deadline = 3 };
+    Protocol.Submit
+      { src = 2; dst = 1; size = 0.30000000000000004; deadline = 1 };
+    Protocol.Tick;
+    Protocol.Status;
+    Protocol.Scrape;
+    Protocol.Stop;
+    Protocol.Quit ]
+
+let events : Protocol.event list =
+  [ Protocol.Hello { version = Protocol.version; nodes = 6; slots = 64;
+                     clock = "turbo" };
+    Protocol.Queued { id = 0; slot = 3 };
+    Protocol.Accepted { id = 1; slot = 4 };
+    Protocol.Rejected { id = 2; slot = 4 };
+    Protocol.Completed { id = 1; slot = 9 };
+    Protocol.Stranded { id = 3; slot = 5 };
+    Protocol.Recovered { id = 3; slot = 5 };
+    Protocol.Lost { id = 4; slot = 6 };
+    Protocol.Slot { slot = 4; arrivals = 7; admitted = 6; rejected = 1;
+                    cost = 123.45600000000002 };
+    Protocol.Status_report
+      { slot = 5; slots = 64; pending = 2; in_flight = 3; offered_files = 40;
+        rejected_files = 1; lost_files = 0; offered_bytes = 812.25;
+        delivered_bytes = 640.5; cost = 55.5 };
+    Protocol.Scrape_report
+      (Obs.Json.Obj
+         [ ("counters", Obs.Json.Obj [ ("sim.slots", Obs.Json.Int 64) ]);
+           ("labels", Obs.Json.List [ Obs.Json.Str "a"; Obs.Json.Null ]) ]);
+    Protocol.Session_end
+      { slot = 64; offered_bytes = 1000.; delivered_bytes = 900.0001;
+        rejected_bytes = 99.9999; lost_bytes = 0.; cost = 77.7 };
+    Protocol.Error "src 9 outside [0, 6)";
+    Protocol.Bye ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = Protocol.request_to_line r in
+      Alcotest.(check bool)
+        (Printf.sprintf "no newline in %S" line)
+        false
+        (String.contains line '\n');
+      match Protocol.request_of_line (line ^ "\n") with
+      | Error msg -> Alcotest.failf "decode %S: %s" line msg
+      | Ok r' ->
+          Alcotest.(check bool) (Printf.sprintf "round-trip %S" line) true
+            (r = r'))
+    requests
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Protocol.event_to_line e in
+      match Protocol.event_of_line line with
+      | Error msg -> Alcotest.failf "decode %S: %s" line msg
+      | Ok e' ->
+          Alcotest.(check bool) (Printf.sprintf "round-trip %S" line) true
+            (e = e'))
+    events
+
+let test_codec_rejects_garbage () =
+  let bad decode line =
+    match decode line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted garbage %S" line
+  in
+  bad Protocol.request_of_line "not json";
+  bad Protocol.request_of_line {|{"op":"launch_missiles"}|};
+  bad Protocol.request_of_line {|{"ev":"hello"}|};
+  bad Protocol.request_of_line {|{"op":"submit","src":0}|};
+  bad Protocol.event_of_line {|{"ev":"warp"}|};
+  bad Protocol.event_of_line {|{"op":"tick"}|};
+  bad Protocol.event_of_line "[1,2,3]"
+
+(* {1 Session lifecycle} *)
+
+let make_session ?(clock = "manual") ?(slots = 4) () =
+  let base =
+    Netgraph.Topology.complete ~n:3 ~rng:(Prelude.Rng.of_int 1) ~cost_lo:1.
+      ~cost_hi:10. ~capacity:10.
+  in
+  Session.create ~base ~scheduler:(scheduler "direct") ~slots ~clock ()
+
+let submit ~src ~dst ~size ~deadline =
+  Protocol.request_to_line
+    (Protocol.Submit { src; dst; size; deadline })
+
+let fail_effects what effects =
+  Alcotest.failf "%s: unexpected effects (%d)" what (List.length effects)
+
+(* A rejected and an accepted transfer side by side: the oversized file
+   cannot fit a 10-capacity link within deadline 1; the feasible one is
+   admitted, paced over two slots, completed, and the session-end totals
+   reconcile byte-for-byte. *)
+let test_rejected_then_completed () =
+  let s = make_session () in
+  let me = 7 in
+  (match Session.connect s me with
+  | [ Session.Send (c, Protocol.Hello { version; nodes; slots; clock }) ] ->
+      Alcotest.(check int) "hello to me" me c;
+      Alcotest.(check int) "version" Protocol.version version;
+      Alcotest.(check int) "nodes" 3 nodes;
+      Alcotest.(check int) "slots" 4 slots;
+      Alcotest.(check string) "clock" "manual" clock
+  | effects -> fail_effects "connect" effects);
+  (match Session.on_line s me (submit ~src:0 ~dst:1 ~size:50. ~deadline:1) with
+  | [ Session.Send (c, Protocol.Queued { id; slot }) ] ->
+      Alcotest.(check int) "ack to me" me c;
+      Alcotest.(check int) "first id" 0 id;
+      Alcotest.(check int) "offered at next slot" 0 slot
+  | effects -> fail_effects "oversized submit" effects);
+  (match Session.on_line s me (submit ~src:0 ~dst:1 ~size:5. ~deadline:2) with
+  | [ Session.Send (_, Protocol.Queued { id; slot }) ] ->
+      Alcotest.(check int) "second id" 1 id;
+      Alcotest.(check int) "same batch" 0 slot
+  | effects -> fail_effects "feasible submit" effects);
+  (* Slot 0: the batch is offered; direct spreads the feasible file at
+     rate 2.5 over slots 0-1, so it is not yet complete. *)
+  (match Session.on_line s me (Protocol.request_to_line Protocol.Tick) with
+  | [ Session.Send (_, Protocol.Accepted { id = 1; slot = 0 });
+      Session.Send (_, Protocol.Rejected { id = 0; slot = 0 });
+      Session.Broadcast
+        (Protocol.Slot { slot = 0; arrivals = 2; admitted = 1; rejected = 1; _ })
+    ] ->
+      ()
+  | effects -> fail_effects "tick 0" effects);
+  (* Slot 1: the tail of the plan flows; the file completes. *)
+  (match Session.tick s with
+  | [ Session.Send (c, Protocol.Completed { id = 1; slot = 1 });
+      Session.Broadcast
+        (Protocol.Slot { slot = 1; arrivals = 0; admitted = 0; rejected = 0; _ })
+    ] ->
+      Alcotest.(check int) "completion to owner" me c
+  | effects -> fail_effects "tick 1" effects);
+  (* Early stop: session-end byte totals must decompose exactly. *)
+  (match Session.on_line s me (Protocol.request_to_line Protocol.Stop) with
+  | [ Session.Broadcast
+        (Protocol.Session_end
+           { offered_bytes; delivered_bytes; rejected_bytes; lost_bytes; _ });
+      Session.End_session ] ->
+      Alcotest.(check (float 1e-9)) "offered" 55. offered_bytes;
+      Alcotest.(check (float 1e-9)) "delivered" 5. delivered_bytes;
+      Alcotest.(check (float 1e-9)) "rejected" 50. rejected_bytes;
+      Alcotest.(check (float 1e-9)) "lost" 0. lost_bytes;
+      Alcotest.(check (float 1e-9)) "offered = delivered + rejected + lost"
+        offered_bytes
+        (delivered_bytes +. rejected_bytes +. lost_bytes)
+  | effects -> fail_effects "stop" effects);
+  Alcotest.(check bool) "ended" true (Session.ended s);
+  Alcotest.(check bool) "stop idempotent" true (Session.stop s = []);
+  (* The capture holds both submissions, replayable through
+     [postcard_sim custom --workload]. *)
+  (match Session.capture s with
+  | [ a; b ] ->
+      Alcotest.(check int) "capture order" 0 Postcard.File.(a.id);
+      Alcotest.(check int) "capture order" 1 Postcard.File.(b.id);
+      Alcotest.(check (float 0.)) "capture size" 5. Postcard.File.(b.size)
+  | files -> Alcotest.failf "capture has %d files" (List.length files))
+
+let test_submit_validation () =
+  let s = make_session () in
+  ignore (Session.connect s 1);
+  let expect_error what line =
+    match Session.on_line s 1 line with
+    | [ Session.Send (1, Protocol.Error _) ] -> ()
+    | effects -> fail_effects what effects
+  in
+  expect_error "src out of range" (submit ~src:3 ~dst:0 ~size:1. ~deadline:1);
+  expect_error "negative dst" (submit ~src:0 ~dst:(-1) ~size:1. ~deadline:1);
+  expect_error "src = dst" (submit ~src:2 ~dst:2 ~size:1. ~deadline:1);
+  expect_error "non-positive size" (submit ~src:0 ~dst:1 ~size:0. ~deadline:1);
+  expect_error "non-positive deadline"
+    (submit ~src:0 ~dst:1 ~size:1. ~deadline:0);
+  expect_error "malformed line" "}{ nope";
+  (* Tick is gated on the manual clock. *)
+  let turbo = make_session ~clock:"turbo" () in
+  ignore (Session.connect turbo 1);
+  (match Session.on_line turbo 1 (Protocol.request_to_line Protocol.Tick) with
+  | [ Session.Send (1, Protocol.Error _) ] -> ()
+  | effects -> fail_effects "tick under turbo clock" effects);
+  (* Quit closes just that connection. *)
+  match Session.on_line s 1 (Protocol.request_to_line Protocol.Quit) with
+  | [ Session.Send (1, Protocol.Bye); Session.Disconnect 1 ] -> ()
+  | effects -> fail_effects "quit" effects
+
+(* Running the manual clock to the horizon ends the session on its own,
+   and late submissions are refused. *)
+let test_horizon_ends_session () =
+  let s = make_session ~slots:2 () in
+  ignore (Session.connect s 1);
+  (match Session.tick s with
+  | [ Session.Broadcast (Protocol.Slot { slot = 0; _ }) ] -> ()
+  | effects -> fail_effects "tick 0" effects);
+  (match Session.tick s with
+  | [ Session.Broadcast (Protocol.Slot { slot = 1; _ });
+      Session.Broadcast (Protocol.Session_end _); Session.End_session ] ->
+      ()
+  | effects -> fail_effects "tick 1" effects);
+  Alcotest.(check bool) "ended at horizon" true (Session.ended s);
+  Alcotest.(check bool) "outcome available" true
+    (Session.outcome s <> None);
+  match Session.on_line s 1 (submit ~src:0 ~dst:1 ~size:1. ~deadline:1) with
+  | [ Session.Send (1, Protocol.Error _) ] -> ()
+  | effects -> fail_effects "late submit" effects
+
+let suite =
+  [ Alcotest.test_case "request codec round-trip" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "event codec round-trip" `Quick test_event_roundtrip;
+    Alcotest.test_case "codec rejects garbage" `Quick
+      test_codec_rejects_garbage;
+    Alcotest.test_case "rejected then completed lifecycle" `Quick
+      test_rejected_then_completed;
+    Alcotest.test_case "submit validation and clock gating" `Quick
+      test_submit_validation;
+    Alcotest.test_case "horizon ends the session" `Quick
+      test_horizon_ends_session ]

@@ -134,7 +134,8 @@ let mini_setting =
     slots = 6;
     runs = 2;
     seed = 7;
-    faults = Sim.Faults.empty }
+    faults = Sim.Faults.empty;
+    script = None }
 
 (* Sizes well below the per-slot capacity so every instance is feasible. *)
 let feasible_spec ~nodes =
@@ -230,11 +231,116 @@ let test_paper_figure_settings () =
   Alcotest.(check (float 0.)) "scaled keeps paper capacity" 30.
     s6.Sim.Experiment.capacity
 
+(* JSON round-trip: a captured serve session must replay byte-exactly
+   through [postcard_sim custom --workload FILE]. *)
+let script_files =
+  [ File.make ~id:0 ~src:0 ~dst:1 ~size:12.5 ~deadline:3 ~release:0;
+    File.make ~id:1 ~src:2 ~dst:0 ~size:0.30000000000000004 ~deadline:1
+      ~release:0;
+    File.make ~id:2 ~src:1 ~dst:2 ~size:99.125 ~deadline:8 ~release:4 ]
+
+let check_same_files what a b =
+  Alcotest.(check int) (what ^ ": count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : File.t) (y : File.t) ->
+      Alcotest.(check bool) (what ^ ": file bit-equal") true (x = y))
+    a b
+
+let test_workload_json_roundtrip () =
+  let json = Sim.Workload.files_to_json script_files in
+  (match Sim.Workload.files_of_json json with
+  | Error msg -> Alcotest.failf "files_of_json: %s" msg
+  | Ok files -> check_same_files "files_to_json/of_json" script_files files);
+  (* Through the text form, exercising lossless float printing. *)
+  (match Obs.Json.parse (Obs.Json.to_string json) with
+  | Error msg -> Alcotest.failf "reparse: %s" msg
+  | Ok json' -> (
+      match Sim.Workload.files_of_json json' with
+      | Error msg -> Alcotest.failf "files_of_json after print: %s" msg
+      | Ok files -> check_same_files "text round-trip" script_files files));
+  (* A pushable workload captures everything pushed, and to_json carries
+     the capture. *)
+  let w = Sim.Workload.pushable () in
+  List.iter
+    (fun (f : File.t) ->
+      Sim.Workload.push w
+        (File.make ~id:f.File.id ~src:f.File.src ~dst:f.File.dst
+           ~size:f.File.size ~deadline:f.File.deadline ~release:0))
+    script_files;
+  Alcotest.(check int) "pending counts pushes" 3 (Sim.Workload.pending w);
+  match Sim.Workload.to_json w with
+  | Error msg -> Alcotest.failf "to_json on pushable: %s" msg
+  | Ok j -> (
+      match Sim.Workload.of_json j with
+      | Error msg -> Alcotest.failf "of_json: %s" msg
+      | Ok w' ->
+          check_same_files "captured round-trip" (Sim.Workload.captured w)
+            (Sim.Workload.captured w'))
+
+let test_workload_json_errors () =
+  let expect_error what json =
+    match Sim.Workload.files_of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+  in
+  expect_error "not an object" (Obs.Json.List []);
+  expect_error "missing files" (Obs.Json.Obj [ ("v", Obs.Json.Int 1) ]);
+  expect_error "bad version"
+    (Obs.Json.Obj [ ("v", Obs.Json.Int 2); ("files", Obs.Json.List []) ]);
+  (* Duplicate ids are an error on rebuild, not an exception. *)
+  let dup =
+    Sim.Workload.files_to_json
+      [ File.make ~id:0 ~src:0 ~dst:1 ~size:1. ~deadline:1 ~release:0;
+        File.make ~id:0 ~src:1 ~dst:0 ~size:2. ~deadline:1 ~release:0 ]
+  in
+  (match Sim.Workload.of_json dup with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate ids accepted");
+  (* Malformed file objects (src = dst) surface as Error. *)
+  match
+    Sim.Workload.files_of_json
+      (Obs.Json.Obj
+         [ ("v", Obs.Json.Int 1);
+           ("files",
+            Obs.Json.List
+              [ Obs.Json.Obj
+                  [ ("id", Obs.Json.Int 0); ("src", Obs.Json.Int 1);
+                    ("dst", Obs.Json.Int 1); ("size", Obs.Json.Int 1);
+                    ("deadline", Obs.Json.Int 1);
+                    ("release", Obs.Json.Int 0) ] ]) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "src = dst accepted"
+
+let test_workload_script_file_roundtrip () =
+  let path = Filename.temp_file "postcard_script" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Sim.Workload.save_script path script_files with
+      | Error msg -> Alcotest.failf "save_script: %s" msg
+      | Ok () -> ());
+      match Sim.Workload.load_script path with
+      | Error msg -> Alcotest.failf "load_script: %s" msg
+      | Ok files ->
+          check_same_files "save/load round-trip" script_files files;
+          (* The reloaded script drives a scripted workload identically. *)
+          let w = Sim.Workload.scripted files in
+          Alcotest.(check int) "slot 0 arrivals" 2
+            (List.length (Sim.Workload.arrivals w ~slot:0));
+          Alcotest.(check int) "slot 4 arrivals" 1
+            (List.length (Sim.Workload.arrivals w ~slot:4)))
+
 let suite =
   [ Alcotest.test_case "workload paper ranges" `Quick test_workload_paper_ranges;
     Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
     Alcotest.test_case "workload diurnal" `Quick test_workload_diurnal;
     Alcotest.test_case "workload hotspot" `Quick test_workload_hotspot;
+    Alcotest.test_case "workload json round-trip" `Quick
+      test_workload_json_roundtrip;
+    Alcotest.test_case "workload json errors" `Quick test_workload_json_errors;
+    Alcotest.test_case "workload script file round-trip" `Quick
+      test_workload_script_file_roundtrip;
     Alcotest.test_case "ledger basics" `Quick test_ledger_basics;
     Alcotest.test_case "ledger overbooking" `Quick test_ledger_overbooking_fails;
     Alcotest.test_case "ledger volume series" `Quick test_ledger_volumes_through;
