@@ -284,6 +284,15 @@ let solver_warm_bench ~pool ~json =
   section "Solver warm start — cold vs carried-basis simplex";
   let summary = Sim.Solver_bench.run ~nodes:6 ~slots:12 ~seed:1 ~pool () in
   Format.printf "%a" Sim.Solver_bench.pp_summary summary;
+  (* The aggregate counters are recomputed from the per-slot records; a
+     mismatch means the summary lies about what the solver did, so fail
+     loudly rather than publish it. *)
+  (match Sim.Solver_bench.reconcile summary with
+   | Ok () -> ()
+   | Error msg ->
+       Format.eprintf
+         "  BENCH FAILURE: aggregate/per-slot counters disagree: %s@." msg;
+       exit 1);
   (match json with
    | None -> ()
    | Some path -> (
@@ -296,6 +305,59 @@ let solver_warm_bench ~pool ~json =
            Format.eprintf "  cannot write JSON summary: %s@." msg;
            exit 1));
   summary
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: cold / primal-warm / dual-reopt iteration and wall-time
+   curves as the topology and horizon grow (see EXPERIMENTS.md). *)
+
+let solver_scale_bench ~sizes ~budget_ms ~json =
+  section "Solver scale sweep — cold vs primal-warm vs dual re-opt";
+  let summary =
+    Sim.Solver_bench.scale_sweep ?sizes ~seed:1 ?budget_ms ()
+  in
+  Format.printf "%a" Sim.Solver_bench.pp_scale summary;
+  let total_dual_reopts =
+    List.fold_left
+      (fun acc p -> acc + p.Sim.Solver_bench.sp_dual_reopts)
+      0 summary.Sim.Solver_bench.sc_points
+  in
+  if total_dual_reopts = 0 then begin
+    Format.eprintf
+      "  BENCH FAILURE: no slot re-optimized via the dual simplex@.";
+    exit 1
+  end;
+  let total_dual_failures =
+    List.fold_left
+      (fun acc p -> acc + p.Sim.Solver_bench.sp_dual_failures)
+      0 summary.Sim.Solver_bench.sc_points
+  in
+  if total_dual_failures > 0 then begin
+    Format.eprintf "  BENCH FAILURE: %d dual re-opt solve(s) failed@."
+      total_dual_failures;
+    exit 1
+  end;
+  let worst_gap =
+    List.fold_left
+      (fun acc p -> max acc p.Sim.Solver_bench.sp_max_objective_gap)
+      0. summary.Sim.Solver_bench.sc_points
+  in
+  if not (Float.is_finite worst_gap) then begin
+    Format.eprintf
+      "  BENCH FAILURE: solvers disagreed on feasibility (infinite \
+       objective gap)@.";
+    exit 1
+  end;
+  (match json with
+   | None -> ()
+   | Some path -> (
+       match open_out path with
+       | oc ->
+           output_string oc (Sim.Solver_bench.scale_to_json summary);
+           close_out oc;
+           Format.printf "  wrote %s@." path
+       | exception Sys_error msg ->
+           Format.eprintf "  cannot write JSON summary: %s@." msg;
+           exit 1))
 
 (* ------------------------------------------------------------------ *)
 (* Runner scale-out: the (run, scheduler) sweep spread over a domain
@@ -515,13 +577,36 @@ let obs_noop_bench () =
     results
 
 let usage =
-  "main.exe [--solver-only] [-j N] [--json PATH] [--json-runner PATH] \
-   [--log-level LEVEL]"
+  "main.exe [--solver-only] [--scale] [--scale-only] [-j N] [--json PATH] \
+   [--json-runner PATH] [--json-scale PATH] [--scale-sizes LIST] \
+   [--scale-budget-ms MS] [--log-level LEVEL]"
+
+(* "6x12,20x48" -> [(6, 12); (20, 48)] *)
+let parse_scale_sizes s =
+  String.split_on_char ',' s
+  |> List.map (fun item ->
+         match String.split_on_char 'x' (String.trim item) with
+         | [ n; t ] -> (
+             match (int_of_string_opt n, int_of_string_opt t) with
+             | Some n, Some t when n >= 2 && t >= 2 -> (n, t)
+             | _ ->
+                 raise
+                   (Arg.Bad
+                      (Printf.sprintf "bad scale size %S (want NODESxSLOTS)"
+                         item)))
+         | _ ->
+             raise
+               (Arg.Bad
+                  (Printf.sprintf "bad scale size %S (want NODESxSLOTS)" item)))
 
 let () =
   let json = ref None and solver_only = ref false in
   let json_runner = ref None in
   let jobs = ref None in
+  let scale = ref false and scale_only = ref false in
+  let json_scale = ref None in
+  let scale_sizes = ref None in
+  let scale_budget_ms = ref None in
   let log_level = ref (Some Logs.Warning) in
   let spec =
     [ ("--json",
@@ -530,6 +615,22 @@ let () =
       ("--json-runner",
        Arg.String (fun p -> json_runner := Some p),
        "PATH  write the runner scale-out summary as JSON");
+      ("--scale",
+       Arg.Set scale,
+       "  also run the solver scale sweep (cold vs primal-warm vs dual)");
+      ("--scale-only",
+       Arg.Set scale_only,
+       "  run only the solver scale sweep (skip everything else)");
+      ("--json-scale",
+       Arg.String (fun p -> json_scale := Some p),
+       "PATH  write the scale-sweep summary as JSON");
+      ("--scale-sizes",
+       Arg.String (fun s -> scale_sizes := Some (parse_scale_sizes s)),
+       "LIST  comma-separated NODESxSLOTS points (default 6x12,12x24,20x48,\
+        32x72,50x104)");
+      ("--scale-budget-ms",
+       Arg.Float (fun b -> scale_budget_ms := Some b),
+       "MS  wall-clock budget per scale point (default 20000)");
       ("-j",
        Arg.Int (fun n -> jobs := Some n),
        "N  worker domains for the experiment sweeps (default: the host's \
@@ -555,25 +656,35 @@ let () =
     | Some n -> n
     | None -> Domain.recommended_domain_count ()
   in
-  let pool = Exec.Pool.create ~domains () in
-  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) @@ fun () ->
   Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
-  if not !solver_only then begin
-    fig1 ();
-    fig3 ();
-    let r4 = figure ~pool 4 in
-    let r5 = figure ~pool 5 in
-    let r6 = figure ~pool 6 in
-    let r7 = figure ~pool 7 in
-    check_figure_shapes r4 r5 r6 r7;
-    ablation_flow_variants ~pool ();
-    ablation_greedy_vs_lp ~pool ();
-    ablation_deadline_heterogeneity ~pool ();
-    ablation_price_of_myopia ();
-    extension_percentile_billing ()
-  end;
-  ignore (solver_warm_bench ~pool ~json:!json);
-  runner_scaleout_bench ~pool ~json:!json_runner;
-  obs_noop_bench ();
-  if not !solver_only then bechamel_benches ();
-  Format.printf "@.done.@."
+  if !scale_only then begin
+    solver_scale_bench ~sizes:!scale_sizes ~budget_ms:!scale_budget_ms
+      ~json:!json_scale;
+    Format.printf "@.done.@."
+  end
+  else begin
+    let pool = Exec.Pool.create ~domains () in
+    Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) @@ fun () ->
+    if not !solver_only then begin
+      fig1 ();
+      fig3 ();
+      let r4 = figure ~pool 4 in
+      let r5 = figure ~pool 5 in
+      let r6 = figure ~pool 6 in
+      let r7 = figure ~pool 7 in
+      check_figure_shapes r4 r5 r6 r7;
+      ablation_flow_variants ~pool ();
+      ablation_greedy_vs_lp ~pool ();
+      ablation_deadline_heterogeneity ~pool ();
+      ablation_price_of_myopia ();
+      extension_percentile_billing ()
+    end;
+    ignore (solver_warm_bench ~pool ~json:!json);
+    if !scale then
+      solver_scale_bench ~sizes:!scale_sizes ~budget_ms:!scale_budget_ms
+        ~json:!json_scale;
+    runner_scaleout_bench ~pool ~json:!json_runner;
+    obs_noop_bench ();
+    if not !solver_only then bechamel_benches ();
+    Format.printf "@.done.@."
+  end

@@ -44,14 +44,14 @@ type solve_info = {
 
 let keymap t = Texp_lp.keymap t.program ~model:t.model
 
-let solve_with_info ?params ?warm_start t =
+let solve_with_info ?params ?warm_start ?dual_reopt t =
   let warm_start =
     match warm_start with
     | None -> None
     | Some carried -> Some (Basis_map.apply carried (keymap t))
   in
   let no_info = { iterations = 0; stats = Lp.Status.no_stats; basis = None } in
-  match Lp.Simplex.solve ?params ?warm_start t.model with
+  match Lp.Simplex.solve ?params ?warm_start ?dual_reopt t.model with
   | Lp.Status.Infeasible -> (Infeasible, no_info)
   | Lp.Status.Unbounded ->
       (Solver_failure "unbounded Postcard program", no_info)

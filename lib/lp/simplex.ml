@@ -56,6 +56,7 @@ type state = {
   (* Solve-effort telemetry (never reset between phases; see
      Status.stats). *)
   mutable phase1_pivots : int;
+  mutable dual_pivots : int;
   mutable refactorizations : int;
   mutable eta_peak : int;
   mutable bound_flips : int;
@@ -557,6 +558,7 @@ let initialize ?params:(p = default_params) sf =
     perturb_rounds = 0;
     bland = false;
     phase1_pivots = 0;
+    dual_pivots = 0;
     refactorizations = 0;
     eta_peak = 0;
     bound_flips = 0;
@@ -616,7 +618,8 @@ let setup_phase2 st =
 
 let solve_stats st =
   { Status.phase1_pivots = st.phase1_pivots;
-    phase2_pivots = st.iterations - st.phase1_pivots;
+    phase2_pivots = st.iterations - st.phase1_pivots - st.dual_pivots;
+    dual_pivots = st.dual_pivots;
     refactorizations = st.refactorizations;
     eta_peak = st.eta_peak;
     bound_flips = st.bound_flips;
@@ -701,8 +704,9 @@ let park_nonbasic st j (ws : Status.Basis.var_status) =
 
 let max_repair_rounds = 12
 
-(* Returns [Some rounds] (the number of crash/repair rounds the install
-   took) on success, [None] when the basis must be rejected. *)
+(* Returns [Some rounds] (the number of repair rounds beyond the initial
+   crash install: 0 = installed as carried) on success, [None] when the
+   basis must be rejected. *)
 let try_warm_start st (wb : Status.Basis.t) =
   let n = st.sf.Standard_form.n_struct in
   if Status.Basis.num_cols wb <> n || Status.Basis.num_rows wb <> st.m then
@@ -823,11 +827,343 @@ let try_warm_start st (wb : Status.Basis.t) =
     done;
     if !installed then begin
       Log.debug (fun m ->
-          m "warm start installed after %d repair round(s)" !rounds);
-      Some !rounds
+          m "warm start installed after %d repair round(s)" (!rounds - 1));
+      Some (!rounds - 1)
     end
     else None
   end
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex re-optimization.
+
+   After a slot-to-slot or post-strand re-solve only the RHS and bounds
+   of the program change, so the previous optimal basis — translated
+   through Basis_map — stays *dual* feasible: its reduced costs still
+   have optimal signs, only some basic values drifted outside their
+   bounds. The dual simplex restores primal feasibility directly, with
+   zero phase-1 pivots and zero repair rounds: each pivot picks the most
+   infeasible basic variable to leave (dual Devex row weights) and a
+   bounded-variable two-pass ratio test over the pivot row picks the
+   entering column that keeps the reduced-cost signs intact.
+
+   The machinery below shares everything with the primal: the LU/eta
+   file, [apply_step], the reduced-cost update (the same rank-one
+   formula as [pivot_update], against the stored pivot row instead of a
+   second BTRAN), and the refactorization schedule. Cost perturbation is
+   *not* used — it would destroy the dual feasibility the method lives
+   on — so persistent dual degeneracy trips a stall counter and the
+   solve falls back to the primal warm path instead. *)
+
+(* Install a carried basis for dual re-optimization: park nonbasics at
+   their carried bounds, run a single crash round (no repair ladder —
+   out-of-bound *basic* values are the dual's job, not a defect), move
+   straight to phase-2 costs, and verify dual feasibility of the
+   nonbasic reduced costs, bound-flipping any violator with a finite
+   opposite bound. Returns false when the basis must go through the
+   primal path instead (dimension mismatch, singular crash, or a dual
+   infeasibility that cannot be flipped away). *)
+let try_dual_reopt st (wb : Status.Basis.t) =
+  let n = st.sf.Standard_form.n_struct in
+  if Status.Basis.num_cols wb <> n || Status.Basis.num_rows wb <> st.m then
+    false
+  else begin
+    let wanted j =
+      if j < n then Status.Basis.col_status wb j
+      else Status.Basis.row_status wb (j - n)
+    in
+    let candidates = ref [] in
+    for j = st.tot - 1 downto 0 do
+      match wanted j with
+      | Status.Basis.Basic -> candidates := j :: !candidates
+      | ws -> park_nonbasic st j ws
+    done;
+    (* Artificials start nonbasic at zero; the crash re-adds the ones it
+       needs to cover rows the carried basis left unpivoted. *)
+    for i = 0 to st.m - 1 do
+      let a = st.tot + i in
+      st.status.(a) <- At_lower;
+      st.x.(a) <- 0.
+    done;
+    let cands = Array.of_list !candidates in
+    let accepted, unpivoted =
+      Lu.crash_select ~dim:st.m ~ncols:(Array.length cands) (fun k f ->
+          iter_column st cands.(k) f)
+    in
+    let kept = Array.make (Array.length cands) false in
+    Array.iter (fun k -> kept.(k) <- true) accepted;
+    Array.iteri
+      (fun k j -> if not kept.(k) then park_nonbasic st j Status.Basis.At_lower)
+      cands;
+    let pos = ref 0 in
+    Array.iter
+      (fun k ->
+        let j = cands.(k) in
+        st.basis.(!pos) <- j;
+        st.status.(j) <- Basic;
+        incr pos)
+      accepted;
+    Array.iter
+      (fun r ->
+        let a = st.tot + r in
+        st.basis.(!pos) <- a;
+        st.status.(a) <- Basic;
+        incr pos)
+      unpivoted;
+    assert (!pos = st.m);
+    match factorize st with
+    | exception Numerical_failure -> false
+    | () ->
+        (* Straight to phase-2 costs: artificials freeze at [0,0] (a
+           basic one left at a nonzero value is just another primal
+           infeasibility for the dual to drive out, and a frozen
+           nonbasic one can never enter). *)
+        setup_phase2 st;
+        recompute_basics st;
+        refresh_reduced_costs st;
+        let dtol = st.p.dual_tolerance in
+        let ok = ref true and flipped = ref false in
+        for j = 0 to st.nall - 1 do
+          if !ok && st.status.(j) <> Basic && st.lb.(j) < st.ub.(j) then
+            match st.status.(j) with
+            | At_lower ->
+                if st.d.(j) < -.dtol then begin
+                  if st.ub.(j) < infinity then begin
+                    st.status.(j) <- At_upper;
+                    st.x.(j) <- st.ub.(j);
+                    flipped := true
+                  end
+                  else ok := false
+                end
+            | At_upper ->
+                if st.d.(j) > dtol then begin
+                  if st.lb.(j) > neg_infinity then begin
+                    st.status.(j) <- At_lower;
+                    st.x.(j) <- st.lb.(j);
+                    flipped := true
+                  end
+                  else ok := false
+                end
+            | At_zero_free -> if abs_float st.d.(j) > dtol then ok := false
+            | Basic -> ()
+        done;
+        if not !ok then false
+        else begin
+          if !flipped then recompute_basics st;
+          true
+        end
+  end
+
+type dual_result =
+  | Dual_optimal  (** Primal feasibility restored; polish and extract. *)
+  | Dual_no_entering
+      (** A ratio test found no entering column. The row certifies primal
+          infeasibility, but the primal fallback re-derives the verdict
+          rather than trusting a crashed basis with it. *)
+  | Dual_stalled  (** Persistent dual degeneracy; fall back. *)
+  | Dual_iteration_limit
+
+(* The dual iteration over a state prepared by [try_dual_reopt]. Raises
+   [Numerical_failure] like the primal loop; the caller falls back. *)
+let run_dual st =
+  let feas = st.p.feasibility_tolerance in
+  let piv_tol = st.p.pivot_tolerance in
+  let dtol = st.p.dual_tolerance in
+  let dw = Array.make st.m 1. in
+  let beta = Array.make st.nall 0. in
+  let stall = ref 0 in
+  let result = ref Dual_optimal in
+  (try
+     while true do
+       if st.iterations >= st.p.max_iterations then begin
+         result := Dual_iteration_limit;
+         raise Exit
+       end;
+       (* Dual Devex pricing: the basic variable with the largest
+          weight-scaled bound violation leaves. *)
+       let r = ref (-1) and best_score = ref 0. in
+       for i = 0 to st.m - 1 do
+         let bv = st.basis.(i) in
+         let xv = st.x.(bv) in
+         let infeas =
+           if xv < st.lb.(bv) -. feas then st.lb.(bv) -. xv
+           else if xv > st.ub.(bv) +. feas then xv -. st.ub.(bv)
+           else 0.
+         in
+         if infeas > 0. then begin
+           let score = infeas *. infeas /. dw.(i) in
+           if score > !best_score then begin
+             best_score := score;
+             r := i
+           end
+         end
+       done;
+       if !r < 0 then begin
+         result := Dual_optimal;
+         raise Exit
+       end;
+       let r = !r in
+       let leaving = st.basis.(r) in
+       let above = st.x.(leaving) > st.ub.(leaving) in
+       (* Sign convention: with s = +1 when the leaving value sits above
+          its upper bound and -1 below its lower one, the signed pivot-row
+          entry a_j = s * beta_j admits exactly the columns whose entry
+          lets the leaving variable travel back toward its bound without
+          breaking any reduced-cost sign. *)
+       let s = if above then 1. else -1. in
+       (* Pivot row r of the tableau: rho = B^-T e_r, beta_j = rho . A_j —
+          the same quantity the primal [pivot_update] computes, kept here
+          because both the ratio test and the reduced-cost update need
+          it. *)
+       let rho = Array.make st.m 0. in
+       rho.(r) <- 1.;
+       btran st rho;
+       (* Pass 1 (Harris-style): relaxed bound on the dual step, letting
+          each reduced cost overshoot by the dual tolerance. *)
+       let theta_max = ref infinity in
+       for j = 0 to st.nall - 1 do
+         beta.(j) <- 0.;
+         if st.status.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+           let b = dot_column st j rho in
+           beta.(j) <- b;
+           let a = s *. b in
+           match st.status.(j) with
+           | At_lower ->
+               if a > piv_tol then begin
+                 let t = (st.d.(j) +. dtol) /. a in
+                 if t < !theta_max then theta_max := t
+               end
+           | At_upper ->
+               if a < -.piv_tol then begin
+                 let t = (st.d.(j) -. dtol) /. a in
+                 if t < !theta_max then theta_max := t
+               end
+           | At_zero_free ->
+               if abs_float a > piv_tol then begin
+                 let t = (abs_float st.d.(j) +. dtol) /. abs_float a in
+                 if t < !theta_max then theta_max := t
+               end
+           | Basic -> ()
+         end
+       done;
+       if !theta_max = infinity then begin
+         result := Dual_no_entering;
+         raise Exit
+       end;
+       (* Pass 2: among columns whose exact ratio fits under the relaxed
+          step, the largest pivot magnitude wins (numerical stability). *)
+       let enter = ref (-1) and enter_abs = ref 0. in
+       for j = 0 to st.nall - 1 do
+         if st.status.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+           let a = s *. beta.(j) in
+           let ratio =
+             match st.status.(j) with
+             | At_lower ->
+                 if a > piv_tol then max 0. (st.d.(j) /. a) else infinity
+             | At_upper ->
+                 if a < -.piv_tol then max 0. (st.d.(j) /. a) else infinity
+             | At_zero_free ->
+                 if abs_float a > piv_tol then
+                   abs_float st.d.(j) /. abs_float a
+                 else infinity
+             | Basic -> infinity
+           in
+           if ratio <= !theta_max then begin
+             let aa = abs_float a in
+             if aa > !enter_abs then begin
+               enter_abs := aa;
+               enter := j
+             end
+           end
+         end
+       done;
+       if !enter < 0 then begin
+         result := Dual_no_entering;
+         raise Exit
+       end;
+       let enter = !enter in
+       st.iterations <- st.iterations + 1;
+       st.dual_pivots <- st.dual_pivots + 1;
+       (* Entering column through the basis inverse: needed for the eta
+          update, the primal step and the row-weight update. *)
+       let alpha = Array.make st.m 0. in
+       iter_column st enter (fun i v -> alpha.(i) <- alpha.(i) +. v);
+       ftran st alpha;
+       let alpha_r = alpha.(r) in
+       if abs_float alpha_r <= piv_tol then raise Numerical_failure;
+       (* Reduced costs: the same rank-one update as a primal pivot,
+          against the stored pivot row. A tiny dual step is a degenerate
+          pivot; without perturbation to lean on, a long run of them
+          means giving up (the fallback is the primal warm path). *)
+       let step = st.d.(enter) /. alpha_r in
+       if abs_float step <= dtol then begin
+         incr stall;
+         if !stall > st.p.degenerate_switch then begin
+           result := Dual_stalled;
+           raise Exit
+         end
+       end
+       else stall := 0;
+       for j = 0 to st.nall - 1 do
+         if st.status.(j) <> Basic && j <> enter then begin
+           let b = beta.(j) in
+           if b <> 0. then st.d.(j) <- st.d.(j) -. (step *. b)
+         end
+       done;
+       st.d.(leaving) <- -.step;
+       st.d.(enter) <- 0.;
+       (* Primal step: the leaving variable travels exactly to its
+          violated bound; every other basic value follows. *)
+       let bound = if above then st.ub.(leaving) else st.lb.(leaving) in
+       let t = (st.x.(leaving) -. bound) /. alpha_r in
+       apply_step st ~alpha ~dir:1. ~enter ~t;
+       st.status.(leaving) <- (if above then At_upper else At_lower);
+       st.x.(leaving) <- bound;
+       st.basis.(r) <- enter;
+       st.status.(enter) <- Basic;
+       (* Dual Devex row weights, reference-framework style. *)
+       let wr = dw.(r) in
+       let too_big = ref false in
+       for i = 0 to st.m - 1 do
+         if i <> r && alpha.(i) <> 0. then begin
+           let q = alpha.(i) /. alpha_r in
+           let cand = q *. q *. wr in
+           if cand > dw.(i) then dw.(i) <- cand;
+           if dw.(i) > 1e8 then too_big := true
+         end
+       done;
+       dw.(r) <- max (wr /. (alpha_r *. alpha_r)) 1.;
+       if dw.(r) > 1e8 then too_big := true;
+       if !too_big then Array.fill dw 0 st.m 1.;
+       (match Eta.make ~pos:r ~alpha with
+        | eta -> push_eta st eta
+        | exception Invalid_argument _ ->
+            factorize st;
+            recompute_basics st;
+            refresh_reduced_costs st);
+       if st.n_etas >= st.p.refactor_frequency then begin
+         factorize st;
+         recompute_basics st;
+         refresh_reduced_costs st
+       end
+     done
+   with Exit -> ());
+  !result
+
+(* Dual re-optimization driver over a state [try_dual_reopt] accepted.
+   Returns [None] to request the primal fallback. On success the state is
+   primal feasible and (within tolerance) dual feasible, so the closing
+   primal polish typically prices out immediately — it exists to wash out
+   incremental drift and absorb any sub-tolerance residue as ordinary
+   phase-2 pivots. *)
+let drive_dual st =
+  match run_dual st with
+  | Dual_no_entering | Dual_stalled | Dual_iteration_limit -> None
+  | Dual_optimal -> (
+      reset_phase_controls st;
+      match run_phase st with
+      | Phase_optimal -> Some (Status.Optimal (extract_solution st))
+      | Phase_unbounded -> Some Status.Unbounded
+      | Phase_iteration_limit -> Some Status.Iteration_limit)
 
 (* Two-phase driver over an initialized (cold or warm-started) state.
    Raises [Numerical_failure] when the factorization engine gives up. *)
@@ -868,6 +1204,8 @@ let m_pivots = Obs.Metrics.counter "simplex.pivots"
 let m_refactorizations = Obs.Metrics.counter "simplex.refactorizations"
 let m_bound_flips = Obs.Metrics.counter "simplex.bound_flips"
 let m_warm_accepted = Obs.Metrics.counter "simplex.warm_accepted"
+let m_dual_reopts = Obs.Metrics.counter "simplex.dual_reopts"
+let m_dual_pivots = Obs.Metrics.counter "simplex.dual_pivots"
 let m_warm_fell_back = Obs.Metrics.counter "simplex.warm_fell_back"
 let h_pivots = Obs.Metrics.histogram "simplex.pivots_per_solve"
 
@@ -882,8 +1220,10 @@ let record_solve ~ms st outcome =
   Obs.Metrics.add m_pivots st.iterations;
   Obs.Metrics.add m_refactorizations st.refactorizations;
   Obs.Metrics.add m_bound_flips st.bound_flips;
+  Obs.Metrics.add m_dual_pivots st.dual_pivots;
   (match st.warm with
    | Status.No_warm_start -> ()
+   | Status.Dual_reopt -> Obs.Metrics.incr m_dual_reopts
    | Status.Warm_accepted _ -> Obs.Metrics.incr m_warm_accepted
    | Status.Warm_fell_back -> Obs.Metrics.incr m_warm_fell_back);
   Obs.Metrics.observe h_pivots (float_of_int st.iterations);
@@ -896,6 +1236,7 @@ let record_solve ~ms st outcome =
         ("iterations", Obs.Trace.Int st.iterations);
         ("phase1_pivots", Obs.Trace.Int s.Status.phase1_pivots);
         ("phase2_pivots", Obs.Trace.Int s.Status.phase2_pivots);
+        ("dual_pivots", Obs.Trace.Int s.Status.dual_pivots);
         ("refactorizations", Obs.Trace.Int s.Status.refactorizations);
         ("eta_peak", Obs.Trace.Int s.Status.eta_peak);
         ("bound_flips", Obs.Trace.Int s.Status.bound_flips);
@@ -906,11 +1247,12 @@ let record_solve ~ms st outcome =
          Obs.Trace.Int
            (match st.warm with
             | Status.Warm_accepted { repair_rounds } -> repair_rounds
-            | Status.No_warm_start | Status.Warm_fell_back -> 0));
+            | Status.No_warm_start | Status.Dual_reopt
+            | Status.Warm_fell_back -> 0));
         ("ms", Obs.Trace.Float ms) ]
   end
 
-let solve ?params ?warm_start model =
+let solve ?params ?warm_start ?(dual_reopt = true) model =
   let t0 = Obs.Trace.now_ms () in
   let sf = Standard_form.of_model model in
   (* Trivial bound inconsistencies mean infeasible, not an exception. *)
@@ -933,30 +1275,52 @@ let solve ?params ?warm_start model =
            | outcome -> (outcome, Some st)
            | exception Numerical_failure -> (Status.Iteration_limit, Some st))
     in
+    (* Any failure along the warm path — a basis that cannot be repaired,
+       or a numerical breakdown while iterating from it — falls back to
+       the cold start, so supplying a warm basis can never produce a
+       worse outcome class than not supplying one. The dual re-opt sits
+       one rung above the primal warm crash on the same ladder:
+       dual install/iterate failure falls to the primal warm path (a
+       fresh state: the dual attempt froze artificial bounds, which
+       phase 1 must not inherit), which in turn falls to cold. *)
+    let primal_warm wb () =
+      match initialize ?params sf with
+      | exception Numerical_failure -> (Status.Iteration_limit, None)
+      | st -> (
+          match try_warm_start st wb with
+          | None ->
+              Log.debug (fun m ->
+                  m "warm basis rejected; falling back to cold start");
+              cold ~warm:Status.Warm_fell_back ()
+          | Some rounds -> (
+              st.warm <- Status.Warm_accepted { repair_rounds = rounds };
+              match drive st with
+              | outcome -> (outcome, Some st)
+              | exception Numerical_failure ->
+                  cold ~warm:Status.Warm_fell_back ())
+          | exception Numerical_failure ->
+              cold ~warm:Status.Warm_fell_back ())
+    in
     let outcome, final_st =
       match warm_start with
       | None -> cold ~warm:Status.No_warm_start ()
+      | Some wb when not dual_reopt -> primal_warm wb ()
       | Some wb -> (
-          (* Any failure along the warm path — a basis that cannot be
-             repaired, or a numerical breakdown while iterating from it —
-             falls back to the cold start, so supplying a warm basis can
-             never produce a worse outcome class than not supplying one. *)
           match initialize ?params sf with
           | exception Numerical_failure -> (Status.Iteration_limit, None)
           | st -> (
-              match try_warm_start st wb with
-              | None ->
-                  Log.debug (fun m ->
-                      m "warm basis rejected; falling back to cold start");
-                  cold ~warm:Status.Warm_fell_back ()
-              | Some rounds -> (
-                  st.warm <- Status.Warm_accepted { repair_rounds = rounds };
-                  match drive st with
-                  | outcome -> (outcome, Some st)
-                  | exception Numerical_failure ->
-                      cold ~warm:Status.Warm_fell_back ())
-              | exception Numerical_failure ->
-                  cold ~warm:Status.Warm_fell_back ()))
+              match try_dual_reopt st wb with
+              | false -> primal_warm wb ()
+              | true -> (
+                  st.warm <- Status.Dual_reopt;
+                  match drive_dual st with
+                  | Some outcome -> (outcome, Some st)
+                  | None ->
+                      Log.debug (fun m ->
+                          m "dual re-opt gave up; primal warm fallback");
+                      primal_warm wb ()
+                  | exception Numerical_failure -> primal_warm wb ())
+              | exception Numerical_failure -> primal_warm wb ()))
     in
     (match final_st with
      | Some st -> record_solve ~ms:(Obs.Trace.now_ms () -. t0) st outcome

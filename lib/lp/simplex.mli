@@ -1,4 +1,5 @@
-(** Revised simplex method for linear programs with bounded variables.
+(** Revised simplex method for linear programs with bounded variables,
+    with a dual-simplex re-optimization path for warm starts.
 
     The implementation is a primal, two-phase bounded-variable simplex:
 
@@ -15,6 +16,16 @@
     - the ratio test is a two-pass test preferring large pivot elements
       among near-tied ratios, and supports bound flips of the entering
       variable.
+
+    Warm starts additionally carry a dual simplex: when the supplied
+    basis installs dual-feasibly (the common case for slot-to-slot
+    re-solves, where only RHS/bounds changed), re-optimization runs dual
+    pivots — most-infeasible leaving row under dual Devex row weights, a
+    bounded-variable two-pass dual ratio test over the pivot row — and
+    never touches phase 1 or the repair ladder. Any dual difficulty
+    (a dual-infeasible install, persistent dual degeneracy, numerical
+    failure) falls back to the primal warm crash, which itself falls
+    back to a cold solve.
 
     This solver is exact up to floating-point tolerances for any LP built
     with {!Model}; the test suite cross-checks it against the independent
@@ -35,18 +46,27 @@ type params = {
 val default_params : params
 
 val solve :
-  ?params:params -> ?warm_start:Status.Basis.t -> Model.t -> Status.outcome
+  ?params:params ->
+  ?warm_start:Status.Basis.t ->
+  ?dual_reopt:bool ->
+  Model.t ->
+  Status.outcome
 (** Solve a model. The returned solution is expressed in the model's own
     variable/row indexing and objective sense, and carries the optimal
     basis ({!Status.solution.basis}).
 
-    [warm_start] crashes the solver from a basis captured by an earlier
+    [warm_start] starts the solver from a basis captured by an earlier
     solve (of this model or of a structurally similar one, translated onto
-    this model's indices). The carried basis is repaired before use —
-    dependent columns are demoted through {!Sparselin.Lu.crash_select},
-    uncovered rows regain their slack/artificial column, out-of-bound
-    basic values are parked at the violated bound — and the solver falls
-    back to the ordinary cold start whenever repair fails or a numerical
-    failure occurs while iterating from the warm basis. Supplying a wrong
-    or stale basis is therefore always safe: it can only cost iterations,
+    this model's indices). With [dual_reopt] (the default), a basis that
+    installs dual-feasibly re-optimizes with the dual simplex — zero
+    phase-1 pivots, zero repair rounds, outcome
+    {!Status.Dual_reopt} — and otherwise the primal crash path runs: the
+    carried basis is repaired before use (dependent columns demoted
+    through {!Sparselin.Lu.crash_select}, uncovered rows regain their
+    slack/artificial column, out-of-bound basic values parked at the
+    violated bound) and the solver falls back to the ordinary cold start
+    whenever repair fails or a numerical failure occurs while iterating
+    from the warm basis. [~dual_reopt:false] forces the primal path (the
+    scale benchmark uses it to separate the two warm curves). Supplying a
+    wrong or stale basis is always safe: it can only cost iterations,
     never correctness. *)

@@ -27,12 +27,14 @@ end
 
 type warm_start_outcome =
   | No_warm_start
+  | Dual_reopt
   | Warm_accepted of { repair_rounds : int }
   | Warm_fell_back
 
 type stats = {
   phase1_pivots : int;
   phase2_pivots : int;
+  dual_pivots : int;
   refactorizations : int;
   eta_peak : int;
   bound_flips : int;
@@ -44,6 +46,7 @@ type stats = {
 let no_stats = {
   phase1_pivots = 0;
   phase2_pivots = 0;
+  dual_pivots = 0;
   refactorizations = 0;
   eta_peak = 0;
   bound_flips = 0;
@@ -78,12 +81,14 @@ let get_optimal = function
 
 let warm_start_outcome_name = function
   | No_warm_start -> "none"
+  | Dual_reopt -> "dual_reopt"
   | Warm_accepted _ -> "accepted"
   | Warm_fell_back -> "fell_back"
 
 let pp_warm_start_outcome ppf = function
   | No_warm_start -> Format.pp_print_string ppf "cold"
-  | Warm_accepted { repair_rounds = 1 } ->
+  | Dual_reopt -> Format.pp_print_string ppf "warm (dual re-opt)"
+  | Warm_accepted { repair_rounds = 0 } ->
       Format.pp_print_string ppf "warm (accepted)"
   | Warm_accepted { repair_rounds } ->
       Format.fprintf ppf "warm (repaired, %d rounds)" repair_rounds
@@ -91,8 +96,8 @@ let pp_warm_start_outcome ppf = function
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d+%d pivots, %d refactorizations, eta peak %d, %d bound flips, %a"
-    s.phase1_pivots s.phase2_pivots s.refactorizations s.eta_peak
+    "%d+%d+%dd pivots, %d refactorizations, eta peak %d, %d bound flips, %a"
+    s.phase1_pivots s.phase2_pivots s.dual_pivots s.refactorizations s.eta_peak
     s.bound_flips pp_warm_start_outcome s.warm_start;
   if s.perturbations > 0 then
     Format.fprintf ppf ", %d perturbation round(s)" s.perturbations;

@@ -39,9 +39,15 @@ end
 (** How a carried warm-start basis fared (see {!Simplex.solve}). *)
 type warm_start_outcome =
   | No_warm_start  (** No basis was supplied; the solve started cold. *)
+  | Dual_reopt
+      (** The basis installed dual-feasibly and the solve re-optimized
+          with the dual simplex: zero phase-1 pivots, zero repair
+          rounds. The default path for slot-to-slot and post-strand
+          re-solves, where only RHS/bounds change. *)
   | Warm_accepted of { repair_rounds : int }
-      (** The basis was installed after [repair_rounds] crash rounds
-          (1 = installed as carried, more = repaired). *)
+      (** The basis was installed by the primal crash after
+          [repair_rounds] repair rounds beyond the first install
+          (0 = installed as carried, more = repaired). *)
   | Warm_fell_back
       (** The basis could not be installed, or iterating from it hit a
           numerical failure; the reported solve is the cold fallback. *)
@@ -53,6 +59,10 @@ type warm_start_outcome =
 type stats = {
   phase1_pivots : int;
   phase2_pivots : int;
+  dual_pivots : int;
+      (** Dual-simplex re-optimization pivots ([Dual_reopt] solves only;
+          disjoint from the primal phase split, and
+          [phase1_pivots + phase2_pivots + dual_pivots = iterations]). *)
   refactorizations : int;
       (** Basis refactorizations after the initial one (scheduled or
           forced by an unstable eta update). *)
@@ -99,7 +109,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val pp_warm_start_outcome : Format.formatter -> warm_start_outcome -> unit
 
 val warm_start_outcome_name : warm_start_outcome -> string
-(** Stable machine-readable name: ["none"], ["accepted"] or
-    ["fell_back"] — the vocabulary used in traces and bench JSON. *)
+(** Stable machine-readable name: ["none"], ["dual_reopt"], ["accepted"]
+    or ["fell_back"] — the vocabulary used in traces and bench JSON. *)
 
 val pp_stats : Format.formatter -> stats -> unit

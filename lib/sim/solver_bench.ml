@@ -30,7 +30,62 @@ type summary = {
   warm_accepted : int;  (* warm-start outcome tallies over slots >= 1 *)
   warm_repaired : int;
   warm_fell_back : int;
+  dual_reopts : int;  (* subset of warm_accepted that ran the dual simplex *)
+  dual_pivots : int;  (* dual pivots over warm solves of slots >= 1 *)
+  warm_phase1_pivots : int;  (* primal phase-1 pivots, same population *)
 }
+
+(* The aggregate tallies and the per-slot warm_start fields are two
+   renderings of the same data; classify a slot exactly once so they
+   cannot drift apart. *)
+let classify (o : Lp.Status.warm_start_outcome) =
+  match o with
+  | Lp.Status.No_warm_start -> `Cold
+  | Lp.Status.Dual_reopt -> `Dual
+  | Lp.Status.Warm_accepted { repair_rounds = 0 } -> `Accepted
+  | Lp.Status.Warm_accepted _ -> `Repaired
+  | Lp.Status.Warm_fell_back -> `Fell_back
+
+(* Recompute every outcome tally from the per-slot records and compare
+   with the aggregate fields; [bench] fails loudly on a mismatch, so the
+   two views shown to the user always reconcile. *)
+let reconcile s =
+  let warmed = List.filter (fun st -> st.slot >= 1) s.per_slot in
+  let count f = List.length (List.filter f warmed) in
+  let accepted =
+    count (fun st ->
+        match classify st.warm_stats.Lp.Status.warm_start with
+        | `Dual | `Accepted -> true
+        | `Cold | `Repaired | `Fell_back -> false)
+  and repaired =
+    count (fun st -> classify st.warm_stats.Lp.Status.warm_start = `Repaired)
+  and fell_back =
+    count (fun st -> classify st.warm_stats.Lp.Status.warm_start = `Fell_back)
+  and dual =
+    count (fun st -> classify st.warm_stats.Lp.Status.warm_start = `Dual)
+  in
+  let checks =
+    [ ("warm_accepted", s.warm_accepted, accepted);
+      ("warm_repaired", s.warm_repaired, repaired);
+      ("warm_fell_back", s.warm_fell_back, fell_back);
+      ("dual_reopts", s.dual_reopts, dual);
+      ( "outcome total",
+        s.warm_accepted + s.warm_repaired + s.warm_fell_back,
+        List.length warmed ) ]
+  in
+  let bad =
+    List.filter_map
+      (fun (name, agg, per_slot) ->
+        if agg = per_slot then None
+        else
+          Some
+            (Printf.sprintf "%s: aggregate %d vs per-slot %d" name agg
+               per_slot))
+      checks
+  in
+  match bad with
+  | [] -> Ok ()
+  | msgs -> Error (String.concat "; " msgs)
 
 let iteration_ratio s =
   if s.warm_iterations = 0 then infinity
@@ -155,23 +210,33 @@ let run ?(nodes = 6) ?(slots = 12) ?(seed = 1) ?pool () =
       List.length
         (List.filter
            (fun s ->
-             match s.warm_stats.Lp.Status.warm_start with
-             | Lp.Status.Warm_accepted { repair_rounds = 0 } -> true
-             | _ -> false)
+             match classify s.warm_stats.Lp.Status.warm_start with
+             | `Dual | `Accepted -> true
+             | `Cold | `Repaired | `Fell_back -> false)
            warmed);
     warm_repaired =
       List.length
         (List.filter
-           (fun s ->
-             match s.warm_stats.Lp.Status.warm_start with
-             | Lp.Status.Warm_accepted { repair_rounds } -> repair_rounds > 0
-             | _ -> false)
+           (fun s -> classify s.warm_stats.Lp.Status.warm_start = `Repaired)
            warmed);
     warm_fell_back =
       List.length
         (List.filter
-           (fun s -> s.warm_stats.Lp.Status.warm_start = Lp.Status.Warm_fell_back)
-           warmed) }
+           (fun s -> classify s.warm_stats.Lp.Status.warm_start = `Fell_back)
+           warmed);
+    dual_reopts =
+      List.length
+        (List.filter
+           (fun s -> classify s.warm_stats.Lp.Status.warm_start = `Dual)
+           warmed);
+    dual_pivots =
+      List.fold_left
+        (fun acc (s : slot_stat) -> acc + s.warm_stats.Lp.Status.dual_pivots)
+        0 warmed;
+    warm_phase1_pivots =
+      List.fold_left
+        (fun acc (s : slot_stat) -> acc + s.warm_stats.Lp.Status.phase1_pivots)
+        0 warmed }
 
 let pp_summary ppf s =
   Format.fprintf ppf
@@ -185,6 +250,7 @@ let pp_summary ppf s =
       let warm_label =
         match st.warm_stats.Lp.Status.warm_start with
         | Lp.Status.No_warm_start -> "-"
+        | Lp.Status.Dual_reopt -> "dual"
         | Lp.Status.Warm_accepted { repair_rounds = 0 } -> "accepted"
         | Lp.Status.Warm_accepted { repair_rounds } ->
             Printf.sprintf "repair:%d" repair_rounds
@@ -202,15 +268,19 @@ let pp_summary ppf s =
     s.cold_iterations s.warm_iterations (iteration_ratio s) s.cold_ms
     s.warm_ms;
   Format.fprintf ppf
-    "  warm-start outcomes: %d accepted clean, %d repaired, %d fell back@."
-    s.warm_accepted s.warm_repaired s.warm_fell_back;
+    "  warm-start outcomes: %d accepted clean (%d via dual re-opt), \
+     %d repaired, %d fell back@."
+    s.warm_accepted s.dual_reopts s.warm_repaired s.warm_fell_back;
+  Format.fprintf ppf
+    "  re-opt effort: %d dual pivots, %d phase-1 pivots on warm solves@."
+    s.dual_pivots s.warm_phase1_pivots;
   Format.fprintf ppf "  largest cold/warm objective gap: %.2e@."
     s.max_objective_gap
 
 (* Hand-rolled JSON (no JSON library in the tree); numbers are printed
    with enough digits to round-trip. *)
 let json_float f =
-  if Float.is_nan f then "null"
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && abs_float f < 1e15 then
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
@@ -231,15 +301,16 @@ let to_json s =
     let repair_rounds =
       match st.Lp.Status.warm_start with
       | Lp.Status.Warm_accepted { repair_rounds } -> repair_rounds
-      | Lp.Status.No_warm_start | Lp.Status.Warm_fell_back -> 0
+      | Lp.Status.No_warm_start | Lp.Status.Dual_reopt
+      | Lp.Status.Warm_fell_back -> 0
     in
     Printf.sprintf
-      "{\"phase1_pivots\": %d, \"phase2_pivots\": %d, \"refactorizations\": \
-       %d, \"eta_peak\": %d, \"bound_flips\": %d, \"warm_start\": %S, \
-       \"repair_rounds\": %d}"
+      "{\"phase1_pivots\": %d, \"phase2_pivots\": %d, \"dual_pivots\": %d, \
+       \"refactorizations\": %d, \"eta_peak\": %d, \"bound_flips\": %d, \
+       \"warm_start\": %S, \"repair_rounds\": %d}"
       st.Lp.Status.phase1_pivots st.Lp.Status.phase2_pivots
-      st.Lp.Status.refactorizations st.Lp.Status.eta_peak
-      st.Lp.Status.bound_flips
+      st.Lp.Status.dual_pivots st.Lp.Status.refactorizations
+      st.Lp.Status.eta_peak st.Lp.Status.bound_flips
       (Lp.Status.warm_start_outcome_name st.Lp.Status.warm_start)
       repair_rounds
   in
@@ -267,6 +338,248 @@ let to_json s =
   field "warm_accepted" (string_of_int s.warm_accepted);
   field "warm_repaired" (string_of_int s.warm_repaired);
   field "warm_fell_back" (string_of_int s.warm_fell_back);
+  field "dual_reopts" (string_of_int s.dual_reopts);
+  field "dual_pivots" (string_of_int s.dual_pivots);
+  field "warm_phase1_pivots" (string_of_int s.warm_phase1_pivots);
   field ~last:true "max_objective_gap" (json_float s.max_objective_gap);
   Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: per-size cold / primal-warm / dual-reopt curves, so every
+   later perf PR has a curve to move. Each point replays one online run
+   and solves every re-opt slot's program three ways — from scratch, warm
+   through the primal crash (dual re-opt disabled), and warm through the
+   dual simplex — chained on a single carried basis. A wall-clock budget
+   per point truncates the biggest instances rather than stalling the
+   sweep; truncation is recorded, never silent. *)
+
+type scale_point = {
+  sp_nodes : int;
+  sp_slots : int;  (* slots requested; fewer may run under the budget *)
+  sp_cols : int;  (* largest LP of the run *)
+  sp_rows : int;
+  sp_reopt_slots : int;  (* slots (>= 1) actually timed three ways *)
+  sp_cold_iterations : int;
+  sp_primal_iterations : int;
+  sp_dual_iterations : int;
+  sp_cold_ms : float;
+  sp_primal_ms : float;
+  sp_dual_ms : float;
+  sp_dual_reopts : int;  (* dual-warm solves that ran the dual path *)
+  sp_dual_phase1_pivots : int;  (* phase-1 pivots on dual-warm solves *)
+  sp_cold_failures : int;  (* re-opt slots where the cold solve failed *)
+  sp_primal_failures : int;  (* same, primal-warm solve *)
+  sp_dual_failures : int;  (* same, dual-warm solve *)
+  sp_max_objective_gap : float;  (* worst pairwise gap, all three solvers *)
+  sp_truncated : bool;
+}
+
+type scale_summary = {
+  sc_seed : int;
+  sc_budget_ms : float;
+  sc_points : scale_point list;
+}
+
+let default_scale_sizes = [ (6, 12); (12, 24); (20, 48); (32, 72); (50, 104) ]
+
+let run_scale_point ~nodes ~slots ~seed ~budget_ms =
+  let rng = Prelude.Rng.of_int (seed * 7919) in
+  let base =
+    Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
+      ~capacity:50.
+  in
+  let spec =
+    { (Workload.paper_spec ~nodes ~files_max:4 ~max_deadline:4) with
+      Workload.size_min = 5.;
+      size_max = 25.;
+      deadlines = Workload.Uniform_deadline (2, 4) }
+  in
+  let workload = Workload.create spec (Prelude.Rng.of_int seed) in
+  let ledger = Ledger.create ~base in
+  let carried : Basis_map.t option ref = ref None in
+  let t_start = Unix.gettimeofday () in
+  let cols = ref 0 and rows = ref 0 and reopt_slots = ref 0 in
+  let cold_iters = ref 0 and primal_iters = ref 0 and dual_iters = ref 0 in
+  let cold_ms = ref 0. and primal_ms = ref 0. and dual_ms = ref 0. in
+  let dual_reopts = ref 0 and dual_phase1 = ref 0 in
+  let cold_fail = ref 0 and primal_fail = ref 0 and dual_fail = ref 0 in
+  let max_gap = ref 0. in
+  let truncated = ref false in
+  let slot = ref 0 in
+  while !slot < slots && not !truncated do
+    let elapsed = 1000. *. (Unix.gettimeofday () -. t_start) in
+    (* Keep going until at least one re-opt slot has been timed, so every
+       point contributes a curve sample even under a tight budget. *)
+    if elapsed > budget_ms && !reopt_slots >= 1 then truncated := true
+    else begin
+      let files = Workload.arrivals workload ~slot:!slot in
+      if files <> [] then begin
+        let capacity ~link ~layer =
+          Ledger.residual ledger ~link ~slot:(!slot + layer)
+        in
+        let make () =
+          Formulate.create ~base ~charged:(Ledger.charged_all ledger)
+            ~capacity ~files ~epoch:!slot ()
+        in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, 1000. *. (Unix.gettimeofday () -. t0))
+        in
+        let p_cold = make () in
+        let model = Formulate.model p_cold in
+        cols := max !cols (Lp.Model.num_vars model);
+        rows := max !rows (Lp.Model.num_rows model);
+        let (cold, cold_info), c_ms =
+          timed (fun () -> Formulate.solve_with_info p_cold)
+        in
+        let objective = function
+          | Formulate.Scheduled { objective; _ } -> objective
+          | Formulate.Infeasible | Formulate.Solver_failure _ -> nan
+        in
+        (match !carried with
+         | None ->
+             (* No basis yet: nothing to re-optimize; the cold solve
+                seeds the chain. *)
+             carried := cold_info.Formulate.basis
+         | Some _ ->
+             let (primal, primal_info), p_ms =
+               timed (fun () ->
+                   Formulate.solve_with_info ?warm_start:!carried
+                     ~dual_reopt:false (make ()))
+             in
+             let (dual, dual_info), d_ms =
+               timed (fun () ->
+                   Formulate.solve_with_info ?warm_start:!carried (make ()))
+             in
+             incr reopt_slots;
+             cold_iters := !cold_iters + cold_info.Formulate.iterations;
+             primal_iters := !primal_iters + primal_info.Formulate.iterations;
+             dual_iters := !dual_iters + dual_info.Formulate.iterations;
+             cold_ms := !cold_ms +. c_ms;
+             primal_ms := !primal_ms +. p_ms;
+             dual_ms := !dual_ms +. d_ms;
+             let dstats = dual_info.Formulate.stats in
+             (match classify dstats.Lp.Status.warm_start with
+              | `Dual -> incr dual_reopts
+              | `Cold | `Accepted | `Repaired | `Fell_back -> ());
+             dual_phase1 := !dual_phase1 + dstats.Lp.Status.phase1_pivots;
+             let failed = function
+               | Formulate.Solver_failure _ -> 1
+               | Formulate.Scheduled _ | Formulate.Infeasible -> 0
+             in
+             cold_fail := !cold_fail + failed cold;
+             primal_fail := !primal_fail + failed primal;
+             dual_fail := !dual_fail + failed dual;
+             let oc = objective cold in
+             let gap o =
+               match (cold, o) with
+               | Formulate.Scheduled _, Formulate.Scheduled _ ->
+                   abs_float (oc -. objective o)
+               | Formulate.Infeasible, Formulate.Infeasible -> 0.
+               | Formulate.Solver_failure _, _ | _, Formulate.Solver_failure _
+                 ->
+                   (* No objective to compare — the failure counters carry
+                      the record; don't poison the gap with nan. *)
+                   0.
+               | Formulate.Scheduled _, Formulate.Infeasible
+               | Formulate.Infeasible, Formulate.Scheduled _ ->
+                   (* Two solvers disagreeing on feasibility is a
+                      correctness bug; make the gap impossible to miss. *)
+                   infinity
+             in
+             max_gap := max !max_gap (max (gap primal) (gap dual));
+             (* The dual solve's basis carries the chain; the cold plan
+                is the one committed, so all three solvers face the same
+                program sequence. *)
+             carried := dual_info.Formulate.basis);
+        match cold with
+        | Formulate.Scheduled { plan; _ } -> Ledger.commit_plan ledger plan
+        | Formulate.Infeasible | Formulate.Solver_failure _ -> ()
+      end;
+      incr slot
+    end
+  done;
+  { sp_nodes = nodes;
+    sp_slots = slots;
+    sp_cols = !cols;
+    sp_rows = !rows;
+    sp_reopt_slots = !reopt_slots;
+    sp_cold_iterations = !cold_iters;
+    sp_primal_iterations = !primal_iters;
+    sp_dual_iterations = !dual_iters;
+    sp_cold_ms = !cold_ms;
+    sp_primal_ms = !primal_ms;
+    sp_dual_ms = !dual_ms;
+    sp_dual_reopts = !dual_reopts;
+    sp_dual_phase1_pivots = !dual_phase1;
+    sp_cold_failures = !cold_fail;
+    sp_primal_failures = !primal_fail;
+    sp_dual_failures = !dual_fail;
+    sp_max_objective_gap = !max_gap;
+    sp_truncated = !truncated }
+
+let scale_sweep ?(sizes = default_scale_sizes) ?(seed = 1)
+    ?(budget_ms = 20_000.) () =
+  let points =
+    List.map
+      (fun (nodes, slots) -> run_scale_point ~nodes ~slots ~seed ~budget_ms)
+      sizes
+  in
+  { sc_seed = seed; sc_budget_ms = budget_ms; sc_points = points }
+
+let pp_scale ppf s =
+  Format.fprintf ppf
+    "  scale sweep: cold vs primal-warm vs dual-reopt (seed %d, budget %.0f \
+     ms/point)@."
+    s.sc_seed s.sc_budget_ms;
+  Format.fprintf ppf "  %5s %5s %7s %6s %6s %9s %9s %9s %6s %6s %6s %5s@."
+    "DCs" "slots" "cols" "rows" "reopts" "cold ms" "prim ms" "dual ms"
+    "dualok" "ph1" "fails" "trunc";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  %5d %5d %7d %6d %6d %9.1f %9.1f %9.1f %6d %6d %6s %5s@." p.sp_nodes
+        p.sp_slots p.sp_cols p.sp_rows p.sp_reopt_slots p.sp_cold_ms
+        p.sp_primal_ms p.sp_dual_ms p.sp_dual_reopts p.sp_dual_phase1_pivots
+        (Printf.sprintf "%d/%d/%d" p.sp_cold_failures p.sp_primal_failures
+           p.sp_dual_failures)
+        (if p.sp_truncated then "yes" else "no"))
+    s.sc_points;
+  let worst =
+    List.fold_left (fun acc p -> max acc p.sp_max_objective_gap) 0. s.sc_points
+  in
+  Format.fprintf ppf "  largest objective gap across solvers: %.2e@." worst
+
+let scale_to_json s =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"solver_scale\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" s.sc_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"budget_ms\": %s,\n" (json_float s.sc_budget_ms));
+  Buffer.add_string b "  \"points\": [\n";
+  let n = List.length s.sc_points in
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"nodes\": %d, \"slots\": %d, \"cols\": %d, \"rows\": %d, \
+            \"reopt_slots\": %d, \"cold_iterations\": %d, \
+            \"primal_warm_iterations\": %d, \"dual_reopt_iterations\": %d, \
+            \"cold_ms\": %s, \"primal_warm_ms\": %s, \"dual_reopt_ms\": %s, \
+            \"dual_reopts\": %d, \"dual_phase1_pivots\": %d, \
+            \"cold_failures\": %d, \"primal_warm_failures\": %d, \
+            \"dual_failures\": %d, \"max_objective_gap\": %s, \
+            \"truncated\": %b}%s\n"
+           p.sp_nodes p.sp_slots p.sp_cols p.sp_rows p.sp_reopt_slots
+           p.sp_cold_iterations p.sp_primal_iterations p.sp_dual_iterations
+           (json_float p.sp_cold_ms) (json_float p.sp_primal_ms)
+           (json_float p.sp_dual_ms) p.sp_dual_reopts p.sp_dual_phase1_pivots
+           p.sp_cold_failures p.sp_primal_failures p.sp_dual_failures
+           (json_float p.sp_max_objective_gap) p.sp_truncated
+           (if i = n - 1 then "" else ",")))
+    s.sc_points;
+  Buffer.add_string b "  ]\n}\n";
   Buffer.contents b

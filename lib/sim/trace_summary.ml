@@ -5,10 +5,14 @@ type solve_tally = {
   solves : int;
   pivots : int;
   phase1_pivots : int;
+  phase2_pivots : int;
+  dual_pivots : int;
   refactorizations : int;
+  repair_rounds : int;
   solve_ms : float;
   warm_cold : int;
   warm_accepted : int;
+  dual_reopts : int;
   warm_repaired : int;
   warm_fell_back : int;
 }
@@ -17,10 +21,14 @@ let empty_tally =
   { solves = 0;
     pivots = 0;
     phase1_pivots = 0;
+    phase2_pivots = 0;
+    dual_pivots = 0;
     refactorizations = 0;
+    repair_rounds = 0;
     solve_ms = 0.;
     warm_cold = 0;
     warm_accepted = 0;
+    dual_reopts = 0;
     warm_repaired = 0;
     warm_fell_back = 0 }
 
@@ -28,10 +36,14 @@ let add_tally a b =
   { solves = a.solves + b.solves;
     pivots = a.pivots + b.pivots;
     phase1_pivots = a.phase1_pivots + b.phase1_pivots;
+    phase2_pivots = a.phase2_pivots + b.phase2_pivots;
+    dual_pivots = a.dual_pivots + b.dual_pivots;
     refactorizations = a.refactorizations + b.refactorizations;
+    repair_rounds = a.repair_rounds + b.repair_rounds;
     solve_ms = a.solve_ms +. b.solve_ms;
     warm_cold = a.warm_cold + b.warm_cold;
     warm_accepted = a.warm_accepted + b.warm_accepted;
+    dual_reopts = a.dual_reopts + b.dual_reopts;
     warm_repaired = a.warm_repaired + b.warm_repaired;
     warm_fell_back = a.warm_fell_back + b.warm_fell_back }
 
@@ -100,10 +112,19 @@ let tally_of_solve ev =
   { solves = 1;
     pivots = int0 ev "iterations";
     phase1_pivots = int0 ev "phase1_pivots";
+    phase2_pivots = int0 ev "phase2_pivots";
+    dual_pivots = int0 ev "dual_pivots";
     refactorizations = int0 ev "refactorizations";
+    repair_rounds = repairs;
     solve_ms = float0 ev "ms";
     warm_cold = (if warm = "none" || warm = "" then 1 else 0);
-    warm_accepted = (if warm = "accepted" && repairs = 0 then 1 else 0);
+    (* "accepted clean": installed with zero repair rounds, whether the
+       dual simplex re-optimized or the primal crash landed as carried;
+       [dual_reopts] counts the dual subset separately. *)
+    warm_accepted =
+      (if warm = "dual_reopt" || (warm = "accepted" && repairs = 0) then 1
+       else 0);
+    dual_reopts = (if warm = "dual_reopt" then 1 else 0);
     warm_repaired = (if warm = "accepted" && repairs > 0 then 1 else 0);
     warm_fell_back = (if warm = "fell_back" then 1 else 0) }
 
@@ -325,8 +346,15 @@ let pp_run ppf run =
     t.solves t.pivots t.phase1_pivots t.refactorizations t.solve_ms
     (List.fold_left (fun acc r -> acc +. r.sched_ms) 0. run.rows);
   Format.fprintf ppf
-    "  warm starts: %d cold, %d accepted clean, %d repaired, %d fell back@,"
-    t.warm_cold t.warm_accepted t.warm_repaired t.warm_fell_back;
+    "  solver: %d phase-1 + %d phase-2 + %d dual pivots, %d repair \
+     round%s@,"
+    t.phase1_pivots t.phase2_pivots t.dual_pivots t.repair_rounds
+    (if t.repair_rounds = 1 then "" else "s");
+  Format.fprintf ppf
+    "  re-opt outcomes: %d cold, %d accepted clean (%d via dual re-opt), \
+     %d repaired, %d fell back@,"
+    t.warm_cold t.warm_accepted t.dual_reopts t.warm_repaired
+    t.warm_fell_back;
   (match (run.total_files, run.rejected_files) with
    | Some total, Some rej ->
        Format.fprintf ppf "  files: %d offered, %d rejected@," total rej

@@ -4,17 +4,27 @@
     ["sim.run"]/["sim.slot"] spans with the ["lp.solve"] and
     ["sched.decision"] points nested inside them — and renders an ASCII
     report: the cost-vs-slot series, the per-slot pivot and wall-time
-    breakdown, the warm-start outcome tally, and a reconciliation check
-    of the per-slot series against the run's recorded final totals. *)
+    breakdown, a solver section (phase-1/phase-2/dual pivot split,
+    re-optimization outcomes and repair rounds per run), and a
+    reconciliation check of the per-slot series against the run's
+    recorded final totals. *)
 
 type solve_tally = {
   solves : int;
-  pivots : int;  (** Phases 1+2 over all solves of the slot. *)
+  pivots : int;  (** All pivots (phases 1+2 and dual) over the slot. *)
   phase1_pivots : int;
+  phase2_pivots : int;
+  dual_pivots : int;  (** Dual-simplex re-optimization pivots. *)
   refactorizations : int;
+  repair_rounds : int;  (** Warm-install repair rounds over the slot. *)
   solve_ms : float;
   warm_cold : int;  (** Solves started without a warm basis. *)
-  warm_accepted : int;  (** Warm basis installed with no repair. *)
+  warm_accepted : int;
+      (** Warm basis installed with no repair (dual re-opt or clean
+          primal crash). *)
+  dual_reopts : int;
+      (** The subset of [warm_accepted] re-optimized by the dual
+          simplex. *)
   warm_repaired : int;  (** Warm basis installed after repair rounds. *)
   warm_fell_back : int;  (** Warm basis discarded, solved cold. *)
 }

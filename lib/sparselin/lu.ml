@@ -112,6 +112,50 @@ let select_pivot ~pinv ~stack ~x ~top ~threshold =
   done;
   !best
 
+(* Markowitz-style threshold pivoting: among the not-yet-pivoted rows of
+   the pattern whose magnitude is within a factor [rel] of the largest
+   (and above [threshold]), prefer the row with the fewest nonzeros in the
+   input matrix — the classic fill-in proxy, here with static row counts
+   so selection stays O(pattern). Magnitude then row index break ties, so
+   the choice is deterministic. Returns -1 when no entry exceeds
+   [threshold], exactly like {!select_pivot}. *)
+let markowitz_rel = 0.1
+
+let select_pivot_markowitz ~pinv ~stack ~x ~top ~threshold ~row_counts =
+  let max_abs = ref 0. in
+  for s = 0 to top - 1 do
+    let r = stack.(s) in
+    if pinv.(r) < 0 then begin
+      let a = abs_float x.(r) in
+      if a > !max_abs then max_abs := a
+    end
+  done;
+  if !max_abs <= threshold then -1
+  else begin
+    let accept = max threshold (markowitz_rel *. !max_abs) in
+    let best = ref (-1) and best_count = ref max_int and best_abs = ref 0. in
+    for s = 0 to top - 1 do
+      let r = stack.(s) in
+      if pinv.(r) < 0 then begin
+        let a = abs_float x.(r) in
+        if a >= accept then begin
+          let c = row_counts.(r) in
+          let better =
+            c < !best_count
+            || (c = !best_count
+                && (a > !best_abs || (a = !best_abs && r < !best)))
+          in
+          if better then begin
+            best := r;
+            best_count := c;
+            best_abs := a
+          end
+        end
+      end
+    done;
+    !best
+  end
+
 let clear_pattern ~visited ~stack ~x ~top =
   for s = 0 to top - 1 do
     let r = stack.(s) in
@@ -157,6 +201,12 @@ let factorize_iter ?col_order ~dim:n iter_col =
   let visited = Array.make n false in
   let stack = Array.make n 0 in
   let exception Singular_at of int in
+  (* Static row nonzero counts of the input matrix, the Markowitz fill-in
+     proxy used by the pivot selection below. One O(nnz) pass. *)
+  let row_counts = Array.make n 0 in
+  for j = 0 to n - 1 do
+    iter_col j (fun r _ -> row_counts.(r) <- row_counts.(r) + 1)
+  done;
   let input_nnz = ref 0 in
   let counted_col j f =
     iter_col j (fun r v ->
@@ -169,7 +219,10 @@ let factorize_iter ?col_order ~dim:n iter_col =
         eliminate_column ~iter_col:counted_col ~pinv ~l_cols ~visited ~stack
           ~x q.(k)
       in
-      let piv = select_pivot ~pinv ~stack ~x ~top ~threshold:1e-13 in
+      let piv =
+        select_pivot_markowitz ~pinv ~stack ~x ~top ~threshold:1e-13
+          ~row_counts
+      in
       if piv < 0 then raise (Singular_at k);
       let d = x.(piv) in
       (* Gather U (pivoted rows) and L (remaining rows, scaled). *)

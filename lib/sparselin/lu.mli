@@ -3,9 +3,12 @@
     factorization engine of the revised simplex method in {!Lp}.
 
     The factorization computed is [P * B * Q = L * U] where [P] is the row
-    permutation chosen by threshold-free partial pivoting, [Q] is a caller
-    supplied (or nnz-ascending) column ordering, [L] is unit lower triangular
-    and [U] is upper triangular. *)
+    permutation chosen by Markowitz-ordered threshold pivoting (among rows
+    whose magnitude is within a fixed factor of the column maximum, the one
+    with the fewest input-matrix nonzeros — a static fill-in proxy — wins,
+    with deterministic tie-breaks), [Q] is a caller supplied (or
+    nnz-ascending) column ordering, [L] is unit lower triangular and [U] is
+    upper triangular. *)
 
 type t
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tier-1 scale smoke: run the solver scale sweep at one bounded point
+# (12 DCs x 24 slots under a wall-clock budget) and check the dual
+# re-optimization path end to end — the bench itself fails loudly when
+# the aggregate counters do not reconcile with the per-slot records or
+# when no slot re-optimized via the dual simplex; the smoke additionally
+# checks the emitted JSON and cross-checks a traced simulation run
+# through trace-summary (strict validation + per-slot reconciliation),
+# demanding that the trace, too, records dual re-opts.
+set -euo pipefail
+
+bench=$1 sim=$2
+dir=$(mktemp -d)
+cleanup() { rm -rf "$dir"; }
+trap cleanup EXIT
+
+"$bench" --scale-only --scale-sizes 12x24 --scale-budget-ms 10000 \
+  --json-scale "$dir/scale.json" >"$dir/scale.out"
+
+dual_reopts=$(sed -n 's/.*"dual_reopts": \([0-9][0-9]*\).*/\1/p' "$dir/scale.json")
+if [ -z "$dual_reopts" ] || [ "$dual_reopts" -eq 0 ]; then
+  echo "scale smoke: BENCH_scale point reports no dual re-opts" >&2
+  cat "$dir/scale.out" >&2
+  exit 1
+fi
+if ! grep -q '"dual_phase1_pivots": 0,' "$dir/scale.json"; then
+  echo "scale smoke: dual-warm solves spent phase-1 pivots" >&2
+  cat "$dir/scale.json" >&2
+  exit 1
+fi
+if ! grep -q '"max_objective_gap": 0' "$dir/scale.json"; then
+  echo "scale smoke: solvers disagree on the objective" >&2
+  cat "$dir/scale.json" >&2
+  exit 1
+fi
+if ! grep -q '"dual_failures": 0,' "$dir/scale.json"; then
+  echo "scale smoke: a dual re-opt solve failed at smoke scale" >&2
+  cat "$dir/scale.json" >&2
+  exit 1
+fi
+
+# The same dual counters must surface through the trace pipeline: a
+# traced online run, strictly validated and reconciled by trace-summary,
+# has to report dual re-opts in its solver section.
+"$sim" --figure 6 --nodes 8 --slots 10 --runs 1 --schedulers postcard \
+  --trace "$dir/scale_smoke.jsonl" >/dev/null
+"$sim" trace-summary "$dir/scale_smoke.jsonl" >"$dir/summary.out"
+traced_dual=$(sed -n 's/.*(\([0-9][0-9]*\) via dual re-opt).*/\1/p' "$dir/summary.out" | head -1)
+if [ -z "$traced_dual" ] || [ "$traced_dual" -eq 0 ]; then
+  echo "scale smoke: trace-summary reports no dual re-opts" >&2
+  cat "$dir/summary.out" >&2
+  exit 1
+fi
+echo "scale smoke: OK (${dual_reopts} dual re-opts in the sweep, ${traced_dual} in the traced run)"

@@ -273,7 +273,8 @@ let test_simplex_stats () =
       let st = s.Lp.Status.stats in
       Alcotest.(check int) "phase split sums to iterations"
         s.Lp.Status.iterations
-        (st.Lp.Status.phase1_pivots + st.Lp.Status.phase2_pivots);
+        (st.Lp.Status.phase1_pivots + st.Lp.Status.phase2_pivots
+        + st.Lp.Status.dual_pivots);
       Alcotest.(check bool) "cold solve has no warm outcome" true
         (st.Lp.Status.warm_start = Lp.Status.No_warm_start);
       Alcotest.(check bool) "pivots left an eta trail" true
@@ -285,8 +286,16 @@ let test_simplex_stats () =
            | Lp.Status.Optimal s2 ->
                Alcotest.(check bool) "warm restart reports acceptance" true
                  (match s2.Lp.Status.stats.Lp.Status.warm_start with
-                  | Lp.Status.Warm_accepted _ -> true
-                  | _ -> false)
+                  | Lp.Status.Dual_reopt | Lp.Status.Warm_accepted _ -> true
+                  | Lp.Status.No_warm_start | Lp.Status.Warm_fell_back ->
+                      false);
+               (* A dual re-opt never touches phase 1 or the repair
+                  ladder; that is the whole point of the path. *)
+               (match s2.Lp.Status.stats.Lp.Status.warm_start with
+                | Lp.Status.Dual_reopt ->
+                    Alcotest.(check int) "dual re-opt has no phase-1 pivots"
+                      0 s2.Lp.Status.stats.Lp.Status.phase1_pivots
+                | _ -> ())
            | other ->
                Alcotest.failf "warm restart: %a" Lp.Status.pp_outcome other))
   | other -> Alcotest.failf "expected optimal, got %a" Lp.Status.pp_outcome other
