@@ -576,10 +576,116 @@ let obs_noop_bench () =
       | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Span-instrumentation overhead: the cost of a disabled Span.begin_/end_
+   pair (must stay at a few ns and zero allocation — it sits on the
+   simplex pivot path), the cost of an enabled pair into a sink, and the
+   end-to-end slowdown of a fully traced engine run. *)
+
+let obs_overhead_bench ~json () =
+  section "Telemetry overhead — span instrumentation (begin_/end_ pairs)";
+  assert (not (Obs.Span.enabled ()));
+  assert (not (Obs.Trace.enabled ()));
+  let spin n =
+    for _ = 1 to n do
+      let s = Obs.Span.begin_ "bench.span" in
+      Obs.Span.end_ s
+    done
+  in
+  (* Disabled: the no-op path. *)
+  let disabled_calls = 5_000_000 in
+  spin 100_000;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  spin disabled_calls;
+  let disabled_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. w0 in
+  let disabled_ns = disabled_s /. float_of_int disabled_calls *. 1e9 in
+  Format.printf
+    "  disabled span pair: %6.2f ns/call, %.2f minor words over %d calls %s@."
+    disabled_ns minor_words disabled_calls
+    (* [Gc.minor_words] itself boxes its float result, so a few words of
+       slack separate "allocation-free" from a real per-call leak. *)
+    (if minor_words < 64. then "(allocation-free: OK)" else "(ALLOCATES)");
+  (* Enabled: every pair emits two JSONL lines into a counting sink. *)
+  let enabled_calls = 200_000 in
+  let lines = ref 0 in
+  Obs.Trace.set_callback (fun _ -> incr lines);
+  Obs.Span.set_enabled true;
+  spin 1_000;
+  let t0 = Unix.gettimeofday () in
+  spin enabled_calls;
+  let enabled_s = Unix.gettimeofday () -. t0 in
+  Obs.Span.set_enabled false;
+  Obs.Trace.close ();
+  let enabled_ns = enabled_s /. float_of_int enabled_calls *. 1e9 in
+  Format.printf "  enabled span pair:  %6.0f ns/call (%dx the disabled cost)@."
+    enabled_ns
+    (int_of_float (Float.round (enabled_ns /. Float.max 1e-9 disabled_ns)));
+  (* End to end: one engine run, untraced vs fully traced with spans. *)
+  let run_once () =
+    let rng = Prelude.Rng.of_int 7919 in
+    let base =
+      Netgraph.Topology.complete ~n:6 ~rng ~cost_lo:1. ~cost_hi:10.
+        ~capacity:35.
+    in
+    let spec = Sim.Workload.paper_spec ~nodes:6 ~files_max:3 ~max_deadline:4 in
+    let workload = Sim.Workload.create spec (Prelude.Rng.of_int 1) in
+    ignore
+      (Sys.opaque_identity
+         (Sim.Engine.(
+            run
+              (make ~base
+                 ~scheduler:(Postcard.Postcard_scheduler.make ())
+                 ~workload ~slots:12 ()))))
+  in
+  run_once ();
+  let t0 = Unix.gettimeofday () in
+  run_once ();
+  let untraced_s = Unix.gettimeofday () -. t0 in
+  let trace_events = ref 0 in
+  Obs.Trace.set_callback (fun _ -> incr trace_events);
+  Obs.Span.set_enabled true;
+  let t0 = Unix.gettimeofday () in
+  run_once ();
+  let traced_s = Unix.gettimeofday () -. t0 in
+  Obs.Span.set_enabled false;
+  Obs.Trace.close ();
+  let slowdown = if untraced_s > 0. then traced_s /. untraced_s else nan in
+  Format.printf
+    "  engine run (6 DCs, 12 slots): untraced %.4f s, traced %.4f s — \
+     slowdown %.2fx, %d events@."
+    untraced_s traced_s slowdown !trace_events;
+  match json with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | exception Sys_error msg ->
+          Format.eprintf "  cannot write JSON summary: %s@." msg;
+          exit 1
+      | oc ->
+          Printf.fprintf oc
+            "{\n\
+            \  \"bench\": \"obs_overhead\",\n\
+            \  \"disabled_span_ns\": %.4f,\n\
+            \  \"enabled_span_ns\": %.1f,\n\
+            \  \"minor_words\": %.1f,\n\
+            \  \"disabled_calls\": %d,\n\
+            \  \"enabled_calls\": %d,\n\
+            \  \"untraced_s\": %.6f,\n\
+            \  \"traced_s\": %.6f,\n\
+            \  \"slowdown\": %.4f,\n\
+            \  \"trace_events\": %d\n\
+             }\n"
+            disabled_ns enabled_ns minor_words disabled_calls enabled_calls
+            untraced_s traced_s slowdown !trace_events;
+          close_out oc;
+          Format.printf "  wrote %s@." path)
+
 let usage =
-  "main.exe [--solver-only] [--scale] [--scale-only] [-j N] [--json PATH] \
-   [--json-runner PATH] [--json-scale PATH] [--scale-sizes LIST] \
-   [--scale-budget-ms MS] [--log-level LEVEL]"
+  "main.exe [--solver-only] [--scale] [--scale-only] [--obs-overhead] [-j N] \
+   [--json PATH] [--json-runner PATH] [--json-scale PATH] [--json-obs PATH] \
+   [--scale-sizes LIST] [--scale-budget-ms MS] [--log-level LEVEL]"
 
 (* "6x12,20x48" -> [(6, 12); (20, 48)] *)
 let parse_scale_sizes s =
@@ -604,6 +710,8 @@ let () =
   let json_runner = ref None in
   let jobs = ref None in
   let scale = ref false and scale_only = ref false in
+  let obs_overhead = ref false in
+  let json_obs = ref None in
   let json_scale = ref None in
   let scale_sizes = ref None in
   let scale_budget_ms = ref None in
@@ -624,6 +732,12 @@ let () =
       ("--json-scale",
        Arg.String (fun p -> json_scale := Some p),
        "PATH  write the scale-sweep summary as JSON");
+      ("--obs-overhead",
+       Arg.Set obs_overhead,
+       "  run only the span-instrumentation overhead bench");
+      ("--json-obs",
+       Arg.String (fun p -> json_obs := Some p),
+       "PATH  write the span-overhead summary as JSON");
       ("--scale-sizes",
        Arg.String (fun s -> scale_sizes := Some (parse_scale_sizes s)),
        "LIST  comma-separated NODESxSLOTS points (default 6x12,12x24,20x48,\
@@ -657,7 +771,11 @@ let () =
     | None -> Domain.recommended_domain_count ()
   in
   Format.printf "Postcard reproduction bench (see EXPERIMENTS.md)@.";
-  if !scale_only then begin
+  if !obs_overhead then begin
+    obs_overhead_bench ~json:!json_obs ();
+    Format.printf "@.done.@."
+  end
+  else if !scale_only then begin
     solver_scale_bench ~sizes:!scale_sizes ~budget_ms:!scale_budget_ms
       ~json:!json_scale;
     Format.printf "@.done.@."

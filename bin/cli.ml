@@ -56,13 +56,19 @@ let trace =
          ~doc:"Write a JSONL run trace to FILE (analyze with 'postcard_sim \
                trace-summary').")
 
-let setup_obs ~verbose ~log_level ~metrics ~trace =
+let spans =
+  Arg.(value & flag & info [ "spans" ]
+         ~doc:"Record timed phase spans (solver, factorization, scheduler, \
+               engine) into the --trace file; profile with 'postcard_sim \
+               trace-summary --profile'.")
+
+let setup_obs ~verbose ~log_level ~metrics ~spans ~trace =
   let level =
     match log_level with
     | Some l -> l
     | None -> if verbose then Some Logs.Info else Some Logs.Warning
   in
-  match Obs.Logging.init ~level ~metrics ?trace () with
+  match Obs.Logging.init ~level ~metrics ~spans ?trace () with
   | Ok () -> ()
   | Error msg ->
       prerr_endline msg;

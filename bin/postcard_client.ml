@@ -57,6 +57,9 @@ let query ~port req =
     match recv conn with
     | (Protocol.Status_report _ | Protocol.Scrape_report _) as ev ->
         print_event ev
+    | Protocol.Scrape_text text ->
+        (* Prometheus exposition: print the raw text, not the JSON line. *)
+        print_string text
     | Protocol.Error msg -> fail "daemon: %s" msg
     | _ -> wait ()  (* slot broadcasts may interleave *)
   in
@@ -64,7 +67,10 @@ let query ~port req =
   send conn Protocol.Quit
 
 let status port = query ~port Protocol.Status
-let scrape port = query ~port Protocol.Scrape
+
+let scrape port prom =
+  query ~port
+    (Protocol.Scrape (if prom then Protocol.Scrape_prom else Protocol.Scrape_json))
 
 (* --- submit --- *)
 
@@ -212,8 +218,12 @@ let status_cmd =
     Term.(const status $ port)
 
 let scrape_cmd =
+  let prom =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Ask for Prometheus text exposition instead of JSON.")
+  in
   Cmd.v (Cmd.info "scrape" ~doc:"print the daemon's metrics registry")
-    Term.(const scrape $ port)
+    Term.(const scrape $ port $ prom)
 
 let submit_cmd =
   let src = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"DC" ~doc:"Source datacenter.") in

@@ -192,8 +192,9 @@ let listen_socket port =
   (fd, bound_port)
 
 let serve nodes capacity cost_lo cost_hi seed slots scheduler_name faults
-    clock_mode slot_seconds port capture verbose log_level metrics trace =
-  Cli.setup_obs ~verbose ~log_level ~metrics ~trace;
+    clock_mode slot_seconds port capture verbose log_level metrics spans
+    trace =
+  Cli.setup_obs ~verbose ~log_level ~metrics ~spans ~trace;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Cli.handle_signals (fun _ -> stop_requested := true);
   let scheduler =
@@ -247,6 +248,9 @@ let serve nodes capacity cost_lo cost_hi seed slots scheduler_name faults
      (End_session) unless the loop died some other way. *)
   if not (Serve.Session.ended session) then
     perform loop (Serve.Session.stop session);
+  (* A signal-driven shutdown must not lose the trace tail: force the
+     buffered JSONL out to stable storage before the teardown prints. *)
+  if !stop_requested then Obs.Trace.flush_sync ();
   let tokens = Hashtbl.fold (fun t _ acc -> t :: acc) loop.clients [] in
   List.iter (fun t -> close_client loop t) tokens;
   (try Unix.close lsock with Unix.Unix_error _ -> ());
@@ -266,7 +270,15 @@ let serve nodes capacity cost_lo cost_hi seed slots scheduler_name faults
         o.Sim.Engine.offered_volume o.Sim.Engine.delivered_volume
         o.Sim.Engine.rejected_volume o.Sim.Engine.lost_volume
         (if Array.length o.Sim.Engine.cost_series = 0 then 0.
-         else Sim.Engine.average_cost o)
+         else Sim.Engine.average_cost o);
+      (match Serve.Session.latency_quantiles () with
+       | None -> ()
+       | Some (count, p50, p95, p99) ->
+           Printf.printf
+             "request latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms over %d \
+              requests\n\
+              %!"
+             p50 p95 p99 count)
 
 open Cmdliner
 
@@ -306,6 +318,7 @@ let cmd =
     (Cmd.info "postcard_serve" ~doc)
     Term.(const serve $ nodes $ capacity $ cost_lo $ cost_hi $ seed $ slots
           $ Cli.scheduler () $ Cli.faults $ clock_mode $ slot_seconds $ port
-          $ capture $ Cli.verbose $ Cli.log_level $ Cli.metrics $ Cli.trace)
+          $ capture $ Cli.verbose $ Cli.log_level $ Cli.metrics $ Cli.spans
+          $ Cli.trace)
 
 let () = exit (Cmd.eval cmd)

@@ -6,8 +6,8 @@
    [--trace]. *)
 
 let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
-    ~metrics ~trace =
-  Cli.setup_obs ~verbose ~log_level ~metrics ~trace;
+    ~metrics ~spans ~trace =
+  Cli.setup_obs ~verbose ~log_level ~metrics ~spans ~trace;
   match Cli.resolve_schedulers spec with
   | Error msg ->
       prerr_endline msg;
@@ -51,8 +51,8 @@ let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
         Format.printf "%a@." (Sim.Report.print_series ?every:None) results;
       if metrics then Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
 
-let trace_summary file =
-  match Sim.Trace_summary.summarize_file file with
+let trace_summary file json profile chrome top =
+  match Sim.Trace_summary.summarize_file ~json ~profile ?chrome ~top file with
   | Ok () -> ()
   | Error msg ->
       prerr_endline msg;
@@ -125,12 +125,13 @@ let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per
 let verbose = Cli.verbose
 let log_level = Cli.log_level
 let metrics = Cli.metrics
+let spans = Cli.spans
 let trace = Cli.trace
 
 let simulate base_setting apply spec jobs series verbose log_level metrics
-    trace =
+    spans trace =
   execute (apply base_setting) ~schedulers:spec ~jobs ~series ~verbose
-    ~log_level ~metrics ~trace
+    ~log_level ~metrics ~spans ~trace
 
 (* The legacy [run] subcommand (and default): --figure N --scale
    paper|scaled, or the custom baseline when no figure is given. *)
@@ -157,7 +158,7 @@ let base_of_figure ~scaled ~paper =
 let list_schedulers = Cli.list_schedulers
 
 let run list_scheds figure scale apply spec jobs series verbose log_level
-    metrics trace =
+    metrics spans trace =
   if list_scheds then begin
     Format.printf "%a@." Postcard.Scheduler.pp_registry ();
     exit 0
@@ -174,11 +175,12 @@ let run list_scheds figure scale apply spec jobs series verbose log_level
         | Error msg -> prerr_endline msg; exit 2)
     | None, _ -> Sim.Experiment.custom_default
   in
-  simulate base apply spec jobs series verbose log_level metrics trace
+  simulate base apply spec jobs series verbose log_level metrics spans trace
 
 let run_term =
   Term.(const run $ list_schedulers $ figure_opt $ scale $ overrides
-        $ schedulers $ jobs $ series $ verbose $ log_level $ metrics $ trace)
+        $ schedulers $ jobs $ series $ verbose $ log_level $ metrics $ spans
+        $ trace)
 
 let run_cmd =
   let doc = "run the simulation (the default subcommand)" in
@@ -195,39 +197,60 @@ let paper_fig =
          ~doc:"Figure N (4-7) at the paper's exact 20-DC scale.")
 
 let figure_run scaled paper apply spec jobs series verbose log_level metrics
-    trace =
+    spans trace =
   match base_of_figure ~scaled ~paper with
   | Error msg ->
       prerr_endline ("postcard_sim figure: " ^ msg);
       exit 2
   | Ok base ->
-      simulate base apply spec jobs series verbose log_level metrics trace
+      simulate base apply spec jobs series verbose log_level metrics spans
+        trace
 
 let figure_cmd =
   let doc = "reproduce one of the paper's figures (4-7)" in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(const figure_run $ scaled_fig $ paper_fig $ overrides $ schedulers
-          $ jobs $ series $ verbose $ log_level $ metrics $ trace)
+          $ jobs $ series $ verbose $ log_level $ metrics $ spans $ trace)
 
 (* The [custom] subcommand: the neutral baseline, refined by overrides. *)
 
-let custom_run apply spec jobs series verbose log_level metrics trace =
+let custom_run apply spec jobs series verbose log_level metrics spans trace =
   simulate Sim.Experiment.custom_default apply spec jobs series verbose
-    log_level metrics trace
+    log_level metrics spans trace
 
 let custom_cmd =
   let doc = "run a custom setting (8 DCs, 35 GB links, 40 slots, 5 runs)" in
   Cmd.v (Cmd.info "custom" ~doc)
     Term.(const custom_run $ overrides $ schedulers $ jobs $ series $ verbose
-          $ log_level $ metrics $ trace)
+          $ log_level $ metrics $ spans $ trace)
 
 let trace_summary_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
            ~doc:"JSONL trace written by --trace.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one machine-readable JSON document instead of the \
+                 ASCII report.")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Add the span self-time profile (record spans with \
+                 --spans); exits nonzero if the profile does not balance.")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also export the trace as Chrome trace_event JSON to FILE \
+                 (open in chrome://tracing or Perfetto).")
+  in
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows in the --profile table (0 for all).")
+  in
   let doc = "analyze a JSONL run trace" in
-  Cmd.v (Cmd.info "trace-summary" ~doc) Term.(const trace_summary $ file)
+  Cmd.v (Cmd.info "trace-summary" ~doc)
+    Term.(const trace_summary $ file $ json $ profile $ chrome $ top)
 
 let cmd =
   let doc = "reproduce the Postcard evaluation (ICDCS 2012, Figs. 4-7)" in

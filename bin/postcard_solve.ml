@@ -66,8 +66,8 @@ let dump_mps inst target =
       Format.eprintf "cannot write %s: %s@." target msg;
       exit 1
 
-let run path scheduler_name list_schedulers mps_target log_level metrics trace
-    =
+let run path scheduler_name list_schedulers mps_target log_level metrics spans
+    trace =
   if list_schedulers then begin
     Format.printf "%a@." Scheduler.pp_registry ();
     exit 0
@@ -79,7 +79,7 @@ let run path scheduler_name list_schedulers mps_target log_level metrics trace
         prerr_endline "postcard_solve: an INSTANCE file is required";
         exit 2
   in
-  Cli.setup_obs ~verbose:false ~log_level ~metrics ~trace;
+  Cli.setup_obs ~verbose:false ~log_level ~metrics ~spans ~trace;
   match Postcard.Instance.of_file path with
   | Error msg ->
       Format.eprintf "%s: %s@." path msg;
@@ -129,13 +129,14 @@ let mps_target =
 
 let log_level = Cli.log_level
 let metrics = Cli.metrics
+let spans = Cli.spans
 let trace = Cli.trace
 
 let cmd =
   let doc = "solve one inter-datacenter transfer instance" in
   Cmd.v (Cmd.info "postcard_solve" ~doc)
     Term.(const run $ path $ scheduler $ list_schedulers $ mps_target
-          $ log_level $ metrics $ trace)
+          $ log_level $ metrics $ spans $ trace)
 
 let () =
   Cli.exit_on_signals ();

@@ -11,17 +11,18 @@ type t = {
 let create ~base ~charged ~capacity ~files ~epoch ?(tie_break = 1e-4) () =
   if Array.length charged <> Graph.num_arcs base then
     invalid_arg "Formulate.create: charged size mismatch";
-  let model = Model.create ~name:"postcard" Model.Minimize in
-  let program =
-    Texp_lp.build ~model ~base ~capacity ~files ~epoch
-      ~flow_obj:(fun ~cost -> tie_break *. cost)
-      ~supply:`Full
-  in
-  let x_vars =
-    Texp_lp.add_charge_coupling ~model program ~charged
-      ~x_obj:(fun ~cost -> cost)
-  in
-  { base; model; program; x_vars }
+  Obs.Span.with_ "core.formulate" (fun () ->
+      let model = Model.create ~name:"postcard" Model.Minimize in
+      let program =
+        Texp_lp.build ~model ~base ~capacity ~files ~epoch
+          ~flow_obj:(fun ~cost -> tie_break *. cost)
+          ~supply:`Full
+      in
+      let x_vars =
+        Texp_lp.add_charge_coupling ~model program ~charged
+          ~x_obj:(fun ~cost -> cost)
+      in
+      { base; model; program; x_vars })
 
 let model t = t.model
 
@@ -51,28 +52,34 @@ let solve_with_info ?params ?warm_start ?dual_reopt t =
     | Some carried -> Some (Basis_map.apply carried (keymap t))
   in
   let no_info = { iterations = 0; stats = Lp.Status.no_stats; basis = None } in
-  match Lp.Simplex.solve ?params ?warm_start ?dual_reopt t.model with
+  match
+    Obs.Span.with_ "core.solve" (fun () ->
+        Lp.Simplex.solve ?params ?warm_start ?dual_reopt t.model)
+  with
   | Lp.Status.Infeasible -> (Infeasible, no_info)
   | Lp.Status.Unbounded ->
       (Solver_failure "unbounded Postcard program", no_info)
   | Lp.Status.Iteration_limit ->
       (Solver_failure "iteration limit reached", no_info)
   | Lp.Status.Optimal s ->
-      let primal = s.Lp.Status.primal in
-      let plan = Texp_lp.extract_plan t.program ~primal in
-      let charged =
-        Array.map (fun (v : Model.var) -> primal.((v :> int))) t.x_vars
-      in
-      (* Report the pure paper objective (without the tie-break term). *)
-      let objective = ref 0. in
-      Graph.iter_arcs t.base (fun a ->
-          objective := !objective +. (a.Graph.cost *. charged.(a.Graph.id)));
-      let basis =
-        match s.Lp.Status.basis with
-        | None -> None
-        | Some b -> Some (Basis_map.capture (keymap t) b)
-      in
-      (Scheduled { plan; objective = !objective; charged },
-       { iterations = s.Lp.Status.iterations; stats = s.Lp.Status.stats; basis })
+      Obs.Span.with_ "core.extract" (fun () ->
+          let primal = s.Lp.Status.primal in
+          let plan = Texp_lp.extract_plan t.program ~primal in
+          let charged =
+            Array.map (fun (v : Model.var) -> primal.((v :> int))) t.x_vars
+          in
+          (* Report the pure paper objective (without the tie-break term). *)
+          let objective = ref 0. in
+          Graph.iter_arcs t.base (fun a ->
+              objective := !objective +. (a.Graph.cost *. charged.(a.Graph.id)));
+          let basis =
+            match s.Lp.Status.basis with
+            | None -> None
+            | Some b -> Some (Basis_map.capture (keymap t) b)
+          in
+          (Scheduled { plan; objective = !objective; charged },
+           { iterations = s.Lp.Status.iterations;
+             stats = s.Lp.Status.stats;
+             basis }))
 
 let solve ?params t = fst (solve_with_info ?params t)

@@ -107,7 +107,9 @@ let h_sched_ms = Obs.Metrics.histogram "sched.decision_ms"
 let observe t =
   let schedule ctx files =
     let t0 = Obs.Trace.now_ms () in
-    let outcome = t.schedule ctx files in
+    let outcome =
+      Obs.Span.with_ "sched.schedule" (fun () -> t.schedule ctx files)
+    in
     let ms = Obs.Trace.now_ms () -. t0 in
     let n_offered = List.length files in
     let n_accepted = List.length outcome.accepted in

@@ -79,17 +79,24 @@ let dot_column st j v =
   if j < st.tot then Csc.dot_col st.sf.Standard_form.a j v
   else st.art_sign.(j - st.tot) *. v.(j - st.tot)
 
+(* Profiling probes on the solver kernels fire per call, so they use the
+   raw begin/end pair (one atomic load each when [--spans] is off) rather
+   than [Span.with_]'s closure. Nothing in these bodies raises. *)
 let ftran st v =
+  let sp = Obs.Span.begin_ "lp.ftran" in
   Lu.solve st.lu v;
   for k = 0 to st.n_etas - 1 do
     Eta.apply_ftran (Array.unsafe_get st.etas k) v
-  done
+  done;
+  Obs.Span.end_ sp
 
 let btran st v =
+  let sp = Obs.Span.begin_ "lp.btran" in
   for k = st.n_etas - 1 downto 0 do
     Eta.apply_btran (Array.unsafe_get st.etas k) v
   done;
-  Lu.solve_transpose st.lu v
+  Lu.solve_transpose st.lu v;
+  Obs.Span.end_ sp
 
 let push_eta st e =
   let cap = Array.length st.etas in
@@ -105,6 +112,7 @@ let push_eta st e =
 exception Numerical_failure
 
 let factorize st =
+  let sp = Obs.Span.begin_ "lp.refactorize" in
   (* Entries stream straight into the factorization's scratch vectors; no
      per-column intermediate. *)
   match
@@ -113,8 +121,11 @@ let factorize st =
   | Ok lu ->
       st.lu <- lu;
       st.n_etas <- 0;
-      st.refactorizations <- st.refactorizations + 1
-  | Error (Lu.Singular _) -> raise Numerical_failure
+      st.refactorizations <- st.refactorizations + 1;
+      Obs.Span.end_ sp
+  | Error (Lu.Singular _) ->
+      Obs.Span.end_ sp;
+      raise Numerical_failure
 
 (* Recompute the values of basic variables from the nonbasic assignment:
    x_B = B^-1 (b - A_N x_N). *)
@@ -164,7 +175,7 @@ type pricing_result = Entering of int * float | Optimal_reached
 (* Pricing is a scan of the maintained reduced costs: Devex scores
    (reduced-cost squared over reference weight) by default, Bland's rule
    (first eligible index) as the anti-cycling fallback. *)
-let price st =
+let price_scan st =
   if st.bland then begin
     let found = ref Optimal_reached in
     (try
@@ -210,6 +221,12 @@ let price st =
     done;
     if !best < 0 then Optimal_reached else Entering (!best, !best_d)
   end
+
+let price st =
+  let sp = Obs.Span.begin_ "lp.pricing" in
+  let r = price_scan st in
+  Obs.Span.end_ sp;
+  r
 
 (* Combined post-pivot update of Devex weights and reduced costs. The
    entering column q pivots at row r with tableau element alpha_r; for
@@ -289,7 +306,7 @@ type ratio_result =
 
 (* Two-pass ratio test. [dir] is +1. when the entering variable increases,
    -1. when it decreases; [alpha] is the FTRAN'd entering column. *)
-let ratio_test st ~alpha ~dir ~enter =
+let ratio_scan st ~alpha ~dir ~enter =
   let feas = st.p.feasibility_tolerance in
   let piv_tol = st.p.pivot_tolerance in
   let t_bound =
@@ -353,6 +370,12 @@ let ratio_test st ~alpha ~dir ~enter =
       if t_bound <= t then Bound_flip t_bound else Hit_basic (!choice, t)
     end
   end
+
+let ratio_test st ~alpha ~dir ~enter =
+  let sp = Obs.Span.begin_ "lp.ratio_test" in
+  let r = ratio_scan st ~alpha ~dir ~enter in
+  Obs.Span.end_ sp;
+  r
 
 (* Apply a step of length [t] (in the entering direction [dir]); updates
    every basic value and the entering variable's value. *)
@@ -980,6 +1003,7 @@ let run_dual st =
        end;
        (* Dual Devex pricing: the basic variable with the largest
           weight-scaled bound violation leaves. *)
+       let price_sp = Obs.Span.begin_ "lp.pricing" in
        let r = ref (-1) and best_score = ref 0. in
        for i = 0 to st.m - 1 do
          let bv = st.basis.(i) in
@@ -997,6 +1021,7 @@ let run_dual st =
            end
          end
        done;
+       Obs.Span.end_ price_sp;
        if !r < 0 then begin
          result := Dual_optimal;
          raise Exit
@@ -1019,6 +1044,7 @@ let run_dual st =
        btran st rho;
        (* Pass 1 (Harris-style): relaxed bound on the dual step, letting
           each reduced cost overshoot by the dual tolerance. *)
+       let ratio_sp = Obs.Span.begin_ "lp.ratio_test" in
        let theta_max = ref infinity in
        for j = 0 to st.nall - 1 do
          beta.(j) <- 0.;
@@ -1046,6 +1072,7 @@ let run_dual st =
          end
        done;
        if !theta_max = infinity then begin
+         Obs.Span.end_ ratio_sp;
          result := Dual_no_entering;
          raise Exit
        end;
@@ -1076,6 +1103,7 @@ let run_dual st =
            end
          end
        done;
+       Obs.Span.end_ ratio_sp;
        if !enter < 0 then begin
          result := Dual_no_entering;
          raise Exit
@@ -1156,11 +1184,11 @@ let run_dual st =
    incremental drift and absorb any sub-tolerance residue as ordinary
    phase-2 pivots. *)
 let drive_dual st =
-  match run_dual st with
+  match Obs.Span.with_ "lp.dual" (fun () -> run_dual st) with
   | Dual_no_entering | Dual_stalled | Dual_iteration_limit -> None
   | Dual_optimal -> (
       reset_phase_controls st;
-      match run_phase st with
+      match Obs.Span.with_ "lp.phase2" (fun () -> run_phase st) with
       | Phase_optimal -> Some (Status.Optimal (extract_solution st))
       | Phase_unbounded -> Some Status.Unbounded
       | Phase_iteration_limit -> Some Status.Iteration_limit)
@@ -1169,10 +1197,10 @@ let drive_dual st =
    Raises [Numerical_failure] when the factorization engine gives up. *)
 let drive st =
   let phase1_result =
-    if phase1_needed st then begin
-      setup_phase1 st;
-      run_phase st
-    end
+    if phase1_needed st then
+      Obs.Span.with_ "lp.phase1" (fun () ->
+          setup_phase1 st;
+          run_phase st)
     else Phase_optimal
   in
   st.phase1_pivots <- st.iterations;
@@ -1187,8 +1215,11 @@ let drive st =
   | Phase_optimal ->
       if phase1_infeasibility st > 1e-6 then Status.Infeasible
       else begin
-        setup_phase2 st;
-        match run_phase st with
+        match
+          Obs.Span.with_ "lp.phase2" (fun () ->
+              setup_phase2 st;
+              run_phase st)
+        with
         | Phase_optimal -> Status.Optimal (extract_solution st)
         | Phase_unbounded -> Status.Unbounded
         | Phase_iteration_limit -> Status.Iteration_limit
@@ -1253,6 +1284,7 @@ let record_solve ~ms st outcome =
   end
 
 let solve ?params ?warm_start ?(dual_reopt = true) model =
+  let solve_sp = Obs.Span.begin_ "lp.solve" in
   let t0 = Obs.Trace.now_ms () in
   let sf = Standard_form.of_model model in
   (* Trivial bound inconsistencies mean infeasible, not an exception. *)
@@ -1260,7 +1292,10 @@ let solve ?params ?warm_start ?(dual_reopt = true) model =
   Array.iteri
     (fun j l -> if l > sf.Standard_form.ub.(j) then inconsistent := true)
     sf.Standard_form.lb;
-  if !inconsistent then Status.Infeasible
+  if !inconsistent then begin
+    Obs.Span.end_ solve_sp;
+    Status.Infeasible
+  end
   else begin
     (* Every exit path remembers the state it solved with, so the
        per-solve telemetry reflects the run that produced the reported
@@ -1325,5 +1360,6 @@ let solve ?params ?warm_start ?(dual_reopt = true) model =
     (match final_st with
      | Some st -> record_solve ~ms:(Obs.Trace.now_ms () -. t0) st outcome
      | None -> ());
+    Obs.Span.end_ solve_sp;
     outcome
   end

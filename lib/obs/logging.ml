@@ -24,14 +24,25 @@ let level_name = function
   | None -> "quiet"
   | Some l -> Logs.level_to_string (Some l)
 
-let init ?level ?(metrics = false) ?trace () =
+let init ?level ?(metrics = false) ?(spans = false) ?trace () =
   setup ?level ();
   Metrics.set_enabled metrics;
+  Span.set_enabled spans;
   match trace with
   | None -> Ok ()
   | Some file -> (
       match Trace.set_file file with
       | Ok () ->
-          at_exit Trace.close;
+          (* Close the sink at exit, and if any write failed mid-run say
+             so on stderr: a silently truncated trace would only be
+             discovered when the strict reader rejects it later. *)
+          at_exit (fun () ->
+              Trace.close ();
+              match Trace.last_error () with
+              | None -> ()
+              | Some msg ->
+                  Printf.eprintf
+                    "warning: trace sink %s failed mid-run (%s); the trace is incomplete\n%!"
+                    file msg);
           Ok ()
       | Error _ as e -> e)

@@ -20,10 +20,14 @@ val level_name : Logs.level option -> string
 val init :
   ?level:Logs.level option ->
   ?metrics:bool ->
+  ?spans:bool ->
   ?trace:string ->
   unit ->
   (unit, string) result
 (** One-stop observability setup for an executable: {!setup} the [Logs]
-    reporter at [level], enable the {!Metrics} registry when [metrics],
-    and when [trace] is given route the {!Trace} sink to that file
-    (closing it [at_exit]). The error carries the trace-file failure. *)
+    reporter at [level], enable the {!Metrics} registry when [metrics]
+    and the {!Span} probe layer when [spans], and when [trace] is given
+    route the {!Trace} sink to that file (closing it [at_exit], and
+    warning on stderr if {!Trace.last_error} reports a mid-run sink
+    failure — a truncated trace must not fail silently). The returned
+    error carries the trace-file {e open} failure. *)

@@ -128,6 +128,46 @@ let histogram_buckets h =
   Array.init (n + 1) (fun i ->
       ((if i < n then h.bounds.(i) else infinity), counts.(i)))
 
+(* Prometheus-style quantile estimation from the fixed buckets: find the
+   bucket holding the target rank and interpolate linearly inside it.
+   The first bucket's lower edge is 0 (observations are nonnegative in
+   every series we keep); the overflow bucket has no finite upper edge,
+   so a rank landing there degrades to the last finite bound — the
+   honest answer a bucketed histogram can give. *)
+let histogram_quantile h q =
+  let q = Float.min 1. (Float.max 0. q) in
+  let buckets = histogram_buckets h in
+  Mutex.lock h.h_mu;
+  let total = h.h_count in
+  Mutex.unlock h.h_mu;
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    let n = Array.length buckets in
+    let result = ref None in
+    let cum = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         let ub, count = buckets.(i) in
+         let below = !cum in
+         cum := !cum + count;
+         if float_of_int !cum >= rank && count > 0 then begin
+           if ub = infinity then
+             (* Overflow: clamp to the largest finite bound. *)
+             result :=
+               Some (if n >= 2 then fst buckets.(n - 2) else 0.)
+           else begin
+             let lo = if i = 0 then 0. else fst buckets.(i - 1) in
+             let frac = (rank -. float_of_int below) /. float_of_int count in
+             result := Some (lo +. ((ub -. lo) *. frac))
+           end;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
 let reset () =
   Mutex.lock registry_mu;
   Hashtbl.iter
@@ -209,6 +249,54 @@ let dump_json () =
                                 else Json.Float ub);
                                ("count", Json.Int n) ]))) ])
        (dump ()))
+
+(* Prometheus text exposition (version 0.0.4): what a scrape endpoint
+   serves under [Content-Type: text/plain]. Metric names keep only
+   [a-zA-Z0-9_:] (dots become underscores); histogram buckets are
+   cumulative with a closing [+Inf], per the format. *)
+let dump_prometheus () =
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+  in
+  let b = Buffer.create 1024 in
+  List.iter
+    (function
+      | Counter_entry { name; value } ->
+          let n = sanitize name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n value)
+      | Gauge_entry { name; value } -> (
+          match value with
+          | None -> ()  (* never set: no honest sample to expose *)
+          | Some v ->
+              let n = sanitize name in
+              Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+              Buffer.add_string b (Printf.sprintf "%s %s\n" n (num v)))
+      | Histogram_entry { name; count; sum; buckets } ->
+          let n = sanitize name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          Array.iter
+            (fun (ub, c) ->
+              cum := !cum + c;
+              let le = if ub = infinity then "+Inf" else num ub in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
+            buckets;
+          Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (num sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count))
+    (dump ());
+  Buffer.contents b
 
 let pp_dump ppf () =
   Mutex.lock registry_mu;

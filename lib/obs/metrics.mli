@@ -56,6 +56,14 @@ val histogram_buckets : histogram -> (float * int) array
     [(infinity, overflow_count)] entry. Counts are per-bucket, not
     cumulative. *)
 
+val histogram_quantile : histogram -> float -> float option
+(** [histogram_quantile h q] estimates the [q]-quantile ([q] clamped to
+    [0..1]) from the bucket counts, interpolating linearly inside the
+    bucket holding the target rank (first bucket's lower edge is 0, as
+    every kept series is nonnegative). A rank landing in the overflow
+    bucket returns the largest finite bound — the best a bucketed
+    histogram can say. [None] while the histogram is empty. *)
+
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
 
@@ -86,6 +94,14 @@ val dump_json : unit -> Json.t
     [{"name","kind","value"|...}] objects — what a serving daemon's
     scrape endpoint returns. Histogram overflow bounds render as the
     string ["+inf"]. *)
+
+val dump_prometheus : unit -> string
+(** The registry in Prometheus text exposition format (0.0.4): one
+    [# TYPE] comment per metric, names sanitized to [[a-zA-Z0-9_:]]
+    (dots become underscores), histograms as cumulative [_bucket]
+    samples with a closing [le="+Inf"] plus [_sum] and [_count]. Gauges
+    that were never set are omitted. What [postcard_client scrape
+    --prom] prints. *)
 
 val pp_dump : Format.formatter -> unit -> unit
 (** Render the whole registry, one metric per line, in registration

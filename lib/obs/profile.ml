@@ -1,0 +1,258 @@
+(* Span ids are scoped to their emission lane and restart per lane, so
+   (dom, span-id) is not globally unique in a merged parallel trace.
+   Pairing therefore never looks ids up globally: each [dom] gets a LIFO
+   stack of open frames, and an [end] closes the innermost open frame
+   with its id. That is sound because lanes flush contiguously (the
+   reader guarantees sequence order) and spans nest within their lane,
+   so in seq order each domain's begin/end events form a balanced
+   bracket sequence. Anything that fails to pair is counted, not
+   guessed at — the balance check turns it into a hard failure. *)
+
+type frame = {
+  f_sid : int;
+  f_name : string;
+  f_ts : float;
+  f_fields : (string * Json.t) list;
+  mutable f_child : float;  (* summed durations of direct children, ms *)
+}
+
+(* Walk the event stream in order, calling [complete] for every paired
+   span with its frame, duration, exclusive self time, and whether it
+   closed at top level (no enclosing frame on its domain). Returns
+   (begins, ends, unmatched): unmatched counts end events that found no
+   frame, frames skipped over to reach a matching id, and frames still
+   open when the stream ends. *)
+let walk events ~point ~complete =
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
+  let begins = ref 0 and ends = ref 0 and unmatched = ref 0 in
+  List.iter
+    (fun (ev : Trace_reader.event) ->
+      match ev.kind with
+      | Trace_reader.Meta -> ()
+      | Trace_reader.Point -> point ev
+      | Trace_reader.Begin ->
+          incr begins;
+          let sid = Option.get ev.span in
+          let st = stack ev.dom in
+          st :=
+            { f_sid = sid;
+              f_name = ev.name;
+              f_ts = ev.ts;
+              f_fields = ev.fields;
+              f_child = 0. }
+            :: !st
+      | Trace_reader.End -> (
+          incr ends;
+          let sid = Option.get ev.span in
+          let st = stack ev.dom in
+          if List.exists (fun f -> f.f_sid = sid) !st then begin
+            (* Frames above the match were abandoned (an exception
+               skipped their end): drop and count them. *)
+            let rec drop = function
+              | f :: rest when f.f_sid <> sid ->
+                  incr unmatched;
+                  drop rest
+              | rest -> rest
+            in
+            match drop !st with
+            | [] -> assert false
+            | f :: rest ->
+                st := rest;
+                let dur = Option.value ev.dur_ms ~default:0. in
+                let self = Float.max 0. (dur -. f.f_child) in
+                (match rest with
+                 | parent :: _ -> parent.f_child <- parent.f_child +. dur
+                 | [] -> ());
+                complete ~dom:ev.dom ~frame:f ~dur ~self
+                  ~top:(rest = []) ~end_fields:ev.fields
+          end
+          else incr unmatched))
+    events;
+  Hashtbl.iter
+    (fun _ st -> unmatched := !unmatched + List.length !st)
+    stacks;
+  (!begins, !ends, !unmatched)
+
+type row = {
+  name : string;
+  count : int;
+  incl_ms : float;  (* summed durations; nested same-name spans double-count *)
+  self_ms : float;
+}
+
+type t = {
+  rows : row list;
+  spans : int;
+  begins : int;
+  ends : int;
+  unmatched : int;
+  roots : int;
+  root_ms : float;
+  self_ms_total : float;
+}
+
+let of_events events =
+  let agg : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let roots = ref 0 and root_ms = ref 0. and self_total = ref 0. in
+  let spans = ref 0 in
+  let begins, ends, unmatched =
+    walk events
+      ~point:(fun _ -> ())
+      ~complete:(fun ~dom:_ ~frame ~dur ~self ~top ~end_fields:_ ->
+        incr spans;
+        let count, incl, slf =
+          match Hashtbl.find_opt agg frame.f_name with
+          | Some cell -> cell
+          | None ->
+              let cell = (ref 0, ref 0., ref 0.) in
+              Hashtbl.add agg frame.f_name cell;
+              cell
+        in
+        incr count;
+        incl := !incl +. dur;
+        slf := !slf +. self;
+        self_total := !self_total +. self;
+        if top then begin
+          incr roots;
+          root_ms := !root_ms +. dur
+        end)
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name (count, incl, slf) acc ->
+        { name; count = !count; incl_ms = !incl; self_ms = !slf } :: acc)
+      agg []
+    |> List.sort (fun a b ->
+           match compare b.self_ms a.self_ms with
+           | 0 -> compare a.name b.name
+           | c -> c)
+  in
+  { rows;
+    spans = !spans;
+    begins;
+    ends;
+    unmatched;
+    roots = !roots;
+    root_ms = !root_ms;
+    self_ms_total = !self_total }
+
+(* Exclusive times partition their roots exactly in real arithmetic;
+   allow float accumulation noise only. *)
+let self_tolerance t = 1e-6 *. Float.max 1. t.root_ms
+
+let balance t =
+  if t.spans = 0 then Error "no spans in trace"
+  else if t.begins <> t.ends then
+    Error
+      (Printf.sprintf "unbalanced spans: %d begins, %d ends" t.begins t.ends)
+  else if t.unmatched > 0 then
+    Error (Printf.sprintf "%d begin/end events failed to pair" t.unmatched)
+  else if t.self_ms_total > t.root_ms +. self_tolerance t then
+    Error
+      (Printf.sprintf
+         "exclusive times exceed root spans: self %.6f ms > root %.6f ms"
+         t.self_ms_total t.root_ms)
+  else Ok ()
+
+let pp ?(top = 20) ppf t =
+  let shown =
+    if top <= 0 || List.length t.rows <= top then t.rows
+    else List.filteri (fun i _ -> i < top) t.rows
+  in
+  Format.fprintf ppf "@[<v>profile: %d spans over %d names, %d roots (%.3f ms)@,"
+    t.spans (List.length t.rows) t.roots t.root_ms;
+  Format.fprintf ppf "  %-28s %8s %12s %12s %7s@," "span" "count" "incl ms"
+    "self ms" "self%";
+  List.iter
+    (fun r ->
+      let pct =
+        if t.root_ms > 0. then 100. *. r.self_ms /. t.root_ms else 0.
+      in
+      Format.fprintf ppf "  %-28s %8d %12.3f %12.3f %6.1f%%@," r.name r.count
+        r.incl_ms r.self_ms pct)
+    shown;
+  let hidden = List.length t.rows - List.length shown in
+  if hidden > 0 then begin
+    let rest =
+      List.fold_left
+        (fun acc r -> acc +. r.self_ms)
+        0.
+        (List.filteri (fun i _ -> i >= top) t.rows)
+    in
+    Format.fprintf ppf "  (%d more names, %.3f ms self)@," hidden rest
+  end;
+  Format.fprintf ppf "  balance: %d begins, %d ends, %d unmatched; self %.3f ms of root %.3f ms@]@."
+    t.begins t.ends t.unmatched t.self_ms_total t.root_ms
+
+let to_json ?(top = 0) t =
+  let rows =
+    if top <= 0 then t.rows else List.filteri (fun i _ -> i < top) t.rows
+  in
+  Json.Obj
+    [ ("spans", Json.Int t.spans);
+      ("begins", Json.Int t.begins);
+      ("ends", Json.Int t.ends);
+      ("unmatched", Json.Int t.unmatched);
+      ("roots", Json.Int t.roots);
+      ("root_ms", Json.Float t.root_ms);
+      ("self_ms", Json.Float t.self_ms_total);
+      ("rows",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                [ ("name", Json.Str r.name);
+                  ("count", Json.Int r.count);
+                  ("incl_ms", Json.Float r.incl_ms);
+                  ("self_ms", Json.Float r.self_ms) ])
+            rows)) ]
+
+(* Chrome trace_event JSON: complete ("X") events for spans, instant
+   ("i") events for points, [tid] = emitting domain. Timestamps are
+   microseconds in that format; ours are ms. Out-of-order X events are
+   accepted by the viewers, so one pass over the stream suffices. *)
+let chrome events =
+  let acc = ref [] in
+  let args fields =
+    match fields with [] -> [] | kvs -> [ ("args", Json.Obj kvs) ]
+  in
+  let _ =
+    walk events
+      ~point:(fun (ev : Trace_reader.event) ->
+        acc :=
+          Json.Obj
+            ([ ("name", Json.Str ev.name);
+               ("cat", Json.Str "point");
+               ("ph", Json.Str "i");
+               ("s", Json.Str "t");
+               ("ts", Json.Float (ev.ts *. 1000.));
+               ("pid", Json.Int 1);
+               ("tid", Json.Int ev.dom) ]
+            @ args ev.fields)
+          :: !acc)
+      ~complete:(fun ~dom ~frame ~dur ~self:_ ~top:_ ~end_fields ->
+        acc :=
+          Json.Obj
+            ([ ("name", Json.Str frame.f_name);
+               ("cat", Json.Str "span");
+               ("ph", Json.Str "X");
+               ("ts", Json.Float (frame.f_ts *. 1000.));
+               ("dur", Json.Float (dur *. 1000.));
+               ("pid", Json.Int 1);
+               ("tid", Json.Int dom) ]
+            @ args (frame.f_fields @ end_fields))
+          :: !acc)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (List.rev !acc));
+      ("displayTimeUnit", Json.Str "ms") ]

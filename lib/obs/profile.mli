@@ -1,0 +1,60 @@
+(** Offline span profiling over a validated trace.
+
+    Pairs the [begin]/[end] events of a {!Trace_reader} stream into
+    spans, aggregates inclusive and exclusive (self) wall-clock time per
+    span name, and exports the span tree as Chrome [trace_event] JSON.
+
+    Span ids restart per emission lane, so pairing is positional, not by
+    global id: each domain's events form a balanced bracket sequence in
+    sequence order (lanes flush contiguously and spans nest), and an
+    [end] closes the innermost open frame of its domain carrying its id.
+    Events that fail to pair are counted as [unmatched] and fail
+    {!balance} — they are never silently guessed at. *)
+
+type row = {
+  name : string;
+  count : int;
+  incl_ms : float;
+      (** Summed span durations. A span nested under a same-named span
+          counts its time in both — inclusive time over all names is not
+          a partition. *)
+  self_ms : float;
+      (** Exclusive time: duration minus the summed durations of direct
+          children (clamped at 0). Self times over all spans partition
+          the root spans. *)
+}
+
+type t = {
+  rows : row list;  (** Sorted by [self_ms] descending, then name. *)
+  spans : int;  (** Paired spans. *)
+  begins : int;
+  ends : int;
+  unmatched : int;
+      (** End events with no matching open frame, frames abandoned by an
+          exception, and frames still open at end of stream. *)
+  roots : int;  (** Spans that closed with no enclosing span. *)
+  root_ms : float;  (** Summed durations of root spans. *)
+  self_ms_total : float;
+}
+
+val of_events : Trace_reader.event list -> t
+
+val balance : t -> (unit, string) result
+(** The [--profile] gate: at least one span, begins = ends, nothing
+    unmatched, and total exclusive time within float tolerance of the
+    root-span total (exclusive times partition roots exactly in real
+    arithmetic). *)
+
+val pp : ?top:int -> Format.formatter -> t -> unit
+(** Render the self-time table (top [top] names, default 20; [0] for
+    all) followed by the balance line. *)
+
+val to_json : ?top:int -> t -> Json.t
+(** Machine-readable form of the same report; [top] [0] (the default)
+    keeps every row. *)
+
+val chrome : Trace_reader.event list -> Json.t
+(** The stream as a Chrome [trace_event] document ([{"traceEvents":
+    [...]}]): spans as complete ["X"] events, points as instant ["i"]
+    events, [tid] = emitting domain, timestamps/durations in µs.
+    Loadable in chrome://tracing and Perfetto. *)

@@ -1,0 +1,35 @@
+(* The enable flag is the only state: spans are emitted through
+   [Trace.begin_span]/[end_span], so ids, parents and clocks all come
+   from the trace layer and profiling spans interleave correctly with
+   the engine's own sim.run/sim.slot spans. The disabled path is one
+   atomic load and returns the preallocated [Trace.null_span] — no
+   allocation, no branch into the trace machinery. *)
+
+let on = Atomic.make false
+
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* Probing is pointless without a sink; [active] is what instrumentation
+   should consult before building payload fields. *)
+let active () = Atomic.get on && Trace.enabled ()
+
+type t = Trace.span
+
+let null = Trace.null_span
+
+let begin_ name = if Atomic.get on then Trace.begin_span name [] else null
+
+let begin_fields name fields =
+  if Atomic.get on then Trace.begin_span name fields else null
+
+let end_ s = Trace.end_span s []
+
+let end_fields s fields = Trace.end_span s fields
+
+let with_ name f =
+  if Atomic.get on then begin
+    let s = Trace.begin_span name [] in
+    Fun.protect ~finally:(fun () -> Trace.end_span s []) f
+  end
+  else f ()

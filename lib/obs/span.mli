@@ -1,0 +1,59 @@
+(** Hierarchical wall-clock profiling spans.
+
+    A thin, separately-gated probe layer over {!Trace} spans: call sites
+    name a phase ([lp.pricing], [sim.admit], ...) and the span records
+    land in the normal JSONL trace stream as [begin]/[end] pairs, with
+    per-domain parent tracking done by {!Trace} — so profiling spans nest
+    correctly inside the engine's own [sim.run]/[sim.slot] spans and are
+    read back by the same strict reader. {!Profile} aggregates them;
+    [postcard_sim trace-summary --profile] renders the table and
+    [--chrome] exports the tree for chrome://tracing / Perfetto.
+
+    The discipline mirrors {!Metrics}: one global enable flag, off by
+    default, and a disabled probe is a no-op after a single atomic load —
+    it allocates nothing and never touches the trace machinery, so
+    fine-grained probes can live on solver hot paths (per-pivot pricing,
+    FTRAN) without a measurable cost when profiling is off. The clock is
+    {!Trace.now_ms}: wall time forced monotone per emission context,
+    shared with every other trace event (see DESIGN.md §4h for the
+    choice and measured overhead).
+
+    Spans only reach the output when {e both} this flag and the trace
+    sink are on; enabling spans without [--trace] is harmless and
+    silent. *)
+
+val set_enabled : bool -> unit
+(** Turn the probe layer on or off (off is the default; the [--spans]
+    flag of the binaries sets it). *)
+
+val enabled : unit -> bool
+
+val active : unit -> bool
+(** [enabled () && Trace.enabled ()] — whether a probe would actually
+    emit. Instrumentation building non-trivial payload fields should
+    guard on this. *)
+
+type t = Trace.span
+
+val null : t
+(** What {!begin_} returns while disabled; ending it is a no-op. *)
+
+val begin_ : string -> t
+(** Open a profiling span named after the phase. Disabled: one atomic
+    load, returns {!null}, allocates nothing. *)
+
+val begin_fields : string -> (string * Trace.field) list -> t
+(** As {!begin_} with payload fields on the [begin] event. The field
+    list is built by the caller even when disabled — guard with
+    {!active} on hot paths. *)
+
+val end_ : t -> unit
+val end_fields : t -> (string * Trace.field) list -> unit
+(** Close a span (no-op on {!null}). Not gated on the enable flag: a
+    span obtained while enabled still closes if the flag flips
+    mid-flight, so begins and ends always balance. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span, closing it on any exit
+    (including exceptions). Disabled: calls [f] directly — no span, no
+    protection frame. *)

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type field =
   | Str of string
@@ -9,18 +9,32 @@ type field =
 
 type out = {
   write : string -> unit;
+  flush : unit -> unit;
   finish : unit -> unit;
 }
 
 (* [mu] guards the sink, the global sequence number, the global span
-   counter and the monotone clock watermark. Everything the mutex guards
-   is off the instrumentation fast path when tracing is disabled: the
-   one-flag [enabled] test stays a plain load. *)
+   counter, the monotone clock watermark and the sticky write error.
+   Everything the mutex guards is off the instrumentation fast path when
+   tracing is disabled: the one-flag [enabled] test stays a plain load. *)
 let mu = Mutex.create ()
 let sink : out option ref = ref None
 let seq = ref 0
 let span_counter = ref 0
 let origin = ref 0.
+
+(* First sink failure observed mid-run; later failures do not overwrite
+   it (the first one names the cause, e.g. ENOSPC). Guarded by [mu]:
+   every sink call happens under the lock. *)
+let write_error : string option ref = ref None
+
+let note_error msg = if !write_error = None then write_error := Some msg
+
+let last_error () =
+  Mutex.lock mu;
+  let e = !write_error in
+  Mutex.unlock mu;
+  e
 
 let enabled () = match !sink with None -> false | Some _ -> true
 
@@ -29,17 +43,26 @@ let enabled () = match !sink with None -> false | Some _ -> true
    global sequence numbers under [mu], so a merged trace is
    indistinguishable from a serial one to the strict reader. Lanes have
    their own span counter (ids are only required to pair begin/end within
-   the lane) and their own monotone-clock watermark. *)
+   the lane), their own open-span stack (parents never cross a lane
+   boundary) and their own monotone-clock watermark. *)
 type lane = {
   l_dom : int;
   mutable l_lines : string list;  (* reversed suffixes *)
   mutable l_span : int;
   mutable l_last : float;
+  mutable l_stack : int list;  (* open span ids, innermost first *)
 }
 
 type buffer = lane option
 
 let lane_key : lane option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Open spans of a domain emitting directly (no lane): innermost first.
+   [begin_span] pushes, [end_span] pops, and the top at begin time is the
+   new span's parent. Per-domain state, so parallel emitters cannot see
+   each other's spans as parents. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 (* Wall clock forced monotone: a backward NTP step must never produce a
    negative timestamp or duration, so the watermark only ever moves the
@@ -64,7 +87,8 @@ let now_ms () =
           Mutex.unlock mu;
           v)
 
-let reserved = [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+let reserved =
+  [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "parent"; "dur_ms" ]
 
 let add_field b (name, value) =
   if List.mem name reserved then
@@ -88,7 +112,7 @@ let add_field b (name, value) =
 
 (* Everything after the [seq] value; the writer prepends
    [{"v":V,"seq":N] when the sequence number is known. *)
-let build_suffix ~dom ~ts ~ev ~name ?span ?dur_ms fields =
+let build_suffix ~dom ~ts ~ev ~name ?span ?parent ?dur_ms fields =
   let b = Buffer.create 160 in
   Buffer.add_string b (Printf.sprintf ",\"dom\":%d,\"ts\":%.3f,\"ev\":" dom ts);
   Json.escape_to_buffer b ev;
@@ -97,6 +121,9 @@ let build_suffix ~dom ~ts ~ev ~name ?span ?dur_ms fields =
   (match span with
    | None -> ()
    | Some id -> Buffer.add_string b (Printf.sprintf ",\"span\":%d" id));
+  (match parent with
+   | None -> ()
+   | Some id -> Buffer.add_string b (Printf.sprintf ",\"parent\":%d" id));
   (match dur_ms with
    | None -> ()
    | Some d ->
@@ -110,13 +137,13 @@ let write_locked out suffix =
   incr seq;
   out.write (Printf.sprintf "{\"v\":%d,\"seq\":%d%s" schema_version !seq suffix)
 
-let emit ~ev ~name ?span ?dur_ms fields =
+let emit ~ev ~name ?span ?parent ?dur_ms fields =
   match !sink with
   | None -> ()
   | Some _ -> (
       let ts = now_ms () in
       let dom = (Domain.self () :> int) in
-      let suffix = build_suffix ~dom ~ts ~ev ~name ?span ?dur_ms fields in
+      let suffix = build_suffix ~dom ~ts ~ev ~name ?span ?parent ?dur_ms fields in
       match Domain.DLS.get lane_key with
       | Some lane -> lane.l_lines <- suffix :: lane.l_lines
       | None ->
@@ -133,19 +160,45 @@ let install out =
   span_counter := 0;
   origin := Unix.gettimeofday ();
   last := 0.;
+  write_error := None;
   sink := Some out;
   Mutex.unlock mu;
+  Domain.DLS.get stack_key := [];
   emit ~ev:"meta" ~name:"trace"
     [ ("schema", Int schema_version); ("clock", Str "wall-ms") ]
 
-let set_callback f = install { write = f; finish = (fun () -> ()) }
+let set_callback f =
+  install { write = f; flush = (fun () -> ()); finish = (fun () -> ()) }
 
 let set_file path =
   match open_out path with
   | oc ->
-      install { write = (fun s -> output_string oc s); finish = (fun () -> close_out oc) };
+      (* Sink failures mid-run (ENOSPC, a yanked volume) must not kill
+         the traced program — tracing is observability, not the workload
+         — but they must not vanish either: the first failure is kept
+         for {!last_error} so the exit path can report a truncated
+         trace. *)
+      let guard what f =
+        try f () with
+        | Sys_error msg -> note_error (what ^ ": " ^ msg)
+        | Unix.Unix_error (e, _, _) ->
+            note_error (what ^ ": " ^ Unix.error_message e)
+      in
+      install
+        { write = (fun s -> guard "write" (fun () -> output_string oc s));
+          flush =
+            (fun () ->
+              guard "flush" (fun () ->
+                  flush oc;
+                  Unix.fsync (Unix.descr_of_out_channel oc)));
+          finish = (fun () -> guard "close" (fun () -> close_out oc)) };
       Ok ()
   | exception Sys_error msg -> Error msg
+
+let flush_sync () =
+  Mutex.lock mu;
+  (match !sink with Some out -> out.flush () | None -> ());
+  Mutex.unlock mu
 
 let close () =
   Mutex.lock mu;
@@ -163,33 +216,60 @@ type span = { sid : int; sname : string; t0 : float }
 
 let null_span = { sid = -1; sname = ""; t0 = 0. }
 
+(* Remove [sid] from an open-span stack, along with anything opened above
+   it that was never closed (an exception can skip inner ends; the outer
+   [end_span] then reconciles the stack). Stacks are a handful deep, so
+   the [mem] pre-check costs nothing and protects against an [end_span]
+   whose begin happened in another context. *)
+let pop_span sid stack =
+  if List.mem sid stack then
+    let rec go = function
+      | [] -> []
+      | x :: rest -> if x = sid then rest else go rest
+    in
+    go stack
+  else stack
+
 let begin_span name fields =
   match !sink with
   | None -> null_span
   | Some _ ->
-      let sid =
+      let sid, parent =
         match Domain.DLS.get lane_key with
         | Some lane ->
             lane.l_span <- lane.l_span + 1;
-            lane.l_span
+            let parent =
+              match lane.l_stack with [] -> None | p :: _ -> Some p
+            in
+            lane.l_stack <- lane.l_span :: lane.l_stack;
+            (lane.l_span, parent)
         | None ->
+            let stack = Domain.DLS.get stack_key in
             Mutex.lock mu;
             incr span_counter;
             let v = !span_counter in
             Mutex.unlock mu;
-            v
+            let parent = match !stack with [] -> None | p :: _ -> Some p in
+            stack := v :: !stack;
+            (v, parent)
       in
       let s = { sid; sname = name; t0 = now_ms () } in
-      emit ~ev:"begin" ~name ~span:s.sid fields;
+      emit ~ev:"begin" ~name ~span:s.sid ?parent fields;
       s
 
 let end_span s fields =
-  if s.sid >= 0 then
+  if s.sid >= 0 then begin
+    (match Domain.DLS.get lane_key with
+     | Some lane -> lane.l_stack <- pop_span s.sid lane.l_stack
+     | None ->
+         let stack = Domain.DLS.get stack_key in
+         stack := pop_span s.sid !stack);
     match !sink with
     | None -> ()
     | Some _ ->
         emit ~ev:"end" ~name:s.sname ~span:s.sid
           ~dur_ms:(now_ms () -. s.t0) fields
+  end
 
 let with_buffer f =
   match !sink with
@@ -199,7 +279,8 @@ let with_buffer f =
         { l_dom = (Domain.self () :> int);
           l_lines = [];
           l_span = 0;
-          l_last = 0. }
+          l_last = 0.;
+          l_stack = [] }
       in
       let saved = Domain.DLS.get lane_key in
       Domain.DLS.set lane_key (Some lane);

@@ -9,6 +9,13 @@
     from a clock that never goes backwards within its emission context)
     and the caller's typed payload fields.
 
+    {b Span hierarchy.} Each domain (and each {!with_buffer} lane)
+    maintains a stack of its open spans: a [begin] emitted while another
+    span of the same emission context is open carries that span's id as
+    the [parent] envelope key, so consumers can rebuild the nesting tree
+    without re-deriving it from timestamps. Parents never cross a domain
+    or lane boundary.
+
     The default sink is a no-op: {!point} and {!begin_span} return
     immediately after one flag test, so instrumentation left in hot code
     costs nothing when tracing is off. Call sites on genuinely hot paths
@@ -28,12 +35,13 @@
     must begin and end within the same buffering context.
 
     Reserved top-level keys ([v], [seq], [dom], [ts], [ev], [name],
-    [span], [dur_ms]) may not be used as payload field names. *)
+    [span], [parent], [dur_ms]) may not be used as payload field names. *)
 
 val schema_version : int
 (** Current schema version, emitted as [v] on every event. The first
     event of every trace is a [meta] event naming the schema. Version 2
-    added the [dom] envelope key. *)
+    added the [dom] envelope key; version 3 added the optional [parent]
+    key on [begin] events. *)
 
 type field =
   | Str of string
@@ -51,7 +59,20 @@ val set_callback : (string -> unit) -> unit
 
 val set_file : string -> (unit, string) result
 (** Open [path] for writing and route events to it (buffered; closed and
-    flushed by {!close}). *)
+    flushed by {!close}). The returned error is the {e open} failure;
+    write failures after a successful open do not raise into the traced
+    program — the first one is kept and exposed by {!last_error}. *)
+
+val last_error : unit -> string option
+(** First sink failure (write, flush or close) since the sink was
+    installed, if any. A trace whose sink failed mid-run is truncated and
+    will not pass the strict reader; exit paths should surface this. *)
+
+val flush_sync : unit -> unit
+(** Flush the sink's buffered lines and [fsync] them to stable storage
+    (file sinks; a no-op for callback sinks or when tracing is off). Call
+    on signal-triggered shutdown paths so the tail of the trace survives
+    the process. *)
 
 val close : unit -> unit
 (** Flush and detach the current sink, restoring the no-op default.
@@ -61,7 +82,9 @@ val close : unit -> unit
 val now_ms : unit -> float
 (** Milliseconds since the sink was installed (0 when tracing is off);
     the timestamp base of every event. Exposed so instrumentation can
-    time sub-steps consistently with the trace clock. *)
+    time sub-steps consistently with the trace clock. The wall clock is
+    forced monotone per emission context (a watermark clamps backward
+    steps), which is why spans measure durations with it directly. *)
 
 val point : string -> (string * field) list -> unit
 (** [point name fields] emits a one-shot event. No-op when disabled.
@@ -74,9 +97,15 @@ val null_span : span
     no-op. *)
 
 val begin_span : string -> (string * field) list -> span
+(** Open a span: emits the [begin] event (carrying the enclosing open
+    span's id as [parent], if any) and pushes the span on the calling
+    context's open-span stack. *)
+
 val end_span : span -> (string * field) list -> unit
 (** [end_span s fields] emits the closing event with [dur_ms] measured
-    since {!begin_span}. *)
+    since {!begin_span} and pops [s] off the open-span stack — together
+    with any inner spans an exception left unclosed, so one protected
+    outer [end_span] reconciles the stack. *)
 
 (** {1 Per-domain buffering for parallel sections} *)
 
@@ -88,9 +117,10 @@ val with_buffer : (unit -> 'a) -> 'a * buffer
 (** [with_buffer f] runs [f] with the calling domain's trace emission
     redirected into a fresh buffer and returns [f]'s result together with
     the buffer. Nested calls stack (the inner buffer wins for its
-    duration). When tracing is off, [f] simply runs and the returned
-    buffer is empty. The buffer holds no events until flushed and is lost
-    if dropped. *)
+    duration). The lane starts with an empty open-span stack, so spans
+    opened inside it are parented only to each other. When tracing is
+    off, [f] simply runs and the returned buffer is empty. The buffer
+    holds no events until flushed and is lost if dropped. *)
 
 val flush_buffer : buffer -> unit
 (** Append the buffer's events to the trace, assigning the next

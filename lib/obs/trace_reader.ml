@@ -7,11 +7,13 @@ type event = {
   kind : kind;
   name : string;
   span : int option;
+  parent : int option;
   dur_ms : float option;
   fields : (string * Json.t) list;
 }
 
-let envelope_keys = [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "dur_ms" ]
+let envelope_keys =
+  [ "v"; "seq"; "dom"; "ts"; "ev"; "name"; "span"; "parent"; "dur_ms" ]
 
 let kind_of_string = function
   | "meta" -> Some Meta
@@ -51,12 +53,15 @@ let of_json json =
         | None -> Error (Printf.sprintf "unknown event kind %S" ev)
         | Some kind ->
             let span = Option.bind (get "span") Json.to_int in
+            let parent = Option.bind (get "parent") Json.to_int in
             let dur_ms = Option.bind (get "dur_ms") Json.to_float in
             let* () =
               match kind with
               | Begin | End when span = None ->
                   Error (Printf.sprintf "%s event without span id" ev)
               | End when dur_ms = None -> Error "end event without dur_ms"
+              | (Meta | Point) when parent <> None ->
+                  Error (Printf.sprintf "%s event with a parent key" ev)
               | Meta | Point | Begin | End -> Ok ()
             in
             let fields =
@@ -72,7 +77,7 @@ let of_json json =
                       else Error (Printf.sprintf "field %S has a non-scalar value" k))
                 (Ok ()) fields
             in
-            Ok { seq; dom; ts; kind; name; span; dur_ms; fields })
+            Ok { seq; dom; ts; kind; name; span; parent; dur_ms; fields })
   | _ -> Error "event is not a JSON object"
 
 let of_line line =

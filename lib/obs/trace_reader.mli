@@ -4,8 +4,9 @@
     Validation is strict: every line must be a JSON object whose [v]
     matches {!Trace.schema_version}, with the required envelope keys of
     its event kind ([seq], [dom], [ts], [name]; [span] on [begin]/[end];
-    [dur_ms] on [end]), sequence numbers must be consecutive from 1, and
-    payload values must be scalars or arrays of numbers. *)
+    [dur_ms] on [end]; [parent] allowed on [begin]/[end] only), sequence
+    numbers must be consecutive from 1, and payload values must be
+    scalars or arrays of numbers. *)
 
 type kind = Meta | Point | Begin | End
 
@@ -16,6 +17,10 @@ type event = {
   kind : kind;
   name : string;
   span : int option;
+  parent : int option;
+      (** Enclosing span's id, on [begin] events of nested spans. Span
+          ids are scoped to their emission lane: resolve parents within
+          one [dom]'s events, not across the merged stream. *)
   dur_ms : float option;
   fields : (string * Json.t) list;  (** Payload, envelope keys removed. *)
 }

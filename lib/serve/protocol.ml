@@ -4,11 +4,13 @@ let version = 1
 
 type submit = { src : int; dst : int; size : float; deadline : int }
 
+type scrape_format = Scrape_json | Scrape_prom
+
 type request =
   | Submit of submit
   | Tick
   | Status
-  | Scrape
+  | Scrape of scrape_format
   | Stop
   | Quit
 
@@ -41,6 +43,7 @@ type event =
       cost : float;
     }
   | Scrape_report of Json.t
+  | Scrape_text of string
   | Session_end of {
       slot : int;
       offered_bytes : float;
@@ -64,7 +67,9 @@ let request_to_json = function
           ("deadline", Json.Int deadline) ]
   | Tick -> Json.Obj [ ("op", Json.Str "tick") ]
   | Status -> Json.Obj [ ("op", Json.Str "status") ]
-  | Scrape -> Json.Obj [ ("op", Json.Str "scrape") ]
+  | Scrape Scrape_json -> Json.Obj [ ("op", Json.Str "scrape") ]
+  | Scrape Scrape_prom ->
+      Json.Obj [ ("op", Json.Str "scrape"); ("format", Json.Str "prom") ]
   | Stop -> Json.Obj [ ("op", Json.Str "stop") ]
   | Quit -> Json.Obj [ ("op", Json.Str "quit") ]
 
@@ -119,6 +124,10 @@ let event_to_json = function
           ("cost", Json.Float cost) ]
   | Scrape_report metrics ->
       Json.Obj [ ("ev", Json.Str "scrape"); ("metrics", metrics) ]
+  | Scrape_text text ->
+      (* Prometheus text is multi-line; it rides the line protocol as one
+         JSON string field. *)
+      Json.Obj [ ("ev", Json.Str "scrape_text"); ("text", Json.Str text) ]
   | Session_end
       { slot; offered_bytes; delivered_bytes; rejected_bytes; lost_bytes; cost }
     ->
@@ -163,7 +172,13 @@ let request_of_json j =
       Ok (Submit { src; dst; size; deadline })
   | "tick" -> Ok Tick
   | "status" -> Ok Status
-  | "scrape" -> Ok Scrape
+  | "scrape" -> (
+      (* A missing format field means JSON: pre-field clients keep
+         working. *)
+      match Option.bind (Json.member "format" j) Json.to_str with
+      | None | Some "json" -> Ok (Scrape Scrape_json)
+      | Some "prom" -> Ok (Scrape Scrape_prom)
+      | Some other -> Error (Printf.sprintf "unknown scrape format %S" other))
   | "stop" -> Ok Stop
   | "quit" -> Ok Quit
   | other -> Error (Printf.sprintf "unknown op %S" other)
@@ -223,6 +238,9 @@ let event_of_json j =
       match Json.member "metrics" j with
       | Some m -> Ok (Scrape_report m)
       | None -> Error "missing field \"metrics\"")
+  | "scrape_text" ->
+      let* text = str_field j "text" in
+      Ok (Scrape_text text)
   | "session_end" ->
       let* slot = int_field j "slot" in
       let* offered_bytes = float_field j "offered_bytes" in

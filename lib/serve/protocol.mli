@@ -17,11 +17,17 @@ type submit = { src : int; dst : int; size : float; deadline : int }
 (** A transfer request: [size] GB from datacenter [src] to [dst], to be
     delivered within [deadline] slots of admission. *)
 
+type scrape_format =
+  | Scrape_json  (** The default; also chosen by a missing [format]. *)
+  | Scrape_prom  (** Prometheus text exposition, as a {!Scrape_text}. *)
+
 type request =
   | Submit of submit  (** Queue a transfer for the next slot. *)
   | Tick  (** Advance one slot now (manual clock only). *)
   | Status  (** Ask for a {!Status_report}. *)
-  | Scrape  (** Ask for a {!Scrape_report} of the metrics registry. *)
+  | Scrape of scrape_format
+      (** Ask for the metrics registry: a {!Scrape_report} (JSON) or a
+          {!Scrape_text} (Prometheus), per the ["format"] field. *)
   | Stop  (** Finish the session: drain the engine and shut down. *)
   | Quit  (** Close this connection only; the session continues. *)
 
@@ -60,6 +66,10 @@ type event =
     }
   | Scrape_report of Obs.Json.t
       (** The metrics registry, as {!Obs.Metrics.dump_json}. *)
+  | Scrape_text of string
+      (** The metrics registry as Prometheus text exposition
+          ({!Obs.Metrics.dump_prometheus}); multi-line, carried as one
+          JSON string field. *)
   | Session_end of {
       slot : int;
       offered_bytes : float;

@@ -20,11 +20,39 @@ type t = {
   nodes : int;
   clock : string;
   owners : (File.id, client) Hashtbl.t;
+  submitted : (File.id, float) Hashtbl.t;
+      (* Wall-clock submit time, for the latency histograms; entries die
+         with their file's terminal event. *)
   mutable next_id : File.id;
   mutable clients : client list;
   mutable ended : bool;
   mutable outcome : Engine.outcome option;
 }
+
+(* Request latency in wall-clock ms, measured from the [Queued]
+   acknowledgement: [serve.queue_ms] to admission, [serve.request_ms] to
+   completion. The bucket ladder reaches below a millisecond — under the
+   turbo clock a whole slot can execute in microseconds. *)
+let latency_buckets =
+  [| 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.;
+     1000.; 2000.; 5000. |]
+
+let h_queue_ms =
+  Obs.Metrics.histogram ~buckets:latency_buckets "serve.queue_ms"
+
+let h_request_ms =
+  Obs.Metrics.histogram ~buckets:latency_buckets "serve.request_ms"
+
+let latency_quantiles () =
+  let count = Obs.Metrics.histogram_count h_request_ms in
+  match
+    ( Obs.Metrics.histogram_quantile h_request_ms 0.5,
+      Obs.Metrics.histogram_quantile h_request_ms 0.95,
+      Obs.Metrics.histogram_quantile h_request_ms 0.99 )
+  with
+  | Some p50, Some p95, Some p99 when count > 0 ->
+      Some (count, p50, p95, p99)
+  | _ -> None
 
 let create ~base ~scheduler ~slots ?(faults = Sim.Faults.empty) ~clock () =
   let workload = Workload.pushable () in
@@ -35,6 +63,7 @@ let create ~base ~scheduler ~slots ?(faults = Sim.Faults.empty) ~clock () =
     nodes = Netgraph.Graph.num_nodes base;
     clock;
     owners = Hashtbl.create 64;
+    submitted = Hashtbl.create 64;
     next_id = 0;
     clients = [];
     ended = false;
@@ -67,6 +96,20 @@ let to_owner t id ev =
   | Some client -> Send (client, ev)
   | None -> Broadcast ev
 
+(* Latency bookkeeping: queue latency when the scheduler admits, request
+   latency when the last byte lands; terminal events drop the entry. *)
+let observe_latency t h id =
+  match Hashtbl.find_opt t.submitted id with
+  | None -> ()
+  | Some t0 ->
+      Obs.Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1000.)
+
+let settle t id = Hashtbl.remove t.submitted id
+
+let complete_latency t id =
+  observe_latency t h_request_ms id;
+  settle t id
+
 let status_report t =
   let s = Engine.status t.engine in
   Protocol.Status_report
@@ -90,6 +133,7 @@ let finish t =
   let completions =
     List.map
       (fun (id, fslot) ->
+        complete_latency t id;
         to_owner t id (Protocol.Completed { id; slot = fslot }))
       (Engine.in_flight t.engine)
   in
@@ -115,6 +159,10 @@ let finish t =
 
 let slot_events t (r : Engine.slot_result) =
   let slot = r.Engine.slot in
+  List.iter (fun f -> observe_latency t h_queue_ms f.File.id) r.Engine.accepted;
+  List.iter (fun f -> settle t f.File.id) r.Engine.rejected;
+  List.iter (fun f -> settle t f.File.id) r.Engine.lost;
+  List.iter (fun id -> complete_latency t id) r.Engine.completed;
   let per_file mk files =
     List.map (fun f -> to_owner t f.File.id (mk f.File.id slot)) files
   in
@@ -164,6 +212,7 @@ let submit t client (s : Protocol.submit) =
     | file ->
         t.next_id <- t.next_id + 1;
         Hashtbl.replace t.owners (File.(file.id)) client;
+        Hashtbl.replace t.submitted (File.(file.id)) (Unix.gettimeofday ());
         Workload.push t.workload file;
         [ Send
             (client,
@@ -180,8 +229,10 @@ let on_request t client = function
       else if t.ended then [ Send (client, Protocol.Error "session finished") ]
       else tick t
   | Protocol.Status -> [ Send (client, status_report t) ]
-  | Protocol.Scrape ->
+  | Protocol.Scrape Protocol.Scrape_json ->
       [ Send (client, Protocol.Scrape_report (Obs.Metrics.dump_json ())) ]
+  | Protocol.Scrape Protocol.Scrape_prom ->
+      [ Send (client, Protocol.Scrape_text (Obs.Metrics.dump_prometheus ())) ]
   | Protocol.Stop -> stop t
   | Protocol.Quit -> [ Send (client, Protocol.Bye); Disconnect client ]
 

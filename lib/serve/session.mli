@@ -73,3 +73,9 @@ val clients : t -> client list
 val capture : t -> Postcard.File.t list
 (** Every file ever submitted, in submission order — feed to
     {!Sim.Workload.save_script} to make the session replayable. *)
+
+val latency_quantiles : unit -> (int * float * float * float) option
+(** [(count, p50, p95, p99)] of the [serve.request_ms] histogram
+    (wall-clock ms from [queued] to [completed]), estimated by
+    {!Obs.Metrics.histogram_quantile}. [None] while the histogram is
+    empty — e.g. when the daemon ran without [--metrics]. *)

@@ -221,6 +221,7 @@ let step t ~arrivals =
   let slot_stranded = ref 0. and slot_lost = ref 0. in
   let stranded_now = ref [] and lost_now = ref [] in
   if faulty then begin
+    let strand_sp = Obs.Span.begin_ "sim.strand" in
     List.iter
       (fun ev ->
         Log.info (fun m ->
@@ -324,7 +325,8 @@ let step t ~arrivals =
                     cap);
               continue_ := false
         done)
-      (Faults.cells_revealed_at fstate ~slot)
+      (Faults.cells_revealed_at fstate ~slot);
+    Obs.Span.end_ strand_sp
   end;
   let reoffers = List.rev !reoffers in
   let replan_count = List.length reoffers in
@@ -374,6 +376,7 @@ let step t ~arrivals =
     Log.info (fun m ->
         m "slot %d: %s rejected %d of %d files" slot scheduler.Scheduler.name
           (List.length rejected) (List.length files));
+  let commit_sp = Obs.Span.begin_ "sim.commit" in
   let check =
     if scheduler.Scheduler.fluid then
       Postcard.Plan.validate_capacity ~base ~capacity:eff_residual plan
@@ -387,10 +390,12 @@ let step t ~arrivals =
             (Printf.sprintf "slot %d, scheduler %s: %s" slot
                scheduler.Scheduler.name msg)));
   Ledger.commit_plan ledger plan;
+  Obs.Span.end_ commit_sp;
   (* Admission accounting: an accepted re-offer is recovered volume; a
      rejected re-offer is lost (its original admission was already
      charged and partially flowed), while a rejected fresh arrival is an
      ordinary rejection. *)
+  let admit_sp = Obs.Span.begin_ "sim.admit" in
   let fresh_accepted = ref [] and recovered_now = ref [] in
   List.iter
     (fun (f : File.t) ->
@@ -438,7 +443,9 @@ let step t ~arrivals =
           { ffile = f; ftxs = Hashtbl.find_all by_file f.File.id } :: t.flights)
       accepted
   end;
-  track_completion t ~slot ~plan accepted;
+  Obs.Span.end_ admit_sp;
+  Obs.Span.with_ "sim.complete" (fun () ->
+      track_completion t ~slot ~plan accepted);
   t.cost_series.(slot) <- Ledger.cost_per_interval ledger;
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_slots;

@@ -403,25 +403,139 @@ let pp ppf runs =
         (if List.length runs = 1 then "" else "s");
       List.iter (fun r -> Format.fprintf ppf "%a@." pp_run r) runs
 
-let summarize_file path =
+(* --- machine-readable output --- *)
+
+let tally_to_json t =
+  Json.Obj
+    [ ("solves", Json.Int t.solves);
+      ("pivots", Json.Int t.pivots);
+      ("phase1_pivots", Json.Int t.phase1_pivots);
+      ("phase2_pivots", Json.Int t.phase2_pivots);
+      ("dual_pivots", Json.Int t.dual_pivots);
+      ("refactorizations", Json.Int t.refactorizations);
+      ("repair_rounds", Json.Int t.repair_rounds);
+      ("solve_ms", Json.Float t.solve_ms);
+      ("warm_cold", Json.Int t.warm_cold);
+      ("warm_accepted", Json.Int t.warm_accepted);
+      ("dual_reopts", Json.Int t.dual_reopts);
+      ("warm_repaired", Json.Int t.warm_repaired);
+      ("warm_fell_back", Json.Int t.warm_fell_back) ]
+
+let opt f = function None -> Json.Null | Some v -> f v
+
+let row_to_json r =
+  Json.Obj
+    [ ("slot", Json.Int r.slot);
+      ("arrivals", Json.Int r.arrivals);
+      ("admitted", Json.Int r.admitted);
+      ("rejected", Json.Int r.rejected);
+      ("admitted_bytes", Json.Float r.admitted_bytes);
+      ("stored_bytes", Json.Float r.stored_bytes);
+      ("replans", Json.Int r.replans);
+      ("stranded_bytes", Json.Float r.stranded_bytes);
+      ("lost_bytes", Json.Float r.lost_bytes);
+      ("cost", Json.Float r.cost);
+      ("cost_delta", Json.Float r.cost_delta);
+      ("sched_ms", Json.Float r.sched_ms);
+      ("lp", tally_to_json r.lp) ]
+
+let run_to_json run =
+  let t = run_tally run in
+  Json.Obj
+    [ ("scheduler", Json.Str run.scheduler);
+      ("slots", Json.Int run.slots);
+      ("final_cost", opt (fun c -> Json.Float c) run.final_cost);
+      ("total_files", opt (fun n -> Json.Int n) run.total_files);
+      ("rejected_files", opt (fun n -> Json.Int n) run.rejected_files);
+      ("lost_files", opt (fun n -> Json.Int n) run.lost_files);
+      ("replanned_files", opt (fun n -> Json.Int n) run.replanned_files);
+      ("offered_volume", opt (fun v -> Json.Float v) run.offered_volume);
+      ("delivered_volume", opt (fun v -> Json.Float v) run.delivered_volume);
+      ("rejected_volume", opt (fun v -> Json.Float v) run.rejected_volume);
+      ("stranded_volume", opt (fun v -> Json.Float v) run.stranded_volume);
+      ("recovered_volume", opt (fun v -> Json.Float v) run.recovered_volume);
+      ("lost_volume", opt (fun v -> Json.Float v) run.lost_volume);
+      ("fault_reveals", Json.Int run.fault_reveals);
+      ("fault_strands", Json.Int run.fault_strands);
+      ("fault_losses", Json.Int run.fault_losses);
+      ("sched_ms",
+       Json.Float
+         (List.fold_left (fun acc r -> acc +. r.sched_ms) 0. run.rows));
+      ("totals", tally_to_json t);
+      ("reconciliation",
+       match reconcile run with
+       | Ok () -> Json.Str "ok"
+       | Error msg -> Json.Str msg);
+      ("rows", Json.List (List.map row_to_json run.rows)) ]
+
+let runs_to_json runs =
+  Json.Obj [ ("runs", Json.List (List.map run_to_json runs)) ]
+
+(* --- the trace-summary entry point --- *)
+
+let write_chrome events path =
+  let doc = Obs.Profile.chrome events in
+  let s = Json.to_string doc in
+  (* Self-check before writing: the export must itself be one valid JSON
+     document, or chrome://tracing will reject it with no diagnostics. *)
+  match Json.parse s with
+  | Error msg ->
+      Error (Printf.sprintf "chrome export failed its own parse: %s" msg)
+  | Ok _ -> (
+      match open_out path with
+      | exception Sys_error msg -> Error msg
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc s;
+              output_char oc '\n');
+          Ok ())
+
+let summarize_file ?(json = false) ?(profile = false) ?chrome ?(top = 20) path
+    =
   match Reader.read_file path with
   | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Ok events ->
       let runs = of_events events in
-      Format.printf "%a" pp runs;
+      let prof = if profile then Some (Obs.Profile.of_events events) else None in
+      (if json then begin
+         let fields = [ ("runs", Json.List (List.map run_to_json runs)) ] in
+         let fields =
+           match prof with
+           | Some p -> fields @ [ ("profile", Obs.Profile.to_json p) ]
+           | None -> fields
+         in
+         print_endline (Json.to_string (Json.Obj fields))
+       end
+       else begin
+         Format.printf "%a" pp runs;
+         Option.iter (fun p -> Format.printf "%a" (Obs.Profile.pp ~top) p) prof
+       end);
       (* Reconciliation failures are printed per run above; surface them
          in the exit status too, so CI smoke runs actually gate on them. *)
-      let failed =
-        List.filter_map
-          (fun r ->
-            match reconcile r with
-            | Ok () -> None
-            | Error msg -> Some (Printf.sprintf "%s: %s" r.scheduler msg))
-          runs
-      in
-      if failed = [] then Ok ()
-      else
-        Error
-          (Printf.sprintf "%s: reconciliation failed for %d run(s): %s" path
-             (List.length failed)
-             (String.concat "; " failed))
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      List.iter
+        (fun r ->
+          match reconcile r with
+          | Ok () -> ()
+          | Error msg -> fail "%s: reconciliation failed: %s" r.scheduler msg)
+        runs;
+      (match prof with
+       | Some p -> (
+           match Obs.Profile.balance p with
+           | Ok () -> ()
+           | Error msg -> fail "profile does not balance: %s" msg)
+       | None -> ());
+      (match chrome with
+       | None -> ()
+       | Some out -> (
+           match write_chrome events out with
+           | Ok () -> Format.printf "chrome trace written to %s@." out
+           | Error msg -> fail "chrome export to %s failed: %s" out msg));
+      match !failures with
+      | [] -> Ok ()
+      | fs ->
+          Error
+            (Printf.sprintf "%s: %s" path (String.concat "; " (List.rev fs)))

@@ -89,6 +89,27 @@ val pp_run : Format.formatter -> run -> unit
 
 val pp : Format.formatter -> run list -> unit
 
-val summarize_file : string -> (unit, string) result
+val runs_to_json : run list -> Obs.Json.t
+(** [{"runs": [...]}] — every run with its per-slot rows, summed solver
+    tally and reconciliation verdict ("ok" or the failure message), for
+    scripts that would otherwise scrape the ASCII report. *)
+
+val summarize_file :
+  ?json:bool ->
+  ?profile:bool ->
+  ?chrome:string ->
+  ?top:int ->
+  string ->
+  (unit, string) result
 (** Read, validate, analyze and print a trace file; the [trace-summary]
-    subcommand of [postcard_sim]. *)
+    subcommand of [postcard_sim].
+
+    [json] switches stdout to one machine-readable document
+    ({!runs_to_json}, with a ["profile"] member when [profile] is also
+    set). [profile] adds the span self-time table ({!Obs.Profile}, top
+    [top] rows, default 20) and makes an unbalanced profile an error.
+    [chrome] additionally writes the whole event stream as Chrome
+    [trace_event] JSON to the given file, re-parsing the document before
+    writing it. Reconciliation failures, an unbalanced profile and a
+    failed export all land in the [Error] return (the caller exits
+    nonzero) after everything printable has been printed. *)

@@ -185,6 +185,7 @@ let record_factorization f =
   end
 
 let factorize_iter ?col_order ~dim:n iter_col =
+  let sp = Obs.Span.begin_ "lu.factorize" in
   let q = match col_order with
     | Some order ->
         if Array.length order <> n then
@@ -248,9 +249,11 @@ let factorize_iter ?col_order ~dim:n iter_col =
         input_nnz = !input_nnz }
     in
     record_factorization f;
+    Obs.Span.end_ sp;
     Ok f
   with Singular_at k ->
     (* Reset scratch state is unnecessary: arrays are local. *)
+    Obs.Span.end_ sp;
     Error (Singular k)
 
 let factorize ?col_order ~dim col =

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 profile smoke: run a traced simulation with span recording on
+# (--spans), then drive the profiling pipeline end to end — the span
+# profile must balance (begins = ends, nothing unmatched, exclusive time
+# summing to the root spans; trace-summary --profile exits nonzero
+# otherwise), the Chrome trace_event export must be one valid JSON
+# document, and the --json report must carry the profile section.
+set -euo pipefail
+
+sim=$1
+dir=$(mktemp -d)
+cleanup() { rm -rf "$dir"; }
+trap cleanup EXIT
+
+"$sim" custom --nodes 6 --slots 8 --runs 1 --schedulers postcard --spans \
+  --trace "$dir/profile.jsonl" >/dev/null
+
+# --profile gates on balance; --chrome self-checks by re-parsing the
+# document before writing it. Either failure exits nonzero here.
+"$sim" trace-summary "$dir/profile.jsonl" --profile \
+  --chrome "$dir/chrome.json" >"$dir/profile.out"
+
+# The instrumented stack must actually show up: solver phases, the LU
+# factorization and the engine's per-slot spans.
+for name in lp.pricing lp.ratio_test lu.factorize sched.schedule sim.commit; do
+  if ! grep -q "$name" "$dir/profile.out"; then
+    echo "profile smoke: span $name missing from the profile" >&2
+    cat "$dir/profile.out" >&2
+    exit 1
+  fi
+done
+grep -q 'balance: ' "$dir/profile.out"
+
+# The Chrome export: structurally a trace_event document, and valid JSON
+# (re-validated with an independent parser when one is on the PATH; the
+# exporter already refuses to write a document its own parser rejects).
+grep -q '"traceEvents":' "$dir/chrome.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$dir/chrome.json"
+fi
+
+# The machine-readable report carries the same profile.
+"$sim" trace-summary "$dir/profile.jsonl" --profile --json >"$dir/profile.json"
+grep -q '"profile":' "$dir/profile.json"
+grep -q '"unmatched":0' "$dir/profile.json"
+
+echo "profile smoke: OK"

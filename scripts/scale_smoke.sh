@@ -41,14 +41,22 @@ fi
 
 # The same dual counters must surface through the trace pipeline: a
 # traced online run, strictly validated and reconciled by trace-summary,
-# has to report dual re-opts in its solver section.
+# has to report dual re-opts in its machine-readable report (the run's
+# "totals" tally precedes the per-slot rows, so the first occurrence is
+# the aggregate).
 "$sim" --figure 6 --nodes 8 --slots 10 --runs 1 --schedulers postcard \
   --trace "$dir/scale_smoke.jsonl" >/dev/null
-"$sim" trace-summary "$dir/scale_smoke.jsonl" >"$dir/summary.out"
-traced_dual=$(sed -n 's/.*(\([0-9][0-9]*\) via dual re-opt).*/\1/p' "$dir/summary.out" | head -1)
+"$sim" trace-summary "$dir/scale_smoke.jsonl" --json >"$dir/summary.json"
+if ! grep -q '"reconciliation":"ok"' "$dir/summary.json"; then
+  echo "scale smoke: trace-summary --json reports a reconciliation failure" >&2
+  cat "$dir/summary.json" >&2
+  exit 1
+fi
+traced_dual=$(grep -o '"dual_reopts":[0-9]*' "$dir/summary.json" \
+  | head -1 | cut -d: -f2)
 if [ -z "$traced_dual" ] || [ "$traced_dual" -eq 0 ]; then
   echo "scale smoke: trace-summary reports no dual re-opts" >&2
-  cat "$dir/summary.out" >&2
+  cat "$dir/summary.json" >&2
   exit 1
 fi
 echo "scale smoke: OK (${dual_reopts} dual re-opts in the sweep, ${traced_dual} in the traced run)"

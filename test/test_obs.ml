@@ -168,12 +168,13 @@ let test_reader_rejects_bad_lines () =
   bad "[1]";
   bad {|{"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};  (* no version *)
   bad {|{"v":999,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};
-  bad {|{"v":1,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};  (* old schema *)
-  bad {|{"v":2,"seq":1,"ts":0,"ev":"point","name":"x"}|};  (* no dom *)
-  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"point"}|};  (* no name *)
-  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"wat","name":"x"}|};
-  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"begin","name":"x"}|};  (* no span *)
-  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"end","name":"x","span":1}|}  (* no dur *)
+  bad {|{"v":2,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x"}|};  (* old schema *)
+  bad {|{"v":3,"seq":1,"ts":0,"ev":"point","name":"x"}|};  (* no dom *)
+  bad {|{"v":3,"seq":1,"dom":0,"ts":0,"ev":"point"}|};  (* no name *)
+  bad {|{"v":3,"seq":1,"dom":0,"ts":0,"ev":"wat","name":"x"}|};
+  bad {|{"v":3,"seq":1,"dom":0,"ts":0,"ev":"begin","name":"x"}|};  (* no span *)
+  bad {|{"v":3,"seq":1,"dom":0,"ts":0,"ev":"end","name":"x","span":1}|};  (* no dur *)
+  bad {|{"v":3,"seq":1,"dom":0,"ts":0,"ev":"point","name":"x","parent":1}|}  (* parent on a point *)
 
 (* ------------------------------------------------------------------ *)
 (* Engine traces: determinism and reconciliation. *)

@@ -18,7 +18,8 @@ let requests : Protocol.request list =
       { src = 2; dst = 1; size = 0.30000000000000004; deadline = 1 };
     Protocol.Tick;
     Protocol.Status;
-    Protocol.Scrape;
+    Protocol.Scrape Protocol.Scrape_json;
+    Protocol.Scrape Protocol.Scrape_prom;
     Protocol.Stop;
     Protocol.Quit ]
 

@@ -1,0 +1,357 @@
+(* The span profiling layer: parent tracking through the trace envelope,
+   exclusive-time arithmetic and balance in Obs.Profile, per-domain
+   parent isolation under the worker pool's buffered lanes, the
+   allocation-free disabled path, exception safety of Span.with_, the
+   Chrome export, and the histogram quantile estimator feeding the serve
+   latency report. All sinks are in-memory callbacks. *)
+
+module Span = Obs.Span
+module Trace = Obs.Trace
+module Profile = Obs.Profile
+module Metrics = Obs.Metrics
+module Reader = Obs.Trace_reader
+module Json = Obs.Json
+
+(* Run [f] with spans enabled into a callback sink and return the
+   validated events (strict: consecutive seq from 1, meta first — the
+   same checks the channel reader applies). *)
+let record f =
+  let lines = ref [] in
+  Trace.set_callback (fun line -> lines := line :: !lines);
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Trace.close ())
+    f;
+  let events =
+    List.rev_map
+      (fun line ->
+        match Reader.of_line line with
+        | Ok ev -> ev
+        | Error msg -> Alcotest.failf "invalid line %S: %s" line msg)
+      !lines
+  in
+  List.iteri
+    (fun i ev -> Alcotest.(check int) "consecutive seq" (i + 1) ev.Reader.seq)
+    events;
+  (match events with
+   | meta :: _ ->
+       Alcotest.(check bool) "meta first" true (meta.Reader.kind = Reader.Meta)
+   | [] -> Alcotest.fail "no events recorded");
+  events
+
+let spans_of events =
+  List.filter
+    (fun ev -> ev.Reader.kind = Reader.Begin || ev.Reader.kind = Reader.End)
+    events
+
+let find_begin events name =
+  match
+    List.find_opt
+      (fun ev -> ev.Reader.kind = Reader.Begin && ev.Reader.name = name)
+      events
+  with
+  | Some ev -> ev
+  | None -> Alcotest.failf "no begin event for %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Nesting: parents in the envelope, exclusive times in the profile. *)
+
+let test_nesting_and_parents () =
+  let events =
+    record (fun () ->
+        Span.with_ "outer" (fun () ->
+            Span.with_ "mid" (fun () ->
+                Span.with_ "leaf" (fun () -> ignore (Sys.opaque_identity 1)));
+            Span.with_ "leaf" (fun () -> ignore (Sys.opaque_identity 2))))
+  in
+  let outer = find_begin events "outer" in
+  let mid = find_begin events "mid" in
+  Alcotest.(check (option int)) "outer is a root" None outer.Reader.parent;
+  Alcotest.(check (option int)) "mid nests under outer" outer.Reader.span
+    mid.Reader.parent;
+  (* Both leaves are children of mid resp. outer, by position. *)
+  let leaves =
+    List.filter
+      (fun ev -> ev.Reader.kind = Reader.Begin && ev.Reader.name = "leaf")
+      events
+  in
+  (match leaves with
+   | [ l1; l2 ] ->
+       Alcotest.(check (option int)) "first leaf under mid" mid.Reader.span
+         l1.Reader.parent;
+       Alcotest.(check (option int)) "second leaf under outer"
+         outer.Reader.span l2.Reader.parent
+   | _ -> Alcotest.fail "expected exactly two leaf spans");
+  let p = Profile.of_events events in
+  Alcotest.(check int) "four spans paired" 4 p.Profile.spans;
+  Alcotest.(check int) "one root" 1 p.Profile.roots;
+  Alcotest.(check int) "nothing unmatched" 0 p.Profile.unmatched;
+  (match Profile.balance p with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "profile does not balance: %s" msg);
+  (* Exclusive times partition the root: self(outer) + self(mid) +
+     self(leaves) = dur(outer), and each row's self <= its inclusive. *)
+  let row name =
+    match List.find_opt (fun r -> r.Profile.name = name) p.Profile.rows with
+    | Some r -> r
+    | None -> Alcotest.failf "no profile row for %s" name
+  in
+  List.iter
+    (fun name ->
+      let r = row name in
+      Alcotest.(check bool)
+        (name ^ ": self <= inclusive")
+        true
+        (r.Profile.self_ms <= r.Profile.incl_ms +. 1e-9))
+    [ "outer"; "mid"; "leaf" ];
+  let outer_r = row "outer" in
+  Alcotest.(check bool) "root time is outer's inclusive time" true
+    (Float.abs (p.Profile.root_ms -. outer_r.Profile.incl_ms) < 1e-9);
+  Alcotest.(check bool) "self times sum to the root" true
+    (Float.abs (p.Profile.self_ms_total -. p.Profile.root_ms)
+     <= 1e-6 *. Float.max 1. p.Profile.root_ms)
+
+(* An exception inside Span.with_ must still close the span, and an
+   abandoned inner frame (raw begin_ with no end_) is reconciled by the
+   protected outer end — the stream stays balanced except for the
+   abandoned span's missing end. *)
+let test_exception_safety () =
+  let events =
+    record (fun () ->
+        (try
+           Span.with_ "boom" (fun () -> failwith "inner failure")
+         with Failure _ -> ());
+        Span.with_ "after" (fun () -> ignore (Sys.opaque_identity 1)))
+  in
+  let ends =
+    List.filter (fun ev -> ev.Reader.kind = Reader.End) events
+  in
+  Alcotest.(check int) "both spans closed" 2 (List.length ends);
+  let after = find_begin events "after" in
+  Alcotest.(check (option int)) "stack unwound: after is a root" None
+    after.Reader.parent;
+  match Profile.balance (Profile.of_events events) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "profile does not balance: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain isolation: spans emitted from pool workers through
+   buffered lanes keep their parents within their own lane. *)
+
+let test_pool_parent_isolation () =
+  let pool = Exec.Pool.create ~domains:2 () in
+  let events =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () ->
+        record (fun () ->
+            let buffered =
+              Exec.Pool.map pool
+                ~f:(fun idx () ->
+                  Trace.with_buffer (fun () ->
+                      Span.with_ "worker" (fun () ->
+                          Span.with_ "inner" (fun () ->
+                              ignore (Sys.opaque_identity idx)))))
+                (Array.make 8 ())
+            in
+            Array.iter (fun ((), buf) -> Trace.flush_buffer buf) buffered))
+  in
+  (* Each lane flushed contiguously: walking the merged stream, every
+     "inner" begin's parent is the immediately preceding "worker" begin's
+     id, and every "worker" begin is a root. *)
+  let last_worker = ref None in
+  List.iter
+    (fun ev ->
+      if ev.Reader.kind = Reader.Begin then
+        match ev.Reader.name with
+        | "worker" ->
+            Alcotest.(check (option int)) "worker spans are roots" None
+              ev.Reader.parent;
+            last_worker := ev.Reader.span
+        | "inner" ->
+            Alcotest.(check (option int)) "inner parented to its own worker"
+              !last_worker ev.Reader.parent
+        | _ -> ())
+    events;
+  Alcotest.(check int) "16 begin events" 16
+    (List.length
+       (List.filter (fun ev -> ev.Reader.kind = Reader.Begin) events));
+  let p = Profile.of_events (spans_of events) in
+  Alcotest.(check int) "8 roots" 8 p.Profile.roots;
+  match Profile.balance p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "merged profile does not balance: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path: no events, no allocation. *)
+
+let test_disabled_noop () =
+  Alcotest.(check bool) "off by default" false (Span.enabled ());
+  Alcotest.(check bool) "inactive without a sink" false (Span.active ());
+  let calls = 100_000 in
+  let spin n =
+    for _ = 1 to n do
+      let s = Span.begin_ "test.off" in
+      Span.end_ s
+    done
+  in
+  spin 1_000;
+  let w0 = Gc.minor_words () in
+  spin calls;
+  let dw = Gc.minor_words () -. w0 in
+  (* [Gc.minor_words] boxes its result; anything under a few dozen words
+     over 100k calls means the probe itself allocates nothing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free (%.0f minor words / %d calls)" dw calls)
+    true (dw < 64.);
+  Alcotest.(check bool) "begin_ returns the null span" true
+    (Span.begin_ "test.off" == Span.null);
+  (* Enabled flag without a sink still emits nothing and stays safe. *)
+  Span.set_enabled true;
+  Alcotest.(check bool) "enabled but still inactive" false (Span.active ());
+  Span.with_ "test.nosink" (fun () -> ());
+  Span.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export: one complete event per span, instants for points,
+   µs timestamps. *)
+
+let test_chrome_export () =
+  let events =
+    record (fun () ->
+        Span.with_ "outer" (fun () ->
+            Trace.point "mark" [ ("k", Trace.Int 7) ];
+            Span.with_ "inner" (fun () -> ignore (Sys.opaque_identity 0))))
+  in
+  let doc = Profile.chrome events in
+  (* The document must survive its own codec. *)
+  (match Json.parse (Json.to_string doc) with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.failf "chrome export is not valid JSON: %s" msg);
+  let trace_events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents member"
+  in
+  let ph j =
+    match Option.bind (Json.member "ph" j) Json.to_str with
+    | Some s -> s
+    | None -> Alcotest.fail "chrome event without ph"
+  in
+  let complete = List.filter (fun j -> ph j = "X") trace_events in
+  let instants = List.filter (fun j -> ph j = "i") trace_events in
+  Alcotest.(check int) "two complete events" 2 (List.length complete);
+  Alcotest.(check int) "one instant" 1 (List.length instants);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "has dur in µs" true
+        (match Option.bind (Json.member "dur" j) Json.to_float with
+         | Some d -> d >= 0.
+         | None -> false))
+    complete
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles: the estimator behind the serve latency report. *)
+
+let test_histogram_quantiles () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let h =
+        Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8. |] "test.quant"
+      in
+      Alcotest.(check (option (float 0.))) "empty histogram" None
+        (Metrics.histogram_quantile h 0.5);
+      (* 100 observations spread uniformly through (0, 4]: 25 land in
+         [0,1], 25 in (1,2], 50 in (2,4], none beyond. *)
+      for i = 1 to 100 do
+        Metrics.observe h (float_of_int i /. 25.)
+      done;
+      let q p =
+        match Metrics.histogram_quantile h p with
+        | Some v -> v
+        | None -> Alcotest.failf "no quantile at %g" p
+      in
+      (* Linear interpolation within the covering bucket: the estimate
+         must sit inside the bucket that holds the exact quantile and
+         within one bucket width of it. *)
+      let exact p = p *. 4. in
+      List.iter
+        (fun p ->
+          let est = q p and ex = exact p in
+          Alcotest.(check bool)
+            (Printf.sprintf "p%.0f estimate %.3f near exact %.3f" (p *. 100.)
+               est ex)
+            true
+            (Float.abs (est -. ex) <= 2.))
+        [ 0.25; 0.5; 0.75; 0.95 ];
+      (* Monotone in p, clamped at the extremes. *)
+      Alcotest.(check bool) "monotone" true (q 0.25 <= q 0.5 && q 0.5 <= q 0.95);
+      Alcotest.(check (float 0.)) "p0 is the lower edge" 0. (q 0.);
+      Alcotest.(check bool) "p100 within the top finite bound" true
+        (q 1. <= 8.);
+      (* Everything in the overflow bucket: the estimate clamps to the
+         largest finite bound instead of inventing an infinite value. *)
+      let o = Metrics.histogram ~buckets:[| 1.; 2. |] "test.overflow" in
+      Metrics.observe o 100.;
+      Metrics.observe o 200.;
+      Alcotest.(check (option (float 0.))) "overflow clamps" (Some 2.)
+        (Metrics.histogram_quantile o 0.99))
+
+(* The Prometheus exposition renders registered metrics with TYPE lines
+   and cumulative buckets. *)
+let test_prometheus_dump () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let c = Metrics.counter "test.prom.count" in
+      let h = Metrics.histogram ~buckets:[| 1.; 5. |] "test.prom-lat" in
+      Metrics.incr c;
+      Metrics.observe h 0.5;
+      Metrics.observe h 3.;
+      Metrics.observe h 10.;
+      let text = Metrics.dump_prometheus () in
+      let contains needle =
+        let n = String.length needle and h = String.length text in
+        let rec go i =
+          i + n <= h && (String.sub text i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      let has s =
+        Alcotest.(check bool) (Printf.sprintf "contains %S" s) true
+          (contains s)
+      in
+      has "# TYPE test_prom_count counter";
+      has "test_prom_count 1";
+      has "# TYPE test_prom_lat histogram";
+      has "test_prom_lat_bucket{le=\"1\"} 1";
+      has "test_prom_lat_bucket{le=\"5\"} 2";
+      has "test_prom_lat_bucket{le=\"+Inf\"} 3";
+      has "test_prom_lat_count 3")
+
+let suite =
+  [ Alcotest.test_case "spans: nesting, parents and exclusive times" `Quick
+      test_nesting_and_parents;
+    Alcotest.test_case "spans: exceptions close and unwind" `Quick
+      test_exception_safety;
+    Alcotest.test_case "spans: pool lanes keep parents per domain" `Quick
+      test_pool_parent_isolation;
+    Alcotest.test_case "spans: disabled probes allocate nothing" `Quick
+      test_disabled_noop;
+    Alcotest.test_case "spans: chrome trace_event export" `Quick
+      test_chrome_export;
+    Alcotest.test_case "metrics: histogram quantile estimation" `Quick
+      test_histogram_quantiles;
+    Alcotest.test_case "metrics: prometheus text exposition" `Quick
+      test_prometheus_dump ]
