@@ -240,7 +240,7 @@ let extension_percentile_billing () =
         Sim.Engine.evaluate_cost outcome ~scheme:(Postcard.Charging.scheme q)
           ~base
       in
-      Format.printf "  %-12s %14.1f %14.1f@." scheduler.Postcard.Scheduler.name
+      Format.printf "  %-12s %14.1f %14.1f@." (Postcard.Scheduler.name scheduler)
         (bill 100.) (bill 95.))
     [ Postcard.Greedy_scheduler.make ();
       Postcard.Greedy_scheduler.make_percentile () ];
@@ -682,10 +682,39 @@ let obs_overhead_bench ~json () =
           close_out oc;
           Format.printf "  wrote %s@." path)
 
+(* ------------------------------------------------------------------ *)
+(* Tiered admission: the ledger fast tier against the per-epoch LP —
+   admission split, per-admission latency, cost gap (see DESIGN.md
+   Sec. 4i and EXPERIMENTS.md). *)
+
+let tier_bench ?nodes ?slots ?seed ~json () =
+  section "Tiered admission — combinatorial ledger vs per-epoch LP";
+  let summary = Sim.Tier_bench.run ?nodes ?slots ?seed () in
+  Format.printf "%a" Sim.Tier_bench.pp_summary summary;
+  (match Sim.Tier_bench.check summary with
+   | Ok () -> Format.printf "  all tier targets met@."
+   | Error errs ->
+       List.iter
+         (fun msg -> Format.eprintf "  BENCH FAILURE: %s@." msg)
+         errs;
+       exit 1);
+  match json with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | oc ->
+          output_string oc (Sim.Tier_bench.to_json summary);
+          close_out oc;
+          Format.printf "  wrote %s@." path
+      | exception Sys_error msg ->
+          Format.eprintf "  cannot write JSON summary: %s@." msg;
+          exit 1)
+
 let usage =
-  "main.exe [--solver-only] [--scale] [--scale-only] [--obs-overhead] [-j N] \
-   [--json PATH] [--json-runner PATH] [--json-scale PATH] [--json-obs PATH] \
-   [--scale-sizes LIST] [--scale-budget-ms MS] [--log-level LEVEL]"
+  "main.exe [--solver-only] [--scale] [--scale-only] [--tier] [--obs-overhead] \
+   [-j N] [--json PATH] [--json-runner PATH] [--json-scale PATH] \
+   [--json-tier PATH] [--json-obs PATH] [--scale-sizes LIST] \
+   [--scale-budget-ms MS] [--log-level LEVEL]"
 
 (* "6x12,20x48" -> [(6, 12); (20, 48)] *)
 let parse_scale_sizes s =
@@ -711,6 +740,9 @@ let () =
   let jobs = ref None in
   let scale = ref false and scale_only = ref false in
   let obs_overhead = ref false in
+  let tier = ref false in
+  let json_tier = ref None in
+  let tier_nodes = ref None and tier_slots = ref None and tier_seed = ref None in
   let json_obs = ref None in
   let json_scale = ref None in
   let scale_sizes = ref None in
@@ -735,6 +767,21 @@ let () =
       ("--obs-overhead",
        Arg.Set obs_overhead,
        "  run only the span-instrumentation overhead bench");
+      ("--tier",
+       Arg.Set tier,
+       "  run only the tiered-admission benchmark (ledger vs LP)");
+      ("--json-tier",
+       Arg.String (fun p -> json_tier := Some p),
+       "PATH  write the tiered-admission summary as JSON");
+      ("--tier-nodes",
+       Arg.Int (fun n -> tier_nodes := Some n),
+       "N  datacenters for the tiered-admission benchmark (default 8)");
+      ("--tier-slots",
+       Arg.Int (fun n -> tier_slots := Some n),
+       "N  slots for the tiered-admission benchmark (default 40)");
+      ("--tier-seed",
+       Arg.Int (fun n -> tier_seed := Some n),
+       "N  seed for the tiered-admission benchmark (default 1)");
       ("--json-obs",
        Arg.String (fun p -> json_obs := Some p),
        "PATH  write the span-overhead summary as JSON");
@@ -775,6 +822,11 @@ let () =
     obs_overhead_bench ~json:!json_obs ();
     Format.printf "@.done.@."
   end
+  else if !tier then begin
+    tier_bench ?nodes:!tier_nodes ?slots:!tier_slots ?seed:!tier_seed
+      ~json:!json_tier ();
+    Format.printf "@.done.@."
+  end
   else if !scale_only then begin
     solver_scale_bench ~sizes:!scale_sizes ~budget_ms:!scale_budget_ms
       ~json:!json_scale;
@@ -798,6 +850,9 @@ let () =
       extension_percentile_billing ()
     end;
     ignore (solver_warm_bench ~pool ~json:!json);
+    if not !solver_only then
+      tier_bench ?nodes:!tier_nodes ?slots:!tier_slots ?seed:!tier_seed
+        ~json:!json_tier ();
     if !scale then
       solver_scale_bench ~sizes:!scale_sizes ~budget_ms:!scale_budget_ms
         ~json:!json_scale;

@@ -118,7 +118,18 @@ let scheduler ?(default = "postcard") () =
 let list_schedulers =
   Arg.(value & flag & info [ "list-schedulers" ]
          ~doc:"Print the registered schedulers (name, aliases, description) \
-               and exit.")
+               and exit; the exit status is non-zero if any registered \
+               factory fails to construct.")
+
+(* [--list-schedulers] doubles as a registry health check: a factory that
+   raises at construction would otherwise only surface deep inside a run. *)
+let print_registry_and_exit () =
+  Format.printf "%a@." Postcard.Scheduler.pp_registry ();
+  match Postcard.Scheduler.make_all () with
+  | Ok _ -> exit 0
+  | Error errs ->
+      List.iter (fun e -> Format.eprintf "broken factory: %s@." e) errs;
+      exit 1
 
 (* --- fault scenarios --- *)
 

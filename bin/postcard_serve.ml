@@ -232,7 +232,7 @@ let serve nodes capacity cost_lo cost_hi seed slots scheduler_name faults
   Printf.printf "listening on 127.0.0.1:%d\n%!" bound_port;
   Log.app (fun m ->
       m "serving %d datacenters, %d slots, scheduler %s, %s clock" nodes slots
-        scheduler.Postcard.Scheduler.name (clock_name clock));
+        (Postcard.Scheduler.name scheduler) (clock_name clock));
   let loop =
     { session;
       lsock;
@@ -317,7 +317,8 @@ let cmd =
   Cmd.v
     (Cmd.info "postcard_serve" ~doc)
     Term.(const serve $ nodes $ capacity $ cost_lo $ cost_hi $ seed $ slots
-          $ Cli.scheduler () $ Cli.faults $ clock_mode $ slot_seconds $ port
+          $ Cli.scheduler ~default:"postcard-tiered" () $ Cli.faults
+          $ clock_mode $ slot_seconds $ port
           $ capture $ Cli.verbose $ Cli.log_level $ Cli.metrics $ Cli.spans
           $ Cli.trace)
 

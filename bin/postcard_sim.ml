@@ -5,8 +5,8 @@
    [trace-summary] subcommand analyzes a JSONL trace produced with
    [--trace]. *)
 
-let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
-    ~metrics ~spans ~trace =
+let execute setting ~schedulers:spec ~jobs ~series ~frontier ~verbose
+    ~log_level ~metrics ~spans ~trace =
   Cli.setup_obs ~verbose ~log_level ~metrics ~spans ~trace;
   match Cli.resolve_schedulers spec with
   | Error msg ->
@@ -49,6 +49,8 @@ let execute setting ~schedulers:spec ~jobs ~series ~verbose ~log_level
        | _ -> ());
       if series then
         Format.printf "%a@." (Sim.Report.print_series ?every:None) results;
+      if frontier then
+        Format.printf "%a@." Sim.Report.print_frontier results;
       if metrics then Format.printf "@.metrics:@.%a" Obs.Metrics.pp_dump ()
 
 let trace_summary file json profile chrome top =
@@ -122,16 +124,22 @@ let jobs =
                cells. Results are bit-identical for every N.")
 
 let series = Arg.(value & flag & info [ "series" ] ~doc:"Also print the cost-per-interval time series.")
+
+let frontier =
+  Arg.(value & flag & info [ "frontier" ]
+         ~doc:"Also print the cost-vs-latency frontier: per scheduler, the \
+               mean wall-clock per offered file against the mean cost per \
+               interval, with Pareto-undominated rows starred.")
 let verbose = Cli.verbose
 let log_level = Cli.log_level
 let metrics = Cli.metrics
 let spans = Cli.spans
 let trace = Cli.trace
 
-let simulate base_setting apply spec jobs series verbose log_level metrics
-    spans trace =
-  execute (apply base_setting) ~schedulers:spec ~jobs ~series ~verbose
-    ~log_level ~metrics ~spans ~trace
+let simulate base_setting apply spec jobs series frontier verbose log_level
+    metrics spans trace =
+  execute (apply base_setting) ~schedulers:spec ~jobs ~series ~frontier
+    ~verbose ~log_level ~metrics ~spans ~trace
 
 (* The legacy [run] subcommand (and default): --figure N --scale
    paper|scaled, or the custom baseline when no figure is given. *)
@@ -157,12 +165,9 @@ let base_of_figure ~scaled ~paper =
 
 let list_schedulers = Cli.list_schedulers
 
-let run list_scheds figure scale apply spec jobs series verbose log_level
-    metrics spans trace =
-  if list_scheds then begin
-    Format.printf "%a@." Postcard.Scheduler.pp_registry ();
-    exit 0
-  end;
+let run list_scheds figure scale apply spec jobs series frontier verbose
+    log_level metrics spans trace =
+  if list_scheds then Cli.print_registry_and_exit ();
   let base =
     match (figure, scale) with
     | Some n, `Paper -> (
@@ -175,12 +180,13 @@ let run list_scheds figure scale apply spec jobs series verbose log_level
         | Error msg -> prerr_endline msg; exit 2)
     | None, _ -> Sim.Experiment.custom_default
   in
-  simulate base apply spec jobs series verbose log_level metrics spans trace
+  simulate base apply spec jobs series frontier verbose log_level metrics
+    spans trace
 
 let run_term =
   Term.(const run $ list_schedulers $ figure_opt $ scale $ overrides
-        $ schedulers $ jobs $ series $ verbose $ log_level $ metrics $ spans
-        $ trace)
+        $ schedulers $ jobs $ series $ frontier $ verbose $ log_level
+        $ metrics $ spans $ trace)
 
 let run_cmd =
   let doc = "run the simulation (the default subcommand)" in
@@ -196,33 +202,35 @@ let paper_fig =
   Arg.(value & opt (some int) None & info [ "paper" ] ~docv:"N"
          ~doc:"Figure N (4-7) at the paper's exact 20-DC scale.")
 
-let figure_run scaled paper apply spec jobs series verbose log_level metrics
-    spans trace =
+let figure_run scaled paper apply spec jobs series frontier verbose
+    log_level metrics spans trace =
   match base_of_figure ~scaled ~paper with
   | Error msg ->
       prerr_endline ("postcard_sim figure: " ^ msg);
       exit 2
   | Ok base ->
-      simulate base apply spec jobs series verbose log_level metrics spans
-        trace
+      simulate base apply spec jobs series frontier verbose log_level metrics
+        spans trace
 
 let figure_cmd =
   let doc = "reproduce one of the paper's figures (4-7)" in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(const figure_run $ scaled_fig $ paper_fig $ overrides $ schedulers
-          $ jobs $ series $ verbose $ log_level $ metrics $ spans $ trace)
+          $ jobs $ series $ frontier $ verbose $ log_level $ metrics $ spans
+          $ trace)
 
 (* The [custom] subcommand: the neutral baseline, refined by overrides. *)
 
-let custom_run apply spec jobs series verbose log_level metrics spans trace =
-  simulate Sim.Experiment.custom_default apply spec jobs series verbose
-    log_level metrics spans trace
+let custom_run apply spec jobs series frontier verbose log_level metrics
+    spans trace =
+  simulate Sim.Experiment.custom_default apply spec jobs series frontier
+    verbose log_level metrics spans trace
 
 let custom_cmd =
   let doc = "run a custom setting (8 DCs, 35 GB links, 40 slots, 5 runs)" in
   Cmd.v (Cmd.info "custom" ~doc)
-    Term.(const custom_run $ overrides $ schedulers $ jobs $ series $ verbose
-          $ log_level $ metrics $ spans $ trace)
+    Term.(const custom_run $ overrides $ schedulers $ jobs $ series $ frontier
+          $ verbose $ log_level $ metrics $ spans $ trace)
 
 let trace_summary_cmd =
   let file =

@@ -12,12 +12,13 @@ let context_of_instance (inst : Postcard.Instance.t) =
     epoch = 0;
     period = 1000;
     charged = Array.copy inst.Postcard.Instance.charged;
-    residual =
-      (fun ~link ~slot ->
-        ignore slot;
-        (Graph.arc inst.Postcard.Instance.base link).Graph.capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.);
-    down = (fun ~link:_ ~slot:_ -> false) }
+    links =
+      Postcard.Linkview.make
+        ~residual:(fun ~link ~slot ->
+          ignore slot;
+          (Graph.arc inst.Postcard.Instance.base link).Graph.capacity)
+        ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+        ~down:(fun ~link:_ ~slot:_ -> false) }
 
 let print_plan base plan =
   let txs =
@@ -68,10 +69,7 @@ let dump_mps inst target =
 
 let run path scheduler_name list_schedulers mps_target log_level metrics spans
     trace =
-  if list_schedulers then begin
-    Format.printf "%a@." Scheduler.pp_registry ();
-    exit 0
-  end;
+  if list_schedulers then Cli.print_registry_and_exit ();
   let path =
     match path with
     | Some p -> p
@@ -100,9 +98,9 @@ let run path scheduler_name list_schedulers mps_target log_level metrics spans
         (Graph.num_nodes base) (Graph.num_arcs base) (List.length files);
       let ctx = context_of_instance inst in
       let { Scheduler.plan; accepted; rejected } =
-        scheduler.Scheduler.schedule ctx files
+        Scheduler.schedule scheduler ctx files
       in
-      Format.printf "scheduler: %s@." scheduler.Scheduler.name;
+      Format.printf "scheduler: %s@." (Scheduler.name scheduler);
       if rejected <> [] then
         List.iter
           (fun f -> Format.printf "REJECTED: %a@." Postcard.File.pp f)

@@ -43,9 +43,9 @@ let run_regime ~label ~capacity =
         Sim.Engine.evaluate_cost outcome ~scheme:(Charging.scheme 95.) ~base
       in
       Format.printf "%-12s %16.1f %16.1f %10d@."
-        scheduler.Postcard.Scheduler.name avg p95
+        (Postcard.Scheduler.name scheduler) avg p95
         outcome.Sim.Engine.rejected_files;
-      if scheduler.Postcard.Scheduler.name = "postcard" then
+      if (Postcard.Scheduler.name scheduler) = "postcard" then
         show_timeline := Some outcome)
     [ Postcard.Postcard_scheduler.make ();
       Postcard.Flow_baseline.make ();

@@ -56,12 +56,14 @@ let () =
       epoch = 0;
       period = 100;
       charged = Array.make m 0.;
-      residual = (fun ~link:_ ~slot:_ -> 5.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.);
-      down = (fun ~link:_ ~slot:_ -> false) }
+      links =
+        Postcard.Linkview.make
+          ~residual:(fun ~link:_ ~slot:_ -> 5.)
+          ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+          ~down:(fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan = direct_plan; _ } =
-    direct.Scheduler.schedule ctx (files ())
+    Scheduler.schedule direct ctx (files ())
   in
   let direct_cost =
     Graph.fold_arcs base ~init:0. ~f:(fun acc a ->

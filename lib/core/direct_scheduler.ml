@@ -10,7 +10,7 @@ let make () =
       try Hashtbl.find batch_used (link, slot) with Not_found -> 0.
     in
     let available ~link ~slot =
-      ctx.Scheduler.residual ~link ~slot -. used ~link ~slot
+      Linkview.residual ctx.Scheduler.links ~link ~slot -. used ~link ~slot
     in
     let accepted = ref [] and rejected = ref [] and txs = ref [] in
     List.iter

@@ -11,11 +11,12 @@ type instance = {
 let instance_of_context (ctx : Scheduler.context) ~horizon =
   let m = Graph.num_arcs ctx.Scheduler.base in
   let cap = Array.make m infinity and occ_peak = Array.make m 0. in
+  let links = ctx.Scheduler.links in
   for l = 0 to m - 1 do
     for layer = 0 to horizon - 1 do
       let slot = ctx.Scheduler.epoch + layer in
-      cap.(l) <- min cap.(l) (ctx.Scheduler.residual ~link:l ~slot);
-      occ_peak.(l) <- max occ_peak.(l) (ctx.Scheduler.occupied ~link:l ~slot)
+      cap.(l) <- min cap.(l) (Linkview.residual links ~link:l ~slot);
+      occ_peak.(l) <- max occ_peak.(l) (Linkview.occupied links ~link:l ~slot)
     done
   done;
   { base = ctx.Scheduler.base;

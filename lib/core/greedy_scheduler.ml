@@ -35,6 +35,7 @@ type batch_state = {
 
 let batch_state (ctx : Scheduler.context) ~horizon ~mode =
   let m = Graph.num_arcs ctx.Scheduler.base in
+  let links = ctx.Scheduler.links in
   let table f =
     Array.init m (fun link ->
         Array.init horizon (fun layer ->
@@ -46,14 +47,14 @@ let batch_state (ctx : Scheduler.context) ~horizon ~mode =
     | Peak -> [||]
     | Percentile _ ->
         Array.init m (fun link ->
-            Array.init period (fun slot -> ctx.Scheduler.occupied ~link ~slot))
+            Array.init period (fun slot -> Linkview.occupied links ~link ~slot))
   in
   { base = ctx.Scheduler.base;
     epoch = ctx.Scheduler.epoch;
     horizon;
     mode;
-    occupied = table ctx.Scheduler.occupied;
-    residual = table ctx.Scheduler.residual;
+    occupied = table (Linkview.occupied links);
+    residual = table (Linkview.residual links);
     planned = Array.make_matrix m horizon 0.;
     charged = Array.copy ctx.Scheduler.charged;
     full }

@@ -1,0 +1,363 @@
+module Graph = Netgraph.Graph
+module Paths = Netgraph.Paths
+
+let eps = 1e-9
+let tol = 1e-6
+
+(* A filled candidate path: per hop, the volumes placed in each slot of
+   that hop's window. *)
+type fill = {
+  f_arcs : int array;  (* arc ids, src-to-dst order *)
+  f_windows : (int * int) array;  (* inclusive absolute-slot windows *)
+  f_x : float array array;  (* per hop, volume per window offset *)
+}
+
+(* Candidate paths for [file], each a non-empty arc-id list: the
+   cost-shortest path, the direct arc, the cheapest path under {e
+   marginal} prices (each arc's price scaled by the fraction of the file
+   that could not ride free under its already-charged peak — the hub
+   consolidation the LP finds by reusing paid-for links), and the
+   shortest detour avoiding each primary arc in turn (cheapest first) —
+   deduplicated, at most [max_paths]. *)
+let candidate_paths ~base ~links ~charged ~max_paths ~start (file : File.t) =
+  let src = file.File.src and dst = file.File.dst in
+  let add acc p = if p = [] || List.mem p acc then acc else p :: acc in
+  let path_cost p =
+    List.fold_left (fun c a -> c +. (Graph.arc base a).Graph.cost) 0. p
+  in
+  let primary =
+    let tree = Paths.dijkstra base ~src in
+    Paths.path_to tree base ~dst
+  in
+  let acc = match primary with Some p -> add [] p | None -> [] in
+  let acc =
+    match Graph.find_arc base ~src ~dst with
+    | Some a -> add acc [ a ]
+    | None -> acc
+  in
+  let acc =
+    let last = File.last_slot file in
+    let tree =
+      Paths.dijkstra_weighted base ~src
+        ~weight:(fun a ->
+          let link = a.Graph.id in
+          let free = ref 0. in
+          for slot = start to last do
+            let occ = Linkview.occupied links ~link ~slot in
+            let resid = Linkview.residual links ~link ~slot in
+            free :=
+              !free +. Float.min resid (Float.max 0. (charged.(link) -. occ))
+          done;
+          (* The floor keeps fully-free arcs from growing paths without
+             bound; the true ranking is [paid_increment] anyway. *)
+          let paid_frac =
+            Float.max 0.02 ((file.File.size -. !free) /. file.File.size)
+          in
+          a.Graph.cost *. paid_frac)
+        ()
+    in
+    match Paths.path_to tree base ~dst with Some p -> add acc p | None -> acc
+  in
+  let acc =
+    match primary with
+    | Some (_ :: _ as arcs) ->
+        let detours =
+          List.filter_map
+            (fun skip ->
+              let tree =
+                Paths.dijkstra_filtered base ~src ~usable:(fun a ->
+                    a.Graph.id <> skip)
+              in
+              Paths.path_to tree base ~dst)
+            arcs
+        in
+        let detours =
+          List.sort
+            (fun a b -> Float.compare (path_cost a) (path_cost b))
+            detours
+        in
+        List.fold_left add acc detours
+    | _ -> acc
+  in
+  List.filteri (fun i _ -> i < max_paths) (List.rev acc)
+
+(* Fill one path as late as possible. [start] is the first usable slot
+   (max of release and the current epoch). Hops are processed last-first:
+   hop [i]'s placements induce, for hop [i - 1], the minimum cumulative
+   volume that must have crossed by the end of each slot (store-and-forward
+   conservation: volume sent on hop [i] during slot [s] must sit at the
+   hop's tail by slot [s], i.e. have crossed hop [i - 1] by slot [s - 1]).
+
+   Each hop's placement is ONE descending pass from scratch against a
+   per-slot cap profile: the pass enforces the suffix constraints (volume
+   sent during slots >= s must not exceed what the downstream hop has not
+   yet required by slot s - 1) slot by slot, and a single pass with x = 0
+   at every slot it has yet to visit can never retroactively break the
+   constraint at a slot it visits later. Stacking a second pass on top of
+   a first CAN: a top-up adding volume late violates the suffix bound at
+   an early slot the first pass already filled, so a pass that falls
+   short resets the hop and re-sweeps rather than topping up.
+
+   When [prefer_free] the cap profile is a water level: the smallest
+   usage ceiling — never below the already-charged peak, so volume that
+   can ride free still does — that fits the whole file in the window.
+   Peak-billed paid volume is thereby spread flat instead of burst into
+   the last slot, while free volume still packs as late as possible
+   (inside the level, later slots fill first). If the suffix constraints
+   push volume out from under the level, the hop falls back to a pure
+   ALAP pass against the raw residual, so admissibility never shrinks. *)
+let fill_path ~links ~(charged : float array) ~start ~(file : File.t) ~arcs
+    ~prefer_free =
+  let h = Array.length arcs in
+  let last = File.last_slot file in
+  if h = 0 || start + h - 1 > last then None
+  else begin
+    let size = file.File.size in
+    let windows =
+      Array.init h (fun i -> (start + i, last - (h - 1 - i)))
+    in
+    let xs =
+      Array.init h (fun i ->
+          let b, e = windows.(i) in
+          Array.make (e - b + 1) 0.)
+    in
+    (* For the hop currently being filled, [req s] is the cumulative
+       volume its downstream hop sends during slots <= s + 1 — the
+       minimum this hop must itself have sent by the end of slot [s]. *)
+    let req = ref (fun _s -> 0.) in
+    let ok = ref true in
+    for i = h - 1 downto 0 do
+      if !ok then begin
+        let b, e = windows.(i) in
+        let w = e - b + 1 in
+        let x = xs.(i) in
+        let link = arcs.(i) in
+        let occ =
+          Array.init w (fun idx -> Linkview.occupied links ~link ~slot:(b + idx))
+        in
+        let resid =
+          Array.init w (fun idx -> Linkview.residual links ~link ~slot:(b + idx))
+        in
+        let need = !req in
+        let total = ref 0. in
+        (* One descending pass from scratch against [cap_of]. *)
+        let sweep cap_of =
+          Array.fill x 0 w 0.;
+          total := 0.;
+          let placed_after = ref 0. in
+          for idx = w - 1 downto 0 do
+            let s = b + idx in
+            (* Suffix cap: everything sent during slots >= s is volume not
+               yet required downstream by the end of slot s - 1. *)
+            let cap_suffix = size -. need (s - 1) -. !placed_after in
+            let want = size -. !total in
+            let add =
+              Float.max 0. (Float.min (cap_of idx) (Float.min cap_suffix want))
+            in
+            x.(idx) <- add;
+            total := !total +. add;
+            placed_after := !placed_after +. add
+          done
+        in
+        if prefer_free then begin
+          let lo = ref charged.(link) and hi = ref charged.(link) in
+          for idx = 0 to w - 1 do
+            hi := Float.max !hi (occ.(idx) +. resid.(idx))
+          done;
+          let fits l =
+            let acc = ref 0. in
+            for idx = 0 to w - 1 do
+              acc :=
+                !acc +. Float.max 0. (Float.min resid.(idx) (l -. occ.(idx)))
+            done;
+            !acc +. tol >= size
+          in
+          if fits !lo then hi := !lo
+          else
+            for _ = 1 to 50 do
+              let mid = 0.5 *. (!lo +. !hi) in
+              if fits mid then hi := mid else lo := mid
+            done;
+          let level = !hi +. tol in
+          sweep (fun idx -> Float.min resid.(idx) (level -. occ.(idx)))
+        end;
+        if size -. !total > tol then sweep (fun idx -> resid.(idx));
+        if size -. !total > tol then ok := false
+        else begin
+          let cum = Array.make (w + 1) 0. in
+          for j = 0 to w - 1 do
+            cum.(j + 1) <- cum.(j) +. x.(j)
+          done;
+          let cum_at s =
+            if s < b then 0. else if s >= e then cum.(w) else cum.(s - b + 1)
+          in
+          req := fun s -> cum_at (s + 1)
+        end
+      end
+    done;
+    if !ok then Some { f_arcs = arcs; f_windows = windows; f_x = xs }
+    else None
+  end
+
+(* Price-weighted increase of the links' projected charged peaks — the
+   combinatorial stand-in for the LP's percentile objective, used to rank
+   feasible candidate paths. *)
+let paid_increment ~links ~(charged : float array) ~base fill =
+  let total = ref 0. in
+  Array.iteri
+    (fun i link ->
+      let b, e = fill.f_windows.(i) in
+      let x = fill.f_x.(i) in
+      let price = (Graph.arc base link).Graph.cost in
+      let cur = ref charged.(link) in
+      let next = ref charged.(link) in
+      for idx = 0 to e - b do
+        let occ = Linkview.occupied links ~link ~slot:(b + idx) in
+        if occ > !cur then cur := occ;
+        if occ +. x.(idx) > !next then next := occ +. x.(idx)
+      done;
+      if !next > !cur then total := !total +. (price *. (!next -. !cur)))
+    fill.f_arcs;
+  !total
+
+let plan_of_fill ~(file : File.t) fill =
+  let txs = ref [] in
+  for i = Array.length fill.f_arcs - 1 downto 0 do
+    let b, _ = fill.f_windows.(i) in
+    Array.iteri
+      (fun idx v ->
+        if v > eps then
+          txs :=
+            { Plan.file = file.File.id;
+              link = fill.f_arcs.(i);
+              slot = b + idx;
+              volume = v }
+            :: !txs)
+      fill.f_x.(i)
+  done;
+  { Plan.transmissions = !txs; holdovers = [] }
+
+(* Best single-path fill of [file] against [links]: the free-first pass
+   over every candidate path keeps the cheapest fill by projected peak
+   increment; free-first downstream fills can tighten upstream
+   requirements on multi-hop paths, so pure ALAP is the feasibility
+   oracle, retried before denying. *)
+let place_once ~max_paths ~base ~links ~charged ~epoch (file : File.t) =
+  let start = max file.File.release epoch in
+  let paths = candidate_paths ~base ~links ~charged ~max_paths ~start file in
+  let try_fill ~prefer_free arcs =
+    fill_path ~links ~charged ~start ~file ~arcs:(Array.of_list arcs)
+      ~prefer_free
+  in
+  let best =
+    List.fold_left
+      (fun best arcs ->
+        match try_fill ~prefer_free:true arcs with
+        | None -> best
+        | Some fl -> (
+            let c = paid_increment ~links ~charged ~base fl in
+            match best with
+            | Some (bc, _) when bc <= c -> best
+            | _ -> Some (c, fl)))
+      None paths
+  in
+  match best with
+  | Some _ -> best
+  | None ->
+      List.fold_left
+        (fun best arcs ->
+          match best with
+          | Some _ -> best
+          | None -> (
+              match try_fill ~prefer_free:false arcs with
+              | None -> None
+              | Some fl ->
+                  Some (paid_increment ~links ~charged ~base fl, fl)))
+        None paths
+
+(* Place a file, splitting it into [chunks] equal parts routed
+   independently: each chunk takes the currently cheapest candidate path
+   over an overlay of its predecessors' bookings, so when one path's
+   projected peak rises past an alternative's the remainder switches
+   paths — the combinatorial stand-in for the LP's fractional multi-path
+   splits. Greedy chunking can strand a tail the whole-file fill would
+   fit, so a failed chunk falls back to the single-shot placement. *)
+let place ?(chunks = 5) ~max_paths (ctx : Scheduler.context) (file : File.t) =
+  let base = ctx.Scheduler.base in
+  let charged = ctx.Scheduler.charged in
+  let epoch = ctx.Scheduler.epoch in
+  let single () =
+    Option.map
+      (fun (_, fl) -> plan_of_fill ~file fl)
+      (place_once ~max_paths ~base ~links:ctx.Scheduler.links ~charged ~epoch
+         file)
+  in
+  if chunks <= 1 then single ()
+  else begin
+    let o = Linkview.overlay ctx.Scheduler.links in
+    let links = Linkview.view o in
+    let part = file.File.size /. float_of_int chunks in
+    let rec go i acc =
+      if i = chunks then Some acc
+      else begin
+        (* The last chunk absorbs the division's rounding error. *)
+        let size =
+          if i = chunks - 1 then
+            file.File.size -. (part *. float_of_int (chunks - 1))
+          else part
+        in
+        let piece =
+          File.make ~id:file.File.id ~src:file.File.src ~dst:file.File.dst
+            ~size ~deadline:file.File.deadline ~release:file.File.release
+        in
+        match place_once ~max_paths ~base ~links ~charged ~epoch piece with
+        | None -> None
+        | Some (_, fl) ->
+            let p = plan_of_fill ~file:piece fl in
+            Linkview.book_plan o p;
+            go (i + 1) (Plan.concat acc p)
+      end
+    in
+    match go 0 Plan.empty with Some plan -> Some plan | None -> single ()
+  end
+
+let make ?(max_paths = 4) () =
+  let admit ctx file =
+    match place ~max_paths ctx file with
+    | Some plan -> Scheduler.Admitted plan
+    | None -> Scheduler.Denied
+  in
+  let schedule (ctx : Scheduler.context) files =
+    match files with
+    | [] -> { Scheduler.plan = Plan.empty; accepted = []; rejected = [] }
+    | _ ->
+        let o = Linkview.overlay ctx.Scheduler.links in
+        let ctx' = { ctx with Scheduler.links = Linkview.view o } in
+        let accepted = ref [] in
+        let rejected = ref [] in
+        let plan = ref Plan.empty in
+        List.iter
+          (fun f ->
+            match place ~max_paths ctx' f with
+            | Some p ->
+                Linkview.book_plan o p;
+                plan := Plan.concat !plan p;
+                accepted := f :: !accepted
+            | None -> rejected := f :: !rejected)
+          files;
+        { Scheduler.plan = !plan;
+          accepted = List.rev !accepted;
+          rejected = List.rev !rejected }
+  in
+  Scheduler.create ~name:"ledger" ~fluid:false ~admit schedule
+
+let () =
+  Scheduler.register ~name:"ledger" ~aliases:[ "alap" ]
+    ~doc:"combinatorial ALAP admission over residual ledgers (no LP)"
+    (fun () -> Scheduler.observe (make ()));
+  Scheduler.register ~name:"postcard-tiered" ~aliases:[ "tiered" ]
+    ~doc:"ledger fast tier with the postcard LP as fallback (serve default)"
+    (fun () ->
+      Scheduler.observe
+        (Scheduler.tiered ~name:"postcard-tiered" ~fast:(make ())
+           ~fallback:(Postcard_scheduler.make ()) ()))

@@ -1,0 +1,64 @@
+(** Combinatorial admission tier: per-link residual-capacity ledgers with
+    as-late-as-possible placement under deadline guarantees.
+
+    Where {!Postcard_scheduler} solves a time-expanded LP per epoch, this
+    tier admits and routes each file in [O(paths × slots)] with no LP, in
+    the style of DCRoute: pick a handful of candidate paths, and on each
+    path fill the file's per-hop windows {e backwards} — as late as the
+    deadline allows — against the residual-capacity ledgers the
+    {!Linkview} exposes. Placing late keeps the near-term slots free for
+    files that have not arrived yet, which is what makes the greedy
+    admission safe; placing within per-hop windows
+    [[release + i, release + T - 1 - (h - 1 - i)]] with the suffix-sum
+    requirement [cum_i(s) >= cum_{i+1}(s+1)] guarantees slot-accurate
+    store-and-forward conservation, so an admitted file is deliverable by
+    its deadline under the booked ledgers by construction.
+
+    Four refinements over plain ALAP:
+
+    - {b Water-filled paid volume, free volume first.} Volume above the
+      charged waterline is billed by the link's peak slot usage, so each
+      hop is filled in one backwards pass under the smallest usage
+      ceiling — never below the already-charged peak, so volume that can
+      ride free still does, as late as possible — that fits the file in
+      its window. Paid spillover is thereby spread flat instead of burst
+      into the last slot. Each hop's final placement always comes from a
+      single from-scratch pass (stacked top-up passes can retroactively
+      break the suffix caps at slots an earlier pass already filled);
+      when the suffix caps push volume out from under the level the hop
+      re-sweeps against the raw residual, and when no candidate path
+      fits levelled the scheduler retries every path with the
+      cost-oblivious pure-ALAP fill before denying.
+    - {b Peak-increment routing.} Among feasible candidate paths the
+      scheduler picks the one whose fill raises the links' projected
+      charged peaks the least (price-weighted) — the combinatorial
+      analogue of the LP's percentile objective. One candidate is the
+      cheapest path under {e marginal} prices (each arc's price scaled by
+      the fraction of the file that could not ride free under its
+      already-charged peak), which finds the hub consolidation the LP
+      gets from reusing paid-for links.
+    - {b Chunked multi-path splitting.} Each file is split into a few
+      equal chunks routed independently over an overlay of their
+      predecessors' bookings, so when one path's projected peak rises
+      past an alternative's the remainder switches paths — the
+      combinatorial stand-in for the LP's fractional splits. A chunk that
+      fails falls back to whole-file single-path placement, so
+      admissibility never shrinks.
+
+    Ledgers stay incrementally consistent across commits, strands and
+    re-offers for free: the scheduler is stateless and reads capacity
+    only through [ctx.links], which the engine rebuilds each epoch from
+    its post-commit, post-void ledger; within a batch, accepted plans are
+    stacked on a {!Linkview.overlay}.
+
+    Registers itself as ["ledger"] (alias ["alap"]) and — composed with
+    the LP via {!Scheduler.tiered} — as ["postcard-tiered"] (alias
+    ["tiered"]), the serving daemon's default. *)
+
+val make : ?max_paths:int -> unit -> Scheduler.t
+(** Fresh instance (unobserved). [max_paths] (default 4) caps the
+    candidate paths tried per chunk: the cost-shortest path, the direct
+    arc, the cheapest path under marginal (charged-discounted) prices,
+    and the shortest detours avoiding each primary arc in turn. The
+    returned scheduler exposes both the batch [schedule] and the
+    incremental [admit] capability. *)

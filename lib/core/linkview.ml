@@ -1,0 +1,52 @@
+module Graph = Netgraph.Graph
+
+type t = {
+  residual : link:int -> slot:int -> float;
+  occupied : link:int -> slot:int -> float;
+  down : link:int -> slot:int -> bool;
+}
+
+let make ~residual ~occupied ~down = { residual; occupied; down }
+
+let of_capacity ~base =
+  { residual = (fun ~link ~slot:_ -> (Graph.arc base link).Graph.capacity);
+    occupied = (fun ~link:_ ~slot:_ -> 0.);
+    down = (fun ~link:_ ~slot:_ -> false) }
+
+let residual t ~link ~slot = t.residual ~link ~slot
+let occupied t ~link ~slot = t.occupied ~link ~slot
+let down t ~link ~slot = t.down ~link ~slot
+
+type overlay = {
+  base_view : t;
+  pending : (int * int, float) Hashtbl.t;  (* (link, slot) -> volume *)
+}
+
+let booked o ~link ~slot =
+  Option.value ~default:0. (Hashtbl.find_opt o.pending (link, slot))
+
+let overlay base_view = { base_view; pending = Hashtbl.create 64 }
+
+let view o =
+  { residual =
+      (fun ~link ~slot ->
+        o.base_view.residual ~link ~slot -. booked o ~link ~slot);
+    occupied =
+      (fun ~link ~slot ->
+        o.base_view.occupied ~link ~slot +. booked o ~link ~slot);
+    down = o.base_view.down }
+
+let book o ~link ~slot volume =
+  if volume < 0. then invalid_arg "Linkview.book: negative volume";
+  if volume > 0. then
+    Hashtbl.replace o.pending (link, slot) (booked o ~link ~slot +. volume)
+
+let book_plan o (plan : Plan.t) =
+  List.iter
+    (fun tx ->
+      book o ~link:tx.Plan.link ~slot:tx.Plan.slot tx.Plan.volume)
+    plan.Plan.transmissions
+
+let booked_total o = Hashtbl.fold (fun _ v acc -> acc +. v) o.pending 0.
+
+let clear o = Hashtbl.reset o.pending

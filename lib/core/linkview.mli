@@ -1,0 +1,78 @@
+(** The audited capacity interface every scheduler reads the network
+    through.
+
+    A value of type {!t} answers, for any (link, absolute slot) cell of
+    the time-expanded network, how much capacity is left ({!residual}),
+    how much is already committed ({!occupied}) and whether the cell is
+    known-dead ({!down}). The simulation engine builds one view per epoch
+    over its {!Sim.Ledger} (with fault caps applied); offline callers
+    build one over a plain capacity function. Replacing the three
+    positional closures the scheduler context used to carry, the view is
+    the single shared read path of the batch schedulers, the combinatorial
+    admission ledgers and the engine's validators.
+
+    {b Overlays.} An {!overlay} is a mutable delta of {e pending}
+    bookings stacked on a base view: {!booked} volume is subtracted from
+    [residual] and added to [occupied] without touching the underlying
+    ledger. A batch scheduler (or the {!Scheduler.tiered} combinator)
+    books each accepted file's plan into the overlay so the next file in
+    the same batch sees the updated capacities; the engine then commits
+    the combined plan to its real ledger once, which is what keeps the
+    fast tier's ledgers incrementally consistent across commits, strands
+    and re-offers — the base view always reads through to the engine's
+    post-void, post-commit truth, and the overlay only ever holds the
+    current batch. *)
+
+type t
+
+val make :
+  residual:(link:int -> slot:int -> float) ->
+  occupied:(link:int -> slot:int -> float) ->
+  down:(link:int -> slot:int -> bool) ->
+  t
+
+val of_capacity : base:Netgraph.Graph.t -> t
+(** A pristine view of [base]: every link offers its full capacity in
+    every slot, nothing is occupied, nothing is down. For offline solves
+    and tests. *)
+
+val residual : t -> link:int -> slot:int -> float
+(** Capacity of [link] still available during absolute [slot], after
+    earlier commitments (and, in engine-built views, fault caps). *)
+
+val occupied : t -> link:int -> slot:int -> float
+(** Volume already committed on [link] during absolute [slot]. *)
+
+val down : t -> link:int -> slot:int -> bool
+(** [true] when [link] is known (as of the view's epoch) to be dead
+    during absolute [slot]. [residual] already reflects fault caps — a
+    dead cell has residual 0 — so strategies work unmodified; [down]
+    additionally distinguishes "saturated" from "failed". *)
+
+(** {1 Overlays} *)
+
+type overlay
+
+val overlay : t -> overlay
+(** A fresh overlay with no pending bookings, stacked on [t]. *)
+
+val view : overlay -> t
+(** The derived view: [residual] minus pending bookings, [occupied] plus
+    pending bookings; [down] passes through. Reads the overlay live —
+    later {!book} calls are visible through a previously obtained view. *)
+
+val book : overlay -> link:int -> slot:int -> float -> unit
+(** Add pending volume to a cell. Raises [Invalid_argument] on negative
+    volume. *)
+
+val book_plan : overlay -> Plan.t -> unit
+(** {!book} every transmission of a plan. *)
+
+val booked : overlay -> link:int -> slot:int -> float
+(** Pending volume on a cell. *)
+
+val booked_total : overlay -> float
+(** Sum of all pending bookings (0 for a fresh overlay). *)
+
+val clear : overlay -> unit
+(** Drop every pending booking. *)

@@ -14,6 +14,14 @@ let solve ?params ~base ~files ?(tie_break = 1e-4) () =
         objective = 0.;
         charged = Array.make (Graph.num_arcs base) 0. }
   else begin
+    match List.find_opt (fun f -> not (Texp_lp.deliverable ~base f)) files with
+    | Some f ->
+        Error
+          (Printf.sprintf
+             "Offline.solve: file %d cannot reach its destination within \
+              its deadline"
+             f.File.id)
+    | None ->
     let epoch =
       List.fold_left (fun acc f -> min acc f.File.release) max_int files
     in

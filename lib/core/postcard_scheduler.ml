@@ -10,8 +10,16 @@ let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
      it: the solver repairs or discards anything stale. *)
   let carried : Basis_map.t option ref = ref None in
   let schedule (ctx : Scheduler.context) files =
+    (* A file whose destination is out of hop range has no time-expanded
+       subgraph at all: formulating it would silently satisfy it with
+       zero volume. Reject it up front. *)
+    let files, unroutable =
+      List.partition
+        (Texp_lp.deliverable ~base:ctx.Scheduler.base)
+        files
+    in
     if files = [] then
-      { Scheduler.plan = Plan.empty; accepted = []; rejected = [] }
+      { Scheduler.plan = Plan.empty; accepted = []; rejected = unroutable }
     else begin
       let capacity ~link ~layer = Scheduler.capacity_at_epoch ctx ~link ~layer in
       let try_solve subset =
@@ -45,19 +53,19 @@ let make ?params ?(tie_break = 1e-7) ?(warm_start = true) () =
           (* Carry only the accepted solve's basis forward; when nothing
              was solved (all files dropped) the previous one stays. *)
           (match basis with Some _ -> carried := basis | None -> ());
-          { Scheduler.plan; accepted; rejected }
+          { Scheduler.plan; accepted; rejected = rejected @ unroutable }
       | Some (((Formulate.Infeasible | Formulate.Solver_failure _), _), _, _) ->
           assert false
       | None ->
           (* Even the empty instance failed; nothing we can do. *)
-          { Scheduler.plan = Plan.empty; accepted = []; rejected = files }
+          { Scheduler.plan = Plan.empty; accepted = [];
+            rejected = files @ unroutable }
     end
   in
   Scheduler.observe
-    { Scheduler.name = "postcard";
-      fluid = false;
-      schedule;
-      reset = (fun () -> carried := None) }
+    (Scheduler.create ~name:"postcard" ~fluid:false
+       ~reset:(fun () -> carried := None)
+       schedule)
 
 let () =
   Scheduler.register ~name:"postcard"

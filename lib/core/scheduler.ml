@@ -1,11 +1,11 @@
+module Graph = Netgraph.Graph
+
 type context = {
-  base : Netgraph.Graph.t;
+  base : Graph.t;
   epoch : int;
   period : int;
   charged : float array;
-  residual : link:int -> slot:int -> float;
-  occupied : link:int -> slot:int -> float;
-  down : link:int -> slot:int -> bool;
+  links : Linkview.t;
 }
 
 type outcome = {
@@ -14,14 +14,131 @@ type outcome = {
   rejected : File.t list;
 }
 
+type decision = Admitted of Plan.t | Denied
+
 type t = {
   name : string;
   fluid : bool;
   schedule : context -> File.t list -> outcome;
+  admit : (context -> File.t -> decision) option;
   reset : unit -> unit;
 }
 
-let stateless ~name ~fluid schedule = { name; fluid; schedule; reset = (fun () -> ()) }
+let create ~name ~fluid ?admit ?(reset = fun () -> ()) schedule =
+  { name; fluid; schedule; admit; reset }
+
+let stateless ~name ~fluid schedule =
+  { name; fluid; schedule; admit = None; reset = (fun () -> ()) }
+
+let name t = t.name
+let fluid t = t.fluid
+let schedule t = t.schedule
+let admit t = t.admit
+let reset t = t.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* The tiered combinator: incremental fast tier in front of a batch
+   fallback, sharing one overlay so the fallback prices capacity the
+   fast tier already claimed within the batch. *)
+
+let m_fast_admits = Obs.Metrics.counter "tier.fast_admits"
+let m_fallback_files = Obs.Metrics.counter "tier.fallback_files"
+let m_fallback_admits = Obs.Metrics.counter "tier.fallback_admits"
+
+let tiered ?name ?(high_value = fun _ -> false) ~fast ~fallback () =
+  let fast_admit =
+    match fast.admit with
+    | Some a -> a
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Postcard.Scheduler.tiered: fast tier %S has no admit capability"
+             fast.name)
+  in
+  let name =
+    match name with Some n -> n | None -> fast.name ^ "+" ^ fallback.name
+  in
+  let tally ~epoch ~offered ~fast_n ~fallback_n ~fallback_admitted =
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.add m_fast_admits fast_n;
+      Obs.Metrics.add m_fallback_files fallback_n;
+      Obs.Metrics.add m_fallback_admits fallback_admitted
+    end;
+    if Obs.Trace.enabled () then
+      Obs.Trace.point "tier.decision"
+        [ ("scheduler", Obs.Trace.Str name);
+          ("epoch", Obs.Trace.Int epoch);
+          ("offered", Obs.Trace.Int offered);
+          ("fast", Obs.Trace.Int fast_n);
+          ("fallback", Obs.Trace.Int fallback_n);
+          ("fallback_admitted", Obs.Trace.Int fallback_admitted) ]
+  in
+  let schedule ctx files =
+    if files = [] then { plan = Plan.empty; accepted = []; rejected = [] }
+    else begin
+      let o = Linkview.overlay ctx.links in
+      let ctx' = { ctx with links = Linkview.view o } in
+      let fast_accepted = ref [] and fast_plan = ref Plan.empty in
+      let deferred = ref [] in
+      List.iter
+        (fun f ->
+          if high_value f then deferred := f :: !deferred
+          else
+            match fast_admit ctx' f with
+            | Admitted plan ->
+                Linkview.book_plan o plan;
+                fast_accepted := f :: !fast_accepted;
+                fast_plan := Plan.concat !fast_plan plan
+            | Denied -> deferred := f :: !deferred)
+        files;
+      let deferred = List.rev !deferred in
+      let fb =
+        if deferred = [] then
+          { plan = Plan.empty; accepted = []; rejected = [] }
+        else fallback.schedule ctx' deferred
+      in
+      tally ~epoch:ctx.epoch ~offered:(List.length files)
+        ~fast_n:(List.length !fast_accepted)
+        ~fallback_n:(List.length deferred)
+        ~fallback_admitted:(List.length fb.accepted);
+      { plan = Plan.concat !fast_plan fb.plan;
+        accepted = List.rev !fast_accepted @ fb.accepted;
+        rejected = fb.rejected }
+    end
+  in
+  let fallback_singleton ctx f =
+    let fb = fallback.schedule ctx [ f ] in
+    match fb.accepted with
+    | [ g ] when g.File.id = f.File.id -> Admitted fb.plan
+    | _ -> Denied
+  in
+  let admit ctx f =
+    if high_value f then begin
+      let d = fallback_singleton ctx f in
+      tally ~epoch:ctx.epoch ~offered:1 ~fast_n:0 ~fallback_n:1
+        ~fallback_admitted:(match d with Admitted _ -> 1 | Denied -> 0);
+      d
+    end
+    else
+      match fast_admit ctx f with
+      | Admitted _ as d ->
+          tally ~epoch:ctx.epoch ~offered:1 ~fast_n:1 ~fallback_n:0
+            ~fallback_admitted:0;
+          d
+      | Denied ->
+          let d = fallback_singleton ctx f in
+          tally ~epoch:ctx.epoch ~offered:1 ~fast_n:0 ~fallback_n:1
+            ~fallback_admitted:(match d with Admitted _ -> 1 | Denied -> 0);
+          d
+  in
+  { name;
+    fluid = fast.fluid || fallback.fluid;
+    schedule;
+    admit = Some admit;
+    reset =
+      (fun () ->
+        fast.reset ();
+        fallback.reset ()) }
 
 (* ------------------------------------------------------------------ *)
 (* Registry: name -> factory. Strategies self-register at module
@@ -43,7 +160,72 @@ type info = {
 let registry : (string, string * (unit -> t)) Hashtbl.t = Hashtbl.create 16
 let infos_acc : info list ref = ref []
 
+(* Do [admit] and [schedule] tell the same story about one file? Same
+   verdict, and on admission the same transmissions (volumes compared up
+   to float noise). *)
+let plans_agree p q =
+  let key tx = (tx.Plan.file, tx.Plan.link, tx.Plan.slot) in
+  let sorted (p : Plan.t) =
+    List.sort (fun a b -> compare (key a) (key b)) p.Plan.transmissions
+  in
+  let rec eq a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: xs, y :: ys ->
+        key x = key y
+        && Float.abs (x.Plan.volume -. y.Plan.volume) <= 1e-9
+        && eq xs ys
+    | _ -> false
+  in
+  eq (sorted p) (sorted q)
+
+(* One tiny instance — two datacenters, one ample link, one small file —
+   on which a factory's admit and schedule capabilities must agree. *)
+let probe ~name factory =
+  let s =
+    try factory ()
+    with e ->
+      invalid_arg
+        (Printf.sprintf
+           "Postcard.Scheduler.register: %s: factory raised at \
+            construction: %s"
+           name (Printexc.to_string e))
+  in
+  match s.admit with
+  | None -> ()
+  | Some admit ->
+      let base = Graph.create ~n:2 in
+      ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:8. ~cost:1. ());
+      let ctx =
+        { base;
+          epoch = 0;
+          period = 4;
+          charged = [| 0. |];
+          links = Linkview.of_capacity ~base }
+      in
+      let file =
+        File.make ~id:0 ~src:0 ~dst:1 ~size:2. ~deadline:2 ~release:0
+      in
+      let d = admit ctx file in
+      let o = s.schedule ctx [ file ] in
+      let consistent =
+        match d with
+        | Admitted p -> (
+            match o.accepted with
+            | [ f ] when f.File.id = file.File.id -> plans_agree p o.plan
+            | _ -> false)
+        | Denied -> o.accepted = []
+      in
+      if not consistent then
+        invalid_arg
+          (Printf.sprintf
+             "Postcard.Scheduler.register: %s: admit and schedule disagree \
+              on a singleton batch"
+             name)
+
 let register ~name ?(aliases = []) ?doc factory =
+  (* Probe outside the lock: a factory is free to consult the registry. *)
+  probe ~name factory;
   Mutex.lock registry_mu;
   let clash =
     List.find_opt (Hashtbl.mem registry) (name :: aliases)
@@ -73,7 +255,7 @@ let pp_registry ppf () =
         | [] -> ""
         | l -> Printf.sprintf " (aliases: %s)" (String.concat ", " l)
       in
-      Format.fprintf ppf "%-12s%s@\n" info_name aliases;
+      Format.fprintf ppf "%-16s%s@\n" info_name aliases;
       match doc with
       | Some d -> Format.fprintf ppf "    %s@\n" d
       | None -> ())
@@ -96,7 +278,19 @@ let make_exn name =
            name
            (String.concat ", " (registered ())))
 
-let make_all () = List.filter_map make (registered ())
+let make_all () =
+  let ok = ref [] and errs = ref [] in
+  List.iter
+    (fun name ->
+      match make name with
+      | Some s -> ok := s :: !ok
+      | None ->
+          (* Registered names always resolve; a miss is a registry bug. *)
+          errs := (name ^ ": registered name no longer resolves") :: !errs
+      | exception e ->
+          errs := (name ^ ": " ^ Printexc.to_string e) :: !errs)
+    (registered ());
+  if !errs = [] then Ok (List.rev !ok) else Error (List.rev !errs)
 
 let m_decisions = Obs.Metrics.counter "sched.decisions"
 let m_offered = Obs.Metrics.counter "sched.files_offered"
@@ -140,7 +334,7 @@ let observe t =
   { t with schedule }
 
 let capacity_at_epoch ctx ~link ~layer =
-  ctx.residual ~link ~slot:(ctx.epoch + layer)
+  Linkview.residual ctx.links ~link ~slot:(ctx.epoch + layer)
 
 let admit_greedy ~files ~try_solve =
   let rec attempt accepted rejected =

@@ -39,6 +39,10 @@ let hop_distances g ~src =
   done;
   dist
 
+let deliverable ~base f =
+  let dist = hop_distances base ~src:f.File.src in
+  dist.(f.File.dst) <= f.File.deadline
+
 let build ~model ~base ~capacity ~files ~epoch ~flow_obj ~supply =
   List.iter
     (fun f ->

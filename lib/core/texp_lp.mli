@@ -10,6 +10,14 @@
 
 type t
 
+val deliverable : base:Netgraph.Graph.t -> File.t -> bool
+(** Can the file reach its destination at all — is [dst] within
+    [deadline] hops of [src]? A file failing this has {e no} usable
+    time-expanded subgraph: [build] under [supply `Full] would give it no
+    variables and no conservation rows, silently treating "cannot route"
+    as "trivially satisfied". Callers posing full-supply programs must
+    reject such files up front instead of formulating them. *)
+
 val build :
   model:Lp.Model.t ->
   base:Netgraph.Graph.t ->

@@ -3,7 +3,7 @@ type tree = {
   pred_arc : int array;
 }
 
-let dijkstra_filtered g ~src ~usable =
+let dijkstra_weighted g ~src ?(usable = fun _ -> true) ~weight () =
   let n = Graph.num_nodes g in
   if src < 0 || src >= n then invalid_arg "Paths.dijkstra: src out of range";
   let dist = Array.make n infinity in
@@ -21,9 +21,9 @@ let dijkstra_filtered g ~src ~usable =
             (fun id ->
               let a = Graph.arc g id in
               if usable a then begin
-                if a.Graph.cost < 0. then
-                  invalid_arg "Paths.dijkstra: negative arc cost";
-                let nd = d +. a.Graph.cost in
+                let w = weight a in
+                if w < 0. then invalid_arg "Paths.dijkstra: negative arc cost";
+                let nd = d +. w in
                 if nd < dist.(a.Graph.dst) -. 1e-15 then begin
                   dist.(a.Graph.dst) <- nd;
                   pred_arc.(a.Graph.dst) <- id;
@@ -33,6 +33,9 @@ let dijkstra_filtered g ~src ~usable =
             (Graph.out_arcs g u)
   done;
   { dist; pred_arc }
+
+let dijkstra_filtered g ~src ~usable =
+  dijkstra_weighted g ~src ~usable ~weight:(fun a -> a.Graph.cost) ()
 
 let dijkstra g ~src = dijkstra_filtered g ~src ~usable:(fun _ -> true)
 

@@ -13,6 +13,18 @@ val dijkstra_filtered : Graph.t -> src:int -> usable:(Graph.arc -> bool) -> tree
 (** Dijkstra restricted to arcs satisfying [usable] (e.g. arcs with
     residual capacity). *)
 
+val dijkstra_weighted :
+  Graph.t ->
+  src:int ->
+  ?usable:(Graph.arc -> bool) ->
+  weight:(Graph.arc -> float) ->
+  unit ->
+  tree
+(** Dijkstra under a caller-supplied non-negative arc weight (raises
+    [Invalid_argument] on a negative one) — e.g. marginal prices that
+    discount links whose peak is already paid for. [usable] defaults to
+    accepting every arc. *)
+
 val bellman_ford : Graph.t -> src:int -> tree option
 (** Handles negative costs; [None] when a negative cycle is reachable from
     [src]. *)

@@ -213,11 +213,31 @@ let submit t client (s : Protocol.submit) =
         t.next_id <- t.next_id + 1;
         Hashtbl.replace t.owners (File.(file.id)) client;
         Hashtbl.replace t.submitted (File.(file.id)) (Unix.gettimeofday ());
-        Workload.push t.workload file;
-        [ Send
+        let queued =
+          Send
             (client,
              Protocol.Queued
-               { id = File.(file.id); slot = File.(file.release) }) ]
+               { id = File.(file.id); slot = File.(file.release) })
+        in
+        (* Incremental fast path: a scheduler with the admit capability
+           decides right now, giving the client its verdict in the same
+           round trip instead of at the next tick. Batch-only schedulers
+           fall back to queueing for the slot drain. *)
+        match Engine.offer t.engine file with
+        | None ->
+            Workload.push t.workload file;
+            [ queued ]
+        | Some verdict ->
+            Workload.record t.workload file;
+            let slot = File.(file.release) in
+            let id = File.(file.id) in
+            (match verdict with
+             | `Admitted ->
+                 observe_latency t h_queue_ms id;
+                 [ queued; Send (client, Protocol.Accepted { id; slot }) ]
+             | `Rejected ->
+                 settle t id;
+                 [ queued; Send (client, Protocol.Rejected { id; slot }) ])
 
 let on_request t client = function
   | Protocol.Submit s -> submit t client s

@@ -1,5 +1,6 @@
 module Graph = Netgraph.Graph
 module Scheduler = Postcard.Scheduler
+module Linkview = Postcard.Linkview
 module File = Postcard.File
 
 let log_src = Logs.Src.create "sim.engine" ~doc:"Simulation engine"
@@ -33,6 +34,7 @@ type outcome = {
   lost_volume : float;
   lost_files : int;
   replanned_files : int;
+  sched_ms_total : float;
   link_volumes : float array array;
 }
 
@@ -107,6 +109,22 @@ type t = {
   mutable replanned_files : int;
   (* In-flight admissions, newest first; only maintained when faulty. *)
   mutable flights : flight list;
+  (* Cost and charged volumes as of the end of the last executed slot —
+     the baseline for the next slot span's deltas. Offers commit volume
+     between steps; reading the ledger at step start would attribute that
+     volume to no slot and break the trace's telescoping sums. Maintained
+     only while tracing. *)
+  mutable last_cost : float;
+  mutable last_charged : float array;
+  (* Files admitted via [offer] since the last step, folded into the next
+     slot span's admission counters. *)
+  mutable pend_arrivals : int;
+  mutable pend_admitted : int;
+  mutable pend_rejected : int;
+  mutable pend_admitted_bytes : float;
+  (* Wall-clock spent inside the scheduler (batch solves and incremental
+     admissions), for the cost-vs-latency frontier. *)
+  mutable sched_ms_total : float;
   (* Bytes parked on storage per slot, accumulated from the holdovers of
      every committed plan (a holdover booked now may cover a later slot). *)
   stored_by_slot : (int, float) Hashtbl.t;
@@ -129,12 +147,12 @@ let init cfg =
   let faulty = Faults.active fstate in
   (* Scheduler values may be reused across runs (Experiment does); drop
      any cross-epoch state such as a carried warm-start basis. *)
-  scheduler.Scheduler.reset ();
+  Scheduler.reset scheduler;
   let tracing = Obs.Trace.enabled () in
   let run_span =
     if tracing then
       Obs.Trace.begin_span "sim.run"
-        [ ("scheduler", Obs.Trace.Str scheduler.Scheduler.name);
+        [ ("scheduler", Obs.Trace.Str (Scheduler.name scheduler));
           ("slots", Obs.Trace.Int slots);
           ("faults", Obs.Trace.Str (Faults.to_string faults)) ]
     else Obs.Trace.null_span
@@ -161,6 +179,13 @@ let init cfg =
     lost_files = 0;
     replanned_files = 0;
     flights = [];
+    last_cost = 0.;
+    last_charged = Array.make (Graph.num_arcs base) 0.;
+    pend_arrivals = 0;
+    pend_admitted = 0;
+    pend_rejected = 0;
+    pend_admitted_bytes = 0.;
+    sched_ms_total = 0.;
     stored_by_slot = Hashtbl.create 16;
     finish_by_id = Hashtbl.create 64;
     due_by_slot = Hashtbl.create 16 }
@@ -201,11 +226,43 @@ let track_completion t ~slot ~(plan : Postcard.Plan.t) accepted =
       accepted
   end
 
+(* Network state as the scheduler sees it at [slot]: ledger residuals with
+   fault caps applied (as known at [slot]), behind one {!Linkview}. Also
+   returns the raw residual function for plan validation. *)
+let context_at t ~slot =
+  let base = t.cfg.base in
+  let ledger = t.ledger in
+  let eff_residual =
+    if not t.faulty then fun ~link ~slot -> Ledger.residual ledger ~link ~slot
+    else fun ~link ~slot:s ->
+      let f = Faults.factor t.fstate ~asof:slot ~link ~slot:s in
+      if f >= 1. then Ledger.residual ledger ~link ~slot:s
+      else
+        Float.max 0.
+          (((Graph.arc base link).Graph.capacity *. f)
+          -. Ledger.occupied ledger ~link ~slot:s)
+  in
+  let down =
+    if not t.faulty then fun ~link:_ ~slot:_ -> false
+    else fun ~link ~slot:s -> Faults.down t.fstate ~asof:slot ~link ~slot:s
+  in
+  let links =
+    Linkview.make ~residual:eff_residual
+      ~occupied:(fun ~link ~slot -> Ledger.occupied ledger ~link ~slot)
+      ~down
+  in
+  ( { Scheduler.base;
+      epoch = slot;
+      period = t.cfg.slots;
+      charged = Ledger.charged_all ledger;
+      links },
+    eff_residual )
+
 let step t ~arrivals =
   if t.drained then invalid_arg "Engine.step: engine already drained";
   if t.next >= t.cfg.slots then
     invalid_arg "Engine.step: all slots already executed";
-  let { base; scheduler; workload = _; slots; faults = _ } = t.cfg in
+  let { base; scheduler; workload = _; slots = _; faults = _ } = t.cfg in
   let fstate = t.fstate and faulty = t.faulty and tracing = t.tracing in
   let ledger = t.ledger in
   let slot = t.next in
@@ -214,8 +271,6 @@ let step t ~arrivals =
       Obs.Trace.begin_span "sim.slot" [ ("slot", Obs.Trace.Int slot) ]
     else Obs.Trace.null_span
   in
-  let cost_before = if tracing then Ledger.cost_per_interval ledger else 0. in
-  let charged_before = if tracing then Ledger.charged_all ledger else [||] in
   (* --- Fault reveal: strand committed volume on newly dead cells. --- *)
   let reoffers = ref [] in
   let slot_stranded = ref 0. and slot_lost = ref 0. in
@@ -344,41 +399,24 @@ let step t ~arrivals =
       fun (f : File.t) -> Hashtbl.mem ids f.File.id
     end
   in
-  let eff_residual =
-    if not faulty then fun ~link ~slot -> Ledger.residual ledger ~link ~slot
-    else fun ~link ~slot:s ->
-      let f = Faults.factor fstate ~asof:slot ~link ~slot:s in
-      if f >= 1. then Ledger.residual ledger ~link ~slot:s
-      else
-        Float.max 0.
-          (((Graph.arc base link).Graph.capacity *. f)
-          -. Ledger.occupied ledger ~link ~slot:s)
-  in
-  let down =
-    if not faulty then fun ~link:_ ~slot:_ -> false
-    else fun ~link ~slot:s -> Faults.down fstate ~asof:slot ~link ~slot:s
-  in
-  let ctx =
-    { Scheduler.base;
-      epoch = slot;
-      period = slots;
-      charged = Ledger.charged_all ledger;
-      residual = eff_residual;
-      occupied = (fun ~link ~slot -> Ledger.occupied ledger ~link ~slot);
-      down }
-  in
-  let t0 = Obs.Trace.now_ms () in
+  let ctx, eff_residual = context_at t ~slot in
+  (* Wall clock, not [Obs.Trace.now_ms]: the trace clock reads 0 with no
+     sink installed, and [sched_ms_total] must feed the cost-vs-latency
+     frontier in untraced runs too. *)
+  let t0 = Unix.gettimeofday () in
   let { Scheduler.plan; accepted; rejected } =
-    scheduler.Scheduler.schedule ctx files
+    Scheduler.schedule scheduler ctx files
   in
-  let sched_ms = Obs.Trace.now_ms () -. t0 in
+  let sched_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  t.sched_ms_total <- t.sched_ms_total +. sched_ms;
   if rejected <> [] then
     Log.info (fun m ->
-        m "slot %d: %s rejected %d of %d files" slot scheduler.Scheduler.name
-          (List.length rejected) (List.length files));
+        m "slot %d: %s rejected %d of %d files" slot
+          (Scheduler.name scheduler) (List.length rejected)
+          (List.length files));
   let commit_sp = Obs.Span.begin_ "sim.commit" in
   let check =
-    if scheduler.Scheduler.fluid then
+    if Scheduler.fluid scheduler then
       Postcard.Plan.validate_capacity ~base ~capacity:eff_residual plan
     else Postcard.Plan.validate ~base ~files:accepted ~capacity:eff_residual plan
   in
@@ -388,7 +426,7 @@ let step t ~arrivals =
        raise
          (Invalid_plan
             (Printf.sprintf "slot %d, scheduler %s: %s" slot
-               scheduler.Scheduler.name msg)));
+               (Scheduler.name scheduler) msg)));
   Ledger.commit_plan ledger plan;
   Obs.Span.end_ commit_sp;
   (* Admission accounting: an accepted re-offer is recovered volume; a
@@ -467,7 +505,7 @@ let step t ~arrivals =
     let charged_after = Ledger.charged_all ledger in
     let charged_delta =
       Array.init (Array.length charged_after) (fun l ->
-          charged_after.(l) -. charged_before.(l))
+          charged_after.(l) -. t.last_charged.(l))
     in
     let admitted_bytes =
       List.fold_left (fun acc (f : File.t) -> acc +. f.File.size) 0. accepted
@@ -476,20 +514,27 @@ let step t ~arrivals =
       Option.value ~default:0. (Hashtbl.find_opt t.stored_by_slot slot)
     in
     Obs.Trace.end_span slot_span
-      [ ("arrivals", Obs.Trace.Int (List.length arrivals));
-        ("admitted", Obs.Trace.Int (List.length accepted));
-        ("rejected", Obs.Trace.Int (List.length rejected));
-        ("admitted_bytes", Obs.Trace.Float admitted_bytes);
+      [ ("arrivals", Obs.Trace.Int (List.length arrivals + t.pend_arrivals));
+        ("admitted", Obs.Trace.Int (List.length accepted + t.pend_admitted));
+        ("rejected", Obs.Trace.Int (List.length rejected + t.pend_rejected));
+        ("admitted_bytes",
+         Obs.Trace.Float (admitted_bytes +. t.pend_admitted_bytes));
         ("stored_bytes", Obs.Trace.Float stored_bytes);
         ("replans", Obs.Trace.Int replan_count);
         ("stranded_bytes", Obs.Trace.Float !slot_stranded);
         ("lost_bytes", Obs.Trace.Float !slot_lost);
         ("cost", Obs.Trace.Float t.cost_series.(slot));
-        ("cost_delta", Obs.Trace.Float (t.cost_series.(slot) -. cost_before));
+        ("cost_delta", Obs.Trace.Float (t.cost_series.(slot) -. t.last_cost));
         ("charged", Obs.Trace.Floats charged_after);
         ("charged_delta", Obs.Trace.Floats charged_delta);
-        ("sched_ms", Obs.Trace.Float sched_ms) ]
+        ("sched_ms", Obs.Trace.Float sched_ms) ];
+    t.last_cost <- t.cost_series.(slot);
+    t.last_charged <- charged_after
   end;
+  t.pend_arrivals <- 0;
+  t.pend_admitted <- 0;
+  t.pend_rejected <- 0;
+  t.pend_admitted_bytes <- 0.;
   (* Completions: admitted files whose committed plan carried its last
      transmission during this slot. [due_by_slot] may hold ids stranded
      since admission (or re-planned to finish elsewhere); the authoritative
@@ -518,6 +563,80 @@ let step t ~arrivals =
     stranded = List.rev !stranded_now;
     completed;
     cost = t.cost_series.(slot) }
+
+(* Per-request admission between steps: the serving fast path. *)
+let offer t (file : File.t) =
+  if t.drained then invalid_arg "Engine.offer: engine already drained";
+  if t.next >= t.cfg.slots then
+    invalid_arg "Engine.offer: all slots already executed";
+  if file.File.release < t.next then
+    invalid_arg "Engine.offer: file released in the past";
+  match Scheduler.admit t.cfg.scheduler with
+  | None -> None
+  | Some admit ->
+      let slot = t.next in
+      let scheduler = t.cfg.scheduler in
+      let ctx, eff_residual = context_at t ~slot in
+      let t0 = Unix.gettimeofday () in
+      let decision = admit ctx file in
+      let admit_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      t.sched_ms_total <- t.sched_ms_total +. admit_ms;
+      t.total_files <- t.total_files + 1;
+      t.offered_volume <- t.offered_volume +. file.File.size;
+      t.pend_arrivals <- t.pend_arrivals + 1;
+      Obs.Metrics.incr m_arrivals;
+      let admitted =
+        match decision with
+        | Scheduler.Denied ->
+            t.rejected_files <- t.rejected_files + 1;
+            t.rejected_ids <- file.File.id :: t.rejected_ids;
+            t.rejected_volume <- t.rejected_volume +. file.File.size;
+            t.pend_rejected <- t.pend_rejected + 1;
+            Obs.Metrics.incr m_rejected;
+            false
+        | Scheduler.Admitted plan ->
+            let check =
+              if Scheduler.fluid scheduler then
+                Postcard.Plan.validate_capacity ~base:t.cfg.base
+                  ~capacity:eff_residual plan
+              else
+                Postcard.Plan.validate ~base:t.cfg.base ~files:[ file ]
+                  ~capacity:eff_residual plan
+            in
+            (match check with
+             | Ok () -> ()
+             | Error msg ->
+                 raise
+                   (Invalid_plan
+                      (Printf.sprintf "slot %d, scheduler %s (offer): %s" slot
+                         (Scheduler.name scheduler) msg)));
+            Ledger.commit_plan t.ledger plan;
+            t.delivered_volume <- t.delivered_volume +. file.File.size;
+            t.pend_admitted <- t.pend_admitted + 1;
+            t.pend_admitted_bytes <- t.pend_admitted_bytes +. file.File.size;
+            if t.faulty then begin
+              let ftxs =
+                List.map
+                  (fun tx ->
+                    ( tx.Postcard.Plan.link,
+                      tx.Postcard.Plan.slot,
+                      tx.Postcard.Plan.volume ))
+                  plan.Postcard.Plan.transmissions
+              in
+              t.flights <- { ffile = file; ftxs } :: t.flights
+            end;
+            track_completion t ~slot ~plan [ file ];
+            true
+      in
+      if t.tracing then
+        Obs.Trace.point "sim.offer"
+          [ ("slot", Obs.Trace.Int slot);
+            ("file", Obs.Trace.Int file.File.id);
+            ("scheduler", Obs.Trace.Str (Scheduler.name scheduler));
+            ("admitted", Obs.Trace.Int (if admitted then 1 else 0));
+            ("bytes", Obs.Trace.Float file.File.size);
+            ("admit_ms", Obs.Trace.Float admit_ms) ];
+      Some (if admitted then `Admitted else `Rejected)
 
 let in_flight t =
   let all =
@@ -561,6 +680,7 @@ let drain t =
       lost_volume = t.lost_volume;
       lost_files = t.lost_files;
       replanned_files = t.replanned_files;
+      sched_ms_total = t.sched_ms_total;
       link_volumes = Ledger.volumes_through t.ledger ~last_slot }
   in
   if t.tracing then

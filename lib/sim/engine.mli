@@ -83,6 +83,11 @@ type outcome = {
           float rounding. *)
   lost_files : int;
   replanned_files : int;  (** Re-offers the scheduler accepted. *)
+  sched_ms_total : float;
+      (** Total wall-clock spent inside the scheduler — batch [schedule]
+          solves plus incremental {!offer} admissions. Divided by the
+          offered files this is the per-admission decision latency of the
+          cost-vs-latency frontier. *)
   link_volumes : float array array;
       (** Per-link, per-slot committed volumes over the whole run
           (including slots past the arrival window where tails of accepted
@@ -131,6 +136,21 @@ val step : t -> arrivals:Postcard.File.t list -> slot_result
 (** Execute the next slot with the given fresh arrivals (their [release]
     should equal {!next_slot}). Raises [Invalid_argument] once all
     configured slots have executed or after {!drain};
+    {!exception:Invalid_plan} when the scheduler misbehaves. *)
+
+val offer : t -> Postcard.File.t -> [ `Admitted | `Rejected ] option
+(** Per-request admission between steps — the serving fast path. When the
+    configured scheduler exposes the incremental
+    {!Postcard.Scheduler.admit} capability, decide [file] right now
+    against the current ledgers: an admitted file's plan is validated and
+    committed immediately (it counts as offered/delivered, enters fault
+    tracking and the completion tracker, exactly as a batch admission at
+    the next {!step} would), a denied file counts as rejected. Returns
+    [None] when the scheduler is batch-only — the caller should fall back
+    to queueing the file for the next {!step}. The file's [release] must
+    be at least {!next_slot} (raises [Invalid_argument] otherwise, and
+    after {!drain} or once all slots executed); admission decisions are
+    attributed to slot {!next_slot} in traces and metrics. Raises
     {!exception:Invalid_plan} when the scheduler misbehaves. *)
 
 val drain : t -> outcome

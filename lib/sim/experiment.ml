@@ -101,6 +101,8 @@ type scheduler_summary = {
   delivered_volume : float;
   recovered_volume : float;
   lost_volume : float;
+  offered_files : int;
+  mean_decision_ms : float;
 }
 
 type results = {
@@ -128,7 +130,7 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
   let factories = Array.of_list schedulers in
   let n_sched = Array.length factories in
   let names =
-    Array.map (fun mk -> (mk ()).Postcard.Scheduler.name) factories
+    Array.map (fun mk -> Postcard.Scheduler.name (mk ())) factories
   in
   let spec =
     let base_spec =
@@ -204,6 +206,7 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
         let series_acc = ref [] in
         let rejected = ref 0 in
         let delivered = ref 0. and recovered = ref 0. and lost = ref 0. in
+        let offered = ref 0 and sched_ms = ref 0. in
         for run = 0 to setting.runs - 1 do
           let cost, outcome = cell_results.((run * n_sched) + s) in
           costs.(run) <- cost;
@@ -211,7 +214,9 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
           rejected := !rejected + outcome.Engine.rejected_files;
           delivered := !delivered +. outcome.Engine.delivered_volume;
           recovered := !recovered +. outcome.Engine.recovered_volume;
-          lost := !lost +. outcome.Engine.lost_volume
+          lost := !lost +. outcome.Engine.lost_volume;
+          offered := !offered + outcome.Engine.total_files;
+          sched_ms := !sched_ms +. outcome.Engine.sched_ms_total
         done;
         let mean_cost, ci95 = Prelude.Stats.confidence_95 costs in
         let mean_series =
@@ -228,7 +233,9 @@ let run_setting ?(progress = fun ~run:_ ~scheduler:_ -> ()) ?pool setting
           rejected = !rejected;
           delivered_volume = !delivered;
           recovered_volume = !recovered;
-          lost_volume = !lost })
+          lost_volume = !lost;
+          offered_files = !offered;
+          mean_decision_ms = !sched_ms /. float_of_int (max 1 !offered) })
   in
   { setting; summaries }
 

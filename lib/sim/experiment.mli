@@ -96,6 +96,10 @@ type scheduler_summary = {
           across runs (0 without a fault scenario). *)
   lost_volume : float;
       (** Bytes stranded and not recoverable, summed across runs. *)
+  offered_files : int;  (** Total files offered across runs. *)
+  mean_decision_ms : float;
+      (** Scheduler wall-clock per offered file, averaged across runs —
+          the latency axis of the cost-vs-latency frontier. *)
 }
 
 type results = {

@@ -48,6 +48,40 @@ let print_series ?(every = 5) ppf (results : Experiment.results) =
   done;
   Format.fprintf ppf "@]"
 
+let print_frontier ppf (results : Experiment.results) =
+  let summaries = results.Experiment.summaries in
+  (* On the frontier iff no other scheduler is at least as good on both
+     axes and strictly better on one. Exact ties survive: neither
+     dominates the other, so both rows keep their star. *)
+  let dominated (s : Experiment.scheduler_summary) =
+    List.exists
+      (fun (o : Experiment.scheduler_summary) ->
+        o != s
+        && o.Experiment.mean_cost <= s.Experiment.mean_cost
+        && o.Experiment.mean_decision_ms <= s.Experiment.mean_decision_ms
+        && (o.Experiment.mean_cost < s.Experiment.mean_cost
+           || o.Experiment.mean_decision_ms < s.Experiment.mean_decision_ms))
+      summaries
+  in
+  let by_latency =
+    List.sort
+      (fun (a : Experiment.scheduler_summary) b ->
+        compare a.Experiment.mean_decision_ms b.Experiment.mean_decision_ms)
+      summaries
+  in
+  Format.fprintf ppf
+    "@[<v>   cost-vs-latency frontier (fastest first, * = undominated):@,";
+  Format.fprintf ppf "   %-16s %12s %14s %9s@," "scheduler" "ms/file"
+    "avg cost/t" "rejected";
+  List.iter
+    (fun (s : Experiment.scheduler_summary) ->
+      Format.fprintf ppf "   %-16s %12.3f %14.1f %9d%s@,"
+        s.Experiment.scheduler s.Experiment.mean_decision_ms
+        s.Experiment.mean_cost s.Experiment.rejected
+        (if dominated s then "" else "  *"))
+    by_latency;
+  Format.fprintf ppf "@]"
+
 let print_utilization ?(top = 5) ppf ~base ~(outcome : Engine.outcome) =
   let module Graph = Netgraph.Graph in
   (* Rank links by total carried volume. *)

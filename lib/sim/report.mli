@@ -12,6 +12,14 @@ val print_series :
 (** Cost-per-interval series averaged over runs, sampled every [every]
     slots (default 5), one column per scheduler. *)
 
+val print_frontier : Format.formatter -> Experiment.results -> unit
+(** Cost-vs-latency frontier across the setting's schedulers: one row per
+    scheduler sorted by mean per-file decision latency, with mean cost
+    per interval and total rejections; rows no other scheduler weakly
+    dominates on (latency, cost) are starred. The view that justifies the
+    tiered admission design: the ledger sits at the fast end, the LP at
+    the cheap end, and [postcard-tiered] should be starred near both. *)
+
 val print_comparison :
   Format.formatter ->
   baseline:string ->

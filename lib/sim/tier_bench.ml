@@ -1,0 +1,193 @@
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Scheduler = Postcard.Scheduler
+
+type summary = {
+  tb_nodes : int;
+  tb_slots : int;
+  tb_seed : int;
+  tb_offered : int;
+  tb_fast_admits : int;
+  tb_fallback_files : int;
+  tb_fallback_admits : int;
+  tb_rejected : int;
+  tb_fast_share : float;
+  tb_fast_us : float;
+  tb_lp_us : float;
+  tb_latency_ratio : float;
+  tb_cost_tiered : float;
+  tb_cost_postcard : float;
+  tb_cost_gap : float;
+}
+
+let topology ~nodes ~seed =
+  let rng = Prelude.Rng.of_int (seed * 7919) in
+  Netgraph.Topology.complete ~n:nodes ~rng ~cost_lo:1. ~cost_hi:10.
+    ~capacity:35.
+
+let spec ~nodes =
+  { (Workload.paper_spec ~nodes ~files_max:3 ~max_deadline:4) with
+    Workload.size_min = 5.;
+    size_max = 25.;
+    deadlines = Workload.Uniform_deadline (2, 4) }
+
+let workload ~nodes ~seed = Workload.create (spec ~nodes) (Prelude.Rng.of_int seed)
+
+let final_cost (outcome : Engine.outcome) =
+  let n = Array.length outcome.Engine.cost_series in
+  if n = 0 then 0. else outcome.Engine.cost_series.(n - 1)
+
+(* Wall-clock one decision function over the file stream, [reps] passes,
+   after one warm-up pass. *)
+let mean_us ~reps files decide =
+  List.iter decide files;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    List.iter decide files
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  elapsed /. float_of_int (reps * List.length files) *. 1e6
+
+let run ?(nodes = 8) ?(slots = 40) ?(seed = 1) () =
+  let base = topology ~nodes ~seed in
+  (* Pure LP run: the cost reference. *)
+  let pure =
+    Engine.run
+      (Engine.make ~base
+         ~scheduler:(Postcard.Postcard_scheduler.make ())
+         ~workload:(workload ~nodes ~seed) ~slots ())
+  in
+  (* Tiered run over the identical workload, with the fallback wrapped to
+     count exactly which files ever reach the LP. *)
+  let fallback_files = ref 0 and fallback_admits = ref 0 in
+  let lp = Postcard.Postcard_scheduler.make () in
+  let counting_lp =
+    Scheduler.create ~name:"postcard" ~fluid:false
+      ~reset:(fun () -> Scheduler.reset lp)
+      (fun ctx files ->
+        fallback_files := !fallback_files + List.length files;
+        let o = Scheduler.schedule lp ctx files in
+        fallback_admits := !fallback_admits + List.length o.Scheduler.accepted;
+        o)
+  in
+  let tiered =
+    Scheduler.tiered ~name:"postcard-tiered"
+      ~fast:(Postcard.Ledger_scheduler.make ())
+      ~fallback:counting_lp ()
+  in
+  let outcome =
+    Engine.run
+      (Engine.make ~base ~scheduler:tiered ~workload:(workload ~nodes ~seed)
+         ~slots ())
+  in
+  let offered = outcome.Engine.total_files in
+  let admitted = offered - outcome.Engine.rejected_files in
+  let fast_admits = admitted - !fallback_admits in
+  (* Per-admission latency over the same stream of files, one at a time
+     against a pristine view — the serving daemon's unit of work. *)
+  let stream =
+    let w = workload ~nodes ~seed in
+    List.concat (List.init slots (fun slot -> Workload.arrivals w ~slot))
+  in
+  let ctx () =
+    { Scheduler.base;
+      epoch = 0;
+      period = slots;
+      charged = Array.make (Graph.num_arcs base) 0.;
+      links = Postcard.Linkview.of_capacity ~base }
+  in
+  let fast_us =
+    let ledger = Postcard.Ledger_scheduler.make () in
+    let admit = Option.get (Scheduler.admit ledger) in
+    let c = ctx () in
+    mean_us ~reps:50 stream (fun f -> ignore (admit c f))
+  in
+  let lp_us =
+    let solver = Postcard.Postcard_scheduler.make () in
+    let c = ctx () in
+    mean_us ~reps:1 stream (fun f ->
+        Scheduler.reset solver;
+        ignore (Scheduler.schedule solver c [ f ]))
+  in
+  let cost_tiered = final_cost outcome in
+  let cost_postcard = final_cost pure in
+  { tb_nodes = nodes;
+    tb_slots = slots;
+    tb_seed = seed;
+    tb_offered = offered;
+    tb_fast_admits = fast_admits;
+    tb_fallback_files = !fallback_files;
+    tb_fallback_admits = !fallback_admits;
+    tb_rejected = outcome.Engine.rejected_files;
+    tb_fast_share =
+      (if offered = 0 then 0. else float_of_int fast_admits /. float_of_int offered);
+    tb_fast_us = fast_us;
+    tb_lp_us = lp_us;
+    tb_latency_ratio = (if fast_us > 0. then lp_us /. fast_us else infinity);
+    tb_cost_tiered = cost_tiered;
+    tb_cost_postcard = cost_postcard;
+    tb_cost_gap =
+      (if cost_postcard > 0. then (cost_tiered -. cost_postcard) /. cost_postcard
+       else 0.) }
+
+let check s =
+  let errs = ref [] in
+  if s.tb_fast_share < 0.9 then
+    errs :=
+      Printf.sprintf "fast tier decided only %.1f%% of files (target >= 90%%)"
+        (100. *. s.tb_fast_share)
+      :: !errs;
+  if s.tb_latency_ratio < 50. then
+    errs :=
+      Printf.sprintf "fast tier only %.1fx faster per admission (target >= 50x)"
+        s.tb_latency_ratio
+      :: !errs;
+  if s.tb_cost_gap > 0.1 then
+    errs :=
+      Printf.sprintf "tiered cost %.1f%% above pure postcard (target <= 10%%)"
+        (100. *. s.tb_cost_gap)
+      :: !errs;
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "  %d datacenters, %d slots, seed %d: %d files offered@." s.tb_nodes
+    s.tb_slots s.tb_seed s.tb_offered;
+  Format.fprintf ppf
+    "  admission split: %d fast (%.1f%%), %d to the LP (%d admitted), %d \
+     rejected@."
+    s.tb_fast_admits
+    (100. *. s.tb_fast_share)
+    s.tb_fallback_files s.tb_fallback_admits s.tb_rejected;
+  Format.fprintf ppf
+    "  per-admission latency: ledger %.1f us, LP %.0f us — %.0fx@."
+    s.tb_fast_us s.tb_lp_us s.tb_latency_ratio;
+  Format.fprintf ppf
+    "  final bill: tiered %.1f vs pure postcard %.1f — gap %+.1f%%@."
+    s.tb_cost_tiered s.tb_cost_postcard
+    (100. *. s.tb_cost_gap)
+
+let to_json s =
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"tier\",\n\
+    \  \"nodes\": %d,\n\
+    \  \"slots\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"offered\": %d,\n\
+    \  \"fast_admits\": %d,\n\
+    \  \"fallback_files\": %d,\n\
+    \  \"fallback_admits\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"fast_share\": %.4f,\n\
+    \  \"fast_us\": %.3f,\n\
+    \  \"lp_us\": %.3f,\n\
+    \  \"latency_ratio\": %.2f,\n\
+    \  \"cost_tiered\": %.4f,\n\
+    \  \"cost_postcard\": %.4f,\n\
+    \  \"cost_gap\": %.4f\n\
+     }\n"
+    s.tb_nodes s.tb_slots s.tb_seed s.tb_offered s.tb_fast_admits
+    s.tb_fallback_files s.tb_fallback_admits s.tb_rejected s.tb_fast_share
+    s.tb_fast_us s.tb_lp_us s.tb_latency_ratio s.tb_cost_tiered
+    s.tb_cost_postcard s.tb_cost_gap

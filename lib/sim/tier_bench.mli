@@ -1,0 +1,48 @@
+(** The tiered-admission macro-benchmark behind [bench --tier].
+
+    Three measurements on one randomized setting (complete topology,
+    paper-style workload), quantifying the cost-vs-latency frontier of
+    the combinatorial fast tier against the per-epoch LP:
+
+    - {b Admission split}: an engine run under ["postcard-tiered"] with a
+      counting fallback — how many files the ledger tier admits without
+      ever touching the LP, and how many spill to it.
+    - {b Per-admission latency}: the same stream of files decided one at
+      a time by the ledger's incremental [admit] and by a singleton LP
+      solve, wall-clocked over enough repetitions to be stable.
+    - {b Cost gap}: the final bill of the tiered run against a pure
+      ["postcard"] run over the identical workload.
+
+    {!check} encodes the targets the tier is held to: the fast tier
+    decides at least 90% of files without the LP, at least 50x faster
+    per admission, within 10% of the pure LP's cost. *)
+
+type summary = {
+  tb_nodes : int;
+  tb_slots : int;
+  tb_seed : int;
+  tb_offered : int;  (** Initial offers seen by the tiered engine run. *)
+  tb_fast_admits : int;  (** Admitted by the ledger tier alone. *)
+  tb_fallback_files : int;  (** Files the fast tier deferred to the LP. *)
+  tb_fallback_admits : int;  (** Deferred files the LP then admitted. *)
+  tb_rejected : int;  (** Files denied by both tiers. *)
+  tb_fast_share : float;  (** [fast_admits / offered]. *)
+  tb_fast_us : float;  (** Mean microseconds per ledger admission. *)
+  tb_lp_us : float;  (** Mean microseconds per singleton LP admission. *)
+  tb_latency_ratio : float;  (** [lp_us / fast_us]. *)
+  tb_cost_tiered : float;  (** Final bill of the tiered run. *)
+  tb_cost_postcard : float;  (** Final bill of the pure-LP run. *)
+  tb_cost_gap : float;  (** [(tiered - postcard) / postcard]. *)
+}
+
+val run : ?nodes:int -> ?slots:int -> ?seed:int -> unit -> summary
+(** Defaults: 8 datacenters, 40 slots, seed 1. Deterministic for fixed
+    parameters up to wall-clock latency fields. *)
+
+val check : summary -> (unit, string list) result
+(** The acceptance targets: [fast_share >= 0.9],
+    [latency_ratio >= 50] and [cost_gap <= 0.1]; [Error] lists every
+    violated target. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val to_json : summary -> string

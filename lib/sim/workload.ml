@@ -100,6 +100,14 @@ let push t file =
   | Random _ | Scripted _ ->
       invalid_arg "Workload.push: not a pushable workload"
 
+let record t file =
+  match t.source with
+  | Pushed p ->
+      p.history <- file :: p.history;
+      t.next_id <- t.next_id + 1
+  | Random _ | Scripted _ ->
+      invalid_arg "Workload.record: not a pushable workload"
+
 let pending t =
   match t.source with Pushed p -> List.length p.pending | _ -> 0
 

@@ -67,6 +67,12 @@ val push : t -> Postcard.File.t -> unit
     serving layer stamping stale release slots. Raises [Invalid_argument]
     on non-pushable workloads. *)
 
+val record : t -> Postcard.File.t -> unit
+(** Add a file to a {!pushable} workload's {!captured} history {e without}
+    queueing it for the next drain — for files already handed to the
+    engine out of band via [Engine.offer], so a captured session still
+    replays them. Raises [Invalid_argument] on non-pushable workloads. *)
+
 val pending : t -> int
 (** Files pushed but not yet drained (0 for non-pushable sources). *)
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Tier-1 tiered-admission smoke. Two legs:
+#
+# 1. A traced postcard-tiered simulation with a mid-run link outage: the
+#    fast tier's ledger bookings, the outage's stranded bytes and the
+#    engine's re-offers must still produce a strictly-validating trace
+#    whose byte accounting reconciles exactly (offered = delivered +
+#    lost + rejected).
+# 2. The serving daemon booted WITHOUT --scheduler: the tiered scheduler
+#    is the serve default, so the smoke drives whatever the daemon picks
+#    on its own and demands the same clean shutdown, byte reconciliation
+#    and trace validation as the explicit serve smoke — plus evidence in
+#    the trace that postcard-tiered really was the scheduler in charge.
+set -euo pipefail
+
+sim=$1 serve=$2 client=$3
+dir=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+# --- Leg 1: traced tiered run through a mid-run outage. ---
+"$sim" figure --scaled 6 --nodes 6 --slots 8 --runs 1 \
+  --schedulers postcard-tiered --faults link:0-1@4 \
+  --trace "$dir/tier.jsonl" >"$dir/tier.out"
+"$sim" trace-summary "$dir/tier.jsonl" --json >"$dir/tier_summary.json"
+if ! grep -q '"reconciliation":"ok"' "$dir/tier_summary.json"; then
+  echo "tier smoke: tiered outage run does not reconcile" >&2
+  cat "$dir/tier_summary.json" >&2
+  exit 1
+fi
+if ! grep -q 'postcard-tiered' "$dir/tier.jsonl"; then
+  echo "tier smoke: trace never names the tiered scheduler" >&2
+  exit 1
+fi
+
+# --- Leg 2: serve smoke on the daemon's default scheduler. ---
+await_port() {
+  local out=$1 pid=$2 port=
+  for _ in $(seq 1 200); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$out")
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "tier smoke: daemon died before announcing a port" >&2
+      return 1
+    fi
+    sleep 0.05
+  done
+  echo "tier smoke: daemon never announced a port" >&2
+  return 1
+}
+
+"$serve" --clock turbo --nodes 6 --capacity 35 --seed 0 --slots 64 \
+  --port 0 --trace "$dir/serve.jsonl" >"$dir/serve.out" 2>"$dir/serve.err" &
+daemon_pid=$!
+
+if ! port=$(await_port "$dir/serve.out" "$daemon_pid"); then
+  cat "$dir/serve.out" "$dir/serve.err" >&2
+  exit 1
+fi
+
+"$client" smoke --port "$port" -n 60 --batch 6 --seed 7
+
+if ! wait "$daemon_pid"; then
+  echo "tier smoke: daemon exited non-zero" >&2
+  cat "$dir/serve.out" "$dir/serve.err" >&2
+  exit 1
+fi
+daemon_pid=
+
+if ! grep -q '^session: offered ' "$dir/serve.out"; then
+  echo "tier smoke: daemon printed no shutdown summary" >&2
+  cat "$dir/serve.out" >&2
+  exit 1
+fi
+"$sim" trace-summary "$dir/serve.jsonl" >/dev/null
+if ! grep -q 'postcard-tiered' "$dir/serve.jsonl"; then
+  echo "tier smoke: serve default is not the tiered scheduler" >&2
+  exit 1
+fi
+echo "tier smoke: OK"

@@ -74,12 +74,12 @@ let test_registry () =
     (fun n ->
       Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
     [ "postcard"; "flow-based"; "flow-excess"; "flow-joint"; "direct";
-      "greedy-snf"; "burst-95" ];
+      "greedy-snf"; "burst-95"; "ledger"; "postcard-tiered" ];
   (* Aliases resolve to the canonical strategy... *)
   (match Postcard.Scheduler.make "flow" with
    | Some s ->
        Alcotest.(check string) "alias resolves" "flow-based"
-         s.Postcard.Scheduler.name
+         (Postcard.Scheduler.name s)
    | None -> Alcotest.fail "alias flow not resolved");
   (* ...and every make call returns a distinct value. *)
   let a = Postcard.Scheduler.make_exn "postcard" in
@@ -99,9 +99,13 @@ let test_registry () =
          in
          has "nope" && has "postcard"
      | _ -> false);
-  Alcotest.(check int) "make_all covers the registry"
-    (List.length names)
-    (List.length (Postcard.Scheduler.make_all ()))
+  match Postcard.Scheduler.make_all () with
+  | Error errs ->
+      Alcotest.failf "make_all reported broken factories: %s"
+        (String.concat "; " errs)
+  | Ok instances ->
+      Alcotest.(check int) "make_all covers the registry"
+        (List.length names) (List.length instances)
 
 (* ------------------------------------------------------------------ *)
 (* The parallel sweep: bit-identical results and domain-safe telemetry. *)
@@ -120,9 +124,13 @@ let test_parallel_bit_identical () =
     Sim.Experiment.run_setting ~pool setting ~schedulers
   in
   (* Structural equality covers every float bit in costs, CIs and the
-     averaged series. *)
+     averaged series; only the wall-clock decision latency is exempt. *)
+  let strip (s : Sim.Experiment.scheduler_summary) =
+    { s with Sim.Experiment.mean_decision_ms = 0. }
+  in
   Alcotest.(check bool) "-j 1 and -j 4 summaries bit-identical" true
-    (serial.Sim.Experiment.summaries = par.Sim.Experiment.summaries)
+    (List.map strip serial.Sim.Experiment.summaries
+    = List.map strip par.Sim.Experiment.summaries)
 
 let test_metrics_totals_parallel () =
   let counters () =

@@ -11,9 +11,11 @@ let ctx ?(charged_value = 0.) base capacity =
     epoch = 0;
     period = 100;
     charged = Array.make (Graph.num_arcs base) charged_value;
-    residual = (fun ~link:_ ~slot:_ -> capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.);
-    down = (fun ~link:_ ~slot:_ -> false) }
+    links =
+      Postcard.Linkview.make
+        ~residual:(fun ~link:_ ~slot:_ -> capacity)
+        ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+        ~down:(fun ~link:_ ~slot:_ -> false) }
 
 let plan_cost base charged plan =
   let horizon =
@@ -32,7 +34,7 @@ let test_single_file_spreads () =
   let scheduler = Postcard.Greedy_scheduler.make () in
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ] in
   let { Scheduler.plan; accepted; _ } =
-    scheduler.Scheduler.schedule (ctx base 10.) files
+    Scheduler.schedule scheduler (ctx base 10.) files
   in
   Alcotest.(check int) "accepted" 1 (List.length accepted);
   (match Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> 10.) plan with
@@ -48,7 +50,7 @@ let test_free_riding () =
   let scheduler = Postcard.Greedy_scheduler.make () in
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ] in
   let { Scheduler.plan; _ } =
-    scheduler.Scheduler.schedule (ctx ~charged_value:4. base 10.) files
+    Scheduler.schedule scheduler (ctx ~charged_value:4. base 10.) files
   in
   let cost = plan_cost base [| 4. |] plan in
   Alcotest.(check (float 1e-6)) "no new charge" 20. cost
@@ -61,7 +63,7 @@ let test_relay_when_cheaper () =
   ignore (Graph.add_arc base ~src:1 ~dst:2 ~capacity:100. ~cost:1. ());
   let scheduler = Postcard.Greedy_scheduler.make () in
   let files = [ File.make ~id:0 ~src:0 ~dst:2 ~size:8. ~deadline:4 ~release:0 ] in
-  let { Scheduler.plan; _ } = scheduler.Scheduler.schedule (ctx base 100.) files in
+  let { Scheduler.plan; _ } = Scheduler.schedule scheduler (ctx base 100.) files in
   Alcotest.(check (float 1e-6)) "direct unused" 0.
     (Plan.volume_on plan ~link:0 ~slot:0
      +. Plan.volume_on plan ~link:0 ~slot:1
@@ -73,7 +75,7 @@ let test_rejects_infeasible () =
   ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:5. ~cost:1. ());
   let scheduler = Postcard.Greedy_scheduler.make () in
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:20. ~deadline:2 ~release:0 ] in
-  let { Scheduler.rejected; _ } = scheduler.Scheduler.schedule (ctx base 5.) files in
+  let { Scheduler.rejected; _ } = Scheduler.schedule scheduler (ctx base 5.) files in
   Alcotest.(check int) "rejected" 1 (List.length rejected)
 
 let test_batch_respects_capacity () =
@@ -85,7 +87,7 @@ let test_batch_respects_capacity () =
       File.make ~id:1 ~src:0 ~dst:1 ~size:8. ~deadline:2 ~release:0 ]
   in
   let { Scheduler.plan; accepted; _ } =
-    scheduler.Scheduler.schedule (ctx base 10.) files
+    Scheduler.schedule scheduler (ctx base 10.) files
   in
   Alcotest.(check int) "both fit (20 <= 2x10)" 2 (List.length accepted);
   match
@@ -126,23 +128,25 @@ let test_gap_against_lp () =
         epoch = 0;
         period = 100;
         charged;
-        residual = (fun ~link:_ ~slot:_ -> 60.);
-        occupied = (fun ~link:_ ~slot:_ -> 0.);
-        down = (fun ~link:_ ~slot:_ -> false) }
+        links =
+          Postcard.Linkview.make
+            ~residual:(fun ~link:_ ~slot:_ -> 60.)
+            ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+            ~down:(fun ~link:_ ~slot:_ -> false) }
     in
     let run scheduler =
       let { Scheduler.plan; rejected; _ } =
-        scheduler.Scheduler.schedule context files
+        Scheduler.schedule scheduler context files
       in
       if rejected <> [] then
         Alcotest.failf "trial %d: %s rejected files at ample capacity" trial
-          scheduler.Scheduler.name;
+          (Scheduler.name scheduler);
       (match
          Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> 60.) plan
        with
        | Ok () -> ()
        | Error msg ->
-           Alcotest.failf "trial %d (%s): %s" trial scheduler.Scheduler.name msg);
+           Alcotest.failf "trial %d (%s): %s" trial (Scheduler.name scheduler) msg);
       plan_cost base charged plan
     in
     let lp_cost = run (Postcard.Postcard_scheduler.make ()) in

@@ -107,10 +107,12 @@ let test_clairvoyance_helps () =
     (fun epoch files ->
       let ctx =
         { Postcard.Scheduler.base; epoch; period = 4; charged = Array.copy charged;
-          residual; occupied; down = (fun ~link:_ ~slot:_ -> false) }
+          links =
+            Postcard.Linkview.make ~residual ~occupied
+              ~down:(fun ~link:_ ~slot:_ -> false) }
       in
       let { Postcard.Scheduler.plan; rejected; _ } =
-        scheduler.Postcard.Scheduler.schedule ctx files
+        Postcard.Scheduler.schedule scheduler ctx files
       in
       Alcotest.(check int) "no rejections" 0 (List.length rejected);
       commit plan;

@@ -62,12 +62,14 @@ let test_fig1_direct () =
       epoch = 0;
       period = 100;
       charged = Array.make (Graph.num_arcs base) 0.;
-      residual = (fun ~link:_ ~slot:_ -> 1000.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.);
-      down = (fun ~link:_ ~slot:_ -> false) }
+      links =
+        Postcard.Linkview.make
+          ~residual:(fun ~link:_ ~slot:_ -> 1000.)
+          ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+          ~down:(fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan; accepted; rejected } =
-    scheduler.Scheduler.schedule ctx [ fig1_file () ]
+    Scheduler.schedule scheduler ctx [ fig1_file () ]
   in
   Alcotest.(check int) "accepted" 1 (List.length accepted);
   Alcotest.(check int) "rejected" 0 (List.length rejected);
@@ -180,12 +182,14 @@ let test_fig3_direct () =
       epoch = 0;
       period = 100;
       charged = Array.make (Graph.num_arcs base) 0.;
-      residual = (fun ~link:_ ~slot:_ -> 5.);
-      occupied = (fun ~link:_ ~slot:_ -> 0.);
-      down = (fun ~link:_ ~slot:_ -> false) }
+      links =
+        Postcard.Linkview.make
+          ~residual:(fun ~link:_ ~slot:_ -> 5.)
+          ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+          ~down:(fun ~link:_ ~slot:_ -> false) }
   in
   let { Scheduler.plan; accepted; _ } =
-    scheduler.Scheduler.schedule ctx (fig3_files ())
+    Scheduler.schedule scheduler ctx (fig3_files ())
   in
   Alcotest.(check int) "both accepted" 2 (List.length accepted);
   let link_14 = Option.get (Graph.find_arc base ~src:0 ~dst:3) in

@@ -11,9 +11,11 @@ let ctx ?(period = 20) ?(occupied = fun ~link:_ ~slot:_ -> 0.) base capacity =
     epoch = 0;
     period;
     charged = Array.make (Graph.num_arcs base) 0.;
-    residual = (fun ~link ~slot -> capacity -. occupied ~link ~slot);
-    occupied;
-    down = (fun ~link:_ ~slot:_ -> false) }
+    links =
+      Postcard.Linkview.make
+        ~residual:(fun ~link ~slot -> capacity -. occupied ~link ~slot)
+        ~occupied
+        ~down:(fun ~link:_ ~slot:_ -> false) }
 
 let line () =
   let g = Graph.create ~n:2 in
@@ -28,7 +30,7 @@ let test_bursts_are_free () =
   let scheduler = Postcard.Greedy_scheduler.make_percentile ~percentile:90. () in
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ] in
   let { Scheduler.plan; accepted; _ } =
-    scheduler.Scheduler.schedule (ctx base 100.) files
+    Scheduler.schedule scheduler (ctx base 100.) files
   in
   Alcotest.(check int) "accepted" 1 (List.length accepted);
   (* Build the period's volume series and evaluate under the scheme. *)
@@ -47,7 +49,7 @@ let test_peak_mode_pays () =
   let base = line () in
   let scheduler = Postcard.Greedy_scheduler.make () in
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ] in
-  let { Scheduler.plan; _ } = scheduler.Scheduler.schedule (ctx base 100.) files in
+  let { Scheduler.plan; _ } = Scheduler.schedule scheduler (ctx base 100.) files in
   Alcotest.(check (float 1e-9)) "peak charge" 50.
     (Plan.volume_on plan ~link:0 ~slot:0)
 
@@ -61,7 +63,7 @@ let test_reuses_existing_burst_slot () =
   (* 95th percentile of 20 slots discards only the single top slot. *)
   let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:30. ~deadline:6 ~release:0 ] in
   let { Scheduler.plan; _ } =
-    scheduler.Scheduler.schedule (ctx ~occupied base 100.) files
+    Scheduler.schedule scheduler (ctx ~occupied base 100.) files
   in
   (* All volume should land in slot 3 (the already-discarded burst slot). *)
   Alcotest.(check (float 1e-6)) "piled onto the burst slot" 30.
@@ -88,7 +90,7 @@ let test_plans_stay_valid () =
     in
     let scheduler = Postcard.Greedy_scheduler.make_percentile () in
     let { Scheduler.plan; accepted; _ } =
-      scheduler.Scheduler.schedule (ctx ~period:30 base 40.) files
+      Scheduler.schedule scheduler (ctx ~period:30 base 40.) files
     in
     match
       Plan.validate ~base ~files:accepted

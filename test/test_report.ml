@@ -66,6 +66,16 @@ let test_comparison_renders () =
   in
   Alcotest.(check bool) "handles missing" true (contains missing "missing")
 
+let test_frontier_renders () =
+  let results = small_results () in
+  let text = render (fun ppf -> Sim.Report.print_frontier ppf results) in
+  Alcotest.(check bool) "has header" true
+    (contains text "cost-vs-latency frontier");
+  Alcotest.(check bool) "lists both schedulers" true
+    (contains text "direct" && contains text "greedy-snf");
+  (* At least one scheduler is always undominated. *)
+  Alcotest.(check bool) "stars a frontier row" true (contains text "*")
+
 let test_utilization_renders () =
   let base = Graph.create ~n:2 in
   ignore (Graph.add_arc base ~src:0 ~dst:1 ~capacity:10. ~cost:2. ());
@@ -124,5 +134,6 @@ let suite =
   [ Alcotest.test_case "summary renders" `Quick test_summary_renders;
     Alcotest.test_case "series renders" `Quick test_series_renders;
     Alcotest.test_case "comparison renders" `Quick test_comparison_renders;
+    Alcotest.test_case "frontier renders" `Quick test_frontier_renders;
     Alcotest.test_case "utilization renders" `Quick test_utilization_renders;
     Alcotest.test_case "piecewise bill" `Quick test_evaluate_bill_piecewise ]

@@ -12,9 +12,11 @@ let simple_ctx ?(charged_value = 0.) base capacity =
     epoch = 0;
     period = 100;
     charged = Array.make (Graph.num_arcs base) charged_value;
-    residual = (fun ~link:_ ~slot:_ -> capacity);
-    occupied = (fun ~link:_ ~slot:_ -> 0.);
-    down = (fun ~link:_ ~slot:_ -> false) }
+    links =
+      Postcard.Linkview.make
+        ~residual:(fun ~link:_ ~slot:_ -> capacity)
+        ~occupied:(fun ~link:_ ~slot:_ -> 0.)
+        ~down:(fun ~link:_ ~slot:_ -> false) }
 
 let line_graph () =
   let g = Graph.create ~n:2 in
@@ -50,7 +52,7 @@ let test_postcard_scheduler_accepts () =
     [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0 ]
   in
   let { Scheduler.plan; accepted; rejected } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+    Scheduler.schedule scheduler (simple_ctx base 10.) files
   in
   Alcotest.(check int) "accepted" 1 (List.length accepted);
   Alcotest.(check int) "rejected" 0 (List.length rejected);
@@ -65,7 +67,7 @@ let test_postcard_scheduler_rejects_oversize () =
       File.make ~id:1 ~src:0 ~dst:1 ~size:50. ~deadline:1 ~release:0 ]
   in
   let { Scheduler.accepted; rejected; _ } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+    Scheduler.schedule scheduler (simple_ctx base 10.) files
   in
   Alcotest.(check (list int)) "rejected oversize" [ 1 ]
     (List.map (fun f -> f.File.id) rejected);
@@ -76,7 +78,7 @@ let test_postcard_scheduler_empty () =
   let base = line_graph () in
   let scheduler = Postcard.Postcard_scheduler.make () in
   let { Scheduler.plan; _ } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) []
+    Scheduler.schedule scheduler (simple_ctx base 10.) []
   in
   Alcotest.(check (float 0.)) "empty plan" 0. (Plan.total_transmitted plan)
 
@@ -91,7 +93,7 @@ let test_direct_scheduler_batch_contention () =
       File.make ~id:1 ~src:0 ~dst:1 ~size:4. ~deadline:4 ~release:0 ]
   in
   let { Scheduler.plan; accepted; rejected } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+    Scheduler.schedule scheduler (simple_ctx base 10.) files
   in
   Alcotest.(check int) "both accepted" 2 (List.length accepted);
   Alcotest.(check int) "none rejected" 0 (List.length rejected);
@@ -114,7 +116,7 @@ let test_direct_scheduler_rejects_missing_link () =
     [ File.make ~id:0 ~src:0 ~dst:2 ~size:1. ~deadline:2 ~release:0 ]
   in
   let { Scheduler.rejected; _ } =
-    scheduler.Scheduler.schedule (simple_ctx g 10.) files
+    Scheduler.schedule scheduler (simple_ctx g 10.) files
   in
   Alcotest.(check int) "rejected (no direct link)" 1 (List.length rejected)
 
@@ -125,10 +127,11 @@ let test_flow_instance_of_context () =
       epoch = 5;
       period = 100;
       charged = [| 4. |];
-      residual =
-        (fun ~link:_ ~slot -> if slot = 6 then 3. else 10.);
-      occupied = (fun ~link:_ ~slot -> if slot = 6 then 7. else 0.);
-      down = (fun ~link:_ ~slot:_ -> false) }
+      links =
+        Postcard.Linkview.make
+          ~residual:(fun ~link:_ ~slot -> if slot = 6 then 3. else 10.)
+          ~occupied:(fun ~link:_ ~slot -> if slot = 6 then 7. else 0.)
+          ~down:(fun ~link:_ ~slot:_ -> false) }
   in
   let inst = Flow.instance_of_context ctx ~horizon:3 in
   (* Worst residual over slots 5..7 is 3; peak occupancy is 7. *)
@@ -179,7 +182,7 @@ let test_flow_scheduler_plan_capacity () =
       File.make ~id:1 ~src:0 ~dst:1 ~size:8. ~deadline:2 ~release:0 ]
   in
   let { Scheduler.plan; accepted; _ } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+    Scheduler.schedule scheduler (simple_ctx base 10.) files
   in
   Alcotest.(check int) "both accepted" 2 (List.length accepted);
   (match
@@ -200,7 +203,7 @@ let test_flow_scheduler_rejects_overload () =
     [ File.make ~id:0 ~src:0 ~dst:1 ~size:30. ~deadline:2 ~release:0 ]
   in
   let { Scheduler.rejected; _ } =
-    scheduler.Scheduler.schedule (simple_ctx base 10.) files
+    Scheduler.schedule scheduler (simple_ctx base 10.) files
   in
   Alcotest.(check int) "rejected" 1 (List.length rejected)
 

@@ -1,0 +1,417 @@
+(* The combinatorial admission tier and the tiered combinator: ALAP
+   deadline guarantees, free-first filling, fast/fallback composition,
+   registry probing, and ledger consistency under commit + strand +
+   re-offer storms. *)
+
+module Graph = Netgraph.Graph
+module File = Postcard.File
+module Plan = Postcard.Plan
+module Scheduler = Postcard.Scheduler
+module Ledger = Postcard.Ledger_scheduler
+module Linkview = Postcard.Linkview
+
+let ctx ?(epoch = 0) ?(period = 100) ?(charged_value = 0.) base =
+  { Scheduler.base;
+    epoch;
+    period;
+    charged = Array.make (Graph.num_arcs base) charged_value;
+    links = Linkview.of_capacity ~base }
+
+let line ~capacity ~cost =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity ~cost ());
+  g
+
+let validate_or_fail ~base ~files ~capacity plan =
+  match Plan.validate ~base ~files ~capacity:(fun ~link:_ ~slot:_ -> capacity) plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* The ledger tier in isolation. *)
+
+let test_alap_places_late () =
+  (* One link, capacity 10, peak already charged at 5: a size-5
+     deadline-3 file fits inside the free headroom of any single slot,
+     and free volume is placed as late as possible. *)
+  let base = line ~capacity:10. ~cost:2. in
+  let scheduler = Ledger.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:5. ~deadline:3 ~release:0 ] in
+  let { Scheduler.plan; accepted; _ } =
+    Scheduler.schedule scheduler (ctx ~charged_value:5. base) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  Alcotest.(check (float 1e-9)) "everything in the last slot" 5.
+    (Plan.volume_on plan ~link:0 ~slot:2);
+  Alcotest.(check (float 1e-9)) "earlier slots untouched" 0.
+    (Plan.volume_on plan ~link:0 ~slot:0 +. Plan.volume_on plan ~link:0 ~slot:1)
+
+let test_paid_volume_is_leveled () =
+  (* Paid volume is billed by the link's peak slot usage, so bursting a
+     size-10 deadline-3 file into one slot would charge a peak of 10;
+     the water-fill spreads it to 10/3 per slot instead. *)
+  let base = line ~capacity:10. ~cost:2. in
+  let scheduler = Ledger.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:10. ~deadline:3 ~release:0 ] in
+  let { Scheduler.plan; accepted; _ } =
+    Scheduler.schedule scheduler (ctx base) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  Alcotest.(check (float 1e-9)) "all volume moved" 10.
+    (Plan.total_transmitted plan);
+  for slot = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d stays at the water level" slot)
+      true
+      (Plan.volume_on plan ~link:0 ~slot <= (10. /. 3.) +. 1e-4)
+  done
+
+let test_free_first_rides_charged_peak () =
+  (* The link's peak is already charged at 5: a size-15 deadline-3 file
+     fits entirely inside the free headroom (5 per slot), so no slot may
+     exceed the paid-for peak. *)
+  let base = line ~capacity:10. ~cost:5. in
+  let scheduler = Ledger.make () in
+  let files = [ File.make ~id:0 ~src:0 ~dst:1 ~size:15. ~deadline:3 ~release:0 ] in
+  let { Scheduler.plan; accepted; _ } =
+    Scheduler.schedule scheduler (ctx ~charged_value:5. base) files
+  in
+  Alcotest.(check int) "accepted" 1 (List.length accepted);
+  Alcotest.(check (float 1e-9)) "all volume moved" 15.
+    (Plan.total_transmitted plan);
+  for slot = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d stays under the charged peak" slot)
+      true
+      (* 1e-4 slack: the water level sits a hair above the charged peak
+         so that float noise never strands the last sliver of a fill. *)
+      (Plan.volume_on plan ~link:0 ~slot <= 5. +. 1e-4)
+  done
+
+let random_instance rng =
+  let n = 4 + Prelude.Rng.int rng 3 in
+  let base =
+    Netgraph.Topology.complete ~n ~rng ~cost_lo:1. ~cost_hi:10. ~capacity:40.
+  in
+  let files =
+    List.init (1 + Prelude.Rng.int rng 5) (fun id ->
+        let src = Prelude.Rng.int rng n in
+        let rec dst () =
+          let d = Prelude.Rng.int rng n in
+          if d = src then dst () else d
+        in
+        File.make ~id ~src ~dst:(dst ())
+          ~size:(Prelude.Rng.float_range rng 5. 30.)
+          ~deadline:(Prelude.Rng.int_incl rng 1 4)
+          ~release:0)
+  in
+  (base, files)
+
+let test_alap_deadline_guarantee () =
+  (* The tier's core promise: whatever it admits is a valid slot-accurate
+     store-and-forward schedule meeting every deadline under the booked
+     ledgers — on random instances, batch after batch. *)
+  let rng = Prelude.Rng.of_int 4242 in
+  let scheduler = Ledger.make () in
+  for trial = 1 to 25 do
+    let base, files = random_instance rng in
+    let { Scheduler.plan; accepted; rejected } =
+      Scheduler.schedule scheduler (ctx base) files
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: accepted + rejected = offered" trial)
+      (List.length files)
+      (List.length accepted + List.length rejected);
+    (match
+       Plan.validate ~base ~files:accepted
+         ~capacity:(fun ~link:_ ~slot:_ -> 40.)
+         plan
+     with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "trial %d: %s" trial msg)
+  done
+
+let test_admit_agrees_with_schedule () =
+  (* The capability contract on singleton batches, beyond the registry's
+     single probe: same verdict, same moved volume. *)
+  let rng = Prelude.Rng.of_int 7777 in
+  let scheduler = Ledger.make () in
+  let admit =
+    match Scheduler.admit scheduler with
+    | Some f -> f
+    | None -> Alcotest.fail "ledger must expose the admit capability"
+  in
+  for trial = 1 to 25 do
+    let base, files = random_instance rng in
+    let file = List.hd files in
+    let verdict = admit (ctx base) file in
+    let { Scheduler.plan; accepted; _ } =
+      Scheduler.schedule scheduler (ctx base) [ file ]
+    in
+    match (verdict, accepted) with
+    | Scheduler.Denied, [] -> ()
+    | Scheduler.Admitted p, [ _ ] ->
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "trial %d: same volume" trial)
+          (Plan.total_transmitted plan)
+          (Plan.total_transmitted p)
+    | Scheduler.Denied, _ ->
+        Alcotest.failf "trial %d: admit denied, schedule accepted" trial
+    | Scheduler.Admitted _, _ ->
+        Alcotest.failf "trial %d: admit accepted, schedule denied" trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The tiered combinator. *)
+
+(* Two parallel arcs of capacity 5 and 1: a size-6 deadline-1 file needs
+   the exact 5 + 1 split. The ledger's equal-chunk splitting can only
+   move quarters (1.5 each), so once the big arc holds three chunks
+   neither arc fits the fourth; the LP's fractional split saves it. *)
+let split_graph () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:5. ~cost:1. ());
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1. ~cost:2. ());
+  g
+
+let split_file () = File.make ~id:0 ~src:0 ~dst:1 ~size:6. ~deadline:1 ~release:0
+
+let test_fallback_catches_ledger_denial () =
+  let base = split_graph () in
+  let files = [ split_file () ] in
+  (* The fast tier alone rejects... *)
+  let { Scheduler.rejected; _ } =
+    Scheduler.schedule (Ledger.make ()) (ctx base) files
+  in
+  Alcotest.(check int) "ledger alone rejects the split file" 1
+    (List.length rejected);
+  (* ...the tiered scheduler saves it through the LP. *)
+  let tiered =
+    Scheduler.tiered ~fast:(Ledger.make ())
+      ~fallback:(Postcard.Postcard_scheduler.make ())
+      ()
+  in
+  Alcotest.(check string) "default combinator name" "ledger+postcard"
+    (Scheduler.name tiered);
+  let { Scheduler.plan; accepted; rejected } =
+    Scheduler.schedule tiered (ctx base) files
+  in
+  Alcotest.(check int) "tiered accepts" 1 (List.length accepted);
+  Alcotest.(check int) "tiered rejects none" 0 (List.length rejected);
+  match
+    Plan.validate ~base ~files
+      ~capacity:(fun ~link ~slot:_ -> if link = 0 then 5. else 1.)
+      plan
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_high_value_routes_to_fallback () =
+  (* A file the fast tier would happily admit still goes to the LP when
+     the policy marks it high-value. *)
+  let base = line ~capacity:10. ~cost:1. in
+  let lp = Postcard.Postcard_scheduler.make () in
+  let seen = ref [] in
+  let recorder =
+    Scheduler.stateless ~name:"recorder" ~fluid:false (fun c fs ->
+        seen := List.map (fun f -> f.File.id) fs @ !seen;
+        Scheduler.schedule lp c fs)
+  in
+  let tiered =
+    Scheduler.tiered ~fast:(Ledger.make ()) ~fallback:recorder
+      ~high_value:(fun f -> f.File.size >= 8.)
+      ()
+  in
+  let files =
+    [ File.make ~id:0 ~src:0 ~dst:1 ~size:9. ~deadline:3 ~release:0;
+      File.make ~id:1 ~src:0 ~dst:1 ~size:2. ~deadline:3 ~release:0 ]
+  in
+  let { Scheduler.plan; accepted; _ } =
+    Scheduler.schedule tiered (ctx base) files
+  in
+  Alcotest.(check int) "both accepted" 2 (List.length accepted);
+  Alcotest.(check (list int)) "only the big file hit the fallback" [ 0 ] !seen;
+  validate_or_fail ~base ~files ~capacity:10. plan
+
+let test_tiered_requires_fast_admit () =
+  (* The postcard LP is batch-only: it cannot serve as the fast tier. *)
+  match
+    Scheduler.tiered
+      ~fast:(Postcard.Postcard_scheduler.make ())
+      ~fallback:(Ledger.make ())
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for an admit-less fast tier"
+
+(* ------------------------------------------------------------------ *)
+(* Registry probing and health. *)
+
+let test_register_rejects_probe_disagreement () =
+  (* A scheduler whose admit denies what its schedule accepts must be
+     turned away at registration. *)
+  let liar () =
+    Scheduler.create ~name:"probe-liar" ~fluid:false
+      ~admit:(fun _ _ -> Scheduler.Denied)
+      (fun _ files -> { Scheduler.plan = Plan.empty; accepted = files; rejected = [] })
+  in
+  match Scheduler.register ~name:"probe-liar-test" liar with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for a disagreeing probe"
+
+let test_register_rejects_raising_factory () =
+  match
+    Scheduler.register ~name:"raising-test" (fun () ->
+        failwith "constructor boom")
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for a raising factory"
+
+let test_make_all_surfaces_broken_factory () =
+  (* A factory can pass its registration probe and still fail later (it
+     is stateful): make_all must report it as Error, not crash. *)
+  let broken = ref false in
+  Scheduler.register ~name:"flaky-test"
+    ~doc:"test-only factory that can be poisoned" (fun () ->
+      if !broken then failwith "flaky boom"
+      else Postcard.Direct_scheduler.make ());
+  broken := true;
+  (match Scheduler.make_all () with
+   | Ok _ -> Alcotest.fail "expected Error from the poisoned factory"
+   | Error errs ->
+       Alcotest.(check bool) "the broken factory is named" true
+         (List.exists
+            (fun e ->
+              let has sub =
+                let rec go i =
+                  i + String.length sub <= String.length e
+                  && (String.sub e i (String.length sub) = sub || go (i + 1))
+                in
+                go 0
+              in
+              has "flaky-test")
+            errs));
+  (* Un-poison so later registry-wide tests see a healthy registry. *)
+  broken := false;
+  match Scheduler.make_all () with
+  | Ok _ -> ()
+  | Error errs ->
+      Alcotest.failf "registry still broken: %s" (String.concat "; " errs)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger consistency under commit + strand + re-offer storms, with the
+   per-request offer path interleaved. *)
+
+let test_storm_reconciliation () =
+  let rng = Prelude.Rng.of_int 31337 in
+  (* A single shared link: every booking lands on it, and ALAP placement
+     pushes volume late — straight into the outage window. *)
+  let base = line ~capacity:30. ~cost:2. in
+  let spec =
+    { (Sim.Workload.paper_spec ~nodes:2 ~files_max:2 ~max_deadline:4) with
+      Sim.Workload.size_min = 5.;
+      size_max = 20.;
+      deadlines = Sim.Workload.Uniform_deadline (2, 4) }
+  in
+  let workload = Sim.Workload.create spec (Prelude.Rng.of_int 99) in
+  let faults =
+    match Sim.Faults.parse "link:0-1@4..5" with
+    | Ok sc -> sc
+    | Error msg -> Alcotest.fail msg
+  in
+  let slots = 8 in
+  let cfg =
+    Sim.Engine.make ~base
+      ~scheduler:(Scheduler.make_exn "postcard-tiered")
+      ~workload ~slots ~faults ()
+  in
+  let t = Sim.Engine.init cfg in
+  let offers_decided = ref 0 in
+  for slot = 0 to slots - 1 do
+    (* A couple of per-request offers squeeze in before each batch step:
+       they commit (or bounce) against the same ledgers. *)
+    if slot mod 2 = 0 then begin
+      let f =
+        File.make ~id:(1000 + slot) ~src:0 ~dst:1
+          ~size:(Prelude.Rng.float_range rng 4. 12.)
+          ~deadline:3 ~release:slot
+      in
+      match Sim.Engine.offer t f with
+      | None -> Alcotest.fail "tiered must expose the offer fast path"
+      | Some _ -> incr offers_decided
+    end;
+    ignore (Sim.Engine.step t ~arrivals:(Sim.Workload.arrivals workload ~slot))
+  done;
+  let outcome = Sim.Engine.drain t in
+  Alcotest.(check int) "every interleaved offer was decided" 4 !offers_decided;
+  Alcotest.(check bool) "the storm actually stranded something" true
+    (outcome.Sim.Engine.stranded_volume > 0.);
+  (* The books must balance exactly, strands and re-offers included. *)
+  Alcotest.(check (float 1e-6)) "delivered + lost + rejected = offered"
+    outcome.Sim.Engine.offered_volume
+    (outcome.Sim.Engine.delivered_volume +. outcome.Sim.Engine.lost_volume
+    +. outcome.Sim.Engine.rejected_volume);
+  (* And the final cost point prices exactly the final charged peaks. *)
+  let expected_cost =
+    Graph.fold_arcs base ~init:0. ~f:(fun acc a ->
+        acc +. (a.Graph.cost *. outcome.Sim.Engine.final_charged.(a.Graph.id)))
+  in
+  Alcotest.(check (float 1e-6)) "cost series reconciles with charges"
+    expected_cost
+    outcome.Sim.Engine.cost_series.(slots - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical tiered sweeps, serial vs parallel. *)
+
+let test_tiered_parallel_bit_identical () =
+  let setting =
+    Sim.Experiment.with_overrides ~label:"tier-test" ~nodes:5 ~capacity:25.
+      ~files_max:2 ~slots:6 ~runs:2 ~seed:11
+      Sim.Experiment.custom_default
+  in
+  let schedulers =
+    [ Option.get (Scheduler.factory "postcard-tiered");
+      Option.get (Scheduler.factory "ledger") ]
+  in
+  let serial = Sim.Experiment.run_setting setting ~schedulers in
+  let pool = Exec.Pool.create ~domains:4 () in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () -> Sim.Experiment.run_setting ~pool setting ~schedulers)
+  in
+  (* Wall-clock decision latency is the one legitimately nondeterministic
+     field; everything else must match to the bit. *)
+  let strip (s : Sim.Experiment.scheduler_summary) =
+    { s with Sim.Experiment.mean_decision_ms = 0. }
+  in
+  Alcotest.(check bool) "-j 1 and -j 4 tiered cells bit-identical" true
+    (List.map strip serial.Sim.Experiment.summaries
+    = List.map strip par.Sim.Experiment.summaries)
+
+let suite =
+  [ Alcotest.test_case "ledger: ALAP places late" `Quick test_alap_places_late;
+    Alcotest.test_case "ledger: paid volume is leveled" `Quick
+      test_paid_volume_is_leveled;
+    Alcotest.test_case "ledger: free-first rides charged peak" `Quick
+      test_free_first_rides_charged_peak;
+    Alcotest.test_case "ledger: deadline guarantee x25" `Quick
+      test_alap_deadline_guarantee;
+    Alcotest.test_case "ledger: admit agrees with schedule x25" `Quick
+      test_admit_agrees_with_schedule;
+    Alcotest.test_case "tiered: fallback catches ledger denial" `Quick
+      test_fallback_catches_ledger_denial;
+    Alcotest.test_case "tiered: high-value routes to fallback" `Quick
+      test_high_value_routes_to_fallback;
+    Alcotest.test_case "tiered: requires an admit-capable fast tier" `Quick
+      test_tiered_requires_fast_admit;
+    Alcotest.test_case "registry: probe rejects disagreement" `Quick
+      test_register_rejects_probe_disagreement;
+    Alcotest.test_case "registry: probe rejects raising factory" `Quick
+      test_register_rejects_raising_factory;
+    Alcotest.test_case "registry: make_all surfaces broken factory" `Quick
+      test_make_all_surfaces_broken_factory;
+    Alcotest.test_case "storm: ledgers reconcile through strands + offers"
+      `Quick test_storm_reconciliation;
+    Alcotest.test_case "tiered: -j 1 and -j 4 bit-identical" `Quick
+      test_tiered_parallel_bit_identical ]
